@@ -1,0 +1,118 @@
+package omicon
+
+import (
+	"fmt"
+
+	"omicon/internal/adversary"
+	"omicon/internal/sim"
+)
+
+// NoFaults returns the benign adversary.
+func NoFaults() Adversary { return sim.NoFaults{} }
+
+// StaticCrash corrupts the given targets in round 1 and silences their
+// outgoing traffic permanently (the omission encoding of crashes).
+func StaticCrash(targets []int) Adversary { return adversary.NewStaticCrash(targets) }
+
+// RandomOmission corrupts t random processes and drops each of their
+// incident messages with the given rate.
+func RandomOmission(t int, rate float64, seed uint64) Adversary {
+	return adversary.NewRandomOmission(t, rate, seed)
+}
+
+// GroupKiller silences whole groups of the sqrt(n)-decomposition.
+func GroupKiller(n, t int) Adversary { return adversary.NewGroupKiller(n, t) }
+
+// HalfVisibility keeps corrupted processes visible to one half of the
+// network and silent to the other.
+func HalfVisibility(t int) Adversary { return adversary.NewHalfVisibility(t) }
+
+// SplitVote is the full-information biased-majority attack: it silences
+// corrupted holders of the currently leading candidate value.
+func SplitVote(t int, seed uint64) Adversary { return adversary.NewSplitVote(t, seed) }
+
+// DelayedStrike saves its budget to silence processes the moment they
+// announce a decision.
+func DelayedStrike(t int) Adversary { return adversary.NewDelayedStrike(t) }
+
+// CoinHider is the Bar-Joseph/Ben-Or-style adaptive crash strategy with the
+// O(sqrt(r_i log n)) per-round budget of Theorem 2's Lemmas 14-15.
+func CoinHider(beta float64) Adversary { return adversary.NewCoinHider(beta) }
+
+// Portfolio returns the full strategy portfolio for an (n, t) instance;
+// experiment harnesses take the max over it.
+func Portfolio(n, t int, seed uint64) []Adversary {
+	return adversary.Registry(n, t, seed)
+}
+
+// Transcript is the structured per-round record of an execution.
+type Transcript = sim.Transcript
+
+// Recorded wraps an adversary (nil = fault-free) so the execution fills a
+// Transcript: per-round message/bit counts, corruptions, omissions and
+// termination progress. Use the transcript for debugging, determinism
+// checks (Transcript.Equal) or JSON export (Transcript.WriteJSON).
+func Recorded(inner Adversary) (Adversary, *Transcript) {
+	return sim.NewRecorder(inner)
+}
+
+// Traced wraps any adversary with a per-round text log of the execution
+// dynamics (candidate counts, corruption and omission activity) written to
+// w — the observability hook behind `cmd/omicon -trace`.
+func Traced(inner Adversary, w interface{ Write([]byte) (int, error) }) Adversary {
+	return adversary.NewTraced(inner, w)
+}
+
+// FloodSplit is the one-corruption attack that breaks FloodSet (and every
+// crash-model flooding algorithm) in the omission model: silence a hidden
+// value for rounds 1..rounds-1, reveal it to a single victim in the last
+// round. It demonstrates the crash-vs-omission separation.
+func FloodSplit(rounds, victim int) Adversary {
+	return adversary.NewFloodSplit(rounds, victim)
+}
+
+// Chaos returns the fuzzing adversary: random legal corruptions and drops.
+func Chaos(t int, corruptRate, dropRate float64, seed uint64) Adversary {
+	return adversary.NewChaos(t, corruptRate, dropRate, seed)
+}
+
+// ParseAdversary maps a CLI name to a strategy for an (n, t) instance.
+// Valid names: none, static-crash, random-omission, group-killer,
+// half-visibility, split-vote, delayed-strike, coin-hider.
+func ParseAdversary(name string, n, t int, seed uint64) (Adversary, error) {
+	switch name {
+	case "", "none":
+		return NoFaults(), nil
+	case "static-crash":
+		targets := make([]int, t)
+		for i := range targets {
+			targets[i] = i
+		}
+		return StaticCrash(targets), nil
+	case "random-omission":
+		return RandomOmission(t, 0.75, seed), nil
+	case "group-killer":
+		return GroupKiller(n, t), nil
+	case "half-visibility":
+		return HalfVisibility(t), nil
+	case "split-vote":
+		return SplitVote(t, seed), nil
+	case "delayed-strike":
+		return DelayedStrike(t), nil
+	case "coin-hider":
+		return CoinHider(1), nil
+	default:
+		return nil, fmt.Errorf("omicon: unknown adversary %q", name)
+	}
+}
+
+// EclipseOn plans the graph-aware eclipse attack against a prepared
+// OptimalOmissions instance: it corrupts the t processes with the most
+// links into the victim set (the numVictims highest ids) and cuts those
+// links. For other algorithms it returns nil.
+func EclipseOn(inst *Instance, numVictims int) Adversary {
+	if inst.coreParams == nil {
+		return nil
+	}
+	return adversary.NewEclipse(inst.coreParams.Graph, inst.cfg.T, numVictims)
+}

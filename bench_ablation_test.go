@@ -1,0 +1,210 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: each
+// quantifies what one mechanism of Algorithm 1 buys, by running the full
+// protocol with the mechanism varied or disabled.
+package omicon_test
+
+import (
+	"fmt"
+	"testing"
+
+	"omicon/internal/adversary"
+	"omicon/internal/core"
+	"omicon/internal/graph"
+	"omicon/internal/sim"
+)
+
+func ablationRun(b *testing.B, p core.Params, n, t int, adv sim.Adversary, seed uint64) *sim.Result {
+	b.Helper()
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = i % 2
+	}
+	res, err := sim.Run(sim.Config{
+		N: n, T: t, Inputs: inputs, Seed: seed, Adversary: adv,
+		MaxRounds: p.TotalRoundsBound() + 64,
+	}, core.Protocol(p))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkAblationGossipDedup quantifies Algorithm 3's per-link dedup
+// rule: without it, every round re-sends all known group counts and the
+// spreading cost inflates by ~the gossip round count.
+func BenchmarkAblationGossipDedup(b *testing.B) {
+	n, t := 128, 4
+	for _, dedup := range []bool{true, false} {
+		dedup := dedup
+		b.Run(fmt.Sprintf("dedup=%v", dedup), func(b *testing.B) {
+			p, err := core.Prepare(n, t)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p.NoGossipDedup = !dedup
+			var bits float64
+			for i := 0; i < b.N; i++ {
+				res := ablationRun(b, p, n, t, adversary.NewSplitVote(t, uint64(i)), uint64(i)+1)
+				if err := res.CheckConsensus(); err != nil {
+					b.Fatal(err)
+				}
+				bits += float64(res.Metrics.CommBits)
+			}
+			b.ReportMetric(bits/float64(b.N), "commBits/op")
+		})
+	}
+}
+
+// BenchmarkAblationGossipRounds varies the GroupBitsSpreading length: too
+// few rounds and operative processes miss remote groups' counts (risking
+// the fallback); the default trades a small round overhead for whp
+// coverage. Reported: rounds and whether the cheap fast path held.
+func BenchmarkAblationGossipRounds(b *testing.B) {
+	n, t := 128, 4
+	for _, gossip := range []int{3, 8, 16} {
+		gossip := gossip
+		b.Run(fmt.Sprintf("gossip=%d", gossip), func(b *testing.B) {
+			p, err := core.Prepare(n, t, core.WithGossipRounds(gossip))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var rounds, fallbacks float64
+			for i := 0; i < b.N; i++ {
+				res := ablationRun(b, p, n, t, adversary.NewHalfVisibility(t), uint64(i)+3)
+				if err := res.CheckConsensus(); err != nil {
+					b.Fatal(err)
+				}
+				rounds += float64(res.RoundsNonFaulty())
+				if res.RoundsNonFaulty() > p.TruncatedRounds()+1 {
+					fallbacks++
+				}
+			}
+			b.ReportMetric(rounds/float64(b.N), "rounds/op")
+			b.ReportMetric(fallbacks/float64(b.N), "fallbackRate")
+		})
+	}
+}
+
+// BenchmarkAblationGraphDegree varies the expander degree Δ: sparser
+// graphs cost less per gossip round but concentrate the eclipse attack;
+// denser graphs are sturdier and costlier. Reported: comm bits and the
+// count of processes the eclipse managed to de-operate (proxied by
+// non-deciders before recovery, always 0 for correct runs — the bits are
+// the observable trade-off at the proven fault bound).
+func BenchmarkAblationGraphDegree(b *testing.B) {
+	n, t := 128, 4
+	for _, mult := range []float64{0.5, 1, 2} {
+		mult := mult
+		b.Run(fmt.Sprintf("delta=%.1fx", mult), func(b *testing.B) {
+			gp := graph.PracticalParams(n)
+			gp.Delta = int(float64(gp.Delta) * mult)
+			if gp.Delta < 4 {
+				gp.Delta = 4
+			}
+			p, err := core.Prepare(n, t, core.WithGraphParams(gp))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var bits float64
+			for i := 0; i < b.N; i++ {
+				adv := adversary.NewEclipse(p.Graph, t, n/10)
+				res := ablationRun(b, p, n, t, adv, uint64(i)+7)
+				if err := res.CheckConsensus(); err != nil {
+					b.Fatal(err)
+				}
+				bits += float64(res.Metrics.CommBits)
+			}
+			b.ReportMetric(bits/float64(b.N), "commBits/op")
+			b.ReportMetric(float64(p.GraphParams.Delta), "delta")
+		})
+	}
+}
+
+// BenchmarkAblationFallbackBudget varies the phase-king phase budget when
+// the fallback is forced (epoch budget 1, so nobody reaches the decide
+// thresholds): the 5t+1 default is the proven-safe choice; t+1 is the
+// bare standalone minimum. Reported: total rounds.
+func BenchmarkAblationFallbackBudget(b *testing.B) {
+	n, t := 96, 3
+	for _, phases := range []int{t + 1, 5*t + 1} {
+		phases := phases
+		b.Run(fmt.Sprintf("phases=%d", phases), func(b *testing.B) {
+			p, err := core.Prepare(n, t, core.WithEpochs(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			p.FallbackPhases = phases
+			var rounds float64
+			for i := 0; i < b.N; i++ {
+				res := ablationRun(b, p, n, t, adversary.NewStaticCrash([]int{0, 1, 2}), uint64(i)+11)
+				if err := res.CheckConsensus(); err != nil {
+					b.Fatal(err)
+				}
+				rounds += float64(res.RoundsNonFaulty())
+			}
+			b.ReportMetric(rounds/float64(b.N), "rounds/op")
+		})
+	}
+}
+
+// BenchmarkAblationFallbackProtocol compares the two line-18 backstops
+// when the fallback is forced: phase-king (2 rounds/phase, 1-bit messages)
+// vs Dolev-Strong (1 round/phase, chain-carrying messages — the paper's
+// citation). Reported: rounds and comm bits of the whole execution.
+func BenchmarkAblationFallbackProtocol(b *testing.B) {
+	n, t := 96, 3
+	for _, kind := range []core.FallbackKind{core.FallbackPhaseKing, core.FallbackDolevStrong} {
+		kind := kind
+		name := "phase-king"
+		if kind == core.FallbackDolevStrong {
+			name = "dolev-strong"
+		}
+		b.Run(name, func(b *testing.B) {
+			p, err := core.Prepare(n, t, core.WithEpochs(1), core.WithFallback(kind))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var rounds, bits float64
+			for i := 0; i < b.N; i++ {
+				res := ablationRun(b, p, n, t, adversary.NewStaticCrash([]int{0, 1, 2}), uint64(i)+17)
+				if err := res.CheckConsensus(); err != nil {
+					b.Fatal(err)
+				}
+				rounds += float64(res.RoundsNonFaulty())
+				bits += float64(res.Metrics.CommBits)
+			}
+			b.ReportMetric(rounds/float64(b.N), "rounds/op")
+			b.ReportMetric(bits/float64(b.N), "commBits/op")
+		})
+	}
+}
+
+// BenchmarkAblationOperativeThreshold varies the Δ/3 rule: a stricter
+// threshold (Δ/2) declares processes inoperative sooner (cheaper but
+// riskier near the fault bound); a looser one (Δ/6) keeps marginal
+// processes voting. Reported: rounds and comm bits under eclipse pressure.
+func BenchmarkAblationOperativeThreshold(b *testing.B) {
+	n, t := 128, 4
+	for _, div := range []int{2, 3, 6} {
+		div := div
+		b.Run(fmt.Sprintf("delta/%d", div), func(b *testing.B) {
+			p, err := core.Prepare(n, t)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p.OperativeThreshold = p.GraphParams.Delta / div
+			var rounds, bits float64
+			for i := 0; i < b.N; i++ {
+				adv := adversary.NewEclipse(p.Graph, t, n/10)
+				res := ablationRun(b, p, n, t, adv, uint64(i)+13)
+				if err := res.CheckConsensus(); err != nil {
+					b.Fatal(err)
+				}
+				rounds += float64(res.RoundsNonFaulty())
+				bits += float64(res.Metrics.CommBits)
+			}
+			b.ReportMetric(rounds/float64(b.N), "rounds/op")
+			b.ReportMetric(bits/float64(b.N), "commBits/op")
+		})
+	}
+}

@@ -1,0 +1,62 @@
+// Command epochs regenerates the dynamics behind Figure 3 and Lemma 10:
+// for each starting fraction of one-inputs, it runs fault-free epoch
+// triples of Algorithm 1's biased-majority rule and prints the empirical
+// unification probability and coin usage. Expect: instant deterministic
+// unification outside the [15/30, 18/30) coin zone (zero coins), and a
+// large constant unification probability inside it (Lemma 10).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"omicon/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "epochs:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n     = flag.Int("n", 64, "system size")
+		t     = flag.Int("t", 2, "fault budget (structures only; epochs run fault-free)")
+		seeds = flag.Int("seeds", 25, "seeds per point")
+		base  = flag.Uint64("seed", 9, "base seed")
+	)
+	flag.Parse()
+
+	var onesList []int
+	for f := 0; f <= 10; f++ {
+		onesList = append(onesList, *n*f/10)
+	}
+	points, err := experiments.EpochDynamics(*n, *t, onesList, *seeds, *base)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("Figure 3 dynamics at n=%d (fault-free, %d seeds per point)\n", *n, *seeds)
+	fmt.Printf("%6s %8s | %10s %10s %10s | %s\n",
+		"ones", "frac", "unified@1", "unified@3", "coins", "")
+	for _, pt := range points {
+		frac := float64(pt.Ones) / float64(*n)
+		zone := ""
+		if frac >= 0.5 && frac <= 0.6 {
+			zone = "<- coin zone"
+		}
+		fmt.Printf("%6d %8.2f | %10.2f %10.2f %10.1f | %s %s\n",
+			pt.Ones, frac, pt.Unified1, pt.Unified3, pt.MeanCoins,
+			bar(pt.Unified3), zone)
+	}
+	return nil
+}
+
+func bar(p float64) string {
+	k := int(p*20 + 0.5)
+	return strings.Repeat("#", k) + strings.Repeat(".", 20-k)
+}

@@ -1,0 +1,134 @@
+// Command graphcheck regenerates the structural artifacts of the paper:
+// experiment T4 (the Theorem 4 property suite on the deterministic
+// communication graphs) and text renderings of Figure 1 (the
+// sqrt(n)-decomposition overlaid with the expander) and Figure 2 (the
+// binary-tree bag decomposition inside one group).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"omicon/internal/graph"
+	"omicon/internal/partition"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "graphcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n     = flag.Int("n", 128, "system size")
+		paper = flag.Bool("paperscale", false, "use the paper's Δ = 832 log n")
+		seed  = flag.Uint64("seed", 3, "verification sampling seed")
+	)
+	flag.Parse()
+
+	params := graph.PracticalParams(*n)
+	if *paper {
+		params = graph.PaperParams(*n)
+	}
+	g, err := graph.Build(*n, params)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("Theorem 4 graph for n=%d (Δ=%d, expansion size %d, sparsity α=%.2f)\n",
+		*n, params.Delta, params.ExpansionSize, params.SparsityFactor)
+	fmt.Printf("  edges            : %d\n", g.M())
+	fmt.Printf("  degree band      : [%d, %d] (target [%0.f, %0.f])\n",
+		g.MinDegree(), g.MaxDegree(),
+		(1-params.DegreeSlack)*float64(params.Delta),
+		(1+params.DegreeSlack)*float64(params.Delta))
+	fmt.Printf("  diameter         : %d\n", g.Diameter(nil))
+	fmt.Printf("  degeneracy       : %d (edge-sparsity certificate vs α=%.2f)\n",
+		g.Degeneracy(), params.SparsityFactor)
+	if err := g.VerifyTheorem4(params, *seed); err != nil {
+		fmt.Printf("  properties       : FAILED: %v\n", err)
+	} else {
+		fmt.Printf("  properties       : (i) expansion ok (sampled), (ii) edge-sparsity ok, (iii) degree band ok\n")
+	}
+
+	// Lemma 3 / Lemma 4 empirics.
+	removed := make([]int, *n/15)
+	for i := range removed {
+		removed[i] = i * 2 % *n
+	}
+	a := g.PruneLemma4(removed, 37.0/60.0*float64(params.Delta))
+	fmt.Printf("  Lemma 4 pruning  : removed %d, surviving core %d (bound n-4|T|/3 = %d)\n",
+		len(removed), len(a), *n-4*len(removed)/3)
+	dn := g.GrowDenseNeighborhood(0, 2*graph.LogCeil(*n), float64(params.Delta)/3, nil)
+	fmt.Printf("  Lemma 3 growth   : (2 log n, Δ/3)-dense-neighborhood of vertex 0 has %d nodes (floor n/10 = %d)\n",
+		len(dn), *n/10)
+
+	fmt.Println()
+	renderFigure1(*n, g)
+	fmt.Println()
+	renderFigure2(*n)
+	return nil
+}
+
+// renderFigure1 prints the sqrt(n)-decomposition with per-group expander
+// connectivity, the structural content of Figure 1.
+func renderFigure1(n int, g *graph.Graph) {
+	d := partition.Sqrt(n)
+	fmt.Printf("Figure 1 — sqrt(n)-decomposition of %d processes into %d groups (max size %d)\n",
+		n, d.NumGroups(), d.MaxGroupSize())
+	show := d.NumGroups()
+	if show > 8 {
+		show = 8
+	}
+	for gi := 0; gi < show; gi++ {
+		members := d.Group(gi)
+		internal := g.InternalEdges(members)
+		external := 0
+		for _, m := range members {
+			external += g.Degree(m)
+		}
+		external -= 2 * internal
+		fmt.Printf("  W_%-2d |%s| size=%d  expander links: %d internal, %d crossing\n",
+			gi+1, bar(len(members), d.MaxGroupSize()), len(members), internal, external)
+	}
+	if show < d.NumGroups() {
+		fmt.Printf("  ... %d more groups\n", d.NumGroups()-show)
+	}
+}
+
+// renderFigure2 prints the binary-tree bag decomposition of the first
+// group, the structure GroupBitsAggregation's 3-round relays climb.
+func renderFigure2(n int) {
+	d := partition.Sqrt(n)
+	size := len(d.Group(0))
+	tr := partition.NewTree(d.MaxGroupSize())
+	fmt.Printf("Figure 2 — binary-tree bag decomposition of group W_1 (%d members, %d layers)\n",
+		size, tr.Layers())
+	for j := tr.Layers(); j >= 1; j-- {
+		var bags []string
+		for k := 0; k < tr.NumBags(j); k++ {
+			lo, hi := tr.Bag(j, k)
+			if hi > size {
+				hi = size
+			}
+			if lo >= hi {
+				continue
+			}
+			if hi-lo == 1 {
+				bags = append(bags, fmt.Sprintf("{%d}", lo))
+			} else {
+				bags = append(bags, fmt.Sprintf("{%d..%d}", lo, hi-1))
+			}
+		}
+		fmt.Printf("  layer %d: %s\n", j, strings.Join(bags, " "))
+	}
+	fmt.Println("  each climb is the 3-round GroupRelay: sources->group, group acks, group->sources")
+}
+
+func bar(k, max int) string {
+	return strings.Repeat("#", k) + strings.Repeat(" ", max-k)
+}

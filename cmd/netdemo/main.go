@@ -1,0 +1,197 @@
+// Command netdemo runs consensus over real TCP connections instead of the
+// in-memory simulator — the deployment shape of the library. It can play
+// three roles:
+//
+//	netdemo -role local -n 12 -t 2 -algo earlystop -adversary static-crash
+//	    spawns the coordinator and all nodes inside one process (loopback
+//	    sockets), the quickest demonstration;
+//	netdemo -role coordinator -listen :7000 -n 8 -t 1 -adversary group-killer
+//	    runs the round-barrier/fault-injection server;
+//	netdemo -role node -addr host:7000 -id 3 -n 8 -t 1 -algo phaseking -input 1
+//	    runs one protocol node (one per process/machine).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+
+	"omicon"
+	"omicon/internal/codec"
+	"omicon/internal/core"
+	"omicon/internal/earlystop"
+	"omicon/internal/floodset"
+	"omicon/internal/phaseking"
+	"omicon/internal/sim"
+	"omicon/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "netdemo:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		role     = flag.String("role", "local", "local | coordinator | node")
+		n        = flag.Int("n", 12, "number of processes")
+		t        = flag.Int("t", 2, "fault budget")
+		algoName = flag.String("algo", "earlystop", "phaseking | earlystop | floodset | optimal")
+		advName  = flag.String("adversary", "none", "coordinator-side fault injector (structural strategies only)")
+		listen   = flag.String("listen", "127.0.0.1:0", "coordinator listen address")
+		addr     = flag.String("addr", "", "node: coordinator address")
+		id       = flag.Int("id", -1, "node: process id")
+		input    = flag.Int("input", 0, "node: input bit")
+		ones     = flag.Int("ones", -1, "local: number of 1-inputs (-1 = n/2)")
+		seed     = flag.Uint64("seed", 42, "node randomness seed base")
+	)
+	flag.Parse()
+
+	proto, maxRounds, err := buildProtocol(*algoName, *n, *t)
+	if err != nil {
+		return err
+	}
+
+	switch *role {
+	case "coordinator":
+		adv, err := omicon.ParseAdversary(*advName, *n, *t, *seed)
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		fmt.Printf("coordinator listening on %s for %d nodes (t=%d, adversary=%s)\n",
+			ln.Addr(), *n, *t, adv.Name())
+		res, err := transport.NewCoordinator(*n, *t, adv, maxRounds).Serve(ln)
+		if err != nil {
+			return err
+		}
+		printResult(res)
+		return nil
+
+	case "node":
+		if *addr == "" || *id < 0 {
+			return fmt.Errorf("node role needs -addr and -id")
+		}
+		node, err := transport.Dial(*addr, *id, *n, *t, codec.FullRegistry(), *seed)
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		d, err := node.RunProtocol(proto, *input)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("node %d decided %d (%s)\n", *id, d, node.Metrics())
+		return nil
+
+	case "local":
+		if *ones < 0 {
+			*ones = *n / 2
+		}
+		adv, err := omicon.ParseAdversary(*advName, *n, *t, *seed)
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		fmt.Printf("running %s over TCP loopback: n=%d t=%d adversary=%s\n",
+			*algoName, *n, *t, adv.Name())
+
+		resCh := make(chan *transport.CoordinatorResult, 1)
+		errCh := make(chan error, *n+1)
+		go func() {
+			res, serr := transport.NewCoordinator(*n, *t, adv, maxRounds).Serve(ln)
+			if serr != nil {
+				errCh <- serr
+			}
+			resCh <- res
+		}()
+		reg := codec.FullRegistry()
+		var wg sync.WaitGroup
+		for p := 0; p < *n; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				in := 0
+				if p < *ones {
+					in = 1
+				}
+				node, derr := transport.Dial(ln.Addr().String(), p, *n, *t, reg, *seed)
+				if derr != nil {
+					errCh <- derr
+					return
+				}
+				defer node.Close()
+				if _, rerr := node.RunProtocol(proto, in); rerr != nil {
+					errCh <- rerr
+				}
+			}(p)
+		}
+		wg.Wait()
+		res := <-resCh
+		select {
+		case e := <-errCh:
+			return e
+		default:
+		}
+		printResult(res)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown role %q", *role)
+	}
+}
+
+func buildProtocol(name string, n, t int) (sim.Protocol, int, error) {
+	switch name {
+	case "phaseking":
+		return func(env sim.Env, input int) (int, error) {
+			return phaseking.Consensus(env, input)
+		}, phaseking.Rounds(phaseking.DefaultPhases(t)) + 16, nil
+	case "earlystop":
+		return earlystop.Protocol(), earlystop.MaxRounds(t) + 16, nil
+	case "floodset":
+		return floodset.Protocol(), floodset.Rounds(t) + 16, nil
+	case "optimal":
+		p, err := core.Prepare(n, t)
+		if err != nil {
+			return nil, 0, err
+		}
+		return core.Protocol(p), p.TotalRoundsBound() + 64, nil
+	default:
+		return nil, 0, fmt.Errorf("unknown algorithm %q (netdemo supports phaseking, earlystop, floodset, optimal)", name)
+	}
+}
+
+func printResult(res *transport.CoordinatorResult) {
+	if res == nil {
+		return
+	}
+	agree := true
+	want := -1
+	for p, d := range res.Decisions {
+		if res.Corrupted[p] {
+			continue
+		}
+		if want == -1 {
+			want = d
+		}
+		if d != want {
+			agree = false
+		}
+	}
+	fmt.Printf("decisions   : %v\n", res.Decisions)
+	fmt.Printf("agreement   : %v (non-corrupted decided %d)\n", agree, want)
+	fmt.Printf("wire metrics: %s\n", res.Metrics)
+}

@@ -1,0 +1,121 @@
+// Command omicon runs a single consensus execution in the simulator and
+// prints the decision and the three complexity metrics of the paper's
+// Section 2.
+//
+// Usage:
+//
+//	omicon -n 128 -t 4 -algo optimal -adversary split-vote -ones 64 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"omicon"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "omicon:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n        = flag.Int("n", 64, "number of processes")
+		t        = flag.Int("t", 2, "adversary corruption budget")
+		algoName = flag.String("algo", "optimal", "algorithm: optimal | param | benor | phaseking")
+		advName  = flag.String("adversary", "none", "adversary: none | static-crash | random-omission | group-killer | half-visibility | split-vote | delayed-strike | coin-hider | eclipse")
+		ones     = flag.Int("ones", -1, "number of 1-inputs (-1 = n/2)")
+		seed     = flag.Uint64("seed", 1, "execution seed")
+		x        = flag.Int("x", 0, "ParamOmissions super-process count (0 = default)")
+		cap      = flag.Int("randcap", 0, "BenOr per-epoch coiner cap (0 = all)")
+		paper    = flag.Bool("paperscale", false, "use the paper's literal constants")
+		largeT   = flag.Bool("allow-large-t", false, "disable the t < n/30 (n/60) guards")
+		verbose  = flag.Bool("v", false, "print per-process decisions")
+		trace    = flag.Bool("trace", false, "log per-round counts and adversary activity")
+		record   = flag.String("record", "", "write a JSON execution transcript to this file")
+	)
+	flag.Parse()
+
+	algo, err := omicon.ParseAlgorithm(*algoName)
+	if err != nil {
+		return err
+	}
+	if *ones < 0 {
+		*ones = *n / 2
+	}
+	inst, err := omicon.NewInstance(omicon.Config{
+		N: *n, T: *t,
+		Algorithm:     algo,
+		X:             *x,
+		RandomnessCap: *cap,
+		PaperScale:    *paper,
+		AllowLargeT:   *largeT,
+	})
+	if err != nil {
+		return err
+	}
+
+	var adv omicon.Adversary
+	if *advName == "eclipse" {
+		if adv = omicon.EclipseOn(inst, *n/10); adv == nil {
+			return fmt.Errorf("eclipse requires -algo optimal")
+		}
+	} else if adv, err = omicon.ParseAdversary(*advName, *n, *t, *seed); err != nil {
+		return err
+	}
+	if *trace {
+		adv = omicon.Traced(adv, os.Stdout)
+	}
+	var transcript *omicon.Transcript
+	if *record != "" {
+		adv, transcript = omicon.Recorded(adv)
+	}
+
+	res, err := inst.Run(omicon.MixedInputs(*n, *ones), *seed, adv)
+	if err != nil {
+		return err
+	}
+	if transcript != nil {
+		f, ferr := os.Create(*record)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		if ferr := transcript.WriteJSON(f); ferr != nil {
+			return ferr
+		}
+		fmt.Printf("transcript  : %s (%s)\n", *record, transcript.Summary())
+	}
+	fmt.Printf("algorithm   : %s\n", algo)
+	fmt.Printf("system      : n=%d t=%d inputs(ones)=%d seed=%d adversary=%s\n",
+		*n, *t, *ones, *seed, adv.Name())
+	d, derr := res.Decision()
+	if derr != nil {
+		fmt.Printf("CONSENSUS VIOLATION: %v\n", derr)
+	} else {
+		fmt.Printf("decision    : %d\n", d)
+	}
+	if err := res.CheckValidity(); err != nil {
+		fmt.Printf("VALIDITY VIOLATION: %v\n", err)
+	}
+	fmt.Printf("rounds      : %d (non-faulty: %d)\n", res.Metrics.Rounds, res.RoundsNonFaulty())
+	fmt.Printf("messages    : %d\n", res.Metrics.Messages)
+	fmt.Printf("comm bits   : %d\n", res.Metrics.CommBits)
+	fmt.Printf("random bits : %d (calls: %d)\n", res.Metrics.RandomBits, res.Metrics.RandomCalls)
+	fmt.Printf("corrupted   : %d/%d\n", res.NumCorrupted(), *n)
+	if *verbose {
+		for p, dec := range res.Decisions {
+			status := "ok"
+			if res.Corrupted[p] {
+				status = "corrupted"
+			}
+			fmt.Printf("  process %3d: decision=%2d terminatedAt=%4d (%s)\n",
+				p, dec, res.TerminatedAt[p], status)
+		}
+	}
+	return nil
+}

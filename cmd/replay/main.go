@@ -1,0 +1,42 @@
+// Command replay analyzes a recorded execution transcript (produced with
+// `omicon -record file.json`): decision latency, corruption timeline,
+// omission pressure and activity segmentation — without re-running the
+// execution.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"omicon/internal/analysis"
+	"omicon/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "replay:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: replay <transcript.json>")
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var tr sim.Transcript
+	if err := json.NewDecoder(f).Decode(&tr); err != nil {
+		return fmt.Errorf("decode transcript: %w", err)
+	}
+	fmt.Printf("transcript %s: n=%d t=%d\n\n", flag.Arg(0), tr.N, tr.T)
+	fmt.Print(analysis.Analyze(&tr).Report())
+	return nil
+}

@@ -1,0 +1,78 @@
+// Command sweep regenerates the Theorem 1 row of Table 1 (experiment E1 in
+// DESIGN.md): it runs OptimalOmissionsConsensus across system sizes at the
+// maximal fault load t = (n-1)/31, takes the worst case over the adversary
+// portfolio, and prints the three complexity metrics next to their
+// theoretical envelopes sqrt(n) log^2 n (rounds), n^2 log^3 n (bits) and
+// n^{3/2} log^2 n (random bits), plus fitted scaling exponents. The
+// reproduction target is the shape: measured/envelope ratios bounded and
+// fitted exponents at or below the paper's.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"omicon/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		sizes = flag.String("sizes", "64,128,256,512", "comma-separated system sizes")
+		seeds = flag.Int("seeds", 3, "seeds per (size, adversary) cell")
+		base  = flag.Uint64("seed", 1, "base seed")
+	)
+	flag.Parse()
+
+	ns, err := parseSizes(*sizes)
+	if err != nil {
+		return err
+	}
+
+	points, err := experiments.Thm1Sweep(ns, *seeds, *base)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("Table 1, row Thm 1 — OptimalOmissionsConsensus, worst case over the adversary portfolio")
+	fmt.Printf("%6s %5s | %8s %12s %12s | %10s %10s %10s | %s\n",
+		"n", "t", "rounds", "commBits", "randBits",
+		"r/√n·lg²", "c/n²lg³", "rb/n³ᐟ²lg²", "worst adversary")
+	for _, pt := range points {
+		lg := math.Log2(float64(pt.N))
+		fmt.Printf("%6d %5d | %8d %12d %12d | %10.3f %10.4f %10.4f | %s\n",
+			pt.N, pt.T, pt.Rounds, pt.CommBits, pt.RandBits,
+			float64(pt.Rounds)/(math.Sqrt(float64(pt.N))*lg*lg),
+			float64(pt.CommBits)/(float64(pt.N)*float64(pt.N)*lg*lg*lg),
+			float64(pt.RandBits)/(math.Pow(float64(pt.N), 1.5)*lg*lg),
+			pt.WorstAdversary)
+	}
+
+	if rfit, bfit, err := experiments.Thm1Fits(points); err == nil {
+		fmt.Printf("\nfitted rounds   ~ n^%.2f (R²=%.3f; paper: n^0.5·polylog)\n", rfit.Exponent, rfit.R2)
+		fmt.Printf("fitted commBits ~ n^%.2f (R²=%.3f; paper: n^2·polylog)\n", bfit.Exponent, bfit.R2)
+	}
+	return nil
+}
+
+func parseSizes(s string) ([]int, error) {
+	var ns []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 4 {
+			return nil, fmt.Errorf("invalid size %q", part)
+		}
+		ns = append(ns, n)
+	}
+	return ns, nil
+}

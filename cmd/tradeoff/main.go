@@ -1,0 +1,117 @@
+// Command tradeoff regenerates the two randomness-versus-time artifacts of
+// Table 1:
+//
+//   - mode "param" (experiment E2): sweeps ParamOmissions' super-process
+//     count x at fixed n, printing measured rounds T and random bits R;
+//     Theorem 3 predicts T ~ sqrt(nx), R ~ n*sqrt(n/x) and an invariant
+//     product T x R ~ n^2 (up to polylog), with communication flat in x.
+//   - mode "lower" (experiment E5): sweeps the per-epoch coiner cap of the
+//     randomness-capped Ben-Or family against the coin-hiding adversary;
+//     Theorem 2 predicts the product T x (R+T) stays above t^2 / log n
+//     across the spectrum.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"omicon/internal/experiments"
+	"omicon/internal/lowerbound"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tradeoff:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		mode   = flag.String("mode", "param", "param | lower")
+		n      = flag.Int("n", 256, "system size")
+		t      = flag.Int("t", -1, "fault budget (-1 = mode default)")
+		xs     = flag.String("x", "1,2,4,8,16,32", "param mode: super-process counts")
+		caps   = flag.String("caps", "0,32,8,2", "lower mode: coiner caps (0 = all)")
+		seeds  = flag.Int("seeds", 3, "seeds per point")
+		base   = flag.Uint64("seed", 1, "base seed")
+		stress = flag.Bool("stress", false, "param mode: exceed the t < n/60 bound so the group-killer can burn whole phases (worst-case randomness regime)")
+	)
+	flag.Parse()
+
+	switch *mode {
+	case "param":
+		if *t < 0 {
+			*t = (*n - 1) / 61
+			if *stress {
+				*t = *n / 16
+			}
+		}
+		return paramMode(*n, *t, *xs, *seeds, *base, *stress)
+	case "lower":
+		if *t < 0 {
+			*t = *n / 4
+		}
+		return lowerMode(*n, *t, *caps, *seeds, *base)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}
+
+func paramMode(n, t int, xsSpec string, seeds int, base uint64, stress bool) error {
+	xs, err := parseInts(xsSpec)
+	if err != nil {
+		return err
+	}
+	// The group-killing adversary silences the leading super-processes so
+	// the round-robin cannot finish in its first phase, and spread
+	// inputs keep every group's electorate mixed; see
+	// internal/experiments.
+	points, err := experiments.Thm3Sweep(n, t, xs, seeds, base, stress)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Table 1, row Thm 3 — ParamOmissions trade-off at n=%d t=%d (averages over %d seeds)\n", n, t, seeds)
+	fmt.Printf("%4s | %10s %12s %14s | %14s\n", "x", "rounds T", "randBits R", "T x R", "commBits")
+	for _, pt := range points {
+		fmt.Printf("%4d | %10.1f %12.1f %14.0f | %14.0f\n",
+			pt.X, pt.Rounds, pt.RandBits, pt.Rounds*pt.RandBits, pt.CommBits)
+	}
+	return nil
+}
+
+func lowerMode(n, t int, capsSpec string, seeds int, base uint64) error {
+	caps, err := parseInts(capsSpec)
+	if err != nil {
+		return err
+	}
+	for i, c := range caps {
+		if c == 0 {
+			caps[i] = n
+		}
+	}
+	fmt.Printf("Table 1, row Thm 2 — randomness-capped family vs coin hider at n=%d t=%d\n", n, t)
+	pts, err := lowerbound.SweepCoiners(n, t, caps, seeds, base)
+	if err != nil {
+		return err
+	}
+	for _, pt := range pts {
+		fmt.Println(pt)
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("invalid value %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,60 @@
+package omicon_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCommandSmoke builds every CLI and runs it once with fast flags,
+// checking the exit status and a marker string in the output — the
+// end-to-end guarantee that the shipped tools actually work.
+func TestCommandSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs every binary; run without -short")
+	}
+	bin := t.TempDir()
+	transcript := filepath.Join(bin, "run.json")
+
+	cases := []struct {
+		name   string
+		args   []string
+		marker string
+	}{
+		{"omicon", []string{"-n", "36", "-t", "1", "-algo", "optimal", "-adversary", "split-vote", "-record", transcript}, "decision"},
+		{"replay", []string{transcript}, "activity phases"},
+		{"sweep", []string{"-sizes", "64", "-seeds", "1"}, "Thm 1"},
+		{"tradeoff", []string{"-mode", "param", "-n", "64", "-x", "1,4", "-seeds", "1"}, "Thm 3"},
+		{"tradeoff", []string{"-mode", "lower", "-n", "32", "-t", "8", "-caps", "0,4", "-seeds", "1"}, "Thm 2"},
+		{"coingame", []string{"-k", "16", "-alpha", "0.5", "-trials", "100"}, "Lemma 12"},
+		{"graphcheck", []string{"-n", "64"}, "Theorem 4"},
+		{"epochs", []string{"-n", "36", "-t", "1", "-seeds", "2"}, "Figure 3"},
+		{"valency", []string{"-n", "3"}, "Lemma 13"},
+		{"netdemo", []string{"-role", "local", "-n", "8", "-t", "1", "-algo", "phaseking"}, "agreement   : true"},
+		{"paper", []string{"-quick"}, "All experiments completed"},
+	}
+
+	built := map[string]string{}
+	for _, c := range cases {
+		path, ok := built[c.name]
+		if !ok {
+			path = filepath.Join(bin, c.name)
+			build := exec.Command("go", "build", "-o", path, "./cmd/"+c.name)
+			build.Env = os.Environ()
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build %s: %v\n%s", c.name, err, out)
+			}
+			built[c.name] = path
+		}
+		cmd := exec.Command(path, c.args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", c.name, c.args, err, out)
+		}
+		if !strings.Contains(string(out), c.marker) {
+			t.Fatalf("%s %v: output missing %q:\n%s", c.name, c.args, c.marker, out)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module omicon
+
+go 1.22

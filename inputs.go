@@ -1,0 +1,70 @@
+package omicon
+
+import "omicon/internal/rng"
+
+// UnanimousInputs returns n copies of bit b — the validity-condition
+// workload (Theorem 5's proof shows it consumes zero randomness).
+func UnanimousInputs(n, b int) []int {
+	in := make([]int, n)
+	if b != 0 {
+		for i := range in {
+			in[i] = 1
+		}
+	}
+	return in
+}
+
+// MixedInputs returns n inputs with the first `ones` set to 1 — the
+// adversarially hardest workloads sit near ones = n/2.
+func MixedInputs(n, ones int) []int {
+	in := make([]int, n)
+	for i := 0; i < ones && i < n; i++ {
+		in[i] = 1
+	}
+	return in
+}
+
+// RandomInputs returns n independent uniform input bits derived from seed
+// (off the protocols' randomness books).
+func RandomInputs(n int, seed uint64) []int {
+	rnd := rng.Unmetered(seed, 0x1f0)
+	in := make([]int, n)
+	for i := range in {
+		in[i] = int(rnd.Uint64() & 1)
+	}
+	return in
+}
+
+// SpreadInputs returns n inputs with `ones` ones distributed evenly across
+// the id space (Bresenham spacing). Unlike MixedInputs, the ones do not
+// form a prefix, so they do not align with the consecutive-block group
+// decompositions — the workload that actually forces the voting machinery
+// inside every group.
+func SpreadInputs(n, ones int) []int {
+	in := make([]int, n)
+	if n == 0 {
+		return in
+	}
+	if ones > n {
+		ones = n
+	}
+	acc := 0
+	for i := 0; i < n; i++ {
+		acc += ones
+		if acc >= n {
+			acc -= n
+			in[i] = 1
+		}
+	}
+	return in
+}
+
+// AlternatingInputs returns 0,1,0,1,... — a perfectly balanced workload
+// with no spatial correlation to the group decomposition.
+func AlternatingInputs(n int) []int {
+	in := make([]int, n)
+	for i := range in {
+		in[i] = i % 2
+	}
+	return in
+}

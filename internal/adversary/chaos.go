@@ -1,0 +1,64 @@
+package adversary
+
+import (
+	"math/rand/v2"
+
+	"omicon/internal/rng"
+	"omicon/internal/sim"
+)
+
+// Chaos is the fuzzing strategy: every round it corrupts a random process
+// with probability CorruptRate (budget permitting) and drops every message
+// with a corrupted endpoint independently with probability DropRate. It has
+// no plan — its value is coverage: randomized-but-legal schedules exercise
+// protocol paths no deliberate strategy reaches, and any consensus
+// violation it ever finds is a hard bug.
+type Chaos struct {
+	t           int
+	corruptRate float64
+	dropRate    float64
+	rnd         *rand.Rand
+}
+
+// NewChaos returns the fuzzing strategy.
+func NewChaos(t int, corruptRate, dropRate float64, seed uint64) *Chaos {
+	return &Chaos{
+		t:           t,
+		corruptRate: corruptRate,
+		dropRate:    dropRate,
+		rnd:         rng.Unmetered(seed, 0xc4a05),
+	}
+}
+
+// Name implements sim.Adversary.
+func (c *Chaos) Name() string { return "chaos" }
+
+// Step implements sim.Adversary.
+func (c *Chaos) Step(v *sim.View) sim.Action {
+	var act sim.Action
+	spent := 0
+	for _, b := range v.Corrupted {
+		if b {
+			spent++
+		}
+	}
+	if spent < minInt(c.t, v.T) && c.rnd.Float64() < c.corruptRate {
+		// Pick a uniformly random not-yet-corrupted process.
+		candidates := make([]int, 0, v.N)
+		for p := 0; p < v.N; p++ {
+			if !v.Corrupted[p] && !v.Terminated[p] {
+				candidates = append(candidates, p)
+			}
+		}
+		if len(candidates) > 0 {
+			act.Corrupt = append(act.Corrupt, candidates[c.rnd.IntN(len(candidates))])
+		}
+	}
+	bad := corruptedSet(v, act.Corrupt)
+	for i, m := range v.Outbox {
+		if (bad[m.From] || bad[m.To]) && c.rnd.Float64() < c.dropRate {
+			act.Drop = append(act.Drop, i)
+		}
+	}
+	return act
+}

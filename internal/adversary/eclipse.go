@@ -1,0 +1,160 @@
+package adversary
+
+import (
+	"sort"
+
+	"omicon/internal/graph"
+	"omicon/internal/sim"
+)
+
+// Eclipse attacks the Theorem-4 communication graph directly: it corrupts
+// the t processes with the most edges into a chosen victim set and omits
+// every message on corrupted-victim links, trying to push honest victims
+// below the Δ/3 operative threshold of GroupBitsSpreading. Theorem 4's
+// edge-sparsity is exactly the property that makes this attack require
+// Ω(Δ) corruptions per eclipsed victim; experiments measure how many
+// victims it actually de-operates.
+type Eclipse struct {
+	t        int
+	victims  map[int]bool
+	selected []int
+}
+
+// NewEclipse plans the attack against graph g: victims are the
+// numVictims highest process ids; the corrupted set greedily maximizes
+// edge coverage into the victims.
+func NewEclipse(g *graph.Graph, t, numVictims int) *Eclipse {
+	n := g.N()
+	if numVictims > n {
+		numVictims = n
+	}
+	e := &Eclipse{t: t, victims: make(map[int]bool, numVictims)}
+	for v := n - numVictims; v < n; v++ {
+		e.victims[v] = true
+	}
+	type cand struct{ p, cover int }
+	var cands []cand
+	for p := 0; p < n; p++ {
+		if e.victims[p] {
+			continue
+		}
+		cover := 0
+		for _, q := range g.Neighbors(p) {
+			if e.victims[q] {
+				cover++
+			}
+		}
+		cands = append(cands, cand{p, cover})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].cover != cands[j].cover {
+			return cands[i].cover > cands[j].cover
+		}
+		return cands[i].p < cands[j].p
+	})
+	for i := 0; i < t && i < len(cands); i++ {
+		e.selected = append(e.selected, cands[i].p)
+	}
+	return e
+}
+
+// Name implements sim.Adversary.
+func (e *Eclipse) Name() string { return "eclipse" }
+
+// Step implements sim.Adversary.
+func (e *Eclipse) Step(v *sim.View) sim.Action {
+	var act sim.Action
+	if v.Round == 1 {
+		budget := minInt(len(e.selected), v.T)
+		act.Corrupt = e.selected[:budget]
+	}
+	bad := corruptedSet(v, act.Corrupt)
+	for i, m := range v.Outbox {
+		if (bad[m.From] && e.victims[m.To]) || (bad[m.To] && e.victims[m.From]) {
+			act.Drop = append(act.Drop, i)
+		}
+	}
+	return act
+}
+
+// RotatingEclipse is the adaptive refinement of Eclipse: instead of a
+// fixed victim set, it re-targets every `period` rounds the process with
+// the most corrupted neighbors that is still operative (per the published
+// snapshots), concentrating the whole corrupted link budget on one victim
+// at a time. It probes whether the Δ/3 operative rule can be defeated by
+// sequential concentration rather than parallel spread — Theorem 4's
+// edge-sparsity says no, and the experiments confirm it.
+type RotatingEclipse struct {
+	g      *graph.Graph
+	t      int
+	period int
+	victim int
+}
+
+// NewRotatingEclipse returns the strategy; period <= 0 selects 4.
+func NewRotatingEclipse(g *graph.Graph, t, period int) *RotatingEclipse {
+	if period <= 0 {
+		period = 4
+	}
+	return &RotatingEclipse{g: g, t: t, period: period, victim: -1}
+}
+
+// Name implements sim.Adversary.
+func (e *RotatingEclipse) Name() string { return "rotating-eclipse" }
+
+// Step implements sim.Adversary.
+func (e *RotatingEclipse) Step(v *sim.View) sim.Action {
+	var act sim.Action
+	if v.Round == 1 {
+		// Corrupt the t highest-degree processes: the most reusable
+		// link coverage.
+		type cand struct{ p, deg int }
+		var cands []cand
+		for p := 0; p < v.N; p++ {
+			cands = append(cands, cand{p, e.g.Degree(p)})
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].deg != cands[j].deg {
+				return cands[i].deg > cands[j].deg
+			}
+			return cands[i].p < cands[j].p
+		})
+		for i := 0; i < e.t && i < len(cands) && i < v.T; i++ {
+			act.Corrupt = append(act.Corrupt, cands[i].p)
+		}
+	}
+	bad := corruptedSet(v, act.Corrupt)
+
+	if e.victim < 0 || (v.Round-1)%e.period == 0 {
+		// Re-target: the still-operative process with the most
+		// corrupted neighbors.
+		best, bestCover := -1, -1
+		for p := 0; p < v.N; p++ {
+			if bad[p] || v.Terminated[p] {
+				continue
+			}
+			if o, ok := observe(v.Snapshots[p]); ok && !o.IsOperative() {
+				continue
+			}
+			cover := 0
+			for _, q := range e.g.Neighbors(p) {
+				if bad[q] {
+					cover++
+				}
+			}
+			if cover > bestCover {
+				best, bestCover = p, cover
+			}
+		}
+		e.victim = best
+	}
+	if e.victim < 0 {
+		return act
+	}
+	for i, m := range v.Outbox {
+		if (bad[m.From] && m.To == e.victim) || (bad[m.To] && m.From == e.victim) {
+			act.Drop = append(act.Drop, i)
+		}
+	}
+	return act
+}

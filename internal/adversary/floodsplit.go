@@ -1,0 +1,72 @@
+package adversary
+
+import (
+	"omicon/internal/sim"
+)
+
+// FloodSplit is the textbook attack separating the omission model from the
+// crash model, targeting FloodSet-style flooding algorithms that run for
+// exactly `rounds` rounds: it corrupts one process holding the minority
+// input value, silences it completely for rounds 1..rounds-1, and in the
+// final round delivers its message to a single victim. The victim's value
+// set grows at the last possible moment — too late to relay — while every
+// other process never sees the hidden value. Under crash semantics this is
+// impossible (a crashing process's last-round partial send costs its
+// participation in all earlier rounds, where FloodSet would have relayed
+// its value); under omission semantics it costs one corruption.
+type FloodSplit struct {
+	// Rounds is the length of the attacked execution (t+1 for FloodSet).
+	Rounds int
+	// Victim receives the hidden value in the last round.
+	Victim int
+
+	target int
+}
+
+// NewFloodSplit returns the attack for an execution of the given length.
+func NewFloodSplit(rounds, victim int) *FloodSplit {
+	return &FloodSplit{Rounds: rounds, Victim: victim, target: -1}
+}
+
+// Name implements sim.Adversary.
+func (f *FloodSplit) Name() string { return "flood-split" }
+
+// Step implements sim.Adversary.
+func (f *FloodSplit) Step(v *sim.View) sim.Action {
+	var act sim.Action
+	if v.Round == 1 {
+		// Corrupt one holder of the minority input value (any process
+		// whose silence leaves the system unanimous-looking).
+		var count [2]int
+		for _, in := range v.Inputs {
+			if in == 0 || in == 1 {
+				count[in]++
+			}
+		}
+		minority := 0
+		if count[1] < count[0] || (count[1] == count[0] && count[1] > 0) {
+			minority = 1
+		}
+		for p, in := range v.Inputs {
+			if in == minority && p != f.Victim {
+				f.target = p
+				break
+			}
+		}
+		if f.target >= 0 && v.T > 0 {
+			act.Corrupt = []int{f.target}
+		}
+	}
+	if f.target < 0 {
+		return act
+	}
+	for i, m := range v.Outbox {
+		if m.From != f.target {
+			continue
+		}
+		if v.Round < f.Rounds || m.To != f.Victim {
+			act.Drop = append(act.Drop, i)
+		}
+	}
+	return act
+}

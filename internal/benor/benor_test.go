@@ -1,0 +1,125 @@
+package benor
+
+import (
+	"testing"
+
+	"omicon/internal/adversary"
+	"omicon/internal/sim"
+)
+
+func inputs(n, ones int) []int {
+	in := make([]int, n)
+	for i := 0; i < ones; i++ {
+		in[i] = 1
+	}
+	return in
+}
+
+func TestNoFaultsDecidesQuickly(t *testing.T) {
+	n := 40
+	for _, ones := range []int{0, 13, 20, 40} {
+		res, err := sim.Run(sim.Config{N: n, T: 0, Inputs: inputs(n, ones), Seed: 11},
+			Protocol(Params{}))
+		if err != nil {
+			t.Fatalf("ones=%d: %v", ones, err)
+		}
+		if err := res.CheckConsensus(); err != nil {
+			t.Fatalf("ones=%d: %v", ones, err)
+		}
+	}
+}
+
+func TestUnanimousUsesNoRandomness(t *testing.T) {
+	n := 24
+	res, err := sim.Run(sim.Config{N: n, T: 0, Inputs: inputs(n, n), Seed: 1}, Protocol(Params{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.RandomCalls != 0 {
+		t.Fatalf("random calls = %d, want 0", res.Metrics.RandomCalls)
+	}
+	d, err := res.Decision()
+	if err != nil || d != 1 {
+		t.Fatalf("decision = %d (%v), want 1", d, err)
+	}
+}
+
+// TestCrashToleranceAgrees: the baseline must keep agreement under
+// crash-style adversaries (its design regime, per [10]).
+func TestCrashToleranceAgrees(t *testing.T) {
+	n, tf := 40, 5
+	targets := []int{0, 7, 13, 21, 33}
+	for seed := uint64(0); seed < 5; seed++ {
+		res, err := sim.Run(sim.Config{
+			N: n, T: tf, Inputs: inputs(n, n/2), Seed: seed,
+			Adversary: adversary.NewStaticCrash(targets),
+		}, Protocol(Params{}))
+		if err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		if err := res.CheckConsensus(); err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+	}
+}
+
+// TestCoinHiderSlowsDecision: against the coin-hiding adversary the
+// baseline must take more epochs than fault-free, and agreement must still
+// hold once the adversary's budget is exhausted.
+func TestCoinHiderSlowsDecision(t *testing.T) {
+	// The per-epoch coin deviation is Theta(sqrt(n)); the adversary needs
+	// t >> sqrt(n) to sustain the tie-pinning over several epochs.
+	n, tf := 64, 24
+	free, err := sim.Run(sim.Config{N: n, T: 0, Inputs: inputs(n, n/2), Seed: 5}, Protocol(Params{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacked, err := sim.Run(sim.Config{
+		N: n, T: tf, Inputs: inputs(n, n/2), Seed: 5,
+		Adversary: adversary.NewCoinHider(1),
+	}, Protocol(Params{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := attacked.CheckAgreement(); err != nil {
+		t.Fatalf("agreement after budget exhaustion: %v", err)
+	}
+	if attacked.Metrics.Rounds <= free.Metrics.Rounds {
+		t.Fatalf("coin hider did not slow the protocol: %d vs %d rounds",
+			attacked.Metrics.Rounds, free.Metrics.Rounds)
+	}
+}
+
+// TestRandomnessCapReducesCalls: with NumCoiners = k only the first k
+// processes may access randomness.
+func TestRandomnessCapReducesCalls(t *testing.T) {
+	n := 32
+	p := DefaultParams(n, 0)
+	p.NumCoiners = 4
+	res, err := sim.Run(sim.Config{N: n, T: 0, Inputs: inputs(n, n/2), Seed: 2}, Protocol(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckConsensus(); err != nil {
+		t.Fatal(err)
+	}
+	maxCalls := int64(4 * p.MaxEpochs)
+	if res.Metrics.RandomCalls > maxCalls {
+		t.Fatalf("random calls = %d exceeds cap %d", res.Metrics.RandomCalls, maxCalls)
+	}
+}
+
+func TestSnapshotObservers(t *testing.T) {
+	s := Snapshot{B: 1, Decided: true, Flipped: true}
+	if s.CandidateBit() != 1 || !s.HasDecided() || !s.IsOperative() || !s.FlippedCoin() {
+		t.Fatal("observer methods inconsistent")
+	}
+}
+
+func TestDefaultParamsScale(t *testing.T) {
+	small := DefaultParams(16, 0)
+	large := DefaultParams(1024, 128)
+	if small.MaxEpochs <= 0 || large.MaxEpochs <= small.MaxEpochs {
+		t.Fatalf("MaxEpochs scaling broken: %d vs %d", small.MaxEpochs, large.MaxEpochs)
+	}
+}

@@ -1,0 +1,17 @@
+package benor
+
+import "omicon/internal/wire"
+
+// KindValue is this package's wire kind (range 0x30-0x37).
+const KindValue uint64 = 0x30
+
+// WireKind implements wire.Typed.
+func (ValueMsg) WireKind() uint64 { return KindValue }
+
+// RegisterPayloads adds this package's decoders to r.
+func RegisterPayloads(r *wire.Registry) {
+	r.Register(KindValue, func(d *wire.Decoder) (wire.Typed, error) {
+		m := ValueMsg{B: int(d.Uvarint()), Decided: d.Bool()}
+		return m, d.Err()
+	})
+}

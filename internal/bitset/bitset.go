@@ -1,0 +1,149 @@
+// Package bitset implements a fixed-capacity bit set used for adjacency
+// membership tests and operative-set bookkeeping throughout the simulator.
+// It is a thin, allocation-conscious substrate: graphs at n processes keep n
+// of these, so the representation matters.
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-capacity bit set over [0, Cap()).
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set with capacity n.
+func New(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Cap returns the capacity the set was created with.
+func (s *Set) Cap() int { return s.n }
+
+// Add inserts i. Out-of-range indices are ignored.
+func (s *Set) Add(i int) {
+	if i < 0 || i >= s.n {
+		return
+	}
+	s.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Remove deletes i.
+func (s *Set) Remove(i int) {
+	if i < 0 || i >= s.n {
+		return
+	}
+	s.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Contains reports whether i is in the set.
+func (s *Set) Contains(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of elements.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns a deep copy.
+func (s *Set) Clone() *Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return &Set{words: w, n: s.n}
+}
+
+// Fill adds every element of [0, Cap()).
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
+// Clear removes every element.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Union adds every element of o (capacities must match).
+func (s *Set) Union(o *Set) {
+	for i := range s.words {
+		s.words[i] |= o.words[i]
+	}
+}
+
+// Intersect removes elements not in o (capacities must match).
+func (s *Set) Intersect(o *Set) {
+	for i := range s.words {
+		s.words[i] &= o.words[i]
+	}
+}
+
+// Subtract removes every element of o (capacities must match).
+func (s *Set) Subtract(o *Set) {
+	for i := range s.words {
+		s.words[i] &^= o.words[i]
+	}
+}
+
+// IntersectionCount returns |s ∩ o| without allocating.
+func (s *Set) IntersectionCount(o *Set) int {
+	c := 0
+	for i := range s.words {
+		c += bits.OnesCount64(s.words[i] & o.words[i])
+	}
+	return c
+}
+
+// ForEach calls fn for each element in increasing order. It stops early if
+// fn returns false.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi<<6 + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Elements returns the members in increasing order.
+func (s *Set) Elements() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// FromElements builds a set of capacity n containing the given elements.
+func FromElements(n int, elems []int) *Set {
+	s := New(n)
+	for _, e := range elems {
+		s.Add(e)
+	}
+	return s
+}
+
+// trim clears bits above capacity after a Fill.
+func (s *Set) trim() {
+	if s.n&63 != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << (uint(s.n) & 63)) - 1
+	}
+}

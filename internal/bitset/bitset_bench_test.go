@@ -1,0 +1,49 @@
+package bitset
+
+import "testing"
+
+func BenchmarkAddContains(b *testing.B) {
+	s := New(4096)
+	for i := 0; i < b.N; i++ {
+		k := i & 4095
+		s.Add(k)
+		if !s.Contains(k) {
+			b.Fatal("missing")
+		}
+	}
+}
+
+func BenchmarkIntersectionCount(b *testing.B) {
+	a := New(4096)
+	c := New(4096)
+	for i := 0; i < 4096; i += 3 {
+		a.Add(i)
+	}
+	for i := 0; i < 4096; i += 5 {
+		c.Add(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if a.IntersectionCount(c) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkForEach(b *testing.B) {
+	s := New(4096)
+	for i := 0; i < 4096; i += 7 {
+		s.Add(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum := 0
+		s.ForEach(func(e int) bool {
+			sum += e
+			return true
+		})
+		if sum == 0 {
+			b.Fatal("empty")
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130)
+	if s.Count() != 0 {
+		t.Fatal("new set not empty")
+	}
+	s.Add(0)
+	s.Add(63)
+	s.Add(64)
+	s.Add(129)
+	if s.Count() != 4 {
+		t.Fatalf("count = %d, want 4", s.Count())
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		if !s.Contains(i) {
+			t.Fatalf("missing %d", i)
+		}
+	}
+	s.Remove(64)
+	if s.Contains(64) || s.Count() != 3 {
+		t.Fatal("remove failed")
+	}
+}
+
+func TestOutOfRangeIgnored(t *testing.T) {
+	s := New(10)
+	s.Add(-1)
+	s.Add(10)
+	s.Add(1000)
+	if s.Count() != 0 {
+		t.Fatal("out-of-range Add must be ignored")
+	}
+	if s.Contains(-1) || s.Contains(10) {
+		t.Fatal("out-of-range Contains must be false")
+	}
+	s.Remove(-5) // must not panic
+}
+
+func TestFillRespectsCapacity(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 100, 128} {
+		s := New(n)
+		s.Fill()
+		if s.Count() != n {
+			t.Fatalf("n=%d: Fill count = %d", n, s.Count())
+		}
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromElements(100, []int{1, 2, 3, 50, 99})
+	b := FromElements(100, []int{2, 3, 4, 99})
+
+	u := a.Clone()
+	u.Union(b)
+	if got := u.Elements(); len(got) != 6 {
+		t.Fatalf("union = %v", got)
+	}
+
+	i := a.Clone()
+	i.Intersect(b)
+	if got := i.Elements(); len(got) != 3 || got[0] != 2 || got[2] != 99 {
+		t.Fatalf("intersect = %v", got)
+	}
+
+	d := a.Clone()
+	d.Subtract(b)
+	if got := d.Elements(); len(got) != 2 || got[0] != 1 || got[1] != 50 {
+		t.Fatalf("subtract = %v", got)
+	}
+
+	if a.IntersectionCount(b) != 3 {
+		t.Fatalf("intersection count = %d", a.IntersectionCount(b))
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromElements(10, []int{1})
+	b := a.Clone()
+	b.Add(2)
+	if a.Contains(2) {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := FromElements(100, []int{5, 10, 15})
+	var seen []int
+	s.ForEach(func(i int) bool {
+		seen = append(seen, i)
+		return len(seen) < 2
+	})
+	if len(seen) != 2 || seen[0] != 5 || seen[1] != 10 {
+		t.Fatalf("seen = %v", seen)
+	}
+}
+
+// TestAgainstMapModel drives the bitset and a map model with the same
+// operation stream and compares observations — the model-based property
+// test for the core data structure.
+func TestAgainstMapModel(t *testing.T) {
+	const n = 200
+	type op struct {
+		Kind uint8
+		I    int
+	}
+	f := func(ops []op) bool {
+		s := New(n)
+		model := map[int]bool{}
+		for _, o := range ops {
+			i := ((o.I % n) + n) % n
+			switch o.Kind % 3 {
+			case 0:
+				s.Add(i)
+				model[i] = true
+			case 1:
+				s.Remove(i)
+				delete(model, i)
+			case 2:
+				if s.Contains(i) != model[i] {
+					return false
+				}
+			}
+		}
+		if s.Count() != len(model) {
+			return false
+		}
+		for _, e := range s.Elements() {
+			if !model[e] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,165 @@
+// Package coinflip implements the one-round coin-flipping game of Section 4
+// and Appendix C: k players draw values from independent distributions, an
+// adversary with full information then hides a bounded subset of them, and a
+// public function f of the (partially hidden) values decides the binary
+// outcome. Lemma 12 proves via Talagrand's inequality that hiding at most
+// 8*sqrt(k * log(1/alpha)) values suffices to bias the game toward one
+// outcome with probability > 1 - alpha; this package provides the game, the
+// constructive hiding adversary, and the Monte Carlo experiment (E6) that
+// measures the achieved bias empirically.
+package coinflip
+
+import (
+	"math"
+
+	"omicon/internal/rng"
+)
+
+// Hidden is the sentinel for a value the adversary replaced with ⊥.
+const Hidden = -1
+
+// Outcome maps a (partially hidden) value vector to the game's result.
+// Entries equal to Hidden are ⊥.
+type Outcome func(values []int) int
+
+// Game is one instance: k players and the public outcome function.
+type Game struct {
+	K int
+	F Outcome
+}
+
+// MajorityGame is the game the consensus lower bound actually plays: f = 1
+// iff the visible ones are at least the visible zeros. It is monotone in
+// both directions, so greedy hiding is an optimal adversary.
+func MajorityGame(k int) Game {
+	return Game{K: k, F: func(values []int) int {
+		ones, zeros := 0, 0
+		for _, v := range values {
+			switch v {
+			case 1:
+				ones++
+			case 0:
+				zeros++
+			}
+		}
+		if ones >= zeros {
+			return 1
+		}
+		return 0
+	}}
+}
+
+// ThresholdGame outputs 1 iff at least thresh visible ones exist.
+func ThresholdGame(k, thresh int) Game {
+	return Game{K: k, F: func(values []int) int {
+		ones := 0
+		for _, v := range values {
+			if v == 1 {
+				ones++
+			}
+		}
+		if ones >= thresh {
+			return 1
+		}
+		return 0
+	}}
+}
+
+// Budget returns Lemma 12's hiding budget 8*sqrt(k * log2(1/alpha)),
+// rounded up.
+func Budget(k int, alpha float64) int {
+	if k <= 0 || alpha <= 0 || alpha >= 1 {
+		return 0
+	}
+	return int(math.Ceil(8 * math.Sqrt(float64(k)*math.Log2(1/alpha))))
+}
+
+// GreedyBias tries to force f to output v by hiding at most budget values,
+// hiding players whose visible value is not v first (optimal for monotone
+// games such as MajorityGame and ThresholdGame, a heuristic otherwise).
+// It mutates values in place and returns the number of hidden players and
+// whether the bias succeeded.
+func GreedyBias(g Game, values []int, v, budget int) (hidden int, ok bool) {
+	if g.F(values) == v {
+		return 0, true
+	}
+	for i := 0; i < g.K && hidden < budget; i++ {
+		if values[i] == Hidden || values[i] == v {
+			continue
+		}
+		values[i] = Hidden
+		hidden++
+		if g.F(values) == v {
+			return hidden, true
+		}
+	}
+	return hidden, g.F(values) == v
+}
+
+// Result aggregates a biasing experiment.
+type Result struct {
+	Trials     int
+	Successes  int
+	MeanHidden float64
+}
+
+// SuccessRate returns the empirical probability of forcing the outcome.
+func (r Result) SuccessRate() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.Successes) / float64(r.Trials)
+}
+
+// Experiment draws uniform-bit value vectors `trials` times and runs the
+// greedy adversary against each with the given budget, biasing toward v.
+// The empirical reproduction of Lemma 12 checks
+// Experiment(MajorityGame(k), v, Budget(k, alpha), ...) has success rate
+// at least 1 - alpha.
+func Experiment(g Game, v, budget, trials int, seed uint64) Result {
+	rnd := rng.Unmetered(seed, 0xc01f)
+	res := Result{Trials: trials}
+	totalHidden := 0
+	values := make([]int, g.K)
+	for tr := 0; tr < trials; tr++ {
+		for i := range values {
+			values[i] = int(rnd.Uint64() & 1)
+		}
+		hidden, ok := GreedyBias(g, values, v, budget)
+		totalHidden += hidden
+		if ok {
+			res.Successes++
+		}
+	}
+	if trials > 0 {
+		res.MeanHidden = float64(totalHidden) / float64(trials)
+	}
+	return res
+}
+
+// MinBudgetFor searches for the smallest hiding budget achieving the target
+// success rate on the majority game, by doubling then bisecting — used to
+// chart how the empirical budget tracks Lemma 12's sqrt(k log(1/alpha)).
+func MinBudgetFor(k int, target float64, trials int, seed uint64) int {
+	g := MajorityGame(k)
+	ok := func(budget int) bool {
+		return Experiment(g, 1, budget, trials, seed).SuccessRate() >= target
+	}
+	lo, hi := 0, 1
+	for !ok(hi) {
+		hi *= 2
+		if hi > k {
+			hi = k
+			break
+		}
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ok(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return hi
+}

@@ -1,0 +1,57 @@
+package committee
+
+import (
+	"fmt"
+
+	"omicon/internal/wire"
+)
+
+// Globally unique wire kinds (range 0x58-0x5f).
+const (
+	KindInput uint64 = 0x58 + iota
+	KindVote
+	KindDecision
+)
+
+// WireKind implements wire.Typed.
+func (InputMsg) WireKind() uint64 { return KindInput }
+
+// WireKind implements wire.Typed.
+func (VoteMsg) WireKind() uint64 { return KindVote }
+
+// WireKind implements wire.Typed.
+func (DecisionMsg) WireKind() uint64 { return KindDecision }
+
+// RegisterPayloads adds this package's decoders to r.
+func RegisterPayloads(r *wire.Registry) {
+	r.Register(KindInput, func(d *wire.Decoder) (wire.Typed, error) {
+		if err := expectTag(d, 1); err != nil {
+			return nil, err
+		}
+		m := InputMsg{B: int(d.Uvarint())}
+		return m, d.Err()
+	})
+	r.Register(KindVote, func(d *wire.Decoder) (wire.Typed, error) {
+		if err := expectTag(d, 2); err != nil {
+			return nil, err
+		}
+		m := VoteMsg{B: int(d.Uvarint())}
+		return m, d.Err()
+	})
+	r.Register(KindDecision, func(d *wire.Decoder) (wire.Typed, error) {
+		if err := expectTag(d, 3); err != nil {
+			return nil, err
+		}
+		m := DecisionMsg{B: int(d.Uvarint())}
+		return m, d.Err()
+	})
+}
+
+func expectTag(d *wire.Decoder, want uint64) error {
+	if got := d.Uvarint(); d.Err() != nil {
+		return d.Err()
+	} else if got != want {
+		return fmt.Errorf("committee: tag %d, want %d", got, want)
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package committee
+
+import (
+	"testing"
+
+	"omicon/internal/adversary"
+	"omicon/internal/sim"
+)
+
+func inputs(n, ones int) []int {
+	in := make([]int, n)
+	// Spread the ones so they do not correlate with committee sampling.
+	acc := 0
+	for i := 0; i < n; i++ {
+		acc += ones
+		if acc >= n {
+			acc -= n
+			in[i] = 1
+		}
+	}
+	return in
+}
+
+func TestCommitteeIsDeterministicAndSized(t *testing.T) {
+	n := 100
+	p := DefaultParams(n)
+	a := Committee(n, p)
+	b := Committee(n, p)
+	if len(a) != p.CommitteeSize {
+		t.Fatalf("size = %d, want %d", len(a), p.CommitteeSize)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("committee must be a pure function of (n, params)")
+		}
+		if i > 0 && a[i-1] >= a[i] {
+			t.Fatal("committee must be sorted and distinct")
+		}
+	}
+}
+
+func TestNoFaultsAgrees(t *testing.T) {
+	n := 64
+	p := DefaultParams(n)
+	for _, ones := range []int{0, n / 3, n} {
+		res, err := sim.Run(sim.Config{N: n, T: 0, Inputs: inputs(n, ones), Seed: 5}, Protocol(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.CheckConsensus(); err != nil {
+			t.Fatalf("ones=%d: %v", ones, err)
+		}
+		if res.Metrics.Rounds != int64(Rounds(p)) {
+			t.Fatalf("rounds = %d, want %d", res.Metrics.Rounds, Rounds(p))
+		}
+	}
+}
+
+// TestSubquadraticMessages: the protocol's selling point — message count
+// well below the all-to-all n^2.
+func TestSubquadraticMessages(t *testing.T) {
+	n := 256
+	p := DefaultParams(n)
+	res, err := sim.Run(sim.Config{N: n, T: 0, Inputs: inputs(n, n/2), Seed: 2}, Protocol(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Messages >= int64(n*n) {
+		t.Fatalf("messages = %d, not subquadratic (n^2 = %d)", res.Metrics.Messages, n*n)
+	}
+}
+
+// TestObliviousAdversarySurvived: random pre-committed crashes whp miss a
+// committee majority; agreement must hold across seeds.
+func TestObliviousAdversarySurvived(t *testing.T) {
+	n, tf := 64, 8
+	p := DefaultParams(n)
+	for seed := uint64(0); seed < 5; seed++ {
+		adv := adversary.NewObliviousCrash(n, tf, seed+100)
+		res, err := sim.Run(sim.Config{N: n, T: tf, Inputs: inputs(n, n/3), Seed: seed, Adversary: adv}, Protocol(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.CheckConsensus(); err != nil {
+			t.Fatalf("seed=%d: oblivious adversary broke the committee: %v", seed, err)
+		}
+	}
+}
+
+// TestAdaptiveAdversaryBreaksIt is the separation: the adaptive adversary
+// reads the public committee, silences it, and non-members fall back to
+// their mixed inputs — agreement fails. This is why subquadratic
+// communication is impossible against the paper's adversary model.
+func TestAdaptiveAdversaryBreaksIt(t *testing.T) {
+	n := 64
+	p := DefaultParams(n)
+	members := Committee(n, p)
+	tf := len(members) // enough budget to silence every member
+	adv := adversary.NewCommitteeKiller(members)
+	res, err := sim.Run(sim.Config{N: n, T: tf, Inputs: inputs(n, n/2), Seed: 9, Adversary: adv}, Protocol(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckConsensus(); err == nil {
+		t.Fatal("expected the adaptive committee-killer to break agreement")
+	}
+}
+
+// TestAdaptiveBudgetBoundedStillFine: an adaptive adversary whose budget
+// cannot cover the committee majority leaves the protocol standing.
+func TestAdaptiveBudgetBoundedStillFine(t *testing.T) {
+	n := 64
+	p := DefaultParams(n)
+	members := Committee(n, p)
+	tf := len(members)/2 - 1
+	adv := adversary.NewCommitteeKiller(members)
+	res, err := sim.Run(sim.Config{N: n, T: tf, Inputs: inputs(n, n/3), Seed: 11, Adversary: adv}, Protocol(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckConsensus(); err != nil {
+		t.Fatalf("sub-majority committee corruption should be survivable here: %v", err)
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"omicon/internal/adversary"
+	"omicon/internal/sim"
+)
+
+// TestConsensusUnderAdversaryPortfolio runs the full strategy portfolio and
+// checks all three consensus conditions (the paper requires them with
+// probability 1, so a single violating seed is a hard failure).
+func TestConsensusUnderAdversaryPortfolio(t *testing.T) {
+	cases := []struct{ n, tf int }{
+		{64, 2},
+		{96, 3},
+	}
+	if testing.Short() {
+		cases = cases[:1]
+	}
+	for _, c := range cases {
+		p, err := Prepare(c.n, c.tf)
+		if err != nil {
+			t.Fatalf("Prepare: %v", err)
+		}
+		advs := adversary.Registry(c.n, c.tf, 99)
+		advs = append(advs,
+			adversary.NewEclipse(p.Graph, c.tf, c.n/10),
+			adversary.NewRotatingEclipse(p.Graph, c.tf, 4))
+		for _, adv := range advs {
+			adv := adv
+			t.Run(fmt.Sprintf("n%d-t%d-%s", c.n, c.tf, adv.Name()), func(t *testing.T) {
+				for seed := uint64(0); seed < 3; seed++ {
+					for _, ones := range []int{0, c.n / 2, c.n} {
+						res, err := sim.Run(sim.Config{
+							N: c.n, T: c.tf,
+							Inputs:    mixedInputs(c.n, ones),
+							Seed:      seed,
+							Adversary: adv,
+						}, Protocol(p))
+						if err != nil {
+							t.Fatalf("seed=%d ones=%d: %v", seed, ones, err)
+						}
+						if err := res.CheckConsensus(); err != nil {
+							t.Fatalf("seed=%d ones=%d: %v\n%s", seed, ones, err, res)
+						}
+					}
+				}
+			})
+		}
+	}
+}

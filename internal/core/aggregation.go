@@ -1,0 +1,194 @@
+package core
+
+import (
+	"omicon/internal/sim"
+)
+
+// groupInfo is the static group context of one process: the paper's W_ℓ,
+// derived locally from the sqrt(n)-decomposition.
+type groupInfo struct {
+	index    int   // ℓ: this process's group
+	members  []int // global ids, increasing
+	myIdx    int   // position within members
+	localIdx map[int]int
+}
+
+func newGroupInfo(p Params, id int) groupInfo {
+	gi := groupInfo{
+		index:   p.Decomp.GroupOf(id),
+		myIdx:   p.Decomp.IndexOf(id),
+		members: p.Decomp.Group(p.Decomp.GroupOf(id)),
+	}
+	gi.localIdx = make(map[int]int, len(gi.members))
+	for i, m := range gi.members {
+		gi.localIdx[m] = i
+	}
+	return gi
+}
+
+// sidePair is one child bag's operative counts, as merged by a transmitter.
+type sidePair struct {
+	present     bool
+	ones, zeros int
+}
+
+// mergedBag is the up-to-four logically different values a transmitter
+// accumulates for one bag: the left and right child counts.
+type mergedBag struct {
+	left, right sidePair
+}
+
+// groupBitsAggregation implements Algorithm 2. Every process participates
+// in its group's tree for exactly 3*(Layers-1) rounds: operative processes
+// act as sources and transmitters, inoperative ones (per the GroupRelay
+// specification) keep serving as transmitters. It returns the operative
+// counts of ones and zeros for the whole group (meaningful only while the
+// process remains operative) and the updated operative status.
+func groupBitsAggregation(env sim.Env, p Params, gi groupInfo, operative bool, b int) (gOnes, gZeros int, stillOperative bool) {
+	id := env.ID()
+	w := len(gi.members)
+	need := w/2 + 1 // strict majority of the group, self included
+
+	// Stage 1 (lines 1-4): singleton bags initialize the counts.
+	myOnes, myZeros := 0, 0
+	if operative {
+		if b == 1 {
+			myOnes = 1
+		} else {
+			myZeros = 1
+		}
+	}
+
+	others := make([]int, 0, w-1)
+	for _, m := range gi.members {
+		if m != id {
+			others = append(others, m)
+		}
+	}
+
+	layers := p.Tree.Layers()
+	for j := 2; j <= layers; j++ {
+		// --- GroupRelay round 1: sources relay child-bag counts. ---
+		var out []sim.Message
+		if operative {
+			out = sim.Broadcast(id, SourceCountsMsg{Ones: myOnes, Zeros: myZeros}, others)
+		}
+		in := env.Exchange(out)
+
+		// Transmitter role: merge the received counts per bag of
+		// layer j. The inbox is sorted by sender, so "choose
+		// arbitrarily" resolves deterministically to the
+		// lowest-sender value; a process's own source counts merge
+		// first of all (it certainly heard itself).
+		merged := make(map[int]*mergedBag)
+		var heardFrom []int // sources whose round-1 message arrived
+		record := func(senderIdx, ones, zeros int) {
+			bag := p.Tree.BagOf(j, senderIdx)
+			mb := merged[bag]
+			if mb == nil {
+				mb = &mergedBag{}
+				merged[bag] = mb
+			}
+			side := &mb.right
+			if p.Tree.IsLeftChild(j, senderIdx) {
+				side = &mb.left
+			}
+			if !side.present {
+				*side = sidePair{present: true, ones: ones, zeros: zeros}
+			}
+		}
+		if operative {
+			record(gi.myIdx, myOnes, myZeros)
+		}
+		for _, m := range in {
+			sc, ok := m.Payload.(SourceCountsMsg)
+			if !ok {
+				continue
+			}
+			sIdx, member := gi.localIdx[m.From]
+			if !member {
+				continue
+			}
+			record(sIdx, sc.Ones, sc.Zeros)
+			heardFrom = append(heardFrom, m.From)
+		}
+
+		// --- GroupRelay round 2: each transmitter confirms receipt to
+		// exactly the sources it heard. Sources short of a strict group
+		// majority of confirmations become inoperative — Lemma 1's
+		// intersection argument requires the acknowledgment to certify
+		// "your counts reached me", so acks are per-source. ---
+		out = make([]sim.Message, 0, len(heardFrom))
+		for _, src := range heardFrom {
+			out = append(out, sim.Msg(id, src, AckMsg{}))
+		}
+		in = env.Exchange(out)
+		acks := 0
+		if operative {
+			acks++ // a source always hears itself
+		}
+		for _, m := range in {
+			if _, ok := m.Payload.(AckMsg); ok {
+				if _, member := gi.localIdx[m.From]; member {
+					acks++
+				}
+			}
+		}
+		if operative && acks < need {
+			operative = false
+		}
+
+		// --- GroupRelay round 3: transmitters return the merged
+		// counts, tailored to each recipient's bag. ---
+		out = make([]sim.Message, 0, len(others))
+		for _, q := range others {
+			qBag := p.Tree.BagOf(j, gi.localIdx[q])
+			out = append(out, sim.Msg(id, q, bagToMsg(merged[qBag])))
+		}
+		in = env.Exchange(out)
+
+		// Source role: count notifications and adopt the first
+		// present value per side (own merged view first).
+		notif := 1 // self: a process always knows its own merged view
+		var left, right sidePair
+		if mb := merged[p.Tree.BagOf(j, gi.myIdx)]; mb != nil {
+			left, right = mb.left, mb.right
+		}
+		for _, m := range in {
+			mc, ok := m.Payload.(MergedCountsMsg)
+			if !ok {
+				continue
+			}
+			if _, member := gi.localIdx[m.From]; !member {
+				continue
+			}
+			notif++
+			if !left.present && mc.HasLeft {
+				left = sidePair{present: true, ones: mc.LeftOnes, zeros: mc.LeftZeros}
+			}
+			if !right.present && mc.HasRight {
+				right = sidePair{present: true, ones: mc.RightOnes, zeros: mc.RightZeros}
+			}
+		}
+		if operative && notif < need {
+			operative = false
+		}
+		myOnes = left.ones + right.ones
+		myZeros = left.zeros + right.zeros
+	}
+	return myOnes, myZeros, operative
+}
+
+func bagToMsg(mb *mergedBag) MergedCountsMsg {
+	if mb == nil {
+		return MergedCountsMsg{}
+	}
+	return MergedCountsMsg{
+		HasLeft:    mb.left.present,
+		LeftOnes:   mb.left.ones,
+		LeftZeros:  mb.left.zeros,
+		HasRight:   mb.right.present,
+		RightOnes:  mb.right.ones,
+		RightZeros: mb.right.zeros,
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"omicon/internal/wire"
+)
+
+// Globally unique wire kinds for the transport registry (range 0x10-0x1f
+// is reserved for this package).
+const (
+	KindSourceCounts uint64 = 0x10 + iota
+	KindAck
+	KindMergedCounts
+	KindSpread
+	KindDecisionBcast
+	KindFinalDecision
+)
+
+// WireKind implements wire.Typed.
+func (SourceCountsMsg) WireKind() uint64 { return KindSourceCounts }
+
+// WireKind implements wire.Typed.
+func (AckMsg) WireKind() uint64 { return KindAck }
+
+// WireKind implements wire.Typed.
+func (MergedCountsMsg) WireKind() uint64 { return KindMergedCounts }
+
+// WireKind implements wire.Typed.
+func (SpreadMsg) WireKind() uint64 { return KindSpread }
+
+// WireKind implements wire.Typed.
+func (DecisionBcastMsg) WireKind() uint64 { return KindDecisionBcast }
+
+// WireKind implements wire.Typed.
+func (FinalDecisionMsg) WireKind() uint64 { return KindFinalDecision }
+
+// RegisterPayloads adds this package's decoders to r.
+func RegisterPayloads(r *wire.Registry) {
+	r.Register(KindSourceCounts, decodeSourceCounts)
+	r.Register(KindAck, decodeAck)
+	r.Register(KindMergedCounts, decodeMergedCounts)
+	r.Register(KindSpread, decodeSpread)
+	r.Register(KindDecisionBcast, decodeDecisionBcast)
+	r.Register(KindFinalDecision, decodeFinalDecision)
+}
+
+func expectTag(d *wire.Decoder, want uint64) error {
+	if got := d.Uvarint(); d.Err() != nil {
+		return d.Err()
+	} else if got != want {
+		return fmt.Errorf("core: tag %d, want %d", got, want)
+	}
+	return nil
+}
+
+func decodeSourceCounts(d *wire.Decoder) (wire.Typed, error) {
+	if err := expectTag(d, tagSourceCounts); err != nil {
+		return nil, err
+	}
+	m := SourceCountsMsg{Ones: int(d.Uvarint()), Zeros: int(d.Uvarint())}
+	return m, d.Err()
+}
+
+func decodeAck(d *wire.Decoder) (wire.Typed, error) {
+	if err := expectTag(d, tagAck); err != nil {
+		return nil, err
+	}
+	return AckMsg{}, nil
+}
+
+func decodeMergedCounts(d *wire.Decoder) (wire.Typed, error) {
+	if err := expectTag(d, tagMergedCounts); err != nil {
+		return nil, err
+	}
+	var m MergedCountsMsg
+	m.HasLeft = d.Bool()
+	if m.HasLeft {
+		m.LeftOnes = int(d.Uvarint())
+		m.LeftZeros = int(d.Uvarint())
+	}
+	m.HasRight = d.Bool()
+	if m.HasRight {
+		m.RightOnes = int(d.Uvarint())
+		m.RightZeros = int(d.Uvarint())
+	}
+	return m, d.Err()
+}
+
+func decodeSpread(d *wire.Decoder) (wire.Typed, error) {
+	if err := expectTag(d, tagSpread); err != nil {
+		return nil, err
+	}
+	count := d.Uvarint()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if count > uint64(d.Len()) { // each entry takes >= 3 bytes... >= 1
+		return nil, wire.ErrTruncated
+	}
+	m := SpreadMsg{}
+	for i := uint64(0); i < count; i++ {
+		e := GroupCount{
+			Group: int(d.Uvarint()),
+			Ones:  int(d.Uvarint()),
+			Zeros: int(d.Uvarint()),
+		}
+		m.Entries = append(m.Entries, e)
+	}
+	return m, d.Err()
+}
+
+func decodeDecisionBcast(d *wire.Decoder) (wire.Typed, error) {
+	if err := expectTag(d, tagDecisionBcast); err != nil {
+		return nil, err
+	}
+	m := DecisionBcastMsg{B: int(d.Uvarint())}
+	return m, d.Err()
+}
+
+func decodeFinalDecision(d *wire.Decoder) (wire.Typed, error) {
+	if err := expectTag(d, tagFinalDecision); err != nil {
+		return nil, err
+	}
+	m := FinalDecisionMsg{B: int(d.Uvarint())}
+	return m, d.Err()
+}

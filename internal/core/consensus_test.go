@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"omicon/internal/sim"
+)
+
+func mixedInputs(n, ones int) []int {
+	in := make([]int, n)
+	for i := 0; i < ones; i++ {
+		in[i] = 1
+	}
+	return in
+}
+
+func runOnce(t *testing.T, n, tFaults int, inputs []int, seed uint64, adv sim.Adversary, opts ...Option) (*sim.Result, Params) {
+	t.Helper()
+	p, err := Prepare(n, tFaults, opts...)
+	if err != nil {
+		t.Fatalf("Prepare(%d,%d): %v", n, tFaults, err)
+	}
+	res, err := sim.Run(sim.Config{N: n, T: tFaults, Inputs: inputs, Seed: seed, Adversary: adv}, Protocol(p))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res, p
+}
+
+func TestConsensusNoFaultsUnanimous(t *testing.T) {
+	for _, b := range []int{0, 1} {
+		inputs := make([]int, 36)
+		for i := range inputs {
+			inputs[i] = b
+		}
+		res, _ := runOnce(t, 36, 1, inputs, 42, nil)
+		if err := res.CheckConsensus(); err != nil {
+			t.Fatalf("consensus: %v", err)
+		}
+		d, _ := res.Decision()
+		if d != b {
+			t.Fatalf("decision=%d want %d", d, b)
+		}
+		// Theorem 5's validity proof: with unanimous inputs no process
+		// ever accesses its random source.
+		if res.Metrics.RandomCalls != 0 {
+			t.Fatalf("unanimous inputs used %d random calls, want 0", res.Metrics.RandomCalls)
+		}
+	}
+}
+
+func TestConsensusNoFaultsMixed(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		res, _ := runOnce(t, 40, 1, mixedInputs(40, 20), seed, nil)
+		if err := res.CheckConsensus(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

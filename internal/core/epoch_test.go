@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"omicon/internal/adversary"
+)
+
+// spreadBits distributes ones evenly so they do not align with groups.
+func spreadBits(n, ones int) []int {
+	in := make([]int, n)
+	acc := 0
+	for i := 0; i < n; i++ {
+		acc += ones
+		if acc >= n {
+			acc -= n
+			in[i] = 1
+		}
+	}
+	return in
+}
+
+// TestEpochUnanimityAbsorbing: an epoch starting unanimous must end
+// unanimous with everyone decided and zero randomness (the validity
+// argument of Theorem 5 at epoch granularity).
+func TestEpochUnanimityAbsorbing(t *testing.T) {
+	p, err := Prepare(64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []int{0, 1} {
+		rep, err := RunEpochExperiment(p, spreadBits(64, b*64), 1, nil, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Unified() {
+			t.Fatalf("b=%d: unanimity lost", b)
+		}
+		for q, d := range rep.Decided {
+			if !d {
+				t.Fatalf("b=%d: process %d undecided after unanimous epoch", b, q)
+			}
+			if rep.B[q] != b {
+				t.Fatalf("b=%d: process %d flipped to %d", b, q, rep.B[q])
+			}
+		}
+		if rep.Metrics.RandomCalls != 0 {
+			t.Fatalf("b=%d: unanimous epoch drew %d coins", b, rep.Metrics.RandomCalls)
+		}
+	}
+}
+
+// TestEpochSupermajorityConverges: an epoch starting above the 18/30
+// threshold deterministically unifies to 1 (the deterministic region of
+// Figure 3).
+func TestEpochSupermajorityConverges(t *testing.T) {
+	n := 64
+	p, err := Prepare(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunEpochExperiment(p, spreadBits(n, n*2/3), 1, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Unified() {
+		t.Fatal("supermajority epoch did not unify")
+	}
+	if rep.B[0] != 1 {
+		t.Fatalf("unified to %d, want 1", rep.B[0])
+	}
+	if rep.Metrics.RandomCalls != 0 {
+		t.Fatal("deterministic region drew coins")
+	}
+}
+
+// TestLemma10ConstantProbability is the empirical Lemma 10: from a
+// balanced start (the coin zone), three good (fault-free) epochs unify the
+// operative processes with at least constant probability. The lemma's
+// constant is small; we require the unmistakable empirical signal >= 30%
+// over 40 seeds (measured ~70-90%).
+func TestLemma10ConstantProbability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed epoch sweep is slow; run without -short")
+	}
+	n := 64
+	p, err := Prepare(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seeds = 40
+	unified := 0
+	for s := uint64(0); s < seeds; s++ {
+		rep, err := RunEpochExperiment(p, spreadBits(n, n/2), 3, nil, s*101+5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Unified() {
+			unified++
+		}
+	}
+	if unified < seeds*3/10 {
+		t.Fatalf("unified in %d/%d triples; Lemma 10 expects a constant fraction", unified, seeds)
+	}
+}
+
+// TestEpochWithFaultsKeepsOperativeFloor: under crash pressure a single
+// epoch keeps at least n-3t operative processes (Lemma 7) and their counts
+// produce a legal vote (no exclusivity violation).
+func TestEpochWithFaultsKeepsOperativeFloor(t *testing.T) {
+	n, tf := 96, 3
+	p, err := Prepare(n, tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunEpochExperiment(p, spreadBits(n, n/2), 1, adversary.NewStaticCrash([]int{0, 40, 80}), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	operative := 0
+	for _, op := range rep.Operative {
+		if op {
+			operative++
+		}
+	}
+	if operative < n-3*tf {
+		t.Fatalf("operative %d < n-3t = %d", operative, n-3*tf)
+	}
+	// Exclusivity (Lemma 10's gap argument): among operative processes,
+	// deterministic 0- and 1-assignments cannot coexist... but processes
+	// that coin-flipped may hold either bit. What must NOT happen is a
+	// decided-0 and decided-1 pair.
+	dec0, dec1 := false, false
+	for q, op := range rep.Operative {
+		if !op || !rep.Decided[q] {
+			continue
+		}
+		if rep.B[q] == 0 {
+			dec0 = true
+		} else {
+			dec1 = true
+		}
+	}
+	if dec0 && dec1 {
+		t.Fatal("conflicting decided flags within one epoch")
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import "omicon/internal/wire"
+
+// Wire tags distinguish the protocol's payload types. Receivers dispatch on
+// the Go type; the tag keeps encodings self-describing and non-ambiguous so
+// that the bit accounting reflects a decodable wire format.
+const (
+	tagSourceCounts = iota + 1
+	tagAck
+	tagMergedCounts
+	tagSpread
+	tagDecisionBcast
+	tagFinalDecision
+)
+
+// SourceCountsMsg is round 1 of GroupRelay: an operative source relays the
+// (ones, zeros) operative counts of its child bag to the whole group. The
+// receiver derives the sender's bag and side from the sender identity.
+type SourceCountsMsg struct {
+	Ones, Zeros int
+}
+
+// AppendWire implements wire.Marshaler.
+func (m SourceCountsMsg) AppendWire(buf []byte) []byte {
+	buf = wire.AppendUvarint(buf, tagSourceCounts)
+	buf = wire.AppendUvarint(buf, uint64(m.Ones))
+	return wire.AppendUvarint(buf, uint64(m.Zeros))
+}
+
+// AckMsg is round 2 of GroupRelay: a transmitter confirms that it received
+// at least one source message in the previous round.
+type AckMsg struct{}
+
+// AppendWire implements wire.Marshaler.
+func (AckMsg) AppendWire(buf []byte) []byte {
+	return wire.AppendUvarint(buf, tagAck)
+}
+
+// MergedCountsMsg is round 3 of GroupRelay: a transmitter returns the
+// merged child-bag counts for the recipient's bag. Absent sides (no
+// operative source heard from that child) are flagged off.
+type MergedCountsMsg struct {
+	HasLeft               bool
+	LeftOnes, LeftZeros   int
+	HasRight              bool
+	RightOnes, RightZeros int
+}
+
+// AppendWire implements wire.Marshaler.
+func (m MergedCountsMsg) AppendWire(buf []byte) []byte {
+	buf = wire.AppendUvarint(buf, tagMergedCounts)
+	buf = wire.AppendBool(buf, m.HasLeft)
+	if m.HasLeft {
+		buf = wire.AppendUvarint(buf, uint64(m.LeftOnes))
+		buf = wire.AppendUvarint(buf, uint64(m.LeftZeros))
+	}
+	buf = wire.AppendBool(buf, m.HasRight)
+	if m.HasRight {
+		buf = wire.AppendUvarint(buf, uint64(m.RightOnes))
+		buf = wire.AppendUvarint(buf, uint64(m.RightZeros))
+	}
+	return buf
+}
+
+// GroupCount is one BitPacks entry: the operative counts of one group.
+type GroupCount struct {
+	Group       int
+	Ones, Zeros int
+}
+
+// SpreadMsg is the per-link gossip message of GroupBitsSpreading: the
+// BitPacks entries not yet shared over this link. An empty message doubles
+// as the liveness heartbeat Algorithm 3's disregard rule relies on.
+type SpreadMsg struct {
+	Entries []GroupCount
+}
+
+// AppendWire implements wire.Marshaler.
+func (m SpreadMsg) AppendWire(buf []byte) []byte {
+	buf = wire.AppendUvarint(buf, tagSpread)
+	buf = wire.AppendUvarint(buf, uint64(len(m.Entries)))
+	for _, e := range m.Entries {
+		buf = wire.AppendUvarint(buf, uint64(e.Group))
+		buf = wire.AppendUvarint(buf, uint64(e.Ones))
+		buf = wire.AppendUvarint(buf, uint64(e.Zeros))
+	}
+	return buf
+}
+
+// DecisionBcastMsg is the line-14 broadcast: a decided operative process
+// announces its consensus value to every process.
+type DecisionBcastMsg struct {
+	B int
+}
+
+// AppendWire implements wire.Marshaler.
+func (m DecisionBcastMsg) AppendWire(buf []byte) []byte {
+	buf = wire.AppendUvarint(buf, tagDecisionBcast)
+	return wire.AppendUvarint(buf, uint64(m.B))
+}
+
+// FinalDecisionMsg is the post-fallback broadcast of line 18: a fallback
+// participant that reached agreement announces the decision.
+type FinalDecisionMsg struct {
+	B int
+}
+
+// AppendWire implements wire.Marshaler.
+func (m FinalDecisionMsg) AppendWire(buf []byte) []byte {
+	buf = wire.AppendUvarint(buf, tagFinalDecision)
+	return wire.AppendUvarint(buf, uint64(m.B))
+}

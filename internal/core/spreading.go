@@ -1,0 +1,105 @@
+package core
+
+import (
+	"omicon/internal/bitset"
+	"omicon/internal/sim"
+)
+
+// linkState is the cross-epoch gossip bookkeeping of Algorithm 3: the
+// neighbor set V_p in the Theorem-4 graph and the permanently disregarded
+// links ("refutes to accept messages from them in any future round of the
+// algorithm GroupBitsSpreading").
+type linkState struct {
+	neighbors   []int
+	disregarded map[int]bool
+}
+
+func newLinkState(p Params, id int) *linkState {
+	return &linkState{
+		neighbors:   p.Graph.Neighbors(id),
+		disregarded: make(map[int]bool),
+	}
+}
+
+// groupBitsSpreading implements Algorithm 3: GossipRounds rounds of
+// deduplicated flooding of the per-group operative counts along the
+// Theorem-4 graph. A process that receives fewer than OperativeThreshold
+// messages from non-disregarded neighbors in some round becomes inoperative
+// and idles through the remaining rounds (staying in lockstep). It returns
+// the summed ones/zeros across all known groups and the operative status.
+func groupBitsSpreading(env sim.Env, p Params, ls *linkState, myGroup, gOnes, gZeros int) (ones, zeros int, operative bool) {
+	id := env.ID()
+	numGroups := p.Decomp.NumGroups()
+
+	present := make([]bool, numGroups)
+	entries := make([]GroupCount, numGroups)
+	present[myGroup] = true
+	entries[myGroup] = GroupCount{Group: myGroup, Ones: gOnes, Zeros: gZeros}
+
+	// sentTo deduplicates per link within this epoch: each group's counts
+	// travel over each edge at most once.
+	sentTo := make(map[int]*bitset.Set, len(ls.neighbors))
+	for _, q := range ls.neighbors {
+		sentTo[q] = bitset.New(numGroups)
+	}
+
+	operative = true
+	for r := 0; r < p.GossipRounds; r++ {
+		if !operative {
+			env.Exchange(nil)
+			continue
+		}
+		var out []sim.Message
+		for _, q := range ls.neighbors {
+			if ls.disregarded[q] {
+				continue
+			}
+			var fresh []GroupCount
+			sent := sentTo[q]
+			for g := 0; g < numGroups; g++ {
+				if present[g] && (p.NoGossipDedup || !sent.Contains(g)) {
+					fresh = append(fresh, entries[g])
+					sent.Add(g)
+				}
+			}
+			// An empty SpreadMsg is the heartbeat the disregard
+			// rule needs: silence means omission, not idleness.
+			out = append(out, sim.Msg(id, q, SpreadMsg{Entries: fresh}))
+		}
+		in := env.Exchange(out)
+
+		heard := make(map[int]bool, len(in))
+		received := 0
+		for _, m := range in {
+			sm, ok := m.Payload.(SpreadMsg)
+			if !ok || ls.disregarded[m.From] {
+				continue
+			}
+			heard[m.From] = true
+			received++
+			for _, e := range sm.Entries {
+				if e.Group < 0 || e.Group >= numGroups || present[e.Group] {
+					continue
+				}
+				present[e.Group] = true
+				entries[e.Group] = e
+			}
+		}
+		for _, q := range ls.neighbors {
+			if !ls.disregarded[q] && !heard[q] {
+				ls.disregarded[q] = true
+			}
+		}
+		if received < p.OperativeThreshold {
+			operative = false
+		}
+	}
+
+	for g := 0; g < numGroups; g++ {
+		if present[g] {
+			ones += entries[g].Ones
+			zeros += entries[g].Zeros
+		}
+	}
+	return ones, zeros, operative
+}

@@ -1,0 +1,44 @@
+package core
+
+// VoteAction is the outcome of the biased-majority rule of Algorithm 1,
+// lines 9-12 (Figure 3), for one process's operative counts.
+type VoteAction struct {
+	// B is the assigned candidate value when Coin is false.
+	B int
+	// Coin marks the ambiguous middle zone [15/30, 18/30]: the process
+	// draws a fresh random bit.
+	Coin bool
+	// Decide marks the safety thresholds (> 27/30 or < 3/30): the
+	// process sets decided.
+	Decide bool
+}
+
+// VoteUpdate evaluates the voting thresholds. It is exported as a pure
+// function so its two load-bearing invariants can be property-tested
+// directly (see vote_test.go):
+//
+//   - deterministic-assignment exclusivity (the gap behind Lemma 10): two
+//     count profiles whose totals and ones differ by at most the
+//     inoperative slack can never deterministically assign 0 at one
+//     process and 1 at another;
+//   - decide dominance: a deciding profile forces every profile within
+//     the slack to assign the same value (the argument of Lemma 11).
+func VoteUpdate(ones, zeros int) VoteAction {
+	total := ones + zeros
+	if total <= 0 {
+		return VoteAction{Coin: true}
+	}
+	var act VoteAction
+	switch {
+	case thresholdDenom*ones > thresholdHigh*total:
+		act.B = 1
+	case thresholdDenom*ones < thresholdLow*total:
+		act.B = 0
+	default:
+		act.Coin = true
+	}
+	if thresholdDenom*ones > decideHigh*total || thresholdDenom*ones < decideLow*total {
+		act.Decide = true
+	}
+	return act
+}

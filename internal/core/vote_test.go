@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestVoteUpdateExclusivityProperty is the quantitative heart of Lemma 10:
+// for a population of size around 9n/10 with perturbation (count slack)
+// below |OP|/30, no two operative processes can deterministically assign
+// opposite bits in the same epoch. We model the slack by generating two
+// count profiles that agree up to delta < total/30 in both coordinates.
+func TestVoteUpdateExclusivityProperty(t *testing.T) {
+	f := func(onesRaw, totalRaw uint16, dOnes, dTotal uint8) bool {
+		total := int(totalRaw%2000) + 60
+		ones := int(onesRaw) % (total + 1)
+		slack := total / 30
+		// Second profile within the slack of the first.
+		ones2 := ones - int(dOnes)%(slack+1)
+		total2 := total - int(dTotal)%(slack+1)
+		if ones2 < 0 {
+			ones2 = 0
+		}
+		if total2 < ones2 {
+			total2 = ones2
+		}
+		a := VoteUpdate(ones, total-ones)
+		b := VoteUpdate(ones2, total2-ones2)
+		if !a.Coin && !b.Coin && a.B != b.B {
+			return false // opposite deterministic assignments
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVoteUpdateDecideDominanceProperty is Lemma 11's local argument: a
+// profile that decides 1 (ones > 27/30 total) forces every profile within
+// a 4t < 4n/30 slack to deterministically assign 1 (no coin, no zero).
+func TestVoteUpdateDecideDominanceProperty(t *testing.T) {
+	f := func(totalRaw uint16, dOnes, dTotal uint8) bool {
+		total := int(totalRaw%2000) + 300
+		// total is at least 9n/10 of the system, so the 4t slack is at
+		// most (4/27)*total; use total/8 as a safe cover.
+		slack := total / 8
+		// Deciding profile: just above the 27/30 threshold.
+		ones := 27*total/30 + 1 + int(dOnes)%(total-27*total/30-1)
+		if ones > total {
+			ones = total
+		}
+		a := VoteUpdate(ones, total-ones)
+		if !a.Decide || a.Coin || a.B != 1 {
+			return true // not a deciding-1 profile; vacuous case
+		}
+		// Another operative process's view: at most `slack` fewer ones
+		// and at most `slack` more total (Lemma 8's divergence bound).
+		dO := int(dOnes) % (slack + 1)
+		dT := int(dTotal) % (slack + 1)
+		ones2 := ones - dO
+		total2 := total + dT
+		b := VoteUpdate(ones2, total2-ones2)
+		return !b.Coin && b.B == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVoteUpdateEdges(t *testing.T) {
+	if got := VoteUpdate(0, 0); !got.Coin {
+		t.Fatal("empty counts must coin-flip")
+	}
+	if got := VoteUpdate(30, 0); !got.Decide || got.B != 1 {
+		t.Fatalf("unanimous ones: %+v", got)
+	}
+	if got := VoteUpdate(0, 30); !got.Decide || got.B != 0 || got.Coin {
+		t.Fatalf("unanimous zeros: %+v", got)
+	}
+}

@@ -1,0 +1,20 @@
+package dolevstrong
+
+import "omicon/internal/wire"
+
+// KindRelay is this package's wire kind (range 0x68-0x6f).
+const KindRelay uint64 = 0x68
+
+// WireKind implements wire.Typed.
+func (RelayMsg) WireKind() uint64 { return KindRelay }
+
+// RegisterPayloads adds this package's decoders to r.
+func RegisterPayloads(r *wire.Registry) {
+	r.Register(KindRelay, func(d *wire.Decoder) (wire.Typed, error) {
+		m := RelayMsg{Sender: int(d.Uvarint()), V: int(d.Uvarint())}
+		for _, s := range d.Uvarints() {
+			m.Chain = append(m.Chain, int(s))
+		}
+		return m, d.Err()
+	})
+}

@@ -1,0 +1,140 @@
+package dolevstrong
+
+import (
+	"testing"
+
+	"omicon/internal/adversary"
+	"omicon/internal/sim"
+)
+
+func inputs(n, ones int) []int {
+	in := make([]int, n)
+	for i := 0; i < ones; i++ {
+		in[i] = 1
+	}
+	return in
+}
+
+func TestNoFaults(t *testing.T) {
+	n := 12
+	for _, ones := range []int{0, 5, 7, 12} {
+		res, err := sim.Run(sim.Config{N: n, T: 2, Inputs: inputs(n, ones), Seed: 1}, Protocol())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.CheckConsensus(); err != nil {
+			t.Fatalf("ones=%d: %v", ones, err)
+		}
+		d, _ := res.Decision()
+		want := 0
+		if 2*ones > n {
+			want = 1
+		}
+		if d != want {
+			t.Fatalf("ones=%d: decision %d, want majority %d", ones, d, want)
+		}
+	}
+}
+
+func TestRoundsExactAndDeterministic(t *testing.T) {
+	n, tf := 10, 3
+	res, err := sim.Run(sim.Config{N: n, T: tf, Inputs: inputs(n, 5), Seed: 2}, Protocol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Rounds != int64(Rounds(tf)) {
+		t.Fatalf("rounds = %d, want %d", res.Metrics.Rounds, Rounds(tf))
+	}
+	if res.Metrics.RandomCalls != 0 {
+		t.Fatal("Dolev-Strong is deterministic")
+	}
+}
+
+// TestUnderAdversaryPortfolio: all consensus conditions at t < n/2.
+func TestUnderAdversaryPortfolio(t *testing.T) {
+	n, tf := 16, 5
+	for _, adv := range adversary.Registry(n, tf, 3) {
+		adv := adv
+		t.Run(adv.Name(), func(t *testing.T) {
+			for _, ones := range []int{0, 8, 16} {
+				for seed := uint64(0); seed < 2; seed++ {
+					res, err := sim.Run(sim.Config{N: n, T: tf, Inputs: inputs(n, ones), Seed: seed, Adversary: adv}, Protocol())
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := res.CheckConsensus(); err != nil {
+						t.Fatalf("ones=%d seed=%d: %v", ones, seed, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLastRoundRevealAccepted: the flood-split trick (reveal in the last
+// round to one victim) does NOT break Dolev-Strong: a value accepted at
+// round t+1 must carry t+1 distinct signers, which the hidden single-hop
+// chain cannot — so the victim never accepts it and stays consistent.
+func TestLastRoundRevealRejected(t *testing.T) {
+	n, tf := 12, 2
+	in := inputs(n, n)
+	in[0] = 0
+	adv := adversary.NewFloodSplit(Rounds(tf), n-1)
+	res, err := sim.Run(sim.Config{N: n, T: tf, Inputs: in, Seed: 3, Adversary: adv}, Protocol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckConsensus(); err != nil {
+		t.Fatalf("the signature chains must defeat flood-split: %v", err)
+	}
+	d, _ := res.Decision()
+	if d != 1 {
+		t.Fatalf("decision %d, want honest majority 1", d)
+	}
+}
+
+// TestSilentMajorityUnanimity: with most slots silent, unanimous
+// participants must keep their value — the property Algorithm 1's fallback
+// path relies on.
+func TestSilentMajorityUnanimity(t *testing.T) {
+	n := 15
+	participants := map[int]bool{2: true, 7: true, 12: true}
+	budget := 12 // covers all silent slots
+	for _, b := range []int{0, 1} {
+		b := b
+		res, err := sim.Run(sim.Config{N: n, T: 0, Inputs: inputs(n, 0), Seed: 4},
+			func(env sim.Env, _ int) (int, error) {
+				return Run(env, b, participants[env.ID()], budget), nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := range participants {
+			if res.Decisions[p] != b {
+				t.Fatalf("participant %d decided %d, want %d", p, res.Decisions[p], b)
+			}
+		}
+	}
+}
+
+func TestValidChain(t *testing.T) {
+	n := 8
+	cases := []struct {
+		m     RelayMsg
+		round int
+		want  bool
+	}{
+		{RelayMsg{Sender: 1, V: 1, Chain: []int{1}}, 1, true},
+		{RelayMsg{Sender: 1, V: 1, Chain: []int{1, 2}}, 2, true},
+		{RelayMsg{Sender: 1, V: 1, Chain: []int{2, 1}}, 2, false}, // wrong head
+		{RelayMsg{Sender: 1, V: 1, Chain: []int{1, 1}}, 2, false}, // duplicate signer
+		{RelayMsg{Sender: 1, V: 1, Chain: []int{1}}, 2, false},    // wrong length
+		{RelayMsg{Sender: 1, V: 2, Chain: []int{1}}, 1, false},    // non-binary value
+		{RelayMsg{Sender: 9, V: 1, Chain: []int{9}}, 1, false},    // sender out of range
+	}
+	for i, c := range cases {
+		if got := validChain(c.m, n, c.round); got != c.want {
+			t.Fatalf("case %d: validChain = %v, want %v", i, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package earlystop
+
+import (
+	"fmt"
+
+	"omicon/internal/wire"
+)
+
+// Globally unique wire kinds (range 0x60-0x67).
+const (
+	KindPref uint64 = 0x60 + iota
+	KindKing
+	KindDecided
+)
+
+// WireKind implements wire.Typed.
+func (PrefMsg) WireKind() uint64 { return KindPref }
+
+// WireKind implements wire.Typed.
+func (KingMsg) WireKind() uint64 { return KindKing }
+
+// WireKind implements wire.Typed.
+func (DecidedMsg) WireKind() uint64 { return KindDecided }
+
+// RegisterPayloads adds this package's decoders to r.
+func RegisterPayloads(r *wire.Registry) {
+	r.Register(KindPref, func(d *wire.Decoder) (wire.Typed, error) {
+		if err := expectTag(d, 1); err != nil {
+			return nil, err
+		}
+		m := PrefMsg{V: int(d.Uvarint())}
+		return m, d.Err()
+	})
+	r.Register(KindKing, func(d *wire.Decoder) (wire.Typed, error) {
+		if err := expectTag(d, 2); err != nil {
+			return nil, err
+		}
+		m := KingMsg{V: int(d.Uvarint())}
+		return m, d.Err()
+	})
+	r.Register(KindDecided, func(d *wire.Decoder) (wire.Typed, error) {
+		if err := expectTag(d, 3); err != nil {
+			return nil, err
+		}
+		m := DecidedMsg{V: int(d.Uvarint())}
+		return m, d.Err()
+	})
+}
+
+func expectTag(d *wire.Decoder, want uint64) error {
+	if got := d.Uvarint(); d.Err() != nil {
+		return d.Err()
+	} else if got != want {
+		return fmt.Errorf("earlystop: tag %d, want %d", got, want)
+	}
+	return nil
+}

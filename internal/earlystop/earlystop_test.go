@@ -1,0 +1,127 @@
+package earlystop
+
+import (
+	"testing"
+
+	"omicon/internal/adversary"
+	"omicon/internal/phaseking"
+	"omicon/internal/sim"
+)
+
+func inputs(n, ones int) []int {
+	in := make([]int, n)
+	for i := 0; i < ones; i++ {
+		in[i] = 1
+	}
+	return in
+}
+
+func run(t *testing.T, n, tf int, in []int, seed uint64, adv sim.Adversary) *sim.Result {
+	t.Helper()
+	res, err := sim.Run(sim.Config{
+		N: n, T: tf, Inputs: in, Seed: seed, Adversary: adv,
+		MaxRounds: MaxRounds(tf) + 8,
+	}, Protocol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestNoFaultsDecidesInOnePhase(t *testing.T) {
+	n, tf := 24, 3
+	for _, ones := range []int{0, n, n / 2} {
+		res := run(t, n, tf, inputs(n, ones), 1, nil)
+		if err := res.CheckConsensus(); err != nil {
+			t.Fatalf("ones=%d: %v", ones, err)
+		}
+		// ones = 0 or n: unanimity visible in phase 1 → 2 rounds
+		// (exchange + announce). The n/2 case needs the king.
+		if ones == 0 || ones == n {
+			if res.RoundsNonFaulty() > 2 {
+				t.Fatalf("unanimous run took %d rounds, want early stop in 2", res.RoundsNonFaulty())
+			}
+		}
+	}
+}
+
+// TestEarlyStoppingBeatsBaseline: fault-free, the early-stopping protocol
+// must finish far below the fixed 2(t+1) schedule of the baseline.
+func TestEarlyStoppingBeatsBaseline(t *testing.T) {
+	n, tf := 30, 4
+	early := run(t, n, tf, inputs(n, n), 2, nil)
+	baseline, err := sim.Run(sim.Config{N: n, T: tf, Inputs: inputs(n, n), Seed: 2},
+		func(env sim.Env, input int) (int, error) { return phaseking.Consensus(env, input) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if early.RoundsNonFaulty() >= baseline.RoundsNonFaulty() {
+		t.Fatalf("early stopping did not help: %d vs %d rounds",
+			early.RoundsNonFaulty(), baseline.RoundsNonFaulty())
+	}
+}
+
+// TestUnderAdversaryPortfolio: all consensus conditions with t < n/6.
+func TestUnderAdversaryPortfolio(t *testing.T) {
+	n, tf := 30, 4
+	for _, adv := range adversary.Registry(n, tf, 9) {
+		adv := adv
+		t.Run(adv.Name(), func(t *testing.T) {
+			for _, ones := range []int{0, n / 2, n} {
+				for seed := uint64(0); seed < 3; seed++ {
+					res := run(t, n, tf, inputs(n, ones), seed, adv)
+					if err := res.CheckConsensus(); err != nil {
+						t.Fatalf("ones=%d seed=%d: %v", ones, seed, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDecisionCascade: an early decider whose announcement is partially
+// suppressed must still drag the whole system to its value (adopters
+// re-announce).
+func TestDecisionCascade(t *testing.T) {
+	n, tf := 30, 4
+	// half-visibility keeps corrupted announcements away from the lower
+	// half; the cascade must cover them anyway.
+	res := run(t, n, tf, inputs(n, n-1), 5, adversary.NewHalfVisibility(tf))
+	if err := res.CheckConsensus(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZeroRandomness: the protocol is deterministic.
+func TestZeroRandomness(t *testing.T) {
+	res := run(t, 24, 3, inputs(24, 11), 7, adversary.NewStaticCrash([]int{1, 2}))
+	if res.Metrics.RandomCalls != 0 {
+		t.Fatalf("random calls = %d", res.Metrics.RandomCalls)
+	}
+	if err := res.CheckConsensus(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFewerFaultsFewerRounds: the early-stopping property — executions
+// with fewer actual crashes finish in fewer rounds.
+func TestFewerFaultsFewerRounds(t *testing.T) {
+	n, tf := 36, 5
+	// With mixed-ish inputs and f crashes happening up front, decision
+	// lands once a clean exchange shows mult >= n-t. More crashed
+	// 1-holders means later convergence.
+	roundsWith := func(f int) int {
+		targets := make([]int, f)
+		for i := range targets {
+			targets[i] = i // crash 1-holders
+		}
+		res := run(t, n, tf, inputs(n, n-2), 3, adversary.NewStaticCrash(targets))
+		if err := res.CheckConsensus(); err != nil {
+			t.Fatal(err)
+		}
+		return res.RoundsNonFaulty()
+	}
+	if r0, r5 := roundsWith(0), roundsWith(5); r0 > r5 {
+		t.Fatalf("fault-free run slower than faulty: %d vs %d", r0, r5)
+	}
+}

@@ -1,0 +1,295 @@
+// Package experiments implements the reproducible experiment runners
+// behind Table 1 of the paper (experiment ids E1-E4 of DESIGN.md). The
+// command-line generators (cmd/sweep, cmd/tradeoff) and the benchmark
+// harness are thin wrappers over these functions, so the experiment logic
+// itself is unit-tested; E5/E6 live in internal/lowerbound and
+// internal/coinflip.
+package experiments
+
+import (
+	"fmt"
+
+	"omicon/internal/adversary"
+	"omicon/internal/core"
+	"omicon/internal/paramomissions"
+	"omicon/internal/sim"
+	"omicon/internal/stats"
+)
+
+// spreadInputs distributes `ones` ones evenly over the id space, avoiding
+// accidental alignment with the consecutive-block decompositions.
+func spreadInputs(n, ones int) []int {
+	in := make([]int, n)
+	acc := 0
+	for i := 0; i < n; i++ {
+		acc += ones
+		if acc >= n {
+			acc -= n
+			in[i] = 1
+		}
+	}
+	return in
+}
+
+// Thm1Point is one measured cell of the Theorem 1 row (E1).
+type Thm1Point struct {
+	N, T           int
+	Rounds         int64
+	CommBits       int64
+	RandBits       int64
+	WorstAdversary string
+}
+
+// Thm1Sweep measures OptimalOmissionsConsensus at maximal fault load
+// across sizes, taking the worst case over the adversary portfolio.
+// Consensus violations are returned as errors (they are protocol bugs).
+func Thm1Sweep(sizes []int, seeds int, baseSeed uint64) ([]Thm1Point, error) {
+	points := make([]Thm1Point, 0, len(sizes))
+	for _, n := range sizes {
+		t := (n - 1) / 31
+		params, err := core.Prepare(n, t)
+		if err != nil {
+			return nil, err
+		}
+		advs := adversary.Registry(n, t, baseSeed)
+		advs = append(advs, adversary.NewEclipse(params.Graph, t, n/10))
+		pt := Thm1Point{N: n, T: t, WorstAdversary: "none"}
+		for _, adv := range advs {
+			for s := 0; s < seeds; s++ {
+				res, err := sim.Run(sim.Config{
+					N: n, T: t,
+					Inputs:    spreadInputs(n, n/2),
+					Seed:      baseSeed + uint64(s)*101,
+					Adversary: adv,
+					MaxRounds: params.TotalRoundsBound() + 64,
+				}, core.Protocol(params))
+				if err != nil {
+					return nil, fmt.Errorf("experiments: n=%d %s: %w", n, adv.Name(), err)
+				}
+				if cerr := res.CheckConsensus(); cerr != nil {
+					return nil, fmt.Errorf("experiments: n=%d %s: consensus violated: %w", n, adv.Name(), cerr)
+				}
+				r := int64(res.RoundsNonFaulty())
+				if r > pt.Rounds || (r == pt.Rounds && res.Metrics.CommBits > pt.CommBits) {
+					pt.Rounds = r
+					pt.WorstAdversary = adv.Name()
+				}
+				if res.Metrics.CommBits > pt.CommBits {
+					pt.CommBits = res.Metrics.CommBits
+				}
+				if res.Metrics.RandomBits > pt.RandBits {
+					pt.RandBits = res.Metrics.RandomBits
+				}
+			}
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// Thm1Fits estimates the scaling exponents of rounds and communication
+// against n; the paper predicts ~0.5 and ~2 up to polylog factors.
+func Thm1Fits(points []Thm1Point) (rounds, commBits stats.Power, err error) {
+	ns := make([]float64, len(points))
+	rs := make([]float64, len(points))
+	bs := make([]float64, len(points))
+	for i, p := range points {
+		ns[i] = float64(p.N)
+		rs[i] = float64(p.Rounds)
+		bs[i] = float64(p.CommBits)
+	}
+	rounds, err = stats.PowerFit(ns, rs)
+	if err != nil {
+		return
+	}
+	commBits, err = stats.PowerFit(ns, bs)
+	return
+}
+
+// Thm3Point is one measured cell of the Theorem 3 row (E2).
+type Thm3Point struct {
+	X        int
+	Rounds   float64
+	RandBits float64
+	CommBits float64
+}
+
+// Thm3Sweep measures ParamOmissions across the super-process spectrum at
+// fixed (n, t), averaging over seeds, against the group-killing adversary
+// (the strategy that burns round-robin phases).
+func Thm3Sweep(n, t int, xs []int, seeds int, baseSeed uint64, allowLargeT bool) ([]Thm3Point, error) {
+	var points []Thm3Point
+	for _, x := range xs {
+		if n/x < 4 {
+			continue
+		}
+		var opts []paramomissions.Option
+		if allowLargeT {
+			opts = append(opts, paramomissions.AllowLargeT())
+		}
+		params, err := paramomissions.Prepare(n, t, x, opts...)
+		if err != nil {
+			return nil, err
+		}
+		pt := Thm3Point{X: x}
+		for s := 0; s < seeds; s++ {
+			res, err := sim.Run(sim.Config{
+				N: n, T: t,
+				Inputs:    spreadInputs(n, n/2),
+				Seed:      baseSeed + uint64(s)*31,
+				Adversary: adversary.NewGroupKiller(n, t),
+				MaxRounds: params.TotalRoundsBound() + 64,
+			}, paramomissions.Protocol(params))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: x=%d: %w", x, err)
+			}
+			if cerr := res.CheckConsensus(); cerr != nil {
+				return nil, fmt.Errorf("experiments: x=%d: consensus violated: %w", x, cerr)
+			}
+			pt.Rounds += float64(res.RoundsNonFaulty())
+			pt.RandBits += float64(res.Metrics.RandomBits)
+			pt.CommBits += float64(res.Metrics.CommBits)
+		}
+		k := float64(seeds)
+		pt.Rounds /= k
+		pt.RandBits /= k
+		pt.CommBits /= k
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// EpochPoint is one cell of the Figure-3 dynamics experiment: the epoch
+// behaviour of Algorithm 1's voting rule as a function of the starting
+// one-fraction.
+type EpochPoint struct {
+	Ones int
+	// Unified1 and Unified3 are the empirical probabilities that all
+	// operative processes hold the same candidate value after 1 and 3
+	// fault-free epochs (Lemma 10 promises a constant for the
+	// three-epoch figure).
+	Unified1, Unified3 float64
+	// MeanCoins is the average number of random bits drawn per epoch
+	// triple — nonzero only inside Figure 3's coin zone.
+	MeanCoins float64
+}
+
+// EpochDynamics sweeps the starting one-fraction and measures unification
+// probabilities and coin usage — the empirical content of Figure 3 and
+// Lemma 10.
+func EpochDynamics(n, t int, onesList []int, seeds int, baseSeed uint64) ([]EpochPoint, error) {
+	params, err := core.Prepare(n, t)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]EpochPoint, 0, len(onesList))
+	for _, ones := range onesList {
+		pt := EpochPoint{Ones: ones}
+		for s := 0; s < seeds; s++ {
+			seed := baseSeed + uint64(s)*733
+			rep1, err := core.RunEpochExperiment(params, spreadInputs(n, ones), 1, nil, seed)
+			if err != nil {
+				return nil, err
+			}
+			rep3, err := core.RunEpochExperiment(params, spreadInputs(n, ones), 3, nil, seed)
+			if err != nil {
+				return nil, err
+			}
+			if rep1.Unified() {
+				pt.Unified1++
+			}
+			if rep3.Unified() {
+				pt.Unified3++
+			}
+			pt.MeanCoins += float64(rep3.Metrics.RandomBits)
+		}
+		k := float64(seeds)
+		pt.Unified1 /= k
+		pt.Unified3 /= k
+		pt.MeanCoins /= k
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// SurvivalPoint is one cell of the Lemma 7 survival curve: the minimum
+// number of operative processes observed across seeds at a given fault
+// load, against the n-3t floor.
+type SurvivalPoint struct {
+	T            int
+	MinOperative int
+	Floor        int
+	MeanUnified  float64
+}
+
+// OperativeSurvival measures the Lemma-7 floor empirically: single epochs
+// under the rotating-eclipse adversary at escalating fault loads (beyond
+// the n/30 proof bound — the floor formula is what is being charted).
+func OperativeSurvival(n int, ts []int, seeds int, baseSeed uint64) ([]SurvivalPoint, error) {
+	points := make([]SurvivalPoint, 0, len(ts))
+	for _, t := range ts {
+		params, err := core.Prepare(n, t, core.AllowLargeT())
+		if err != nil {
+			return nil, err
+		}
+		pt := SurvivalPoint{T: t, MinOperative: n, Floor: n - 3*t}
+		for s := 0; s < seeds; s++ {
+			adv := adversary.NewRotatingEclipse(params.Graph, t, 4)
+			rep, err := core.RunEpochExperiment(params, spreadInputs(n, n/2), 2, adv, baseSeed+uint64(s)*19)
+			if err != nil {
+				return nil, err
+			}
+			operative := 0
+			for _, op := range rep.Operative {
+				if op {
+					operative++
+				}
+			}
+			if operative < pt.MinOperative {
+				pt.MinOperative = operative
+			}
+			if rep.Unified() {
+				pt.MeanUnified++
+			}
+		}
+		pt.MeanUnified /= float64(seeds)
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// MessagesPoint is one cell of the message-floor comparison (E4).
+type MessagesPoint struct {
+	Algorithm string
+	Messages  float64
+	PerT2     float64
+}
+
+// MessageFloor measures the message counts of the named protocols under
+// the group-killing adversary, normalized by t^2 (the Abraham et al.
+// lower-bound scale).
+func MessageFloor(n, t, seeds int, baseSeed uint64, protocols map[string]sim.Protocol, maxRounds int) ([]MessagesPoint, error) {
+	var points []MessagesPoint
+	for name, proto := range protocols {
+		pt := MessagesPoint{Algorithm: name}
+		for s := 0; s < seeds; s++ {
+			res, err := sim.Run(sim.Config{
+				N: n, T: t,
+				Inputs:    spreadInputs(n, n/2),
+				Seed:      baseSeed + uint64(s)*7,
+				Adversary: adversary.NewGroupKiller(n, t),
+				MaxRounds: maxRounds,
+			}, proto)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", name, err)
+			}
+			pt.Messages += float64(res.Metrics.Messages)
+		}
+		pt.Messages /= float64(seeds)
+		if t > 0 {
+			pt.PerT2 = pt.Messages / float64(t*t)
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}

@@ -1,0 +1,17 @@
+package floodset
+
+import "omicon/internal/wire"
+
+// KindSet is this package's wire kind (range 0x38-0x3f).
+const KindSet uint64 = 0x38
+
+// WireKind implements wire.Typed.
+func (SetMsg) WireKind() uint64 { return KindSet }
+
+// RegisterPayloads adds this package's decoders to r.
+func RegisterPayloads(r *wire.Registry) {
+	r.Register(KindSet, func(d *wire.Decoder) (wire.Typed, error) {
+		m := SetMsg{Has0: d.Bool(), Has1: d.Bool()}
+		return m, d.Err()
+	})
+}

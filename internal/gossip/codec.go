@@ -1,0 +1,28 @@
+package gossip
+
+import "omicon/internal/wire"
+
+// KindGossip is this package's wire kind (range 0x50-0x57).
+const KindGossip uint64 = 0x50
+
+// WireKind implements wire.Typed.
+func (Msg) WireKind() uint64 { return KindGossip }
+
+// RegisterPayloads adds this package's decoders to r.
+func RegisterPayloads(r *wire.Registry) {
+	r.Register(KindGossip, func(d *wire.Decoder) (wire.Typed, error) {
+		count := d.Uvarint()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if count > uint64(d.Len()) {
+			return nil, wire.ErrTruncated
+		}
+		var m Msg
+		for i := uint64(0); i < count; i++ {
+			it := Item{Source: int(d.Uvarint()), Value: d.Bytes()}
+			m.Items = append(m.Items, it)
+		}
+		return m, d.Err()
+	})
+}

@@ -1,0 +1,176 @@
+// Package gossip packages the paper's operative-process flooding as a
+// reusable primitive, following the future direction of Section 6 ("the
+// concept of operative processes ... could be a game-changing concept in
+// designing distributed fault-tolerant algorithms"): value dissemination
+// over a Theorem-4 expander in O(log n) rounds, where a process counts as
+// operative exactly while it keeps receiving at least Δ/3 messages per
+// round from non-disregarded neighbors.
+//
+// GroupBitsSpreading (Algorithm 3) and ParamOmissions' per-phase flooding
+// are instances of this pattern specialized to their payloads; this
+// package offers the same guarantees for arbitrary byte values keyed by
+// source: after the flood, every process that remained operative knows the
+// value of every source that remained operative (the Lemma 6/8 property).
+package gossip
+
+import (
+	"fmt"
+
+	"omicon/internal/bitset"
+	"omicon/internal/graph"
+	"omicon/internal/sim"
+	"omicon/internal/wire"
+)
+
+// Params configures a flood.
+type Params struct {
+	// Graph is the communication graph (Theorem 4).
+	Graph *graph.Graph
+	// Rounds is the flood length (2·log2 n + slack is ample on the
+	// practical graphs; 8·log2 n is the paper's figure).
+	Rounds int
+	// OperativeThreshold is the per-round received-message minimum
+	// (Δ/3 in the paper).
+	OperativeThreshold int
+}
+
+// DefaultParams builds a flood configuration for n processes.
+func DefaultParams(n int) (Params, error) {
+	gp := graph.PracticalParams(n)
+	g, err := graph.Build(n, gp)
+	if err != nil {
+		return Params{}, err
+	}
+	return Params{
+		Graph:              g,
+		Rounds:             2*graph.LogCeil(n) + 2,
+		OperativeThreshold: maxInt(1, gp.Delta/3),
+	}, nil
+}
+
+// Item is one (source, value) pair in flight.
+type Item struct {
+	Source int
+	Value  []byte
+}
+
+// Msg is the per-link gossip payload: the items not yet shared over this
+// link (empty messages are the liveness heartbeat).
+type Msg struct {
+	Items []Item
+}
+
+// AppendWire implements wire.Marshaler.
+func (m Msg) AppendWire(buf []byte) []byte {
+	buf = wire.AppendUvarint(buf, uint64(len(m.Items)))
+	for _, it := range m.Items {
+		buf = wire.AppendUvarint(buf, uint64(it.Source))
+		buf = wire.AppendBytes(buf, it.Value)
+	}
+	return buf
+}
+
+// Result is the outcome of one flood at one process.
+type Result struct {
+	// Values maps source id to the value learned (own entry included
+	// when hasOwn was set).
+	Values map[int][]byte
+	// Operative reports whether the process kept its operative status
+	// throughout the flood.
+	Operative bool
+}
+
+// Flood disseminates values: the calling process contributes own (if
+// hasOwn) under its own id and participates for exactly p.Rounds rounds.
+// Inoperative processes idle out the remaining rounds to stay in lockstep.
+func Flood(env sim.Env, p Params, own []byte, hasOwn bool) (*Result, error) {
+	n := env.N()
+	if p.Graph == nil || p.Graph.N() != n {
+		return nil, fmt.Errorf("gossip: graph sized for %d, environment has %d", graphN(p.Graph), n)
+	}
+	id := env.ID()
+	neighbors := p.Graph.Neighbors(id)
+	disregarded := make(map[int]bool)
+	values := make(map[int][]byte)
+	if hasOwn {
+		values[id] = own
+	}
+	sent := make(map[int]*bitset.Set, len(neighbors))
+	for _, q := range neighbors {
+		sent[q] = bitset.New(n)
+	}
+	operative := true
+
+	for r := 0; r < p.Rounds; r++ {
+		if !operative {
+			env.Exchange(nil)
+			continue
+		}
+		var out []sim.Message
+		for _, q := range neighbors {
+			if disregarded[q] {
+				continue
+			}
+			var fresh []Item
+			for src, v := range values {
+				if !sent[q].Contains(src) {
+					fresh = append(fresh, Item{Source: src, Value: v})
+					sent[q].Add(src)
+				}
+			}
+			sortItems(fresh)
+			out = append(out, sim.Msg(id, q, Msg{Items: fresh}))
+		}
+		in := env.Exchange(out)
+		heard := make(map[int]bool, len(in))
+		received := 0
+		for _, m := range in {
+			gm, ok := m.Payload.(Msg)
+			if !ok || disregarded[m.From] {
+				continue
+			}
+			heard[m.From] = true
+			received++
+			for _, it := range gm.Items {
+				if it.Source < 0 || it.Source >= n {
+					continue
+				}
+				if _, known := values[it.Source]; !known {
+					values[it.Source] = it.Value
+				}
+			}
+		}
+		for _, q := range neighbors {
+			if !disregarded[q] && !heard[q] {
+				disregarded[q] = true
+			}
+		}
+		if received < p.OperativeThreshold {
+			operative = false
+		}
+	}
+	return &Result{Values: values, Operative: operative}, nil
+}
+
+// sortItems orders items by source for deterministic wire images.
+func sortItems(items []Item) {
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && items[j-1].Source > items[j].Source; j-- {
+			items[j-1], items[j] = items[j], items[j-1]
+		}
+	}
+}
+
+func graphN(g *graph.Graph) int {
+	if g == nil {
+		return 0
+	}
+	return g.N()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

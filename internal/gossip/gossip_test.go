@@ -1,0 +1,152 @@
+package gossip
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"omicon/internal/adversary"
+	"omicon/internal/sim"
+)
+
+func flood(t *testing.T, n int, contributors map[int][]byte, adv sim.Adversary, tBudget int, seed uint64) []*Result {
+	t.Helper()
+	p, err := DefaultParams(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]*Result, n)
+	_, err = sim.Run(sim.Config{N: n, T: tBudget, Inputs: make([]int, n), Seed: seed, Adversary: adv},
+		func(env sim.Env, _ int) (int, error) {
+			own, has := contributors[env.ID()]
+			res, err := Flood(env, p, own, has)
+			if err != nil {
+				return -1, err
+			}
+			results[env.ID()] = res
+			return 0, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+func TestFloodFaultFreeAllLearnAll(t *testing.T) {
+	n := 48
+	contributors := map[int][]byte{
+		0:  []byte("alpha"),
+		17: []byte("beta"),
+		47: []byte("gamma"),
+	}
+	results := flood(t, n, contributors, nil, 0, 3)
+	for p, res := range results {
+		if !res.Operative {
+			t.Fatalf("process %d inoperative without faults", p)
+		}
+		if len(res.Values) != len(contributors) {
+			t.Fatalf("process %d learned %d values, want %d", p, len(res.Values), len(contributors))
+		}
+		for src, want := range contributors {
+			if !bytes.Equal(res.Values[src], want) {
+				t.Fatalf("process %d: value[%d] = %q, want %q", p, src, res.Values[src], want)
+			}
+		}
+	}
+}
+
+// TestFloodOperativeToOperative is the Lemma 6/8 property: under crashes,
+// every operative survivor knows the value of every operative contributor.
+func TestFloodOperativeToOperative(t *testing.T) {
+	n := 64
+	contributors := make(map[int][]byte, n)
+	for i := 0; i < n; i++ {
+		contributors[i] = []byte{byte(i)}
+	}
+	crashed := []int{3, 31, 59}
+	results := flood(t, n, contributors, adversary.NewStaticCrash(crashed), len(crashed), 7)
+	operative := 0
+	for _, res := range results {
+		if res.Operative {
+			operative++
+		}
+	}
+	if operative < n-3*len(crashed) {
+		t.Fatalf("operative %d < n-3t = %d", operative, n-3*len(crashed))
+	}
+	for p, res := range results {
+		if !res.Operative {
+			continue
+		}
+		for q, qres := range results {
+			if !qres.Operative || p == q {
+				continue
+			}
+			if !bytes.Equal(res.Values[q], contributors[q]) {
+				t.Fatalf("operative %d missing operative %d's value", p, q)
+			}
+		}
+	}
+}
+
+func TestFloodDeterministic(t *testing.T) {
+	n := 32
+	contributors := map[int][]byte{5: []byte("x")}
+	a := flood(t, n, contributors, adversary.NewRandomOmission(2, 0.5, 9), 2, 11)
+	b := flood(t, n, contributors, adversary.NewRandomOmission(2, 0.5, 9), 2, 11)
+	for p := range a {
+		if a[p].Operative != b[p].Operative || len(a[p].Values) != len(b[p].Values) {
+			t.Fatalf("nondeterministic flood at %d", p)
+		}
+	}
+}
+
+func TestFloodGraphSizeMismatch(t *testing.T) {
+	p, err := DefaultParams(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sim.Run(sim.Config{N: 8, T: 0, Inputs: make([]int, 8), Seed: 1},
+		func(env sim.Env, _ int) (int, error) {
+			_, err := Flood(env, p, nil, false)
+			return 0, err
+		})
+	if err == nil {
+		t.Fatal("graph size mismatch must error")
+	}
+}
+
+func TestMsgWireDeterministic(t *testing.T) {
+	m := Msg{Items: []Item{{Source: 2, Value: []byte("b")}, {Source: 1, Value: []byte("a")}}}
+	sortItems(m.Items)
+	enc1 := m.AppendWire(nil)
+	enc2 := m.AppendWire(nil)
+	if !bytes.Equal(enc1, enc2) || m.Items[0].Source != 1 {
+		t.Fatal("wire image not deterministic")
+	}
+}
+
+func ExampleFlood() {
+	n := 16
+	p, err := DefaultParams(n)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	learned := make([]int, n)
+	_, err = sim.Run(sim.Config{N: n, T: 0, Inputs: make([]int, n), Seed: 1},
+		func(env sim.Env, _ int) (int, error) {
+			res, err := Flood(env, p, []byte("hello"), env.ID() == 0)
+			if err != nil {
+				return -1, err
+			}
+			learned[env.ID()] = len(res.Values)
+			return 0, nil
+		})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("process 15 learned", learned[15], "value(s)")
+	// Output: process 15 learned 1 value(s)
+}

@@ -1,0 +1,55 @@
+package graph
+
+import "testing"
+
+func BenchmarkBuild(b *testing.B) {
+	p := PracticalParams(512)
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(512, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBFS(b *testing.B) {
+	g, err := Build(512, PracticalParams(512))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.BFSFrom(i%512, nil)
+	}
+}
+
+func BenchmarkDegeneracy(b *testing.B) {
+	g, err := Build(512, PracticalParams(512))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.Degeneracy() == 0 {
+			b.Fatal("zero")
+		}
+	}
+}
+
+func BenchmarkPruneLemma4(b *testing.B) {
+	n := 512
+	p := PracticalParams(n)
+	g, err := Build(n, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	removed := make([]int, n/15)
+	for i := range removed {
+		removed[i] = i * 3 % n
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(g.PruneLemma4(removed, 37.0/60.0*float64(p.Delta))) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}

@@ -1,0 +1,323 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"omicon/internal/bitset"
+)
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0) // duplicate
+	g.AddEdge(2, 2) // self loop
+	g.AddEdge(-1, 3)
+	g.AddEdge(3, 7)
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge must be symmetric")
+	}
+	if g.HasEdge(2, 2) || g.HasEdge(0, 2) {
+		t.Fatal("phantom edge")
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 0 {
+		t.Fatal("bad degrees")
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := New(10)
+	for _, v := range []int{7, 2, 9, 4, 1} {
+		g.AddEdge(5, v)
+	}
+	nb := g.Neighbors(5)
+	for i := 1; i < len(nb); i++ {
+		if nb[i-1] >= nb[i] {
+			t.Fatalf("neighbors not sorted: %v", nb)
+		}
+	}
+}
+
+func TestPairFromIndexBijective(t *testing.T) {
+	n := 13
+	seen := map[[2]int]bool{}
+	total := n * (n - 1) / 2
+	for i := 0; i < total; i++ {
+		u, v := pairFromIndex(i, n)
+		if u < 0 || v >= n || u >= v {
+			t.Fatalf("pairFromIndex(%d) = (%d,%d)", i, u, v)
+		}
+		key := [2]int{u, v}
+		if seen[key] {
+			t.Fatalf("duplicate pair (%d,%d)", u, v)
+		}
+		seen[key] = true
+	}
+	if len(seen) != total {
+		t.Fatalf("covered %d pairs, want %d", len(seen), total)
+	}
+}
+
+func TestRandomEdgeCount(t *testing.T) {
+	n, p := 200, 0.1
+	g := Random(n, p, 42)
+	expected := p * float64(n*(n-1)/2)
+	if float64(g.M()) < 0.8*expected || float64(g.M()) > 1.2*expected {
+		t.Fatalf("M = %d, expected around %.0f", g.M(), expected)
+	}
+	// Determinism.
+	if Random(n, p, 42).M() != g.M() {
+		t.Fatal("Random must be deterministic per seed")
+	}
+}
+
+func TestRandomDegenerateProbabilities(t *testing.T) {
+	if Random(10, 0, 1).M() != 0 {
+		t.Fatal("p=0 must give empty graph")
+	}
+	if Random(10, 1, 1).M() != 45 {
+		t.Fatal("p=1 must give complete graph")
+	}
+}
+
+func TestBuildSatisfiesTheorem4Practical(t *testing.T) {
+	for _, n := range []int{32, 64, 128, 256} {
+		p := PracticalParams(n)
+		g, err := Build(n, p)
+		if err != nil {
+			t.Fatalf("Build(%d): %v", n, err)
+		}
+		if err := VerifyDegreeBand(g, p); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := g.VerifyTheorem4(p, 7); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	p := PracticalParams(64)
+	a, err := Build(64, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(64, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.M() != b.M() {
+		t.Fatal("Build must be deterministic")
+	}
+	for u := 0; u < 64; u++ {
+		na, nb := a.Neighbors(u), b.Neighbors(u)
+		if len(na) != len(nb) {
+			t.Fatalf("vertex %d: different degree", u)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("vertex %d: different neighbors", u)
+			}
+		}
+	}
+}
+
+func TestExpansionSampledMatchesExactOnSmallGraphs(t *testing.T) {
+	// Complete graph: expanding for every l.
+	k := Random(10, 1, 1)
+	if !k.CheckExpansionExact(2) || !k.CheckExpansionSampled(2, 50, 1) {
+		t.Fatal("complete graph must be expanding")
+	}
+	// Two disjoint cliques of 5: sets inside different cliques violate
+	// 2-expansion.
+	g := New(10)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			g.AddEdge(i, j)
+			g.AddEdge(i+5, j+5)
+		}
+	}
+	if g.CheckExpansionExact(2) {
+		t.Fatal("disconnected cliques cannot be 2-expanding")
+	}
+	if g.CheckExpansionSampled(2, 200, 1) {
+		t.Fatal("sampling must find the violation in a split graph")
+	}
+}
+
+func TestDegeneracy(t *testing.T) {
+	// A tree has degeneracy 1.
+	tree := New(10)
+	for i := 1; i < 10; i++ {
+		tree.AddEdge(i, (i-1)/2)
+	}
+	if d := tree.Degeneracy(); d != 1 {
+		t.Fatalf("tree degeneracy = %d, want 1", d)
+	}
+	// Complete graph K5 has degeneracy 4.
+	k5 := Random(5, 1, 1)
+	if d := k5.Degeneracy(); d != 4 {
+		t.Fatalf("K5 degeneracy = %d, want 4", d)
+	}
+	// A cycle has degeneracy 2.
+	cyc := New(8)
+	for i := 0; i < 8; i++ {
+		cyc.AddEdge(i, (i+1)%8)
+	}
+	if d := cyc.Degeneracy(); d != 2 {
+		t.Fatalf("cycle degeneracy = %d, want 2", d)
+	}
+}
+
+// TestDegeneracyCertifiesEdgeSparsity checks the certificate logic: every
+// sampled subset of a graph has at most degeneracy*|X| internal edges.
+func TestDegeneracyCertifiesEdgeSparsity(t *testing.T) {
+	g := Random(60, 0.2, 3)
+	d := float64(g.Degeneracy())
+	if !g.CheckEdgeSparseSampled(20, d, 300, 5) {
+		t.Fatal("sampled subsets exceeded the degeneracy certificate")
+	}
+}
+
+func TestInternalAndCrossingEdges(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	g.AddEdge(2, 3)
+	if got := g.InternalEdges([]int{0, 1, 2}); got != 2 {
+		t.Fatalf("internal = %d, want 2", got)
+	}
+	if got := g.EdgesBetween([]int{0, 1, 2}, []int{3, 4, 5}); got != 1 {
+		t.Fatalf("between = %d, want 1", got)
+	}
+}
+
+func TestBFSAndDiameter(t *testing.T) {
+	// Path 0-1-2-3-4.
+	g := New(5)
+	for i := 0; i < 4; i++ {
+		g.AddEdge(i, i+1)
+	}
+	dist := g.BFSFrom(0, nil)
+	for i, want := range []int{0, 1, 2, 3, 4} {
+		if dist[i] != want {
+			t.Fatalf("dist[%d] = %d, want %d", i, dist[i], want)
+		}
+	}
+	if d := g.Diameter(nil); d != 4 {
+		t.Fatalf("diameter = %d, want 4", d)
+	}
+	// Restrict to {0,1,3,4}: disconnected.
+	alive := bitset.FromElements(5, []int{0, 1, 3, 4})
+	if d := g.Diameter(alive); d != -1 {
+		t.Fatalf("restricted diameter = %d, want -1", d)
+	}
+}
+
+// TestLemma3DenseNeighborhoodGrowth verifies the paper's Lemma 3 shape on
+// built graphs: peeling to minimum degree Δ/3 leaves a set whose γ-balls
+// grow until they cover a constant fraction.
+func TestLemma3DenseNeighborhoodGrowth(t *testing.T) {
+	n := 128
+	p := PracticalParams(n)
+	g, err := Build(n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := float64(p.Delta) / 3
+	gamma := 2 * LogCeil(n)
+	s := g.GrowDenseNeighborhood(0, gamma, delta, nil)
+	if s == nil {
+		t.Fatal("vertex 0 peeled away in a fault-free graph")
+	}
+	if len(s) < n/10 {
+		t.Fatalf("dense neighborhood size %d < n/10 = %d", len(s), n/10)
+	}
+	if !g.IsDenseNeighborhood(0, s, gamma, delta) {
+		t.Fatal("grown set fails IsDenseNeighborhood")
+	}
+}
+
+// TestLemma4Pruning verifies the Lemma 4 shape: removing a small T and
+// pruning low-degree survivors keeps nearly all vertices, each with at
+// least Δ/3 surviving neighbors.
+func TestLemma4Pruning(t *testing.T) {
+	n := 128
+	p := PracticalParams(n)
+	g, err := Build(n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := make([]int, n/15)
+	for i := range removed {
+		removed[i] = i
+	}
+	addThreshold := 37.0 / 60.0 * float64(p.Delta)
+	a := g.PruneLemma4(removed, addThreshold)
+	// Lemma 4 promises |A| >= n - 4|T|/3.
+	if len(a) < n-4*len(removed)/3-1 {
+		t.Fatalf("|A| = %d, want >= %d", len(a), n-4*len(removed)/3-1)
+	}
+	inA := bitset.FromElements(n, a)
+	for _, i := range removed {
+		if inA.Contains(i) {
+			t.Fatal("pruned set contains removed vertex")
+		}
+	}
+	for _, v := range a {
+		deg := 0
+		for _, u := range g.Neighbors(v) {
+			if inA.Contains(u) {
+				deg++
+			}
+		}
+		if float64(deg) < float64(p.Delta)/3 {
+			t.Fatalf("vertex %d keeps only %d < Δ/3 neighbors in A", v, deg)
+		}
+	}
+}
+
+func TestGrowDenseNeighborhoodRemovedVertex(t *testing.T) {
+	g := Random(30, 0.3, 9)
+	alive := bitset.New(30)
+	// Vertex 0 not alive: must return nil.
+	if s := g.GrowDenseNeighborhood(0, 3, 2, alive); s != nil {
+		t.Fatalf("expected nil, got %v", s)
+	}
+}
+
+func TestLogCeil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10}
+	for n, want := range cases {
+		if got := LogCeil(n); got != want {
+			t.Fatalf("LogCeil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestInsertSortedProperty(t *testing.T) {
+	f := func(vals []int) bool {
+		var s []int
+		seen := map[int]bool{}
+		for _, v := range vals {
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			s = insertSorted(s, v)
+		}
+		for i := 1; i < len(s); i++ {
+			if s[i-1] >= s[i] {
+				return false
+			}
+		}
+		return len(s) == len(seen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

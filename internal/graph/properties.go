@@ -1,0 +1,381 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"omicon/internal/bitset"
+	"omicon/internal/rng"
+)
+
+// This file implements the property checks of Definition 1, Definition 2,
+// Lemma 3 and Lemma 4. Exhaustive verification of expansion and
+// edge-sparsity is exponential in n, so each property offers both an exact
+// check (used in tests at small n) and a certification procedure usable at
+// any scale: randomized sampling for expansion and a degeneracy certificate
+// for edge-sparsity.
+
+// CheckExpansionExact verifies ℓ-expansion (Definition 1) by enumerating
+// every pair of disjoint ℓ-subsets. Feasible only for tiny graphs; tests
+// use it to validate CheckExpansionSampled.
+func (g *Graph) CheckExpansionExact(l int) bool {
+	if l <= 0 || 2*l > g.n {
+		return true
+	}
+	violated := false
+	var rec func(start int, chosen []int)
+	rec = func(start int, chosen []int) {
+		if violated {
+			return
+		}
+		if len(chosen) == l {
+			if g.hasViolatingY(chosen, l) {
+				violated = true
+			}
+			return
+		}
+		for i := start; i < g.n; i++ {
+			rec(i+1, append(chosen, i))
+		}
+	}
+	rec(0, nil)
+	return !violated
+}
+
+// hasViolatingY reports whether some ℓ-set Y disjoint from X has no edge to
+// X. Y can be built greedily: the set of vertices outside X with no edge
+// into X; a violating Y exists iff that set has ≥ ℓ vertices.
+func (g *Graph) hasViolatingY(x []int, l int) bool {
+	inX := bitset.FromElements(g.n, x)
+	free := 0
+	for v := 0; v < g.n; v++ {
+		if inX.Contains(v) {
+			continue
+		}
+		if g.set[v].IntersectionCount(inX) == 0 {
+			free++
+			if free >= l {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CheckExpansionSampled certifies ℓ-expansion probabilistically: it samples
+// trials random ℓ-subsets X and, for each, searches for a violating Y
+// exactly (linear time). A single failure disproves the property; all
+// passes certify it up to sampling error.
+func (g *Graph) CheckExpansionSampled(l, trials int, seed uint64) bool {
+	if l <= 0 || 2*l > g.n {
+		return true
+	}
+	rnd := rng.Unmetered(seed, 0xe59a)
+	for t := 0; t < trials; t++ {
+		x := rnd.Perm(g.n)[:l]
+		if g.hasViolatingY(x, l) {
+			return false
+		}
+	}
+	return true
+}
+
+// Degeneracy returns the graph degeneracy d: the maximum over all subgraphs
+// of the minimum degree, computed by iterative minimum-degree peeling.
+// Every vertex set X then spans at most d·|X| internal edges, so
+// "degeneracy ≤ α" certifies (ℓ, α)-edge-sparsity (Definition 1) for every
+// ℓ simultaneously.
+func (g *Graph) Degeneracy() int {
+	deg := make([]int, g.n)
+	removed := make([]bool, g.n)
+	for u := 0; u < g.n; u++ {
+		deg[u] = g.Degree(u)
+	}
+	// Bucket queue over degrees for O(n + m).
+	maxDeg := g.MaxDegree()
+	buckets := make([][]int, maxDeg+1)
+	for u := 0; u < g.n; u++ {
+		buckets[deg[u]] = append(buckets[deg[u]], u)
+	}
+	degeneracy := 0
+	remaining := g.n
+	cur := 0
+	for remaining > 0 {
+		if cur > maxDeg {
+			break
+		}
+		if len(buckets[cur]) == 0 {
+			cur++
+			continue
+		}
+		u := buckets[cur][len(buckets[cur])-1]
+		buckets[cur] = buckets[cur][:len(buckets[cur])-1]
+		if removed[u] || deg[u] != cur {
+			// stale entry
+			continue
+		}
+		if cur > degeneracy {
+			degeneracy = cur
+		}
+		removed[u] = true
+		remaining--
+		for _, v := range g.adj[u] {
+			if !removed[v] {
+				deg[v]--
+				buckets[deg[v]] = append(buckets[deg[v]], v)
+				if deg[v] < cur {
+					cur = deg[v]
+				}
+			}
+		}
+	}
+	return degeneracy
+}
+
+// CheckEdgeSparseCertified reports whether the degeneracy certificate proves
+// (ℓ, α)-edge-sparsity for all ℓ at once.
+func (g *Graph) CheckEdgeSparseCertified(alpha float64) bool {
+	return float64(g.Degeneracy()) <= alpha
+}
+
+// CheckEdgeSparseSampled samples vertex sets of size ≤ l and checks the
+// internal edge bound directly; a failure disproves the property.
+func (g *Graph) CheckEdgeSparseSampled(l int, alpha float64, trials int, seed uint64) bool {
+	if l <= 0 {
+		return true
+	}
+	rnd := rng.Unmetered(seed, 0x5a5e)
+	for t := 0; t < trials; t++ {
+		size := 1 + rnd.IntN(l)
+		x := rnd.Perm(g.n)
+		if size > g.n {
+			size = g.n
+		}
+		x = x[:size]
+		if float64(g.InternalEdges(x)) > alpha*float64(size) {
+			return false
+		}
+	}
+	return true
+}
+
+// InternalEdges counts edges with both endpoints in x.
+func (g *Graph) InternalEdges(x []int) int {
+	inX := bitset.FromElements(g.n, x)
+	cnt := 0
+	for _, u := range x {
+		cnt += g.set[u].IntersectionCount(inX)
+	}
+	return cnt / 2
+}
+
+// EdgesBetween counts edges with one endpoint in x and the other in y.
+func (g *Graph) EdgesBetween(x, y []int) int {
+	inY := bitset.FromElements(g.n, y)
+	cnt := 0
+	for _, u := range x {
+		cnt += g.set[u].IntersectionCount(inY)
+	}
+	return cnt
+}
+
+// IsDenseNeighborhood checks Definition 2: S ⊆ N_G^γ(v) with v ∈ S is a
+// (γ, δ)-dense-neighborhood for v when every node of S within distance γ-1
+// of v has at least δ neighbors inside S.
+func (g *Graph) IsDenseNeighborhood(v int, s []int, gamma int, delta float64) bool {
+	inS := bitset.FromElements(g.n, s)
+	if !inS.Contains(v) {
+		return false
+	}
+	dist := g.BFSFrom(v, nil)
+	for _, u := range s {
+		if dist[u] < 0 || dist[u] > gamma {
+			return false
+		}
+		if dist[u] <= gamma-1 {
+			if float64(g.set[u].IntersectionCount(inS)) < delta {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// GrowDenseNeighborhood constructs a (γ, δ)-dense-neighborhood for v inside
+// the vertex set alive (nil = all), following the peeling construction used
+// in Lemma 5: start from alive, repeatedly discard vertices (other than
+// those at the boundary distance) with fewer than δ surviving neighbors,
+// then intersect with the γ-ball around v. It returns nil if v itself is
+// discarded.
+func (g *Graph) GrowDenseNeighborhood(v, gamma int, delta float64, alive *bitset.Set) []int {
+	surv := bitset.New(g.n)
+	if alive == nil {
+		surv.Fill()
+	} else {
+		surv.Union(alive)
+	}
+	if !surv.Contains(v) {
+		return nil
+	}
+	// Peel low-degree vertices (Lemma 4 style) so every survivor has ≥ δ
+	// surviving neighbors.
+	changed := true
+	for changed {
+		changed = false
+		surv.ForEach(func(u int) bool {
+			if float64(g.set[u].IntersectionCount(surv)) < delta {
+				surv.Remove(u)
+				changed = true
+			}
+			return true
+		})
+	}
+	if !surv.Contains(v) {
+		return nil
+	}
+	dist := g.BFSFrom(v, surv)
+	var out []int
+	surv.ForEach(func(u int) bool {
+		if dist[u] >= 0 && dist[u] <= gamma {
+			out = append(out, u)
+		}
+		return true
+	})
+	return out
+}
+
+// BFSFrom returns distances from v restricted to the vertex set alive
+// (nil = all vertices); unreachable vertices get -1.
+func (g *Graph) BFSFrom(v int, alive *bitset.Set) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if v < 0 || v >= g.n {
+		return dist
+	}
+	if alive != nil && !alive.Contains(v) {
+		return dist
+	}
+	dist[v] = 0
+	queue := []int{v}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[u] {
+			if dist[w] >= 0 {
+				continue
+			}
+			if alive != nil && !alive.Contains(w) {
+				continue
+			}
+			dist[w] = dist[u] + 1
+			queue = append(queue, w)
+		}
+	}
+	return dist
+}
+
+// Diameter returns the diameter of the subgraph induced by alive (nil =
+// whole graph), or -1 if that subgraph is disconnected or empty.
+func (g *Graph) Diameter(alive *bitset.Set) int {
+	verts := g.n
+	var members []int
+	if alive != nil {
+		members = alive.Elements()
+		verts = len(members)
+	} else {
+		members = make([]int, g.n)
+		for i := range members {
+			members[i] = i
+		}
+	}
+	if verts == 0 {
+		return -1
+	}
+	diam := 0
+	for _, v := range members {
+		dist := g.BFSFrom(v, alive)
+		for _, u := range members {
+			if dist[u] < 0 {
+				return -1
+			}
+			if dist[u] > diam {
+				diam = dist[u]
+			}
+		}
+	}
+	return diam
+}
+
+// PruneLemma4 implements the iterative construction in the proof of
+// Lemma 4: given a removed set T, it keeps adding to T any vertex with at
+// least addThreshold neighbors inside T, then returns A = V \ T_K. Lemma 4
+// asserts |A| ≥ n - 4|T|/3 and that every vertex of A keeps at least
+// keepDegree neighbors in A, when G satisfies Theorem 4's properties.
+func (g *Graph) PruneLemma4(removed []int, addThreshold float64) []int {
+	inT := bitset.FromElements(g.n, removed)
+	changed := true
+	for changed {
+		changed = false
+		for v := 0; v < g.n; v++ {
+			if inT.Contains(v) {
+				continue
+			}
+			if float64(g.set[v].IntersectionCount(inT)) >= addThreshold {
+				inT.Add(v)
+				changed = true
+			}
+		}
+	}
+	var a []int
+	for v := 0; v < g.n; v++ {
+		if !inT.Contains(v) {
+			a = append(a, v)
+		}
+	}
+	return a
+}
+
+// VerifyTheorem4 runs the full property suite against p and returns a
+// descriptive error on the first failure. Expansion and sparsity use the
+// scalable certificates; tests cross-validate those against the exact
+// checks at small n.
+func (g *Graph) VerifyTheorem4(p Params, seed uint64) error {
+	if err := VerifyDegreeBand(g, p); err != nil {
+		return err
+	}
+	if !g.CheckEdgeSparseCertified(p.SparsityFactor) {
+		// Degeneracy is a sufficient certificate only; fall back to
+		// sampling before declaring failure.
+		if !g.CheckEdgeSparseSampled(p.ExpansionSize, p.SparsityFactor, 256, seed) {
+			return fmt.Errorf("graph: (%d, %.2f)-edge-sparsity violated", p.ExpansionSize, p.SparsityFactor)
+		}
+	}
+	trials := 64
+	if !g.CheckExpansionSampled(p.ExpansionSize, trials, seed) {
+		return fmt.Errorf("graph: %d-expansion violated", p.ExpansionSize)
+	}
+	return nil
+}
+
+// ExpectedDenseNeighborhoodSize returns min(2^gamma, n/10), the lower bound
+// of Lemma 3 on the size of any (γ, Δ/3)-dense-neighborhood.
+func ExpectedDenseNeighborhoodSize(n, gamma int) int {
+	if gamma >= 31 {
+		return n / 10
+	}
+	v := 1 << uint(gamma)
+	if v > n/10 {
+		return n / 10
+	}
+	return v
+}
+
+// LogCeil returns ceil(log2(n)) with LogCeil(1) = 0.
+func LogCeil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}

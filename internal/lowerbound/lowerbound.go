@@ -1,0 +1,158 @@
+// Package lowerbound is the experiment harness behind Theorem 2 (the
+// T x (R+T) = Omega(t^2 / log n) trade-off) and the Bar-Joseph/Ben-Or round
+// lower bound row of Table 1. It drives the randomness-capped
+// biased-majority protocol family (internal/benor with NumCoiners) against
+// the coin-hiding adversary (internal/adversary.CoinHider), whose per-round
+// corruption budget O(sqrt(r_i log n)) + 1 is exactly the budget of
+// Lemmas 14-15, and reports the measured product T x (R+T) against the
+// theoretical floor t^2 / log2 n.
+//
+// The paper's lower bound quantifies over all algorithms; the harness
+// instead demonstrates its two empirical signatures: (a) for a fixed
+// protocol family the product stays above a constant multiple of
+// t^2 / log n across the whole randomness spectrum, and (b) reducing the
+// random calls R forces the rounds T up roughly proportionally.
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+
+	"omicon/internal/adversary"
+	"omicon/internal/benor"
+	"omicon/internal/sim"
+)
+
+// Point is one measured configuration.
+type Point struct {
+	N, T       int
+	NumCoiners int
+	Seeds      int
+	// MeanRounds and MeanRandomCalls average the paper's T and R over
+	// the seeds.
+	MeanRounds      float64
+	MeanRandomCalls float64
+	// Product is T x (R+T); Bound is t^2 / log2 n; Ratio their quotient.
+	Product float64
+	Bound   float64
+	Ratio   float64
+	// Agreements counts runs whose surviving processes agreed (the
+	// protocol family is Monte Carlo, so the adversary may force
+	// non-agreement within the epoch cap).
+	Agreements int
+}
+
+// String renders the point as a table row.
+func (p Point) String() string {
+	return fmt.Sprintf("n=%4d t=%3d coiners=%4d  T=%8.1f  R=%9.1f  T(R+T)=%12.0f  t^2/logn=%8.0f  ratio=%6.2f  agreed=%d/%d",
+		p.N, p.T, p.NumCoiners, p.MeanRounds, p.MeanRandomCalls, p.Product, p.Bound, p.Ratio, p.Agreements, p.Seeds)
+}
+
+// Config selects the measured scenario.
+type Config struct {
+	N, T int
+	// NumCoiners caps per-epoch random access (0 = all processes).
+	NumCoiners int
+	// Beta scales the adversary's per-round kill budget.
+	Beta float64
+	// Seeds is the number of independent executions to average.
+	Seeds int
+	// BaseSeed offsets the seed sequence.
+	BaseSeed uint64
+}
+
+// Measure runs the scenario and aggregates the trade-off point.
+func Measure(cfg Config) (Point, error) {
+	if cfg.Seeds <= 0 {
+		cfg.Seeds = 5
+	}
+	if cfg.Beta <= 0 {
+		cfg.Beta = 1
+	}
+	params := benor.DefaultParams(cfg.N, cfg.T)
+	params.NumCoiners = cfg.NumCoiners
+	// Give the capped family room: fewer coiners means more epochs.
+	if cfg.NumCoiners > 0 {
+		scale := (cfg.N + cfg.NumCoiners - 1) / cfg.NumCoiners
+		params.MaxEpochs *= 2 * scale
+	}
+
+	pt := Point{N: cfg.N, T: cfg.T, NumCoiners: cfg.NumCoiners, Seeds: cfg.Seeds}
+	logN := math.Log2(float64(cfg.N))
+	pt.Bound = float64(cfg.T) * float64(cfg.T) / logN
+
+	for s := 0; s < cfg.Seeds; s++ {
+		inputs := make([]int, cfg.N)
+		for i := range inputs {
+			inputs[i] = i % 2
+		}
+		res, err := sim.Run(sim.Config{
+			N: cfg.N, T: cfg.T, Inputs: inputs,
+			Seed:      cfg.BaseSeed + uint64(s)*7919,
+			Adversary: adversary.NewCoinHider(cfg.Beta),
+			MaxRounds: 200*cfg.N + 10000,
+		}, benor.Protocol(params))
+		if err != nil {
+			return pt, fmt.Errorf("lowerbound: seed %d: %w", s, err)
+		}
+		pt.MeanRounds += float64(res.RoundsNonFaulty())
+		pt.MeanRandomCalls += float64(res.Metrics.RandomCalls)
+		if res.CheckAgreement() == nil {
+			pt.Agreements++
+		}
+	}
+	pt.MeanRounds /= float64(cfg.Seeds)
+	pt.MeanRandomCalls /= float64(cfg.Seeds)
+	pt.Product = pt.MeanRounds * (pt.MeanRandomCalls + pt.MeanRounds)
+	if pt.Bound > 0 {
+		pt.Ratio = pt.Product / pt.Bound
+	}
+	return pt, nil
+}
+
+// SweepCoiners measures the trade-off across a randomness spectrum: the
+// number of processes allowed to flip per epoch. The expected shape is
+// Theorem 2's hyperbola — halving the coiners roughly doubles the rounds
+// while the product stays above the bound.
+func SweepCoiners(n, t int, coiners []int, seeds int, baseSeed uint64) ([]Point, error) {
+	points := make([]Point, 0, len(coiners))
+	for _, k := range coiners {
+		pt, err := Measure(Config{N: n, T: t, NumCoiners: k, Seeds: seeds, BaseSeed: baseSeed})
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// SweepBeta measures how the adversary's per-round budget scale beta
+// shifts the trade-off: a larger beta cancels deviations more aggressively
+// per round but exhausts the total budget t sooner, so the product stays
+// in the same band — another angle on the Theorem 2 invariance.
+func SweepBeta(n, t int, betas []float64, seeds int, baseSeed uint64) ([]Point, error) {
+	points := make([]Point, 0, len(betas))
+	for _, beta := range betas {
+		pt, err := Measure(Config{N: n, T: t, Beta: beta, Seeds: seeds, BaseSeed: baseSeed})
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// SweepRounds measures the Bar-Joseph/Ben-Or row of Table 1: unrestricted
+// randomness, growing n at t = n/8, rounds expected to grow like
+// t / sqrt(n log n).
+func SweepRounds(ns []int, seeds int, baseSeed uint64) ([]Point, error) {
+	points := make([]Point, 0, len(ns))
+	for _, n := range ns {
+		pt, err := Measure(Config{N: n, T: n / 8, Seeds: seeds, BaseSeed: baseSeed})
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}

@@ -1,0 +1,82 @@
+package lowerbound
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMeasureBasic(t *testing.T) {
+	pt, err := Measure(Config{N: 48, T: 12, Seeds: 3, BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.MeanRounds <= 0 {
+		t.Fatal("no rounds measured")
+	}
+	if pt.Product <= 0 || pt.Bound <= 0 {
+		t.Fatalf("bad point: %+v", pt)
+	}
+	if pt.Agreements != pt.Seeds {
+		t.Fatalf("agreement failed in %d/%d runs", pt.Seeds-pt.Agreements, pt.Seeds)
+	}
+}
+
+// TestTradeoffShape is the empirical Theorem 2 check: capping the coiners
+// must increase rounds, and the product T x (R+T) must stay above the
+// t^2/log n floor throughout the sweep.
+func TestTradeoffShape(t *testing.T) {
+	n, tf := 64, 20
+	pts, err := SweepCoiners(n, tf, []int{n, n / 4, n / 16}, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		if pt.Ratio < 0.1 {
+			t.Fatalf("product below the Theorem-2 floor: %s", pt)
+		}
+	}
+	if pts[len(pts)-1].MeanRounds <= pts[0].MeanRounds {
+		t.Fatalf("restricting randomness did not slow the protocol:\n%s\n%s",
+			pts[0], pts[len(pts)-1])
+	}
+	// Restricting randomness must actually reduce the random calls.
+	if pts[len(pts)-1].MeanRandomCalls >= pts[0].MeanRandomCalls*2 {
+		t.Fatalf("coiner cap did not bound randomness:\n%s\n%s", pts[0], pts[len(pts)-1])
+	}
+}
+
+// TestRoundsGrowWithScale is the Table-1 row [10] check: at t = n/8, the
+// rounds forced by the coin hider grow with n.
+func TestRoundsGrowWithScale(t *testing.T) {
+	pts, err := SweepRounds([]int{32, 128}, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[1].MeanRounds <= pts[0].MeanRounds {
+		t.Fatalf("rounds did not grow with n:\n%s\n%s", pts[0], pts[1])
+	}
+}
+
+// TestSweepBetaStaysAboveFloor: the product invariance holds across
+// adversary aggressiveness.
+func TestSweepBetaStaysAboveFloor(t *testing.T) {
+	pts, err := SweepBeta(48, 12, []float64{0.5, 1, 2}, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		if pt.Ratio < 0.1 {
+			t.Fatalf("beta sweep dipped below the floor: %s", pt)
+		}
+		if pt.Agreements != pt.Seeds {
+			t.Fatalf("agreement lost: %s", pt)
+		}
+	}
+}
+
+func TestPointString(t *testing.T) {
+	pt := Point{N: 10, T: 2, Seeds: 1}
+	if !strings.Contains(pt.String(), "n=") {
+		t.Fatalf("String() = %q", pt.String())
+	}
+}

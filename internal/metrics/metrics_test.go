@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAccumulation(t *testing.T) {
+	var c Counters
+	c.AddRounds(3)
+	c.AddMessage(16)
+	c.AddMessage(8)
+	c.AddRandom(1)
+	c.AddRandom(5)
+	s := c.Snapshot()
+	want := Snapshot{Rounds: 3, Messages: 2, CommBits: 24, RandomBits: 6, RandomCalls: 2}
+	if s != want {
+		t.Fatalf("snapshot = %+v, want %+v", s, want)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.AddMessage(1)
+				c.AddRandom(2)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Messages != 8000 || s.CommBits != 8000 || s.RandomCalls != 8000 || s.RandomBits != 16000 {
+		t.Fatalf("lost updates: %+v", s)
+	}
+}
+
+func TestSnapshotAdd(t *testing.T) {
+	a := Snapshot{Rounds: 1, Messages: 2, CommBits: 3, RandomBits: 4, RandomCalls: 5}
+	b := Snapshot{Rounds: 10, Messages: 20, CommBits: 30, RandomBits: 40, RandomCalls: 50}
+	got := a.Add(b)
+	want := Snapshot{Rounds: 11, Messages: 22, CommBits: 33, RandomBits: 44, RandomCalls: 55}
+	if got != want {
+		t.Fatalf("Add = %+v, want %+v", got, want)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := Snapshot{Rounds: 7}
+	if !strings.Contains(s.String(), "rounds=7") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+func TestRoundsAccessor(t *testing.T) {
+	var c Counters
+	c.AddRounds(1)
+	c.AddRounds(1)
+	if c.Rounds() != 2 {
+		t.Fatalf("Rounds() = %d", c.Rounds())
+	}
+}

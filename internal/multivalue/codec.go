@@ -1,0 +1,46 @@
+package multivalue
+
+import (
+	"fmt"
+
+	"omicon/internal/wire"
+)
+
+// Globally unique wire kinds (range 0x48-0x4f).
+const (
+	KindProposal uint64 = 0x48 + iota
+	KindRecover
+)
+
+// WireKind implements wire.Typed.
+func (ProposalMsg) WireKind() uint64 { return KindProposal }
+
+// WireKind implements wire.Typed.
+func (RecoverMsg) WireKind() uint64 { return KindRecover }
+
+// RegisterPayloads adds this package's decoders to r.
+func RegisterPayloads(r *wire.Registry) {
+	r.Register(KindProposal, func(d *wire.Decoder) (wire.Typed, error) {
+		if err := expectTag(d, 1); err != nil {
+			return nil, err
+		}
+		m := ProposalMsg{Value: d.Bytes()}
+		return m, d.Err()
+	})
+	r.Register(KindRecover, func(d *wire.Decoder) (wire.Typed, error) {
+		if err := expectTag(d, 2); err != nil {
+			return nil, err
+		}
+		m := RecoverMsg{Value: d.Bytes()}
+		return m, d.Err()
+	})
+}
+
+func expectTag(d *wire.Decoder, want uint64) error {
+	if got := d.Uvarint(); d.Err() != nil {
+		return d.Err()
+	} else if got != want {
+		return fmt.Errorf("multivalue: tag %d, want %d", got, want)
+	}
+	return nil
+}

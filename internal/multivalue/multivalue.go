@@ -1,0 +1,259 @@
+// Package multivalue reduces multi-valued consensus (agreement on
+// arbitrary byte strings) to the paper's binary consensus — the interface
+// applications such as replicated logs actually need. The reduction is the
+// classic rotating-proposer scheme, sound in the general-omission model
+// because faulty processes cannot equivocate (an omission-faulty proposer's
+// broadcast delivers either its true value or nothing):
+//
+//	for proposer = 0, 1, ..., t (at most t+1 iterations):
+//	  1. the proposer broadcasts its value;
+//	  2. binary consensus on "did you receive the proposal?";
+//	  3. if it decides 1, at least one non-faulty process holds the value
+//	     (validity would have forced 0 otherwise), every holder rebroadcasts,
+//	     and all non-faulty processes output it.
+//
+// A non-faulty proposer's broadcast reaches every non-faulty process, so
+// iteration p for the first non-faulty proposer decides 1 — termination
+// within t+1 iterations. Agreement follows from the binary protocol's
+// agreement plus non-equivocation: all holders hold the same bytes.
+//
+// Every iteration occupies a fixed number of rounds (the binary consensus
+// is padded to its worst-case bound), keeping all processes in lockstep
+// regardless of which path the inner protocol took.
+package multivalue
+
+import (
+	"bytes"
+	"fmt"
+
+	"omicon/internal/core"
+	"omicon/internal/phaseking"
+	"omicon/internal/sim"
+	"omicon/internal/wire"
+)
+
+// ProposalMsg carries the proposer's value.
+type ProposalMsg struct {
+	Value []byte
+}
+
+// AppendWire implements wire.Marshaler.
+func (m ProposalMsg) AppendWire(buf []byte) []byte {
+	buf = wire.AppendUvarint(buf, 1)
+	return wire.AppendBytes(buf, m.Value)
+}
+
+// RecoverMsg redistributes the decided value to processes that missed the
+// proposal.
+type RecoverMsg struct {
+	Value []byte
+}
+
+// AppendWire implements wire.Marshaler.
+func (m RecoverMsg) AppendWire(buf []byte) []byte {
+	buf = wire.AppendUvarint(buf, 2)
+	return wire.AppendBytes(buf, m.Value)
+}
+
+// BinaryConsensus is the pluggable binary layer of the reduction: any
+// consensus protocol with a known worst-case round bound. Every process
+// must consume at most RoundsBound rounds per call; the reduction pads to
+// exactly that bound to keep the rotation in lockstep.
+type BinaryConsensus struct {
+	// Run decides one bit.
+	Run func(env sim.Env, bit int) (int, error)
+	// RoundsBound is the worst-case round count of one call.
+	RoundsBound int
+}
+
+// CoreBinary wraps the paper's main algorithm (the default layer).
+func CoreBinary(p core.Params) BinaryConsensus {
+	return BinaryConsensus{
+		Run: func(env sim.Env, bit int) (int, error) {
+			return core.Consensus(env, bit, p)
+		},
+		RoundsBound: p.TotalRoundsBound(),
+	}
+}
+
+// PhaseKingBinary wraps the deterministic baseline for budget t — a
+// zero-randomness (and for small n often cheaper) alternative layer.
+func PhaseKingBinary(t int) BinaryConsensus {
+	return BinaryConsensus{
+		Run: func(env sim.Env, bit int) (int, error) {
+			return phaseking.Consensus(env, bit)
+		},
+		RoundsBound: phaseking.Rounds(phaseking.DefaultPhases(t)),
+	}
+}
+
+// Params configures the reduction.
+type Params struct {
+	// Binary is the binary-consensus layer (see CoreBinary,
+	// PhaseKingBinary).
+	Binary BinaryConsensus
+	// MaxIterations caps the proposer rotation; 0 derives t+1 (enough:
+	// at most t proposers can be faulty).
+	MaxIterations int
+}
+
+// Consensus runs the reduction; each process proposes its value and all
+// non-faulty processes return the same chosen value.
+func Consensus(env sim.Env, value []byte, p Params) ([]byte, error) {
+	n := env.N()
+	if p.Binary.Run == nil || p.Binary.RoundsBound <= 0 {
+		return nil, fmt.Errorf("multivalue: no binary consensus layer configured")
+	}
+	iterations := p.MaxIterations
+	if iterations == 0 {
+		iterations = env.T() + 1
+	}
+	id := env.ID()
+	others := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i != id {
+			others = append(others, i)
+		}
+	}
+	binaryBound := p.Binary.RoundsBound
+
+	for iter := 0; iter < iterations; iter++ {
+		proposer := iter % n
+
+		// Step 1: proposal broadcast.
+		var out []sim.Message
+		if id == proposer {
+			out = sim.Broadcast(id, ProposalMsg{Value: value}, others)
+		}
+		in := env.Exchange(out)
+		var proposal []byte
+		have := false
+		if id == proposer {
+			proposal, have = value, true
+		} else {
+			for _, m := range in {
+				if pm, ok := m.Payload.(ProposalMsg); ok && m.From == proposer {
+					proposal, have = pm.Value, true
+					break
+				}
+			}
+		}
+
+		// Step 2: binary consensus on receipt, padded to the fixed
+		// worst-case bound so every process finishes the iteration at
+		// the same round.
+		bit := 0
+		if have {
+			bit = 1
+		}
+		start := env.Round()
+		d, err := p.Binary.Run(env, bit)
+		if err != nil {
+			return nil, err
+		}
+		used := env.Round() - start
+		if used > binaryBound {
+			return nil, fmt.Errorf("multivalue: binary consensus used %d > bound %d rounds", used, binaryBound)
+		}
+		sim.Idle(env, binaryBound-used)
+
+		// Step 3: recovery round.
+		out = nil
+		if d == 1 && have {
+			out = sim.Broadcast(id, RecoverMsg{Value: proposal}, others)
+		}
+		in = env.Exchange(out)
+		if d == 1 {
+			if !have {
+				for _, m := range in {
+					if rm, ok := m.Payload.(RecoverMsg); ok {
+						proposal, have = rm.Value, true
+						break
+					}
+				}
+			}
+			if !have {
+				// Unreachable for non-faulty processes: decision 1
+				// guarantees a non-faulty holder whose recovery
+				// broadcast is delivered.
+				return nil, fmt.Errorf("multivalue: decided 1 but no value recovered")
+			}
+			return proposal, nil
+		}
+	}
+	// All proposers exhausted without acceptance (possible only when the
+	// adversary controls every proposer tried): fall back to own value.
+	return value, nil
+}
+
+// Protocol adapts Consensus to a sim.Protocol over indexed values:
+// process p proposes values[p]; the returned decision is the index into
+// the deduplicated value table, or -1 on error. Most callers should use
+// Run instead.
+func Run(cfg sim.Config, values [][]byte, p Params) (*Result, error) {
+	if len(values) != cfg.N {
+		return nil, fmt.Errorf("multivalue: %d values for n=%d", len(values), cfg.N)
+	}
+	out := &Result{Chosen: make([][]byte, cfg.N)}
+	res, err := sim.Run(cfg, func(env sim.Env, _ int) (int, error) {
+		v, err := Consensus(env, values[env.ID()], p)
+		if err != nil {
+			return -1, err
+		}
+		out.Chosen[env.ID()] = v
+		return 0, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Sim = res
+	return out, nil
+}
+
+// Result is the outcome of a multivalue execution.
+type Result struct {
+	// Chosen is each process's output value (nil if it failed).
+	Chosen [][]byte
+	// Sim carries metrics and corruption state.
+	Sim *sim.Result
+}
+
+// CheckAgreement verifies all non-corrupted processes chose identical
+// bytes.
+func (r *Result) CheckAgreement() error {
+	var ref []byte
+	refSet := false
+	for p, v := range r.Chosen {
+		if r.Sim.Corrupted[p] {
+			continue
+		}
+		if !refSet {
+			ref, refSet = v, true
+			continue
+		}
+		if !bytes.Equal(ref, v) {
+			return fmt.Errorf("multivalue: process %d chose %q, others %q", p, v, ref)
+		}
+	}
+	return nil
+}
+
+// CheckValidity verifies the chosen value was actually proposed by someone.
+func (r *Result) CheckValidity(values [][]byte) error {
+	for p, v := range r.Chosen {
+		if r.Sim.Corrupted[p] {
+			continue
+		}
+		found := false
+		for _, prop := range values {
+			if bytes.Equal(prop, v) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("multivalue: process %d chose unproposed value %q", p, v)
+		}
+	}
+	return nil
+}

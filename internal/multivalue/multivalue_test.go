@@ -1,0 +1,162 @@
+package multivalue
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"omicon/internal/adversary"
+	"omicon/internal/core"
+	"omicon/internal/sim"
+)
+
+func prepare(t *testing.T, n, tf int) Params {
+	t.Helper()
+	bp, err := core.Prepare(n, tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Params{Binary: CoreBinary(bp)}
+}
+
+func distinctValues(n int) [][]byte {
+	vals := make([][]byte, n)
+	for i := range vals {
+		vals[i] = []byte(fmt.Sprintf("value-%d", i))
+	}
+	return vals
+}
+
+func TestMultivalueNoFaults(t *testing.T) {
+	n := 36
+	p := prepare(t, n, 1)
+	values := distinctValues(n)
+	res, err := Run(sim.Config{N: n, T: 1, Inputs: make([]int, n), Seed: 2,
+		MaxRounds: 4 * (p.Binary.RoundsBound + 2)}, values, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckValidity(values); err != nil {
+		t.Fatal(err)
+	}
+	// Fault-free, proposer 0's value must win in iteration 1.
+	if !bytes.Equal(res.Chosen[1], values[0]) {
+		t.Fatalf("chose %q, want proposer 0's %q", res.Chosen[1], values[0])
+	}
+}
+
+func TestMultivalueUnanimousProposal(t *testing.T) {
+	n := 36
+	p := prepare(t, n, 1)
+	values := make([][]byte, n)
+	for i := range values {
+		values[i] = []byte("same")
+	}
+	res, err := Run(sim.Config{N: n, T: 1, Inputs: make([]int, n), Seed: 3,
+		MaxRounds: 4 * (p.Binary.RoundsBound + 2)}, values, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Chosen[0], []byte("same")) {
+		t.Fatalf("chose %q", res.Chosen[0])
+	}
+}
+
+// TestMultivalueFaultyProposer: crash the first proposers; the rotation
+// must reach a healthy proposer and still agree on a proposed value.
+func TestMultivalueFaultyProposer(t *testing.T) {
+	n, tf := 64, 2
+	p := prepare(t, n, tf)
+	values := distinctValues(n)
+	res, err := Run(sim.Config{
+		N: n, T: tf, Inputs: make([]int, n), Seed: 5,
+		Adversary: adversary.NewStaticCrash([]int{0, 1}),
+		MaxRounds: (tf + 2) * (p.Binary.RoundsBound + 8),
+	}, values, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckValidity(values); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultivalueUnderOmissionAdversaries runs the portfolio; agreement and
+// validity must always hold.
+func TestMultivalueUnderOmissionAdversaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("portfolio sweep is slow; run without -short")
+	}
+	n, tf := 64, 2
+	p := prepare(t, n, tf)
+	values := distinctValues(n)
+	for _, adv := range adversary.Registry(n, tf, 17) {
+		res, err := Run(sim.Config{
+			N: n, T: tf, Inputs: make([]int, n), Seed: 9,
+			Adversary: adv,
+			MaxRounds: (tf + 2) * (p.Binary.RoundsBound + 8),
+		}, values, p)
+		if err != nil {
+			t.Fatalf("%s: %v", adv.Name(), err)
+		}
+		if err := res.CheckAgreement(); err != nil {
+			t.Fatalf("%s: %v", adv.Name(), err)
+		}
+		if err := res.CheckValidity(values); err != nil {
+			t.Fatalf("%s: %v", adv.Name(), err)
+		}
+	}
+}
+
+// TestMultivalueOverPhaseKing exercises the pluggable binary layer: the
+// same reduction over the deterministic baseline must agree with zero
+// randomness.
+func TestMultivalueOverPhaseKing(t *testing.T) {
+	n, tf := 16, 2
+	p := Params{Binary: PhaseKingBinary(tf)}
+	values := distinctValues(n)
+	res, err := Run(sim.Config{
+		N: n, T: tf, Inputs: make([]int, n), Seed: 6,
+		Adversary: adversary.NewStaticCrash([]int{0}),
+		MaxRounds: (tf + 2) * (p.Binary.RoundsBound + 8),
+	}, values, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckValidity(values); err != nil {
+		t.Fatal(err)
+	}
+	if res.Sim.Metrics.RandomCalls != 0 {
+		t.Fatalf("phase-king layer drew %d coins", res.Sim.Metrics.RandomCalls)
+	}
+}
+
+// TestMultivalueRejectsMissingBinary pins the configuration guard.
+func TestMultivalueRejectsMissingBinary(t *testing.T) {
+	n := 8
+	_, err := Run(sim.Config{N: n, T: 0, Inputs: make([]int, n), Seed: 1, MaxRounds: 64},
+		distinctValues(n), Params{})
+	if err == nil {
+		t.Fatal("missing binary layer must be rejected")
+	}
+}
+
+func TestMultivalueRejectsSizeMismatch(t *testing.T) {
+	p := prepare(t, 36, 1)
+	if _, err := Run(sim.Config{N: 36, T: 1, Inputs: make([]int, 36), Seed: 1},
+		distinctValues(10), p); err == nil {
+		t.Fatal("value-count mismatch must be rejected")
+	}
+}

@@ -1,0 +1,31 @@
+package paramomissions
+
+import "omicon/internal/wire"
+
+// Globally unique wire kinds (range 0x40-0x47).
+const (
+	KindFlood uint64 = 0x40 + iota
+	KindSafety
+)
+
+// WireKind implements wire.Typed.
+func (FloodMsg) WireKind() uint64 { return KindFlood }
+
+// WireKind implements wire.Typed.
+func (SafetyMsg) WireKind() uint64 { return KindSafety }
+
+// RegisterPayloads adds this package's decoders to r.
+func RegisterPayloads(r *wire.Registry) {
+	r.Register(KindFlood, func(d *wire.Decoder) (wire.Typed, error) {
+		var m FloodMsg
+		m.Has = d.Bool()
+		if m.Has {
+			m.B = int(d.Uvarint())
+		}
+		return m, d.Err()
+	})
+	r.Register(KindSafety, func(d *wire.Decoder) (wire.Typed, error) {
+		m := SafetyMsg{B: int(d.Uvarint())}
+		return m, d.Err()
+	})
+}

@@ -1,0 +1,87 @@
+package paramomissions
+
+import (
+	"fmt"
+	"testing"
+
+	"omicon/internal/adversary"
+	"omicon/internal/sim"
+)
+
+func mixedInputs(n, ones int) []int {
+	in := make([]int, n)
+	for i := 0; i < ones; i++ {
+		in[i] = 1
+	}
+	return in
+}
+
+func TestParamOmissionsNoFaults(t *testing.T) {
+	n := 64
+	for _, x := range []int{1, 2, 4, 8, 16} {
+		p, err := Prepare(n, 1, x)
+		if err != nil {
+			t.Fatalf("Prepare(x=%d): %v", x, err)
+		}
+		for _, ones := range []int{0, n / 2, n} {
+			res, err := sim.Run(sim.Config{
+				N: n, T: 1, Inputs: mixedInputs(n, ones), Seed: uint64(x),
+				MaxRounds: p.TotalRoundsBound() + 16,
+			}, Protocol(p))
+			if err != nil {
+				t.Fatalf("x=%d ones=%d: %v", x, ones, err)
+			}
+			if err := res.CheckConsensus(); err != nil {
+				t.Fatalf("x=%d ones=%d: %v", x, ones, err)
+			}
+		}
+	}
+}
+
+func TestParamOmissionsUnanimousUsesNoRandomness(t *testing.T) {
+	n := 64
+	p, err := Prepare(n, 1, 4)
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	res, err := sim.Run(sim.Config{
+		N: n, T: 1, Inputs: mixedInputs(n, n), Seed: 3,
+		MaxRounds: p.TotalRoundsBound() + 16,
+	}, Protocol(p))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := res.CheckConsensus(); err != nil {
+		t.Fatalf("consensus: %v", err)
+	}
+	if res.Metrics.RandomCalls != 0 {
+		t.Fatalf("unanimous inputs used %d random calls, want 0", res.Metrics.RandomCalls)
+	}
+}
+
+func TestParamOmissionsUnderAdversaries(t *testing.T) {
+	n, tf := 64, 1
+	for _, x := range []int{2, 8} {
+		p, err := Prepare(n, tf, x)
+		if err != nil {
+			t.Fatalf("Prepare: %v", err)
+		}
+		for _, adv := range adversary.Registry(n, tf, 7) {
+			adv := adv
+			t.Run(fmt.Sprintf("x%d-%s", x, adv.Name()), func(t *testing.T) {
+				for seed := uint64(0); seed < 2; seed++ {
+					res, err := sim.Run(sim.Config{
+						N: n, T: tf, Inputs: mixedInputs(n, n/2), Seed: seed,
+						Adversary: adv, MaxRounds: p.TotalRoundsBound() + 16,
+					}, Protocol(p))
+					if err != nil {
+						t.Fatalf("seed=%d: %v", seed, err)
+					}
+					if err := res.CheckConsensus(); err != nil {
+						t.Fatalf("seed=%d: %v", seed, err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package paramomissions
+
+import (
+	"testing"
+
+	"omicon/internal/adversary"
+	"omicon/internal/sim"
+)
+
+func TestPrepareGuards(t *testing.T) {
+	if _, err := Prepare(64, 1, 0); err == nil {
+		t.Fatal("x < 1 must be rejected")
+	}
+	if _, err := Prepare(64, 1, 32); err == nil {
+		t.Fatal("group size < 4 must be rejected")
+	}
+	if _, err := Prepare(60, 1, 4); err == nil {
+		t.Fatal("60t >= n must be rejected")
+	}
+	if _, err := Prepare(60, 1, 4, AllowLargeT()); err != nil {
+		t.Fatalf("AllowLargeT: %v", err)
+	}
+}
+
+func TestRoundArithmetic(t *testing.T) {
+	p, err := Prepare(64, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for i := 0; i < p.X; i++ {
+		size := len(p.Decomp.Group(i))
+		ip, ok := p.InnerParams(size)
+		if !ok {
+			t.Fatalf("no inner params for size %d", size)
+		}
+		want := ip.TruncatedRounds() + p.FloodRounds
+		if got := p.PhaseRounds(i); got != want {
+			t.Fatalf("PhaseRounds(%d) = %d, want %d", i, got, want)
+		}
+		sum += want
+	}
+	if got := p.RoundRobinRounds(); got != sum {
+		t.Fatalf("RoundRobinRounds = %d, want %d", got, sum)
+	}
+	if p.TotalRoundsBound() <= p.RoundRobinRounds() {
+		t.Fatal("TotalRoundsBound must exceed the round-robin stage")
+	}
+}
+
+func TestFloodRoundsOverride(t *testing.T) {
+	p, err := Prepare(64, 1, 4, WithFloodRounds(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FloodRounds != 7 {
+		t.Fatalf("FloodRounds = %d", p.FloodRounds)
+	}
+}
+
+// TestExactRoundCountFaultFree: fault-free, every process completes the
+// round-robin + safety + finish schedule in the same, predictable round
+// count (no fallback): RoundRobin + safety(1) + decision broadcast(1).
+func TestExactRoundCountFaultFree(t *testing.T) {
+	n := 64
+	p, err := Prepare(n, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{
+		N: n, T: 1, Inputs: mixedInputs(n, n), Seed: 3,
+		MaxRounds: p.TotalRoundsBound() + 8,
+	}, Protocol(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(p.RoundRobinRounds() + 2)
+	if res.Metrics.Rounds != want {
+		t.Fatalf("rounds = %d, want %d (unanimous fast path)", res.Metrics.Rounds, want)
+	}
+}
+
+// TestDeterministicExecution pins replayability for the round-robin
+// algorithm too.
+func TestDeterministicExecution(t *testing.T) {
+	n := 64
+	p, err := Prepare(n, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *sim.Result {
+		res, err := sim.Run(sim.Config{
+			N: n, T: 1, Inputs: mixedInputs(n, n/2), Seed: 77,
+			Adversary: adversary.NewSplitVote(1, 5),
+			MaxRounds: p.TotalRoundsBound() + 8,
+		}, Protocol(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Metrics != b.Metrics {
+		t.Fatalf("metrics diverged: %v vs %v", a.Metrics, b.Metrics)
+	}
+	for q := range a.Decisions {
+		if a.Decisions[q] != b.Decisions[q] {
+			t.Fatalf("decision diverged at %d", q)
+		}
+	}
+}
+
+// TestSnapshotObservers pins the observation interface.
+func TestSnapshotObservers(t *testing.T) {
+	s := Snapshot{B: 1, Operative: true, Decided: true}
+	if s.CandidateBit() != 1 || !s.IsOperative() || !s.HasDecided() {
+		t.Fatal("observer methods inconsistent")
+	}
+}

@@ -1,0 +1,176 @@
+// Package partition implements the two static decompositions of the process
+// set used by Algorithm 1 of Hajiaghayi, Kowalski and Olkowski (PODC 2024):
+// the √n-decomposition into groups W_1, ..., W_⌈√n⌉ of at most ⌈√n⌉
+// processes each (Figure 1), and, inside each group, the balanced
+// binary-tree decomposition into bags L^(i)(j, k) used by
+// GroupBitsAggregation (Figure 2 and Algorithm 2).
+//
+// Both decompositions are pure functions of n (and the group size), so every
+// process computes them locally without communication, exactly as lines 3-4
+// of Algorithm 1 require.
+package partition
+
+import "math"
+
+// Decomposition is a partition of processes 0..N-1 into consecutive groups.
+type Decomposition struct {
+	n       int
+	groups  [][]int
+	groupOf []int
+	indexOf []int // position of each process inside its group
+}
+
+// Sqrt builds the paper's √n-decomposition: ⌈√n⌉ disjoint groups, each of
+// size at most ⌈√n⌉, covering {0, ..., n-1} by consecutive blocks.
+func Sqrt(n int) *Decomposition {
+	if n <= 0 {
+		return &Decomposition{}
+	}
+	g := int(math.Ceil(math.Sqrt(float64(n))))
+	return Blocks(n, g)
+}
+
+// Blocks partitions 0..n-1 into numGroups consecutive blocks whose sizes
+// differ by at most one. It also serves ParamOmissions' super-process
+// partition SP_1, ..., SP_x (Algorithm 4, line 1).
+func Blocks(n, numGroups int) *Decomposition {
+	if numGroups < 1 {
+		numGroups = 1
+	}
+	if numGroups > n {
+		numGroups = n
+	}
+	d := &Decomposition{
+		n:       n,
+		groups:  make([][]int, numGroups),
+		groupOf: make([]int, n),
+		indexOf: make([]int, n),
+	}
+	base := n / numGroups
+	extra := n % numGroups
+	p := 0
+	for gi := 0; gi < numGroups; gi++ {
+		size := base
+		if gi < extra {
+			size++
+		}
+		grp := make([]int, size)
+		for k := 0; k < size; k++ {
+			grp[k] = p
+			d.groupOf[p] = gi
+			d.indexOf[p] = k
+			p++
+		}
+		d.groups[gi] = grp
+	}
+	return d
+}
+
+// N returns the number of processes covered.
+func (d *Decomposition) N() int { return d.n }
+
+// NumGroups returns the number of groups.
+func (d *Decomposition) NumGroups() int { return len(d.groups) }
+
+// Group returns the members of group gi in increasing order. Callers must
+// not mutate the returned slice.
+func (d *Decomposition) Group(gi int) []int { return d.groups[gi] }
+
+// GroupOf returns the group index of process p.
+func (d *Decomposition) GroupOf(p int) int { return d.groupOf[p] }
+
+// IndexOf returns p's position within its group.
+func (d *Decomposition) IndexOf(p int) int { return d.indexOf[p] }
+
+// MaxGroupSize returns the size of the largest group.
+func (d *Decomposition) MaxGroupSize() int {
+	m := 0
+	for _, g := range d.groups {
+		if len(g) > m {
+			m = len(g)
+		}
+	}
+	return m
+}
+
+// Tree is the balanced binary-tree bag decomposition of a group of a given
+// size. Layers are 1-based as in the paper: layer 1 holds singleton bags
+// L(1, k) = {k}; bag L(j, k) is the union of L(j-1, 2k) and L(j-1, 2k+1)
+// (0-based bag indices); the root bag at the top layer is the whole group.
+type Tree struct {
+	size int
+}
+
+// NewTree returns the bag tree for a group of the given size.
+func NewTree(size int) Tree {
+	if size < 0 {
+		size = 0
+	}
+	return Tree{size: size}
+}
+
+// Size returns the number of leaves (group members).
+func (t Tree) Size() int { return t.size }
+
+// Layers returns the number of layers; the root lives at layer Layers().
+// A singleton group has one layer; an empty group has zero.
+func (t Tree) Layers() int {
+	if t.size == 0 {
+		return 0
+	}
+	l := 1
+	for span := 1; span < t.size; span <<= 1 {
+		l++
+	}
+	return l
+}
+
+// NumBags returns the number of non-empty bags at layer j.
+func (t Tree) NumBags(j int) int {
+	if j < 1 || t.size == 0 {
+		return 0
+	}
+	span := 1 << uint(j-1)
+	return (t.size + span - 1) / span
+}
+
+// Bag returns the half-open member-index range [lo, hi) covered by bag k of
+// layer j. Empty bags return lo == hi.
+func (t Tree) Bag(j, k int) (lo, hi int) {
+	if j < 1 || k < 0 {
+		return 0, 0
+	}
+	span := 1 << uint(j-1)
+	lo = k * span
+	hi = lo + span
+	if lo > t.size {
+		lo = t.size
+	}
+	if hi > t.size {
+		hi = t.size
+	}
+	return lo, hi
+}
+
+// BagOf returns the index k of the layer-j bag containing member index m.
+func (t Tree) BagOf(j, m int) int {
+	if j < 1 {
+		return 0
+	}
+	return m >> uint(j-1)
+}
+
+// Children returns the two layer-(j-1) bag indices whose union is bag
+// (j, k), per the paper's L(j,k) = L(j-1, 2k) ∪ L(j-1, 2k+1).
+func (t Tree) Children(k int) (left, right int) {
+	return 2 * k, 2*k + 1
+}
+
+// IsLeftChild reports whether member m sits in the left child of its
+// layer-j bag, i.e. in L(j-1, 2k) rather than L(j-1, 2k+1).
+func (t Tree) IsLeftChild(j, m int) bool {
+	if j < 2 {
+		return true
+	}
+	return t.BagOf(j-1, m)%2 == 0
+}

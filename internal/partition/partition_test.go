@@ -1,0 +1,172 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSqrtDecompositionShape(t *testing.T) {
+	// Line 3 of Algorithm 1: ⌈√n⌉ disjoint sets of size ≤ ⌈√n⌉ each.
+	for _, n := range []int{1, 2, 4, 5, 16, 17, 63, 64, 65, 100, 1000} {
+		d := Sqrt(n)
+		ceil := int(math.Ceil(math.Sqrt(float64(n))))
+		if d.NumGroups() > ceil {
+			t.Fatalf("n=%d: %d groups > ⌈√n⌉=%d", n, d.NumGroups(), ceil)
+		}
+		covered := 0
+		for gi := 0; gi < d.NumGroups(); gi++ {
+			g := d.Group(gi)
+			if len(g) > ceil {
+				t.Fatalf("n=%d: group %d has %d > ⌈√n⌉=%d members", n, gi, len(g), ceil)
+			}
+			covered += len(g)
+		}
+		if covered != n {
+			t.Fatalf("n=%d: groups cover %d processes", n, covered)
+		}
+	}
+}
+
+func TestBlocksPartitionProperty(t *testing.T) {
+	f := func(nRaw, gRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		numGroups := int(gRaw)%n + 1
+		d := Blocks(n, numGroups)
+		// Disjoint cover with consistent inverse maps.
+		seen := make([]bool, n)
+		for gi := 0; gi < d.NumGroups(); gi++ {
+			for idx, p := range d.Group(gi) {
+				if p < 0 || p >= n || seen[p] {
+					return false
+				}
+				seen[p] = true
+				if d.GroupOf(p) != gi || d.IndexOf(p) != idx {
+					return false
+				}
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		// Balanced: sizes differ by at most 1.
+		min, max := n, 0
+		for gi := 0; gi < d.NumGroups(); gi++ {
+			l := len(d.Group(gi))
+			if l < min {
+				min = l
+			}
+			if l > max {
+				max = l
+			}
+		}
+		return max-min <= 1 && d.MaxGroupSize() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlocksDegenerate(t *testing.T) {
+	d := Blocks(5, 0)
+	if d.NumGroups() != 1 || len(d.Group(0)) != 5 {
+		t.Fatal("numGroups<1 must clamp to 1")
+	}
+	d = Blocks(3, 10)
+	if d.NumGroups() != 3 {
+		t.Fatalf("numGroups>n must clamp to n, got %d", d.NumGroups())
+	}
+}
+
+func TestTreeLayers(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 2: 2, 3: 3, 4: 3, 5: 4, 8: 4, 9: 5, 16: 5}
+	for size, want := range cases {
+		if got := NewTree(size).Layers(); got != want {
+			t.Fatalf("Layers(%d) = %d, want %d", size, got, want)
+		}
+	}
+}
+
+func TestTreeRootCoversAll(t *testing.T) {
+	for size := 1; size <= 40; size++ {
+		tr := NewTree(size)
+		lo, hi := tr.Bag(tr.Layers(), 0)
+		if lo != 0 || hi != size {
+			t.Fatalf("size=%d: root bag = [%d,%d)", size, lo, hi)
+		}
+		if tr.NumBags(tr.Layers()) != 1 {
+			t.Fatalf("size=%d: %d root bags", size, tr.NumBags(tr.Layers()))
+		}
+	}
+}
+
+// TestTreeBagStructure verifies the paper's recurrence: bag (j,k) is the
+// union of bags (j-1, 2k) and (j-1, 2k+1), with layer 1 being singletons.
+func TestTreeBagStructure(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 5, 7, 8, 12, 16, 17} {
+		tr := NewTree(size)
+		// Layer 1: singletons.
+		for k := 0; k < tr.NumBags(1); k++ {
+			lo, hi := tr.Bag(1, k)
+			if lo != k || hi != k+1 {
+				t.Fatalf("size=%d: Bag(1,%d)=[%d,%d)", size, k, lo, hi)
+			}
+		}
+		for j := 2; j <= tr.Layers(); j++ {
+			for k := 0; k < tr.NumBags(j); k++ {
+				lo, hi := tr.Bag(j, k)
+				lc, rc := tr.Children(k)
+				llo, lhi := tr.Bag(j-1, lc)
+				rlo, rhi := tr.Bag(j-1, rc)
+				if llo != lo || (lhi != rlo && rlo < rhi) || maxInt(lhi, rhi) != hi {
+					t.Fatalf("size=%d: Bag(%d,%d)=[%d,%d) children [%d,%d)+[%d,%d)",
+						size, j, k, lo, hi, llo, lhi, rlo, rhi)
+				}
+			}
+		}
+	}
+}
+
+func TestBagOfConsistent(t *testing.T) {
+	tr := NewTree(13)
+	for j := 1; j <= tr.Layers(); j++ {
+		for m := 0; m < 13; m++ {
+			k := tr.BagOf(j, m)
+			lo, hi := tr.Bag(j, k)
+			if m < lo || m >= hi {
+				t.Fatalf("member %d not in Bag(%d,%d)=[%d,%d)", m, j, k, lo, hi)
+			}
+		}
+	}
+}
+
+func TestIsLeftChild(t *testing.T) {
+	tr := NewTree(8)
+	// At layer 2 (bags of 2), members 0,1 form bag 0 (left child of
+	// layer-3 bag 0), members 2,3 bag 1 (right child).
+	if !tr.IsLeftChild(3, 0) || !tr.IsLeftChild(3, 1) {
+		t.Fatal("members 0,1 must be in the left child at layer 3")
+	}
+	if tr.IsLeftChild(3, 2) || tr.IsLeftChild(3, 3) {
+		t.Fatal("members 2,3 must be in the right child at layer 3")
+	}
+	if !tr.IsLeftChild(1, 5) {
+		t.Fatal("layer 1 members are trivially left")
+	}
+}
+
+func TestEmptyDecomposition(t *testing.T) {
+	d := Sqrt(0)
+	if d.NumGroups() != 0 && d.N() != 0 {
+		t.Fatalf("Sqrt(0) = %d groups, n=%d", d.NumGroups(), d.N())
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

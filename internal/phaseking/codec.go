@@ -1,0 +1,46 @@
+package phaseking
+
+import (
+	"fmt"
+
+	"omicon/internal/wire"
+)
+
+// Globally unique wire kinds (range 0x20-0x27).
+const (
+	KindValue uint64 = 0x20 + iota
+	KindKing
+)
+
+// WireKind implements wire.Typed.
+func (ValueMsg) WireKind() uint64 { return KindValue }
+
+// WireKind implements wire.Typed.
+func (KingMsg) WireKind() uint64 { return KindKing }
+
+// RegisterPayloads adds this package's decoders to r.
+func RegisterPayloads(r *wire.Registry) {
+	r.Register(KindValue, func(d *wire.Decoder) (wire.Typed, error) {
+		if err := expect(d, tagValue); err != nil {
+			return nil, err
+		}
+		m := ValueMsg{V: int(d.Uvarint())}
+		return m, d.Err()
+	})
+	r.Register(KindKing, func(d *wire.Decoder) (wire.Typed, error) {
+		if err := expect(d, tagKing); err != nil {
+			return nil, err
+		}
+		m := KingMsg{V: int(d.Uvarint())}
+		return m, d.Err()
+	})
+}
+
+func expect(d *wire.Decoder, want uint64) error {
+	if got := d.Uvarint(); d.Err() != nil {
+		return d.Err()
+	} else if got != want {
+		return fmt.Errorf("phaseking: tag %d, want %d", got, want)
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package phaseking
+
+import (
+	"fmt"
+	"testing"
+
+	"omicon/internal/adversary"
+	"omicon/internal/sim"
+)
+
+func inputs(n, ones int) []int {
+	in := make([]int, n)
+	for i := 0; i < ones; i++ {
+		in[i] = 1
+	}
+	return in
+}
+
+func protocol() sim.Protocol {
+	return func(env sim.Env, input int) (int, error) {
+		return Consensus(env, input)
+	}
+}
+
+func TestConsensusNoFaults(t *testing.T) {
+	n := 16
+	for _, ones := range []int{0, 5, 8, 16} {
+		res, err := sim.Run(sim.Config{N: n, T: 3, Inputs: inputs(n, ones), Seed: 1}, protocol())
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if err := res.CheckConsensus(); err != nil {
+			t.Fatalf("ones=%d: %v", ones, err)
+		}
+		if res.Metrics.RandomCalls != 0 {
+			t.Fatal("deterministic protocol used randomness")
+		}
+	}
+}
+
+func TestConsensusRoundsExact(t *testing.T) {
+	n, tf := 12, 2
+	res, err := sim.Run(sim.Config{N: n, T: tf, Inputs: inputs(n, 6), Seed: 1}, protocol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Metrics.Rounds, int64(Rounds(DefaultPhases(tf))); got != want {
+		t.Fatalf("rounds = %d, want %d", got, want)
+	}
+}
+
+// TestConsensusUnderOmissions checks all consensus conditions under the
+// adversary portfolio for t < n/4.
+func TestConsensusUnderOmissions(t *testing.T) {
+	n, tf := 20, 4
+	for _, adv := range adversary.Registry(n, tf, 5) {
+		adv := adv
+		t.Run(adv.Name(), func(t *testing.T) {
+			for _, ones := range []int{0, 10, 20} {
+				for seed := uint64(0); seed < 3; seed++ {
+					res, err := sim.Run(sim.Config{N: n, T: tf, Inputs: inputs(n, ones), Seed: seed, Adversary: adv}, protocol())
+					if err != nil {
+						t.Fatalf("ones=%d seed=%d: %v", ones, seed, err)
+					}
+					if err := res.CheckConsensus(); err != nil {
+						t.Fatalf("ones=%d seed=%d: %v", ones, seed, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestUnanimousParticipantsWithSilentMajority reproduces the fallback
+// scenario of Algorithm 1's Lemma 11: a small unanimous participant set
+// must keep its value even though most slots are silent (no king among the
+// silent slots may override).
+func TestUnanimousParticipantsWithSilentMajority(t *testing.T) {
+	n := 15
+	participants := map[int]bool{3: true, 7: true, 11: true}
+	for _, b := range []int{0, 1} {
+		b := b
+		res, err := sim.Run(sim.Config{N: n, T: 0, Inputs: inputs(n, 0), Seed: 2},
+			func(env sim.Env, _ int) (int, error) {
+				part := participants[env.ID()]
+				v := Run(env, b, part, DefaultPhases(4))
+				return v, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := range participants {
+			if res.Decisions[p] != b {
+				t.Fatalf("participant %d decided %d, want %d", p, res.Decisions[p], b)
+			}
+		}
+	}
+}
+
+// TestNonParticipantsStayInLockstep verifies that Run consumes exactly
+// Rounds(phases) rounds for both roles.
+func TestNonParticipantsStayInLockstep(t *testing.T) {
+	n := 8
+	phases := 3
+	res, err := sim.Run(sim.Config{N: n, T: 0, Inputs: inputs(n, 4), Seed: 9},
+		func(env sim.Env, input int) (int, error) {
+			v := Run(env, input, env.ID()%2 == 0, phases)
+			return v, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Metrics.Rounds, int64(Rounds(phases)); got != want {
+		t.Fatalf("rounds = %d, want %d", got, want)
+	}
+}
+
+// TestDisagreementResolvedByGoodKing: participants start split; after
+// t+1 phases with at most t bad kings they must agree.
+func TestDisagreementResolvedByGoodKing(t *testing.T) {
+	for n := 8; n <= 24; n += 4 {
+		tf := (n - 1) / 4
+		firstIDs := make([]int, tf)
+		for i := range firstIDs {
+			firstIDs[i] = i
+		}
+		for _, ones := range []int{n / 3, n / 2, 2 * n / 3} {
+			res, err := sim.Run(sim.Config{
+				N: n, T: tf, Inputs: inputs(n, ones), Seed: 3,
+				// Crash the first tf processes: their kingships are
+				// wasted, leaving exactly one guaranteed good king.
+				Adversary: adversary.NewStaticCrash(firstIDs),
+			}, protocol())
+			if err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			if err := res.CheckConsensus(); err != nil {
+				t.Fatalf("n=%d ones=%d: %v", n, ones, err)
+			}
+		}
+	}
+}
+
+func ExampleConsensus() {
+	n := 8
+	res, err := sim.Run(sim.Config{N: n, T: 1, Inputs: inputs(n, n), Seed: 1}, protocol())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	d, _ := res.Decision()
+	fmt.Println("decision:", d)
+	// Output: decision: 1
+}

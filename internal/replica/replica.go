@@ -1,0 +1,146 @@
+// Package replica builds a replicated log — the application-facing shape
+// of consensus — on top of the paper's protocols: each log slot is one
+// multi-valued consensus instance (internal/multivalue, which itself rides
+// OptimalOmissionsConsensus), and the committed commands are applied in
+// slot order to per-replica state machines. It is the production pattern
+// the paper's introduction motivates ("coordinating actions of the
+// participating parties"), packaged so downstream users do not have to
+// re-derive the reduction.
+package replica
+
+import (
+	"bytes"
+	"fmt"
+
+	"omicon/internal/core"
+	"omicon/internal/metrics"
+	"omicon/internal/multivalue"
+	"omicon/internal/sim"
+)
+
+// StateMachine consumes committed commands in order. Implementations must
+// be deterministic: identical command sequences must produce identical
+// states.
+type StateMachine interface {
+	// Apply consumes one committed command.
+	Apply(cmd []byte)
+	// Snapshot returns a canonical encoding of the current state, used
+	// to verify replica consistency.
+	Snapshot() []byte
+}
+
+// Config sizes a cluster.
+type Config struct {
+	// N is the number of replicas, T the per-slot corruption budget.
+	N, T int
+	// MaxIterations bounds the proposer rotation per slot (0 = T+1).
+	MaxIterations int
+}
+
+// Cluster is a prepared replicated-log deployment: the consensus
+// substrate is built once and reused across slots.
+type Cluster struct {
+	cfg      Config
+	mvParams multivalue.Params
+	machines []StateMachine
+	applied  [][]byte // committed command per slot
+	total    metrics.Snapshot
+}
+
+// New prepares a cluster whose replicas drive the given state machines
+// (one per replica; len(machines) must equal cfg.N).
+func New(cfg Config, machines []StateMachine) (*Cluster, error) {
+	if len(machines) != cfg.N {
+		return nil, fmt.Errorf("replica: %d machines for n=%d", len(machines), cfg.N)
+	}
+	bp, err := core.Prepare(cfg.N, cfg.T)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{
+		cfg:      cfg,
+		mvParams: multivalue.Params{Binary: multivalue.CoreBinary(bp), MaxIterations: cfg.MaxIterations},
+		machines: machines,
+	}, nil
+}
+
+// SlotResult reports one committed slot.
+type SlotResult struct {
+	Slot     int
+	Command  []byte
+	Metrics  metrics.Snapshot
+	Corrupt  int
+	Proposed [][]byte
+}
+
+// Propose runs one log slot: replica p proposes proposals[p]; the agreed
+// command is applied to every replica's state machine and returned.
+func (c *Cluster) Propose(proposals [][]byte, seed uint64, adv sim.Adversary) (*SlotResult, error) {
+	if len(proposals) != c.cfg.N {
+		return nil, fmt.Errorf("replica: %d proposals for n=%d", len(proposals), c.cfg.N)
+	}
+	maxRounds := (c.cfg.T + 2) * (c.mvParams.Binary.RoundsBound + 8)
+	res, err := multivalue.Run(sim.Config{
+		N: c.cfg.N, T: c.cfg.T,
+		Inputs:    make([]int, c.cfg.N),
+		Seed:      seed,
+		Adversary: adv,
+		MaxRounds: maxRounds,
+	}, proposals, c.mvParams)
+	if err != nil {
+		return nil, err
+	}
+	if err := res.CheckAgreement(); err != nil {
+		return nil, err
+	}
+	if err := res.CheckValidity(proposals); err != nil {
+		return nil, err
+	}
+
+	// The agreed command, from any healthy replica.
+	var cmd []byte
+	for p := range c.machines {
+		if !res.Sim.Corrupted[p] {
+			cmd = res.Chosen[p]
+			break
+		}
+	}
+	for _, m := range c.machines {
+		m.Apply(cmd)
+	}
+	slot := &SlotResult{
+		Slot:     len(c.applied),
+		Command:  cmd,
+		Metrics:  res.Sim.Metrics,
+		Corrupt:  res.Sim.NumCorrupted(),
+		Proposed: proposals,
+	}
+	c.applied = append(c.applied, cmd)
+	c.total = c.total.Add(res.Sim.Metrics)
+	return slot, nil
+}
+
+// Log returns the committed command sequence.
+func (c *Cluster) Log() [][]byte {
+	out := make([][]byte, len(c.applied))
+	copy(out, c.applied)
+	return out
+}
+
+// TotalMetrics returns the accumulated cost across all slots.
+func (c *Cluster) TotalMetrics() metrics.Snapshot { return c.total }
+
+// VerifyConsistency checks that every replica's state machine reached the
+// identical state.
+func (c *Cluster) VerifyConsistency() error {
+	if len(c.machines) == 0 {
+		return nil
+	}
+	ref := c.machines[0].Snapshot()
+	for i, m := range c.machines[1:] {
+		if !bytes.Equal(m.Snapshot(), ref) {
+			return fmt.Errorf("replica: machine %d diverged from machine 0", i+1)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package replica
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+
+	"omicon/internal/adversary"
+)
+
+// kvMachine is a deterministic key-value state machine for tests.
+type kvMachine struct {
+	data map[string]string
+}
+
+func newKV() *kvMachine { return &kvMachine{data: make(map[string]string)} }
+
+func (m *kvMachine) Apply(cmd []byte) {
+	parts := bytes.SplitN(cmd, []byte{'='}, 2)
+	if len(parts) == 2 {
+		m.data[string(parts[0])] = string(parts[1])
+	}
+}
+
+func (m *kvMachine) Snapshot() []byte {
+	keys := make([]string, 0, len(m.data))
+	for k := range m.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	for _, k := range keys {
+		fmt.Fprintf(&buf, "%s=%s;", k, m.data[k])
+	}
+	return buf.Bytes()
+}
+
+func newCluster(t *testing.T, n, tf int) *Cluster {
+	t.Helper()
+	machines := make([]StateMachine, n)
+	for i := range machines {
+		machines[i] = newKV()
+	}
+	c, err := New(Config{N: n, T: tf}, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func proposalsFor(n, slot int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("k%d=from-%d", slot, i))
+	}
+	return out
+}
+
+func TestClusterCommitsAndStaysConsistent(t *testing.T) {
+	n, tf := 36, 1
+	c := newCluster(t, n, tf)
+	for slot := 0; slot < 3; slot++ {
+		res, err := c.Propose(proposalsFor(n, slot), uint64(slot)+1, nil)
+		if err != nil {
+			t.Fatalf("slot %d: %v", slot, err)
+		}
+		if res.Slot != slot {
+			t.Fatalf("slot index %d, want %d", res.Slot, slot)
+		}
+		if len(res.Command) == 0 {
+			t.Fatalf("slot %d: empty command", slot)
+		}
+	}
+	if err := c.VerifyConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Log()); got != 3 {
+		t.Fatalf("log length %d, want 3", got)
+	}
+	if c.TotalMetrics().Messages == 0 {
+		t.Fatal("no cost recorded")
+	}
+}
+
+func TestClusterUnderAdversary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-slot adversary sweep is slow; run without -short")
+	}
+	n, tf := 64, 2
+	c := newCluster(t, n, tf)
+	for slot, adv := range adversary.Registry(n, tf, 3) {
+		res, err := c.Propose(proposalsFor(n, slot), uint64(slot)*13+7, adv)
+		if err != nil {
+			t.Fatalf("slot %d (%s): %v", slot, adv.Name(), err)
+		}
+		// The chosen command must be one of this slot's proposals.
+		found := false
+		for _, p := range res.Proposed {
+			if bytes.Equal(p, res.Command) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("slot %d: committed unproposed command", slot)
+		}
+	}
+	if err := c.VerifyConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterRejectsBadShapes(t *testing.T) {
+	if _, err := New(Config{N: 8, T: 0}, nil); err == nil {
+		t.Fatal("machine count mismatch must be rejected")
+	}
+	c := newCluster(t, 36, 1)
+	if _, err := c.Propose(proposalsFor(10, 0), 1, nil); err == nil {
+		t.Fatal("proposal count mismatch must be rejected")
+	}
+}

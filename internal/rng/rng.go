@@ -1,0 +1,129 @@
+// Package rng provides the counted random source of the paper's model
+// (Section 2): "there exists a random source that, when called, can provide
+// a process ... with a 0-1 sequence, of requested length, containing uniform
+// and independent distributed random bits."
+//
+// Every draw is metered: the number of calls (the R of Theorem 2) and the
+// number of bits are recorded in a metrics.Counters. Sources are
+// deterministic given their seed, which makes whole executions replayable.
+package rng
+
+import (
+	"math/rand/v2"
+
+	"omicon/internal/metrics"
+)
+
+// Source is a per-process random source. It is not safe for concurrent use;
+// each simulated process owns exactly one Source.
+type Source struct {
+	rnd      *rand.Rand
+	counters *metrics.Counters
+	// local mirrors of the global counters, so the adversary's
+	// full-information view can see how much randomness an individual
+	// process has consumed.
+	calls int64
+	bits  int64
+}
+
+// New returns a Source seeded deterministically from (seed, stream).
+// Distinct streams (e.g. process IDs) yield independent-looking sequences.
+func New(seed, stream uint64, counters *metrics.Counters) *Source {
+	// splitmix-style avalanche so that nearby (seed, stream) pairs do not
+	// produce correlated PCG states.
+	return &Source{
+		rnd:      rand.New(rand.NewPCG(mix(seed, 0x9e3779b97f4a7c15^stream), mix(stream, seed))),
+		counters: counters,
+	}
+}
+
+func mix(a, b uint64) uint64 {
+	z := a + 0x9e3779b97f4a7c15 + b*0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Bit draws a single uniform bit. This is one random-source access drawing
+// one bit — the unit the main algorithm spends once per epoch per process.
+func (s *Source) Bit() int {
+	s.account(1)
+	return int(s.rnd.Uint64() & 1)
+}
+
+// Bits draws k uniform bits as a slice, in a single random-source access.
+func (s *Source) Bits(k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	s.account(int64(k))
+	out := make([]int, k)
+	for i := range out {
+		out[i] = int(s.rnd.Uint64() & 1)
+	}
+	return out
+}
+
+// IntN draws a uniform integer in [0, n) in one random-source access,
+// accounting ceil(log2 n) bits.
+func (s *Source) IntN(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	s.account(int64(bitsFor(n)))
+	return s.rnd.IntN(n)
+}
+
+// Perm draws a uniform permutation of [0, n) in one access.
+func (s *Source) Perm(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	total := int64(0)
+	for i := 2; i <= n; i++ {
+		total += int64(bitsFor(i))
+	}
+	s.account(total)
+	return s.rnd.Perm(n)
+}
+
+// Float64 draws a uniform float in [0,1), accounted as 53 bits.
+func (s *Source) Float64() float64 {
+	s.account(53)
+	return s.rnd.Float64()
+}
+
+// Calls returns the number of random-source accesses made so far by this
+// process.
+func (s *Source) Calls() int64 { return s.calls }
+
+// BitsDrawn returns the number of random bits drawn so far by this process.
+func (s *Source) BitsDrawn() int64 { return s.bits }
+
+func (s *Source) account(bits int64) {
+	s.calls++
+	s.bits += bits
+	if s.counters != nil {
+		s.counters.AddRandom(bits)
+	}
+}
+
+// bitsFor returns ceil(log2(n)) for n >= 2.
+func bitsFor(n int) int {
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+// Unmetered returns a plain deterministic *rand.Rand for infrastructure uses
+// that are not part of any protocol's randomness budget (adversary
+// strategies, workload generation, graph construction). Keeping these off
+// the books is essential: the paper's R counts only the protocol's accesses.
+func Unmetered(seed, stream uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(mix(seed, stream), mix(stream, ^seed)))
+}

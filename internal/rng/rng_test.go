@@ -1,0 +1,124 @@
+package rng
+
+import (
+	"math"
+	"testing"
+
+	"omicon/internal/metrics"
+)
+
+func TestDeterminismPerSeedAndStream(t *testing.T) {
+	a := New(7, 3, nil)
+	b := New(7, 3, nil)
+	for i := 0; i < 100; i++ {
+		if a.Bit() != b.Bit() {
+			t.Fatal("same (seed, stream) must produce identical bits")
+		}
+	}
+	c := New(7, 4, nil)
+	same := true
+	d := New(7, 3, nil)
+	for i := 0; i < 64; i++ {
+		if c.Bit() != d.Bit() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different streams produced identical 64-bit prefix")
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	var c metrics.Counters
+	s := New(1, 1, &c)
+	s.Bit()
+	s.Bits(10)
+	s.IntN(100) // 7 bits
+	snap := c.Snapshot()
+	if snap.RandomCalls != 3 {
+		t.Fatalf("calls = %d, want 3", snap.RandomCalls)
+	}
+	if snap.RandomBits != 1+10+7 {
+		t.Fatalf("bits = %d, want 18", snap.RandomBits)
+	}
+	if s.Calls() != 3 || s.BitsDrawn() != 18 {
+		t.Fatalf("local mirrors: calls=%d bits=%d", s.Calls(), s.BitsDrawn())
+	}
+}
+
+func TestBitsLength(t *testing.T) {
+	s := New(2, 2, nil)
+	if got := s.Bits(17); len(got) != 17 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for _, b := range s.Bits(64) {
+		if b != 0 && b != 1 {
+			t.Fatalf("non-bit value %d", b)
+		}
+	}
+	if s.Bits(0) != nil || s.Bits(-1) != nil {
+		t.Fatal("non-positive k must return nil")
+	}
+}
+
+func TestIntNRange(t *testing.T) {
+	s := New(3, 3, nil)
+	for i := 0; i < 1000; i++ {
+		v := s.IntN(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("IntN(17) = %d", v)
+		}
+	}
+	if s.IntN(1) != 0 || s.IntN(0) != 0 {
+		t.Fatal("degenerate IntN must return 0")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(4, 4, nil)
+	p := s.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+	if s.Calls() != 1 {
+		t.Fatalf("Perm must be a single random-source access, got %d", s.Calls())
+	}
+}
+
+func TestBitUniformity(t *testing.T) {
+	s := New(5, 5, nil)
+	const trials = 20000
+	ones := 0
+	for i := 0; i < trials; i++ {
+		ones += s.Bit()
+	}
+	mean := float64(ones) / trials
+	// 6-sigma band around 0.5 for a fair coin.
+	sigma := 0.5 / math.Sqrt(trials)
+	if math.Abs(mean-0.5) > 6*sigma {
+		t.Fatalf("bit mean = %.4f, outside 6 sigma of 0.5", mean)
+	}
+}
+
+func TestBitsForEdgeCases(t *testing.T) {
+	cases := map[int]int{2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := bitsFor(n); got != want {
+			t.Fatalf("bitsFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestUnmeteredDeterminism(t *testing.T) {
+	a := Unmetered(9, 1)
+	b := Unmetered(9, 1)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Unmetered must be deterministic")
+		}
+	}
+}

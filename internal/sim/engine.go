@@ -1,0 +1,322 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"omicon/internal/metrics"
+	"omicon/internal/rng"
+)
+
+// Protocol is the code run by every process: it receives its environment and
+// input bit and returns its consensus decision. A protocol must either call
+// Exchange or return; it must not block on anything else.
+type Protocol func(env Env, input int) (decision int, err error)
+
+// Config describes one execution.
+type Config struct {
+	// N is the number of processes; T the adversary's corruption budget.
+	N, T int
+	// Inputs holds the N input bits.
+	Inputs []int
+	// Seed makes the execution reproducible; process p's random source
+	// is derived from (Seed, p) and the adversary may derive its own
+	// unmetered stream from Seed.
+	Seed uint64
+	// Adversary is the strategy to run against; nil means NoFaults.
+	Adversary Adversary
+	// MaxRounds aborts runaway executions; 0 selects 60*N + 4096, far
+	// above every protocol in this codebase at any tested scale.
+	MaxRounds int
+}
+
+// Errors reported by the engine.
+var (
+	// ErrMaxRounds signals a runaway execution.
+	ErrMaxRounds = errors.New("sim: execution exceeded MaxRounds")
+	// ErrBudget signals that the adversary tried to corrupt more than t
+	// processes.
+	ErrBudget = errors.New("sim: adversary exceeded corruption budget")
+	// ErrIllegalOmission signals a drop of a message between two
+	// non-corrupted processes.
+	ErrIllegalOmission = errors.New("sim: omission of a message between non-corrupted processes")
+)
+
+// errAborted is the sentinel used to unwind protocol goroutines when the
+// engine aborts; it never escapes the package.
+var errAborted = errors.New("sim: execution aborted")
+
+type event struct {
+	pid      int
+	done     bool
+	out      []Message
+	decision int
+	err      error
+}
+
+// Engine executes one configuration. Engines are single-use.
+type Engine struct {
+	cfg      Config
+	counters *metrics.Counters
+	sources  []*rng.Source
+
+	events  chan event
+	deliver []chan []Message
+	quit    chan struct{}
+
+	snapshots []any
+	corrupted []bool
+}
+
+// Run executes proto under cfg and returns the outcome. The returned error
+// reports engine- or protocol-level failures (illegal adversary actions,
+// protocol bugs, runaway executions); consensus-property violations are
+// checked on the Result, not here.
+func Run(cfg Config, proto Protocol) (*Result, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("sim: invalid N=%d", cfg.N)
+	}
+	if len(cfg.Inputs) != cfg.N {
+		return nil, fmt.Errorf("sim: got %d inputs for N=%d", len(cfg.Inputs), cfg.N)
+	}
+	if cfg.T < 0 || cfg.T >= cfg.N {
+		return nil, fmt.Errorf("sim: invalid T=%d for N=%d", cfg.T, cfg.N)
+	}
+	if cfg.Adversary == nil {
+		cfg.Adversary = NoFaults{}
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 60*cfg.N + 4096
+	}
+
+	e := &Engine{
+		cfg:       cfg,
+		counters:  &metrics.Counters{},
+		sources:   make([]*rng.Source, cfg.N),
+		events:    make(chan event, cfg.N),
+		deliver:   make([]chan []Message, cfg.N),
+		quit:      make(chan struct{}),
+		snapshots: make([]any, cfg.N),
+		corrupted: make([]bool, cfg.N),
+	}
+	res := &Result{
+		Adversary:    cfg.Adversary.Name(),
+		Inputs:       append([]int(nil), cfg.Inputs...),
+		Decisions:    make([]int, cfg.N),
+		TerminatedAt: make([]int, cfg.N),
+	}
+	for p := 0; p < cfg.N; p++ {
+		res.Decisions[p] = -1
+		res.TerminatedAt[p] = -1
+		e.sources[p] = rng.New(cfg.Seed, uint64(p), e.counters)
+		e.deliver[p] = make(chan []Message, 1)
+	}
+
+	var wg sync.WaitGroup
+	for p := 0; p < cfg.N; p++ {
+		wg.Add(1)
+		go e.runProcess(&wg, p, proto)
+	}
+
+	err := e.loop(res)
+	if err != nil {
+		close(e.quit) // unwind blocked protocol goroutines
+	}
+	wg.Wait()
+	res.Corrupted = append([]bool(nil), e.corrupted...)
+	res.Metrics = e.counters.Snapshot()
+	if err != nil {
+		return res, err
+	}
+	if res.protocolErr != nil {
+		return res, res.protocolErr
+	}
+	return res, nil
+}
+
+func (e *Engine) runProcess(wg *sync.WaitGroup, pid int, proto Protocol) {
+	defer wg.Done()
+	defer func() {
+		if r := recover(); r != nil && r != any(errAborted) {
+			panic(r)
+		}
+	}()
+	env := &procEnv{id: pid, engine: e, rand: e.sources[pid]}
+	decision, err := proto(env, e.cfg.Inputs[pid])
+	ev := event{pid: pid, done: true, decision: decision, err: err}
+	select {
+	case e.events <- ev:
+	case <-e.quit:
+	}
+}
+
+// loop is the engine's barrier scheduler. It returns on completion or on the
+// first engine-level error.
+func (e *Engine) loop(res *Result) error {
+	n := e.cfg.N
+	active := n
+	submitted := make([]bool, n)
+	outs := make([][]Message, n)
+	numSubmitted := 0
+	round := 0
+
+	for active > 0 {
+		ev := <-e.events
+		if ev.done {
+			active--
+			res.Decisions[ev.pid] = ev.decision
+			res.TerminatedAt[ev.pid] = round
+			if ev.err != nil && res.protocolErr == nil {
+				res.protocolErr = fmt.Errorf("sim: process %d: %w", ev.pid, ev.err)
+			}
+		} else {
+			submitted[ev.pid] = true
+			outs[ev.pid] = ev.out
+			numSubmitted++
+		}
+		if active == 0 || numSubmitted < active {
+			continue
+		}
+
+		// Communication phase: all still-active processes are at the
+		// barrier.
+		round++
+		if round > e.cfg.MaxRounds {
+			return fmt.Errorf("%w (%d)", ErrMaxRounds, e.cfg.MaxRounds)
+		}
+		e.counters.AddRounds(1)
+		if err := e.communicate(res, round, submitted, outs); err != nil {
+			return err
+		}
+		for p := 0; p < n; p++ {
+			if submitted[p] {
+				submitted[p] = false
+				outs[p] = nil
+			}
+		}
+		numSubmitted = 0
+	}
+	return nil
+}
+
+// communicate runs one communication phase: account sent bits, consult the
+// adversary, enforce legality, deliver survivors.
+func (e *Engine) communicate(res *Result, round int, submitted []bool, outs [][]Message) error {
+	n := e.cfg.N
+	var outbox []Message
+	for p := 0; p < n; p++ {
+		for _, m := range outs[p] {
+			if m.From != p {
+				return fmt.Errorf("sim: process %d forged sender %d", p, m.From)
+			}
+			if m.To < 0 || m.To >= n {
+				return fmt.Errorf("sim: process %d sent to invalid target %d", p, m.To)
+			}
+			outbox = append(outbox, m)
+		}
+	}
+	sort.SliceStable(outbox, func(i, j int) bool {
+		if outbox[i].From != outbox[j].From {
+			return outbox[i].From < outbox[j].From
+		}
+		return outbox[i].To < outbox[j].To
+	})
+	for _, m := range outbox {
+		e.counters.AddMessage(m.Bits())
+	}
+
+	view := e.makeView(res, round, outbox)
+	action := e.cfg.Adversary.Step(view)
+
+	for _, p := range action.Corrupt {
+		if p < 0 || p >= n {
+			return fmt.Errorf("sim: adversary corrupted invalid process %d", p)
+		}
+		if !e.corrupted[p] {
+			e.corrupted[p] = true
+		}
+	}
+	budget := 0
+	for _, c := range e.corrupted {
+		if c {
+			budget++
+		}
+	}
+	if budget > e.cfg.T {
+		return fmt.Errorf("%w: %d > t=%d in round %d", ErrBudget, budget, e.cfg.T, round)
+	}
+
+	dropped := make(map[int]bool, len(action.Drop))
+	for _, idx := range action.Drop {
+		if idx < 0 || idx >= len(outbox) {
+			return fmt.Errorf("sim: adversary dropped invalid outbox index %d", idx)
+		}
+		m := outbox[idx]
+		if !e.corrupted[m.From] && !e.corrupted[m.To] {
+			return fmt.Errorf("%w: %s in round %d", ErrIllegalOmission, m, round)
+		}
+		dropped[idx] = true
+	}
+
+	inboxes := make([][]Message, n)
+	for idx, m := range outbox {
+		if dropped[idx] {
+			continue
+		}
+		if submitted[m.To] { // terminated receivers discard silently
+			inboxes[m.To] = append(inboxes[m.To], m)
+		}
+	}
+	for p := 0; p < n; p++ {
+		if !submitted[p] {
+			continue
+		}
+		in := inboxes[p]
+		sort.SliceStable(in, func(i, j int) bool { return in[i].From < in[j].From })
+		e.deliver[p] <- in
+	}
+	return nil
+}
+
+func (e *Engine) makeView(res *Result, round int, outbox []Message) *View {
+	n := e.cfg.N
+	v := &View{
+		Round:       round,
+		N:           n,
+		T:           e.cfg.T,
+		Inputs:      res.Inputs,
+		Corrupted:   append([]bool(nil), e.corrupted...),
+		Terminated:  make([]bool, n),
+		Decisions:   append([]int(nil), res.Decisions...),
+		Snapshots:   append([]any(nil), e.snapshots...),
+		RandomCalls: make([]int64, n),
+		RandomBits:  make([]int64, n),
+		Outbox:      outbox,
+	}
+	for p := 0; p < n; p++ {
+		v.Terminated[p] = res.TerminatedAt[p] >= 0
+		v.RandomCalls[p] = e.sources[p].Calls()
+		v.RandomBits[p] = e.sources[p].BitsDrawn()
+	}
+	return v
+}
+
+func (e *Engine) exchange(pid int, out []Message) []Message {
+	select {
+	case e.events <- event{pid: pid, out: out}:
+	case <-e.quit:
+		panic(errAborted)
+	}
+	select {
+	case in := <-e.deliver[pid]:
+		return in
+	case <-e.quit:
+		panic(errAborted)
+	}
+}
+
+func (e *Engine) setSnapshot(pid int, s any) {
+	e.snapshots[pid] = s
+}

@@ -1,0 +1,44 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineRoundThroughput measures the simulator's cost per
+// communication phase with all-to-all traffic — the figure that bounds how
+// large an n the experiment suite can afford.
+func BenchmarkEngineRoundThroughput(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		n := n
+		b.Run(byN(n), func(b *testing.B) {
+			rounds := b.N
+			res, err := Run(Config{N: n, T: 0, Inputs: make([]int, n), Seed: 1, MaxRounds: rounds + 8},
+				func(env Env, input int) (int, error) {
+					targets := make([]int, 0, n-1)
+					for i := 0; i < n; i++ {
+						if i != env.ID() {
+							targets = append(targets, i)
+						}
+					}
+					payload := bitPayload{1}
+					for r := 0; r < rounds; r++ {
+						env.Exchange(Broadcast(env.ID(), payload, targets))
+					}
+					return 0, nil
+				})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Metrics.Messages)/float64(b.N), "messages/round")
+		})
+	}
+}
+
+func byN(n int) string {
+	switch n {
+	case 16:
+		return "n=16"
+	case 64:
+		return "n=64"
+	default:
+		return "n=256"
+	}
+}

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"omicon/internal/rng"
+)
+
+// Env is the execution environment a protocol sees. Protocols are written
+// against this interface so that they can run directly on the engine, on a
+// relabeled subset of processes (SubEnv, used by ParamOmissions'
+// round-robin phases), or — in principle — over a real transport.
+type Env interface {
+	// ID returns this process's identifier in [0, N()).
+	ID() int
+	// N returns the number of processes in this environment.
+	N() int
+	// T returns the corruption budget the protocol must tolerate.
+	T() int
+	// Round returns the number of communication phases completed in this
+	// environment.
+	Round() int
+	// Rand returns the process's metered random source (Section 2's
+	// randomness metric counts every access).
+	Rand() *rng.Source
+	// Exchange submits this round's outgoing messages and blocks until
+	// the communication phase completes, returning the messages
+	// delivered to this process, sorted by sender. Passing nil sends
+	// nothing (an idle round).
+	Exchange(out []Message) []Message
+	// SetSnapshot publishes the process's current protocol state to the
+	// full-information adversary. Honest protocols publish faithfully.
+	SetSnapshot(s any)
+}
+
+// procEnv is the engine-backed Env for one process.
+type procEnv struct {
+	id     int
+	engine *Engine
+	rand   *rng.Source
+	round  int
+}
+
+var _ Env = (*procEnv)(nil)
+
+func (e *procEnv) ID() int           { return e.id }
+func (e *procEnv) N() int            { return e.engine.cfg.N }
+func (e *procEnv) T() int            { return e.engine.cfg.T }
+func (e *procEnv) Round() int        { return e.round }
+func (e *procEnv) Rand() *rng.Source { return e.rand }
+
+func (e *procEnv) Exchange(out []Message) []Message {
+	in := e.engine.exchange(e.id, out)
+	e.round++
+	return in
+}
+
+func (e *procEnv) SetSnapshot(s any) {
+	e.engine.setSnapshot(e.id, s)
+}
+
+// Idle performs k empty communication rounds.
+func Idle(env Env, k int) {
+	for i := 0; i < k; i++ {
+		env.Exchange(nil)
+	}
+}
+
+// PayloadsFrom indexes an inbox by sender. Multiple messages from the same
+// sender in one round keep the last payload (protocols here send at most
+// one message per recipient per round).
+func PayloadsFrom(in []Message) map[int]Message {
+	m := make(map[int]Message, len(in))
+	for _, msg := range in {
+		m[msg.From] = msg
+	}
+	return m
+}

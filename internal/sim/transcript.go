@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Transcript records the observable history of an execution round by
+// round: what was sent, what the adversary did, who terminated with what
+// decision. Transcripts serve three purposes: debugging (cmd/omicon can
+// dump them), determinism verification (two runs of the same seed must
+// produce byte-identical transcripts), and post-hoc analysis of adversary
+// behaviour without re-running.
+//
+// A Transcript is produced by wrapping the configured adversary with a
+// Recorder; it sees exactly the engine's per-round views and actions.
+type Transcript struct {
+	N      int           `json:"n"`
+	T      int           `json:"t"`
+	Rounds []RoundRecord `json:"rounds"`
+}
+
+// RoundRecord is one communication phase.
+type RoundRecord struct {
+	Round      int   `json:"round"`
+	Messages   int   `json:"messages"`
+	Bits       int64 `json:"bits"`
+	Corrupted  []int `json:"corrupted,omitempty"`
+	Dropped    int   `json:"dropped"`
+	Decided    int   `json:"decided"`
+	Terminated int   `json:"terminated"`
+}
+
+// Recorder wraps an adversary and appends a RoundRecord per phase.
+type Recorder struct {
+	inner      Adversary
+	transcript *Transcript
+}
+
+// NewRecorder wraps inner (nil = NoFaults) and returns the recorder plus
+// the transcript it fills.
+func NewRecorder(inner Adversary) (*Recorder, *Transcript) {
+	if inner == nil {
+		inner = NoFaults{}
+	}
+	tr := &Transcript{}
+	return &Recorder{inner: inner, transcript: tr}, tr
+}
+
+// Name implements Adversary.
+func (r *Recorder) Name() string { return r.inner.Name() }
+
+// Step implements Adversary.
+func (r *Recorder) Step(v *View) Action {
+	act := r.inner.Step(v)
+	if r.transcript.N == 0 {
+		r.transcript.N, r.transcript.T = v.N, v.T
+	}
+	rec := RoundRecord{
+		Round:    v.Round,
+		Messages: len(v.Outbox),
+		Dropped:  len(act.Drop),
+	}
+	for _, m := range v.Outbox {
+		rec.Bits += m.Bits()
+	}
+	rec.Corrupted = append(rec.Corrupted, act.Corrupt...)
+	for p := range v.Decisions {
+		if v.Decisions[p] >= 0 {
+			rec.Decided++
+		}
+		if v.Terminated[p] {
+			rec.Terminated++
+		}
+	}
+	r.transcript.Rounds = append(r.transcript.Rounds, rec)
+	return act
+}
+
+// WriteJSON serializes the transcript.
+func (t *Transcript) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// Equal reports whether two transcripts describe identical executions.
+func (t *Transcript) Equal(o *Transcript) bool {
+	if t.N != o.N || t.T != o.T || len(t.Rounds) != len(o.Rounds) {
+		return false
+	}
+	for i := range t.Rounds {
+		a, b := t.Rounds[i], o.Rounds[i]
+		if a.Round != b.Round || a.Messages != b.Messages || a.Bits != b.Bits ||
+			a.Dropped != b.Dropped || a.Decided != b.Decided || a.Terminated != b.Terminated ||
+			len(a.Corrupted) != len(b.Corrupted) {
+			return false
+		}
+		for j := range a.Corrupted {
+			if a.Corrupted[j] != b.Corrupted[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Summary renders one line per transcript for quick inspection.
+func (t *Transcript) Summary() string {
+	msgs := 0
+	var bits int64
+	corr := 0
+	for _, r := range t.Rounds {
+		msgs += r.Messages
+		bits += r.Bits
+		corr += len(r.Corrupted)
+	}
+	return fmt.Sprintf("rounds=%d messages=%d bits=%d corruptions=%d", len(t.Rounds), msgs, bits, corr)
+}

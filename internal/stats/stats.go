@@ -1,0 +1,106 @@
+// Package stats provides the few statistics the experiment harnesses need:
+// summaries (mean/stddev), simple linear regression, and log-log power-law
+// fits for estimating scaling exponents ("rounds grow like n^0.52") from
+// measured sweeps.
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrDegenerate is returned when a fit has too few or invalid points.
+var ErrDegenerate = errors.New("stats: need at least two distinct finite points")
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (0 for fewer than two
+// points).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Line is a least-squares fit y = Slope*x + Intercept with its coefficient
+// of determination.
+type Line struct {
+	Slope, Intercept, R2 float64
+}
+
+// LinearFit computes the ordinary least-squares line through (xs, ys).
+func LinearFit(xs, ys []float64) (Line, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return Line{}, ErrDegenerate
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) || math.IsNaN(ys[i]) || math.IsInf(ys[i], 0) {
+			return Line{}, ErrDegenerate
+		}
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Line{}, ErrDegenerate
+	}
+	slope := sxy / sxx
+	line := Line{Slope: slope, Intercept: my - slope*mx}
+	if syy == 0 {
+		line.R2 = 1
+	} else {
+		line.R2 = sxy * sxy / (sxx * syy)
+	}
+	return line, nil
+}
+
+// PowerFit fits y = c * x^Exponent by regressing log y on log x. All
+// inputs must be positive.
+type Power struct {
+	Exponent, Coefficient, R2 float64
+}
+
+// PowerFit estimates the scaling exponent of ys against xs.
+func PowerFit(xs, ys []float64) (Power, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return Power{}, ErrDegenerate
+	}
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return Power{}, ErrDegenerate
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	line, err := LinearFit(lx, ly)
+	if err != nil {
+		return Power{}, err
+	}
+	return Power{
+		Exponent:    line.Slope,
+		Coefficient: math.Exp(line.Intercept),
+		R2:          line.R2,
+	}, nil
+}

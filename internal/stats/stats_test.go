@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("mean = %v", m)
+	}
+	if s := StdDev(xs); math.Abs(s-2.138) > 0.01 {
+		t.Fatalf("stddev = %v", s)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Fatal("degenerate summaries must be 0")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11} // y = 2x + 3
+	line, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(line.Slope-2) > 1e-12 || math.Abs(line.Intercept-3) > 1e-12 || math.Abs(line.R2-1) > 1e-12 {
+		t.Fatalf("fit = %+v", line)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5}
+	ys := []float64{0.1, 0.9, 2.2, 2.8, 4.1, 5.0}
+	line, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(line.Slope-1) > 0.1 || line.R2 < 0.98 {
+		t.Fatalf("fit = %+v", line)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point must error")
+	}
+	if _, err := LinearFit([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Fatal("vertical data must error")
+	}
+	if _, err := LinearFit([]float64{1, math.NaN()}, []float64{1, 2}); err == nil {
+		t.Fatal("NaN must error")
+	}
+	if _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestLinearFitConstantY(t *testing.T) {
+	line, err := LinearFit([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line.Slope != 0 || line.R2 != 1 {
+		t.Fatalf("constant fit = %+v", line)
+	}
+}
+
+func TestPowerFitExact(t *testing.T) {
+	// y = 3 x^1.5
+	xs := []float64{1, 4, 9, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Pow(x, 1.5)
+	}
+	p, err := PowerFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Exponent-1.5) > 1e-9 || math.Abs(p.Coefficient-3) > 1e-9 {
+		t.Fatalf("power fit = %+v", p)
+	}
+}
+
+func TestPowerFitRejectsNonPositive(t *testing.T) {
+	if _, err := PowerFit([]float64{1, 2}, []float64{0, 3}); err == nil {
+		t.Fatal("zero y must error")
+	}
+	if _, err := PowerFit([]float64{-1, 2}, []float64{1, 3}); err == nil {
+		t.Fatal("negative x must error")
+	}
+}
+
+// TestPowerFitRecoversExponentProperty: for random positive power laws the
+// fit must recover the exponent.
+func TestPowerFitRecoversExponentProperty(t *testing.T) {
+	f := func(expRaw, coefRaw uint8) bool {
+		exponent := float64(expRaw%50)/10 - 2.4 // [-2.4, 2.5]
+		coef := 0.5 + float64(coefRaw%40)/10    // [0.5, 4.4]
+		xs := []float64{2, 3, 5, 8, 13, 21}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = coef * math.Pow(x, exponent)
+		}
+		p, err := PowerFit(xs, ys)
+		if err != nil {
+			return false
+		}
+		return math.Abs(p.Exponent-exponent) < 1e-6 && math.Abs(p.Coefficient-coef) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,249 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sort"
+	"time"
+
+	"omicon/internal/metrics"
+	"omicon/internal/sim"
+	"omicon/internal/wire"
+)
+
+// Coordinator enforces the synchronous-round barrier over TCP and applies
+// the configured adversary to each communication phase.
+type Coordinator struct {
+	n, t      int
+	adversary sim.Adversary
+	maxRounds int
+	timeout   time.Duration
+
+	counters  metrics.Counters
+	corrupted []bool
+	decisions []int
+	inputs    []int
+}
+
+// CoordinatorResult reports one networked execution.
+type CoordinatorResult struct {
+	// Decisions holds each node's reported decision (-1 = none).
+	Decisions []int
+	// Corrupted marks the processes the adversary took over.
+	Corrupted []bool
+	// Metrics aggregates rounds/messages/bits as observed on the wire
+	// (randomness is node-local and not visible to the coordinator).
+	Metrics metrics.Snapshot
+}
+
+// NewCoordinator configures a barrier for n nodes and fault budget t.
+// adv may be nil (fault-free); maxRounds guards runaway executions.
+func NewCoordinator(n, t int, adv sim.Adversary, maxRounds int) *Coordinator {
+	if adv == nil {
+		adv = sim.NoFaults{}
+	}
+	if maxRounds <= 0 {
+		maxRounds = 60*n + 4096
+	}
+	c := &Coordinator{
+		n: n, t: t,
+		adversary: adv,
+		maxRounds: maxRounds,
+		timeout:   30 * time.Second,
+		corrupted: make([]bool, n),
+		decisions: make([]int, n),
+		inputs:    make([]int, n),
+	}
+	for i := range c.decisions {
+		c.decisions[i] = -1
+	}
+	return c
+}
+
+type nodeConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Serve accepts n node connections on ln and runs the barrier until every
+// node reports DONE. It closes all node connections before returning; the
+// caller owns ln.
+func (c *Coordinator) Serve(ln net.Listener) (*CoordinatorResult, error) {
+	conns := make([]*nodeConn, c.n)
+	defer func() {
+		for _, nc := range conns {
+			if nc != nil {
+				nc.conn.Close()
+			}
+		}
+	}()
+
+	for i := 0; i < c.n; i++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("transport: accept: %w", err)
+		}
+		conn.SetDeadline(time.Now().Add(c.timeout))
+		nc := &nodeConn{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+		body, err := readFrame(nc.r)
+		if err != nil {
+			return nil, fmt.Errorf("transport: hello: %w", err)
+		}
+		d := wire.NewDecoder(body[1:])
+		id := int(d.Uvarint())
+		if len(body) == 0 || body[0] != frameHello || d.Err() != nil || id < 0 || id >= c.n || conns[id] != nil {
+			return nil, fmt.Errorf("transport: bad hello from %s", conn.RemoteAddr())
+		}
+		conns[id] = nc
+	}
+
+	active := make([]bool, c.n)
+	for i := range active {
+		active[i] = true
+	}
+	numActive := c.n
+
+	for round := 1; numActive > 0; round++ {
+		if round > c.maxRounds {
+			return nil, fmt.Errorf("transport: exceeded %d rounds", c.maxRounds)
+		}
+
+		// Gather one frame from each active node.
+		type outMsg struct {
+			from, to int
+			frame    []byte
+		}
+		var outbox []outMsg
+		roundHadBatch := false
+		for id := 0; id < c.n; id++ {
+			if !active[id] {
+				continue
+			}
+			nc := conns[id]
+			nc.conn.SetDeadline(time.Now().Add(c.timeout))
+			body, err := readFrame(nc.r)
+			if err != nil {
+				return nil, fmt.Errorf("transport: node %d round %d: %w", id, round, err)
+			}
+			if len(body) == 0 {
+				return nil, fmt.Errorf("transport: node %d sent empty frame", id)
+			}
+			switch body[0] {
+			case frameDone:
+				d := wire.NewDecoder(body[1:])
+				c.decisions[id] = int(d.Uvarint()) - 1
+				if d.Err() != nil {
+					return nil, fmt.Errorf("transport: node %d done: %w", id, d.Err())
+				}
+				active[id] = false
+				numActive--
+			case frameBatch:
+				roundHadBatch = true
+				d := wire.NewDecoder(body[1:])
+				count := d.Uvarint()
+				for i := uint64(0); i < count; i++ {
+					to := int(d.Uvarint())
+					frame := d.Bytes()
+					if d.Err() != nil {
+						return nil, fmt.Errorf("transport: node %d batch: %w", id, d.Err())
+					}
+					if to < 0 || to >= c.n {
+						return nil, fmt.Errorf("transport: node %d sent to invalid target %d", id, to)
+					}
+					outbox = append(outbox, outMsg{from: id, to: to, frame: frame})
+				}
+			default:
+				return nil, fmt.Errorf("transport: node %d sent frame type %d", id, body[0])
+			}
+		}
+		if numActive == 0 {
+			break
+		}
+		if !roundHadBatch && len(outbox) == 0 {
+			// All remaining frames were DONEs; re-run the loop to
+			// collect the next round from survivors.
+		}
+
+		// The communication phase: account, consult the adversary on a
+		// metadata view, enforce legality, deliver.
+		c.counters.AddRounds(1)
+		sort.SliceStable(outbox, func(i, j int) bool {
+			if outbox[i].from != outbox[j].from {
+				return outbox[i].from < outbox[j].from
+			}
+			return outbox[i].to < outbox[j].to
+		})
+		view := &sim.View{
+			Round:       round,
+			N:           c.n,
+			T:           c.t,
+			Inputs:      c.inputs,
+			Corrupted:   append([]bool(nil), c.corrupted...),
+			Terminated:  make([]bool, c.n),
+			Decisions:   append([]int(nil), c.decisions...),
+			Snapshots:   make([]any, c.n),
+			RandomCalls: make([]int64, c.n),
+			RandomBits:  make([]int64, c.n),
+		}
+		for id := 0; id < c.n; id++ {
+			view.Terminated[id] = !active[id]
+		}
+		for _, m := range outbox {
+			view.Outbox = append(view.Outbox, sim.Msg(m.from, m.to, rawPayload(m.frame)))
+			c.counters.AddMessage(int64(len(m.frame)) * 8)
+		}
+		action := c.adversary.Step(view)
+		for _, p := range action.Corrupt {
+			if p < 0 || p >= c.n {
+				return nil, fmt.Errorf("transport: adversary corrupted invalid process %d", p)
+			}
+			c.corrupted[p] = true
+		}
+		budget := 0
+		for _, b := range c.corrupted {
+			if b {
+				budget++
+			}
+		}
+		if budget > c.t {
+			return nil, fmt.Errorf("%w: %d > t=%d", sim.ErrBudget, budget, c.t)
+		}
+		dropped := make(map[int]bool, len(action.Drop))
+		for _, idx := range action.Drop {
+			if idx < 0 || idx >= len(outbox) {
+				return nil, fmt.Errorf("transport: drop index %d out of range", idx)
+			}
+			m := outbox[idx]
+			if !c.corrupted[m.from] && !c.corrupted[m.to] {
+				return nil, fmt.Errorf("%w: %d->%d", sim.ErrIllegalOmission, m.from, m.to)
+			}
+			dropped[idx] = true
+		}
+
+		inboxes := make([][]deliverEntry, c.n)
+		for idx, m := range outbox {
+			if dropped[idx] || !active[m.to] {
+				continue
+			}
+			inboxes[m.to] = append(inboxes[m.to], deliverEntry{from: m.from, frame: m.frame})
+		}
+		for id := 0; id < c.n; id++ {
+			if !active[id] {
+				continue
+			}
+			nc := conns[id]
+			nc.conn.SetDeadline(time.Now().Add(c.timeout))
+			if err := writeFrame(nc.w, deliverBody(inboxes[id])); err != nil {
+				return nil, fmt.Errorf("transport: deliver to %d: %w", id, err)
+			}
+		}
+	}
+
+	return &CoordinatorResult{
+		Decisions: append([]int(nil), c.decisions...),
+		Corrupted: append([]bool(nil), c.corrupted...),
+		Metrics:   c.counters.Snapshot(),
+	}, nil
+}

@@ -1,0 +1,140 @@
+package transport
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"omicon/internal/codec"
+	"omicon/internal/sim"
+	"omicon/internal/wire"
+)
+
+// serveOne runs a 1..n coordinator in the background and returns its error
+// channel.
+func serveAsync(t *testing.T, n int) (net.Listener, chan error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	errCh := make(chan error, 1)
+	go func() {
+		_, serr := NewCoordinator(n, 0, nil, 16).Serve(ln)
+		errCh <- serr
+	}()
+	return ln, errCh
+}
+
+func rawConn(t *testing.T, addr string) (net.Conn, *bufio.Writer) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn, bufio.NewWriter(conn)
+}
+
+func TestBadHelloRejected(t *testing.T) {
+	ln, errCh := serveAsync(t, 1)
+	conn, w := rawConn(t, ln.Addr().String())
+	_ = conn
+	// Frame with the wrong type byte.
+	if err := writeFrame(w, []byte{frameBatch, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err == nil || !strings.Contains(err.Error(), "hello") {
+		t.Fatalf("want hello error, got %v", err)
+	}
+}
+
+func TestOutOfRangeIDRejected(t *testing.T) {
+	ln, errCh := serveAsync(t, 1)
+	_, w := rawConn(t, ln.Addr().String())
+	if err := writeFrame(w, helloBody(5)); err != nil { // n=1: id 5 invalid
+		t.Fatal(err)
+	}
+	if err := <-errCh; err == nil {
+		t.Fatal("out-of-range id must abort the coordinator")
+	}
+}
+
+func TestDuplicateIDRejected(t *testing.T) {
+	ln, errCh := serveAsync(t, 2)
+	_, w1 := rawConn(t, ln.Addr().String())
+	if err := writeFrame(w1, helloBody(0)); err != nil {
+		t.Fatal(err)
+	}
+	_, w2 := rawConn(t, ln.Addr().String())
+	if err := writeFrame(w2, helloBody(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err == nil {
+		t.Fatal("duplicate id must abort the coordinator")
+	}
+}
+
+func TestInvalidTargetRejected(t *testing.T) {
+	ln, errCh := serveAsync(t, 1)
+	_, w := rawConn(t, ln.Addr().String())
+	if err := writeFrame(w, helloBody(0)); err != nil {
+		t.Fatal(err)
+	}
+	body := batchBody([]batchEntry{{to: 9, frame: []byte{1}}})
+	if err := writeFrame(w, body); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err == nil || !strings.Contains(err.Error(), "invalid target") {
+		t.Fatalf("want invalid-target error, got %v", err)
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	ln, errCh := serveAsync(t, 1)
+	conn, w := rawConn(t, ln.Addr().String())
+	// Claim a frame far beyond the cap; the coordinator must refuse
+	// rather than allocate.
+	if _, err := w.Write(wire.AppendUvarint(nil, 1<<30)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn
+	select {
+	case err := <-errCh:
+		if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+			t.Fatalf("want frame-limit error, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("coordinator did not reject the oversized frame")
+	}
+}
+
+// untypedPayload lacks a wire kind: the node must reject it cleanly.
+type untypedPayload struct{}
+
+func (untypedPayload) AppendWire(buf []byte) []byte { return append(buf, 0) }
+
+func TestNodeRejectsUntypedPayload(t *testing.T) {
+	ln, errCh := serveAsync(t, 1)
+	node, err := Dial(ln.Addr().String(), 0, 1, 0, codec.FullRegistry(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	_, err = node.RunProtocol(func(env sim.Env, input int) (int, error) {
+		env.Exchange([]sim.Message{sim.Msg(0, 0, untypedPayload{})})
+		return 0, nil
+	}, 0)
+	if err == nil || !strings.Contains(err.Error(), "wire kind") {
+		t.Fatalf("want wire-kind error, got %v", err)
+	}
+	// Unblock the coordinator (it is still waiting for our frame).
+	node.Close()
+	<-errCh
+}

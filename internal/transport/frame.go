@@ -1,0 +1,128 @@
+// Package transport runs the library's protocols over real TCP
+// connections: a coordinator process enforces the synchronous-round
+// barrier of the model (Section 2) and optionally injects omission faults
+// through the same sim.Adversary interface the simulator uses, while node
+// processes implement sim.Env over the socket, so every protocol in this
+// repository runs unchanged on the network.
+//
+// The coordinator plays the role the lockstep engine plays in-memory; it
+// sees message metadata (sender, receiver, size) but not process states,
+// so full-information strategies (split-vote, coin-hider) degrade to their
+// stateless behaviour while structural strategies (static-crash,
+// group-killer, eclipse, random-omission) work exactly as in simulation.
+//
+// Stream format: every frame is [length uvarint][body]; bodies begin with
+// a frame type byte. Payloads travel as registry frames (wire.EncodeFrame)
+// and are reconstructed with the codec registry on the receiving node.
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"omicon/internal/wire"
+)
+
+// Frame types.
+const (
+	frameHello   = 1
+	frameBatch   = 2
+	frameDone    = 3
+	frameDeliver = 4
+)
+
+// maxFrameSize bounds a single frame (16 MiB) to fail fast on corruption.
+const maxFrameSize = 16 << 20
+
+// writeFrame writes [len][body] and flushes.
+func writeFrame(w *bufio.Writer, body []byte) error {
+	if _, err := w.Write(wire.AppendUvarint(nil, uint64(len(body)))); err != nil {
+		return err
+	}
+	if _, err := w.Write(body); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// readFrame reads one [len][body] frame.
+func readFrame(r *bufio.Reader) ([]byte, error) {
+	var length uint64
+	var shift uint
+	for i := 0; ; i++ {
+		b, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if i == 10 {
+			return nil, wire.ErrOverflow
+		}
+		length |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			break
+		}
+		shift += 7
+	}
+	if length > maxFrameSize {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", length)
+	}
+	body := make([]byte, length)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// rawPayload carries an undecoded payload on the coordinator side; its
+// wire size is the raw length, keeping bit accounting identical to the
+// sender's.
+type rawPayload []byte
+
+// AppendWire implements wire.Marshaler.
+func (p rawPayload) AppendWire(buf []byte) []byte { return append(buf, p...) }
+
+// helloBody encodes HELLO{id}.
+func helloBody(id int) []byte {
+	body := []byte{frameHello}
+	return wire.AppendUvarint(body, uint64(id))
+}
+
+// batchBody encodes BATCH{count, (to, frame)...}. Each entry's payload is
+// a registry frame.
+func batchBody(entries []batchEntry) []byte {
+	body := []byte{frameBatch}
+	body = wire.AppendUvarint(body, uint64(len(entries)))
+	for _, e := range entries {
+		body = wire.AppendUvarint(body, uint64(e.to))
+		body = wire.AppendBytes(body, e.frame)
+	}
+	return body
+}
+
+type batchEntry struct {
+	to    int
+	frame []byte
+}
+
+// doneBody encodes DONE{decision+1} (0 encodes "no decision").
+func doneBody(decision int) []byte {
+	body := []byte{frameDone}
+	return wire.AppendUvarint(body, uint64(decision+1))
+}
+
+// deliverBody encodes DELIVER{count, (from, frame)...}.
+func deliverBody(entries []deliverEntry) []byte {
+	body := []byte{frameDeliver}
+	body = wire.AppendUvarint(body, uint64(len(entries)))
+	for _, e := range entries {
+		body = wire.AppendUvarint(body, uint64(e.from))
+		body = wire.AppendBytes(body, e.frame)
+	}
+	return body
+}
+
+type deliverEntry struct {
+	from  int
+	frame []byte
+}

@@ -1,0 +1,172 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"omicon/internal/metrics"
+	"omicon/internal/rng"
+	"omicon/internal/sim"
+	"omicon/internal/wire"
+)
+
+// errNodeAborted unwinds a protocol goroutine when the connection fails.
+var errNodeAborted = errors.New("transport: node aborted")
+
+// Node implements sim.Env over a TCP connection to a Coordinator, so any
+// sim.Protocol runs unchanged on the network.
+type Node struct {
+	id, n, t int
+	conn     net.Conn
+	r        *bufio.Reader
+	w        *bufio.Writer
+	registry *wire.Registry
+	rand     *rng.Source
+	counters *metrics.Counters
+	round    int
+	timeout  time.Duration
+	err      error
+}
+
+var _ sim.Env = (*Node)(nil)
+
+// Dial connects to the coordinator and registers as process id of n with
+// fault budget t. The registry reconstructs received payloads; seed
+// derives the node's metered random source.
+func Dial(addr string, id, n, t int, registry *wire.Registry, seed uint64) (*Node, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial: %w", err)
+	}
+	node := &Node{
+		id: id, n: n, t: t,
+		conn:     conn,
+		r:        bufio.NewReader(conn),
+		w:        bufio.NewWriter(conn),
+		registry: registry,
+		counters: &metrics.Counters{},
+		timeout:  30 * time.Second,
+	}
+	node.rand = rng.New(seed, uint64(id), node.counters)
+	conn.SetDeadline(time.Now().Add(node.timeout))
+	if err := writeFrame(node.w, helloBody(id)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: hello: %w", err)
+	}
+	return node, nil
+}
+
+// ID implements sim.Env.
+func (nd *Node) ID() int { return nd.id }
+
+// N implements sim.Env.
+func (nd *Node) N() int { return nd.n }
+
+// T implements sim.Env.
+func (nd *Node) T() int { return nd.t }
+
+// Round implements sim.Env.
+func (nd *Node) Round() int { return nd.round }
+
+// Rand implements sim.Env.
+func (nd *Node) Rand() *rng.Source { return nd.rand }
+
+// SetSnapshot implements sim.Env. Over the network the coordinator's
+// adversary sees only traffic metadata, so snapshots are discarded —
+// running against a weaker-information adversary only under-approximates
+// the model's worst case.
+func (nd *Node) SetSnapshot(any) {}
+
+// Exchange implements sim.Env: it ships the outgoing batch, blocks for
+// the coordinator's delivery, and reconstructs payloads via the registry.
+// Transport failures unwind the protocol via panic(errNodeAborted), which
+// RunProtocol recovers into an error.
+func (nd *Node) Exchange(out []sim.Message) []sim.Message {
+	entries := make([]batchEntry, 0, len(out))
+	for _, m := range out {
+		typed, ok := m.Payload.(wire.Typed)
+		if !ok {
+			nd.abort(fmt.Errorf("transport: payload %T lacks a wire kind", m.Payload))
+		}
+		entries = append(entries, batchEntry{to: m.To, frame: wire.EncodeFrame(nil, typed)})
+	}
+	nd.conn.SetDeadline(time.Now().Add(nd.timeout))
+	if err := writeFrame(nd.w, batchBody(entries)); err != nil {
+		nd.abort(err)
+	}
+	for _, e := range entries {
+		nd.counters.AddMessage(int64(len(e.frame)) * 8)
+	}
+
+	body, err := readFrame(nd.r)
+	if err != nil {
+		nd.abort(err)
+	}
+	if len(body) == 0 || body[0] != frameDeliver {
+		nd.abort(fmt.Errorf("transport: expected DELIVER, got type %d", frameType(body)))
+	}
+	d := wire.NewDecoder(body[1:])
+	count := d.Uvarint()
+	in := make([]sim.Message, 0, count)
+	for i := uint64(0); i < count; i++ {
+		from := int(d.Uvarint())
+		frame := d.Bytes()
+		if d.Err() != nil {
+			nd.abort(d.Err())
+		}
+		payload, perr := nd.registry.DecodeFrame(wire.NewDecoder(frame))
+		if perr != nil {
+			nd.abort(perr)
+		}
+		in = append(in, sim.Msg(from, nd.id, payload))
+	}
+	nd.round++
+	nd.counters.AddRounds(1)
+	return in
+}
+
+func frameType(body []byte) int {
+	if len(body) == 0 {
+		return -1
+	}
+	return int(body[0])
+}
+
+func (nd *Node) abort(err error) {
+	if nd.err == nil {
+		nd.err = err
+	}
+	panic(errNodeAborted)
+}
+
+// RunProtocol executes proto against this node's environment, reports the
+// decision to the coordinator (DONE) and returns it.
+func (nd *Node) RunProtocol(proto sim.Protocol, input int) (decision int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r != any(errNodeAborted) {
+				panic(r)
+			}
+			decision, err = -1, nd.err
+		}
+	}()
+	decision, err = proto(nd, input)
+	if err != nil {
+		return -1, err
+	}
+	nd.conn.SetDeadline(time.Now().Add(nd.timeout))
+	if werr := writeFrame(nd.w, doneBody(decision)); werr != nil {
+		return -1, werr
+	}
+	return decision, nil
+}
+
+// Metrics returns this node's local cost counters (messages/bits sent,
+// rounds participated, randomness drawn).
+func (nd *Node) Metrics() metrics.Snapshot { return nd.counters.Snapshot() }
+
+// Close tears down the connection.
+func (nd *Node) Close() error { return nd.conn.Close() }

@@ -1,0 +1,82 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecoder feeds arbitrary bytes through every Decoder method; the
+// contract is "errors, never panics, never reads past the buffer".
+func FuzzDecoder(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Add(AppendUvarints(AppendBytes(AppendBool(AppendVarint(nil, -5), true), []byte("abc")), []uint64{1, 2, 3}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(data)
+		d.Uvarint()
+		d.Varint()
+		d.Bool()
+		d.Bytes()
+		d.Uvarints()
+		_ = d.Finish()
+		if d.Len() < 0 {
+			t.Fatal("negative remaining length")
+		}
+	})
+}
+
+// FuzzRoundTrip checks that encoding survives decoding for arbitrary
+// values.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(0), int64(-1), true, []byte("x"))
+	f.Fuzz(func(t *testing.T, u uint64, v int64, b bool, bs []byte) {
+		buf := AppendUvarint(nil, u)
+		buf = AppendVarint(buf, v)
+		buf = AppendBool(buf, b)
+		buf = AppendBytes(buf, bs)
+		d := NewDecoder(buf)
+		if d.Uvarint() != u || d.Varint() != v || d.Bool() != b || !bytes.Equal(d.Bytes(), bs) {
+			t.Fatal("round trip mismatch")
+		}
+		if err := d.Finish(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func BenchmarkAppendUvarint(b *testing.B) {
+	buf := make([]byte, 0, 16)
+	for i := 0; i < b.N; i++ {
+		buf = AppendUvarint(buf[:0], uint64(i)*0x9e3779b9)
+	}
+}
+
+func BenchmarkDecodeUvarint(b *testing.B) {
+	buf := AppendUvarint(nil, 1<<40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewDecoder(buf)
+		d.Uvarint()
+	}
+}
+
+type benchPayload struct {
+	a, b uint64
+	s    []byte
+}
+
+func (p benchPayload) AppendWire(buf []byte) []byte {
+	buf = AppendUvarint(buf, p.a)
+	buf = AppendUvarint(buf, p.b)
+	return AppendBytes(buf, p.s)
+}
+
+func BenchmarkBitLen(b *testing.B) {
+	p := benchPayload{a: 300, b: 7, s: []byte("payload")}
+	for i := 0; i < b.N; i++ {
+		if BitLen(p) == 0 {
+			b.Fatal("zero")
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package wire
+
+import (
+	"fmt"
+)
+
+// Typed is a payload that knows its globally unique wire kind, required
+// for transports that must reconstruct Go payloads from raw bytes (the
+// in-memory simulator passes payloads as values and never decodes).
+// Kind ranges are assigned per package; see each package's codec file.
+type Typed interface {
+	Marshaler
+	// WireKind returns the payload's registry key.
+	WireKind() uint64
+}
+
+// DecodeFunc reconstructs one payload from its encoding (the bytes
+// produced by AppendWire, including any package-internal tag).
+type DecodeFunc func(d *Decoder) (Typed, error)
+
+// Registry maps wire kinds to decoders. A transport carries frames of the
+// form [kind uvarint][payload encoding]; EncodeFrame and DecodeFrame
+// implement that format.
+type Registry struct {
+	decoders map[uint64]DecodeFunc
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{decoders: make(map[uint64]DecodeFunc)}
+}
+
+// Register adds a decoder for kind; duplicate registrations are a
+// programming error and panic at startup.
+func (r *Registry) Register(kind uint64, fn DecodeFunc) {
+	if _, dup := r.decoders[kind]; dup {
+		panic(fmt.Sprintf("wire: duplicate kind %#x", kind))
+	}
+	r.decoders[kind] = fn
+}
+
+// EncodeFrame appends [kind][encoding] for a typed payload.
+func EncodeFrame(buf []byte, p Typed) []byte {
+	buf = AppendUvarint(buf, p.WireKind())
+	return p.AppendWire(buf)
+}
+
+// DecodeFrame reconstructs a payload from a frame produced by EncodeFrame.
+func (r *Registry) DecodeFrame(d *Decoder) (Typed, error) {
+	kind := d.Uvarint()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	fn, ok := r.decoders[kind]
+	if !ok {
+		return nil, fmt.Errorf("wire: unknown kind %#x", kind)
+	}
+	return fn(d)
+}
+
+// RoundTrip encodes p and decodes it back — the per-payload contract test
+// helper used across the protocol packages.
+func (r *Registry) RoundTrip(p Typed) (Typed, error) {
+	d := NewDecoder(EncodeFrame(nil, p))
+	out, err := r.DecodeFrame(d)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("wire: trailing bytes after %#x: %w", p.WireKind(), err)
+	}
+	return out, nil
+}

@@ -1,0 +1,172 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUvarintRoundTrip(t *testing.T) {
+	cases := []uint64{0, 1, 127, 128, 255, 300, 1 << 20, 1<<63 - 1, math.MaxUint64}
+	for _, v := range cases {
+		buf := AppendUvarint(nil, v)
+		d := NewDecoder(buf)
+		got := d.Uvarint()
+		if err := d.Finish(); err != nil {
+			t.Fatalf("v=%d: %v", v, err)
+		}
+		if got != v {
+			t.Fatalf("round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestUvarintRoundTripProperty(t *testing.T) {
+	f := func(v uint64) bool {
+		d := NewDecoder(AppendUvarint(nil, v))
+		return d.Uvarint() == v && d.Finish() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarintRoundTripProperty(t *testing.T) {
+	f := func(v int64) bool {
+		d := NewDecoder(AppendVarint(nil, v))
+		return d.Varint() == v && d.Finish() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesRoundTripProperty(t *testing.T) {
+	f := func(b []byte) bool {
+		d := NewDecoder(AppendBytes(nil, b))
+		got := d.Bytes()
+		return d.Finish() == nil && bytes.Equal(got, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUvarintsRoundTripProperty(t *testing.T) {
+	f := func(vs []uint64) bool {
+		d := NewDecoder(AppendUvarints(nil, vs))
+		got := d.Uvarints()
+		if d.Finish() != nil || len(got) != len(vs) {
+			return false
+		}
+		for i := range vs {
+			if got[i] != vs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoolRoundTrip(t *testing.T) {
+	for _, b := range []bool{true, false} {
+		d := NewDecoder(AppendBool(nil, b))
+		if got := d.Bool(); got != b || d.Finish() != nil {
+			t.Fatalf("bool %v -> %v err=%v", b, got, d.Finish())
+		}
+	}
+}
+
+func TestBoolRejectsGarbage(t *testing.T) {
+	d := NewDecoder([]byte{7})
+	d.Bool()
+	if d.Err() == nil {
+		t.Fatal("want error for invalid bool byte")
+	}
+}
+
+func TestTruncatedErrors(t *testing.T) {
+	cases := [][]byte{
+		{},           // empty uvarint
+		{0x80},       // unterminated uvarint
+		{0x80, 0x80}, // still unterminated
+	}
+	for _, buf := range cases {
+		d := NewDecoder(buf)
+		d.Uvarint()
+		if d.Err() == nil {
+			t.Fatalf("buf %v: want error", buf)
+		}
+	}
+}
+
+func TestOverflowVarint(t *testing.T) {
+	buf := bytes.Repeat([]byte{0xff}, 11)
+	d := NewDecoder(buf)
+	d.Uvarint()
+	if d.Err() != ErrOverflow {
+		t.Fatalf("err = %v, want ErrOverflow", d.Err())
+	}
+}
+
+func TestBytesTruncatedLength(t *testing.T) {
+	// Claims 100 bytes, provides 2.
+	buf := AppendUvarint(nil, 100)
+	buf = append(buf, 1, 2)
+	d := NewDecoder(buf)
+	d.Bytes()
+	if d.Err() != ErrTruncated {
+		t.Fatalf("err = %v, want ErrTruncated", d.Err())
+	}
+}
+
+func TestUvarintsTruncatedLength(t *testing.T) {
+	buf := AppendUvarint(nil, 1000)
+	d := NewDecoder(buf)
+	d.Uvarints()
+	if d.Err() != ErrTruncated {
+		t.Fatalf("err = %v, want ErrTruncated", d.Err())
+	}
+}
+
+func TestFinishTrailingBytes(t *testing.T) {
+	buf := AppendUvarint(nil, 5)
+	buf = append(buf, 0x00)
+	d := NewDecoder(buf)
+	d.Uvarint()
+	if err := d.Finish(); err == nil {
+		t.Fatal("want trailing-bytes error")
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	d := NewDecoder(nil)
+	d.Uvarint() // sets error
+	if d.Uvarint() != 0 || d.Bool() || d.Bytes() != nil {
+		t.Fatal("operations after error must return zero values")
+	}
+	if d.Err() == nil {
+		t.Fatal("error must stick")
+	}
+}
+
+type pair struct{ A, B uint64 }
+
+func (p pair) AppendWire(buf []byte) []byte {
+	buf = AppendUvarint(buf, p.A)
+	return AppendUvarint(buf, p.B)
+}
+
+func TestBitLenMatchesEncoding(t *testing.T) {
+	p := pair{A: 1, B: 300}
+	if got, want := BitLen(p), int64(len(Encode(p)))*8; got != want {
+		t.Fatalf("BitLen = %d, want %d", got, want)
+	}
+	if BitLen(p) != 3*8 { // 1 byte + 2 bytes
+		t.Fatalf("BitLen = %d, want 24", BitLen(p))
+	}
+}

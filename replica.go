@@ -1,0 +1,24 @@
+package omicon
+
+import (
+	"omicon/internal/replica"
+)
+
+// StateMachine consumes committed log commands in order; implementations
+// must be deterministic and expose a canonical state snapshot.
+type StateMachine = replica.StateMachine
+
+// Cluster is a replicated log over the paper's consensus: one multi-valued
+// consensus instance per slot, commands applied in order to every
+// replica's state machine.
+type Cluster = replica.Cluster
+
+// SlotResult reports one committed log slot.
+type SlotResult = replica.SlotResult
+
+// NewCluster prepares a replicated-log deployment of n replicas tolerating
+// t omission-faulty ones per slot; machines drives one state machine per
+// replica.
+func NewCluster(n, t int, machines []StateMachine) (*Cluster, error) {
+	return replica.New(replica.Config{N: n, T: t}, machines)
+}

@@ -1,0 +1,50 @@
+package omicon
+
+import (
+	"fmt"
+
+	"omicon/internal/core"
+	"omicon/internal/multivalue"
+	"omicon/internal/sim"
+)
+
+// ValueResult is the outcome of a multi-valued consensus execution.
+type ValueResult = multivalue.Result
+
+// SolveValues runs multi-valued consensus: process p proposes values[p]
+// (arbitrary bytes) and all non-faulty processes output the same proposed
+// value. The reduction rotates proposers over the binary
+// OptimalOmissionsConsensus and terminates within T+1 iterations; see
+// internal/multivalue for the construction and its correctness argument in
+// the omission model.
+//
+// cfg.Algorithm is ignored (the binary layer is always the paper's main
+// algorithm); cfg.Inputs is ignored in favor of values.
+func SolveValues(cfg Config, values [][]byte) (*ValueResult, error) {
+	if len(values) != cfg.N {
+		return nil, fmt.Errorf("omicon: got %d values for N=%d", len(values), cfg.N)
+	}
+	var opts []core.Option
+	if cfg.PaperScale {
+		opts = append(opts, core.PaperScale())
+	}
+	if cfg.AllowLargeT {
+		opts = append(opts, core.AllowLargeT())
+	}
+	bp, err := core.Prepare(cfg.N, cfg.T, opts...)
+	if err != nil {
+		return nil, err
+	}
+	p := multivalue.Params{Binary: multivalue.CoreBinary(bp)}
+	maxRounds := cfg.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = (cfg.T + 2) * (p.Binary.RoundsBound + 8)
+	}
+	return multivalue.Run(sim.Config{
+		N: cfg.N, T: cfg.T,
+		Inputs:    make([]int, cfg.N),
+		Seed:      cfg.Seed,
+		Adversary: cfg.Adversary,
+		MaxRounds: maxRounds,
+	}, values, p)
+}
