@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test check soak vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# check is the pre-merge gate: vet plus the full suite under the race
+# detector (transport reconnect/resume and the chaos soak are concurrent
+# by construction). Uses -short to keep the soak at its fast schedule
+# count; run `make soak` for the full chaos sweep.
+check:
+	$(GO) vet ./...
+	$(GO) test -race -short ./...
+
+soak:
+	$(GO) test -race -count=1 -run 'TestSoakChaosSchedules|TestKillMidRound|TestReconnectResume' ./internal/transport/...

@@ -9,6 +9,16 @@
 //	    runs the round-barrier/fault-injection server;
 //	netdemo -role node -addr host:7000 -id 3 -n 8 -t 1 -algo phaseking -input 1
 //	    runs one protocol node (one per process/machine).
+//
+// Failure handling is selected with -policy: "failfast" (default) aborts
+// the run on the first node failure, "omission" absorbs failures as
+// in-model omission faults and continues with the survivors. -grace
+// enables mid-run reconnect/resume; -retries bounds node-side re-dials.
+// The -chaos flag (with -chaos-reset/-delay/-split/-stall probabilities)
+// injects seeded connection faults on every node connection, e.g.:
+//
+//	netdemo -role local -n 8 -t 2 -algo floodset -policy omission \
+//	    -grace 500ms -retries 3 -chaos -chaos-reset 0.05 -chaos-delay 0.2
 package main
 
 import (
@@ -17,6 +27,7 @@ import (
 	"net"
 	"os"
 	"sync"
+	"time"
 
 	"omicon"
 	"omicon/internal/codec"
@@ -26,6 +37,7 @@ import (
 	"omicon/internal/phaseking"
 	"omicon/internal/sim"
 	"omicon/internal/transport"
+	"omicon/internal/transport/faultconn"
 )
 
 func main() {
@@ -48,8 +60,45 @@ func run() error {
 		input    = flag.Int("input", 0, "node: input bit")
 		ones     = flag.Int("ones", -1, "local: number of 1-inputs (-1 = n/2)")
 		seed     = flag.Uint64("seed", 42, "node randomness seed base")
+
+		policy  = flag.String("policy", "failfast", "failure policy: failfast | omission")
+		grace   = flag.Duration("grace", 0, "reconnect grace window (0 disables resume)")
+		retries = flag.Int("retries", 0, "node-side reconnect attempts after a broken connection")
+		ioTmo   = flag.Duration("io-timeout", 30*time.Second, "per-frame I/O deadline")
+		accTmo  = flag.Duration("accept-timeout", 30*time.Second, "coordinator wait for all HELLOs")
+
+		chaos      = flag.Bool("chaos", false, "inject seeded faults on node connections")
+		chaosSeed  = flag.Uint64("chaos-seed", 1, "fault-injection seed")
+		chaosReset = flag.Float64("chaos-reset", 0.02, "per-op connection reset probability")
+		chaosDelay = flag.Float64("chaos-delay", 0.2, "per-op delay probability")
+		chaosSplit = flag.Float64("chaos-split", 0.2, "per-write split probability")
+		chaosStall = flag.Float64("chaos-stall", 0.1, "per-read stall probability")
 	)
 	flag.Parse()
+
+	pol, err := transport.ParsePolicy(*policy)
+	if err != nil {
+		return err
+	}
+	coordOpts := transport.Options{
+		Policy:         pol,
+		IOTimeout:      *ioTmo,
+		AcceptTimeout:  *accTmo,
+		ReconnectGrace: *grace,
+	}
+	nodeOpts := transport.NodeOptions{
+		Timeout:  *ioTmo,
+		RetryMax: *retries,
+	}
+	if *chaos {
+		nodeOpts.Dialer = faultconn.Dialer(faultconn.Config{
+			Seed:      *chaosSeed,
+			ResetProb: *chaosReset,
+			DelayProb: *chaosDelay,
+			SplitProb: *chaosSplit,
+			StallProb: *chaosStall,
+		})
+	}
 
 	proto, maxRounds, err := buildProtocol(*algoName, *n, *t)
 	if err != nil {
@@ -67,20 +116,19 @@ func run() error {
 			return err
 		}
 		defer ln.Close()
-		fmt.Printf("coordinator listening on %s for %d nodes (t=%d, adversary=%s)\n",
-			ln.Addr(), *n, *t, adv.Name())
-		res, err := transport.NewCoordinator(*n, *t, adv, maxRounds).Serve(ln)
-		if err != nil {
-			return err
-		}
+		fmt.Printf("coordinator listening on %s for %d nodes (t=%d, adversary=%s, policy=%s)\n",
+			ln.Addr(), *n, *t, adv.Name(), pol)
+		coord := transport.NewCoordinator(*n, *t, adv, maxRounds)
+		coord.SetOptions(coordOpts)
+		res, err := coord.Serve(ln)
 		printResult(res)
-		return nil
+		return err
 
 	case "node":
 		if *addr == "" || *id < 0 {
 			return fmt.Errorf("node role needs -addr and -id")
 		}
-		node, err := transport.Dial(*addr, *id, *n, *t, codec.FullRegistry(), *seed)
+		node, err := transport.DialOpts(*addr, *id, *n, *t, codec.FullRegistry(), *seed, nodeOpts)
 		if err != nil {
 			return err
 		}
@@ -105,19 +153,22 @@ func run() error {
 			return err
 		}
 		defer ln.Close()
-		fmt.Printf("running %s over TCP loopback: n=%d t=%d adversary=%s\n",
-			*algoName, *n, *t, adv.Name())
+		fmt.Printf("running %s over TCP loopback: n=%d t=%d adversary=%s policy=%s chaos=%v\n",
+			*algoName, *n, *t, adv.Name(), pol, *chaos)
 
-		resCh := make(chan *transport.CoordinatorResult, 1)
-		errCh := make(chan error, *n+1)
+		coord := transport.NewCoordinator(*n, *t, adv, maxRounds)
+		coord.SetOptions(coordOpts)
+		type served struct {
+			res *transport.CoordinatorResult
+			err error
+		}
+		resCh := make(chan served, 1)
 		go func() {
-			res, serr := transport.NewCoordinator(*n, *t, adv, maxRounds).Serve(ln)
-			if serr != nil {
-				errCh <- serr
-			}
-			resCh <- res
+			res, serr := coord.Serve(ln)
+			resCh <- served{res, serr}
 		}()
 		reg := codec.FullRegistry()
+		nodeErrs := make([]error, *n)
 		var wg sync.WaitGroup
 		for p := 0; p < *n; p++ {
 			wg.Add(1)
@@ -127,25 +178,35 @@ func run() error {
 				if p < *ones {
 					in = 1
 				}
-				node, derr := transport.Dial(ln.Addr().String(), p, *n, *t, reg, *seed)
+				node, derr := transport.DialOpts(ln.Addr().String(), p, *n, *t, reg, *seed, nodeOpts)
 				if derr != nil {
-					errCh <- derr
+					nodeErrs[p] = derr
 					return
 				}
 				defer node.Close()
 				if _, rerr := node.RunProtocol(proto, in); rerr != nil {
-					errCh <- rerr
+					nodeErrs[p] = rerr
 				}
 			}(p)
 		}
 		wg.Wait()
-		res := <-resCh
-		select {
-		case e := <-errCh:
-			return e
-		default:
+		sv := <-resCh
+		printResult(sv.res)
+		if sv.err != nil {
+			return sv.err
 		}
-		printResult(res)
+		for p, nerr := range nodeErrs {
+			if nerr == nil {
+				continue
+			}
+			if pol == transport.FailAsOmission && sv.res != nil && sv.res.Crashed[p] {
+				// The coordinator absorbed this failure as an in-model
+				// fault; the node's own abort is expected collateral.
+				fmt.Printf("node %d failed (absorbed as omission fault): %v\n", p, nerr)
+				continue
+			}
+			return nerr
+		}
 		return nil
 
 	default:
@@ -192,6 +253,10 @@ func printResult(res *transport.CoordinatorResult) {
 		}
 	}
 	fmt.Printf("decisions   : %v\n", res.Decisions)
+	fmt.Printf("outcomes    : %v\n", res.Outcomes)
 	fmt.Printf("agreement   : %v (non-corrupted decided %d)\n", agree, want)
 	fmt.Printf("wire metrics: %s\n", res.Metrics)
+	for _, f := range res.Failures {
+		fmt.Printf("failure     : %s\n", f)
+	}
 }

@@ -20,6 +20,8 @@ type Counters struct {
 	commBits    atomic.Int64
 	randomBits  atomic.Int64
 	randomCalls atomic.Int64
+	crashes     atomic.Int64
+	retries     atomic.Int64
 }
 
 // Snapshot is an immutable copy of the counters, suitable for reporting.
@@ -43,6 +45,12 @@ type Snapshot struct {
 	// the quantity R in Theorem 2 (each access may draw a finite-length
 	// bit sequence).
 	RandomCalls int64
+	// Crashes counts process failures the transport coordinator absorbed
+	// as in-model omission faults (always zero for in-memory runs).
+	Crashes int64
+	// Retries counts reconnect attempts: node-side re-dials and
+	// coordinator-side resume adoptions after a broken connection.
+	Retries int64
 }
 
 // AddRounds advances the round counter by d rounds.
@@ -61,6 +69,12 @@ func (c *Counters) AddRandom(bits int64) {
 	c.randomBits.Add(bits)
 }
 
+// AddCrash records one process failure converted into an in-model fault.
+func (c *Counters) AddCrash() { c.crashes.Add(1) }
+
+// AddRetry records one reconnect attempt (a re-dial or a resume adoption).
+func (c *Counters) AddRetry() { c.retries.Add(1) }
+
 // Snapshot returns a consistent-enough copy for post-execution reporting.
 // It must only be trusted after the execution has quiesced.
 func (c *Counters) Snapshot() Snapshot {
@@ -70,6 +84,8 @@ func (c *Counters) Snapshot() Snapshot {
 		CommBits:    c.commBits.Load(),
 		RandomBits:  c.randomBits.Load(),
 		RandomCalls: c.randomCalls.Load(),
+		Crashes:     c.crashes.Load(),
+		Retries:     c.retries.Load(),
 	}
 }
 
@@ -85,11 +101,19 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 		CommBits:    s.CommBits + o.CommBits,
 		RandomBits:  s.RandomBits + o.RandomBits,
 		RandomCalls: s.RandomCalls + o.RandomCalls,
+		Crashes:     s.Crashes + o.Crashes,
+		Retries:     s.Retries + o.Retries,
 	}
 }
 
-// String renders the snapshot as a compact single line.
+// String renders the snapshot as a compact single line. Crash and retry
+// counts only appear when a failure actually occurred, keeping fault-free
+// reports identical to the in-memory engine's.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("rounds=%d messages=%d commBits=%d randomBits=%d randomCalls=%d",
+	out := fmt.Sprintf("rounds=%d messages=%d commBits=%d randomBits=%d randomCalls=%d",
 		s.Rounds, s.Messages, s.CommBits, s.RandomBits, s.RandomCalls)
+	if s.Crashes != 0 || s.Retries != 0 {
+		out += fmt.Sprintf(" crashes=%d retries=%d", s.Crashes, s.Retries)
+	}
+	return out
 }

@@ -41,12 +41,29 @@ func TestConcurrentUpdates(t *testing.T) {
 }
 
 func TestSnapshotAdd(t *testing.T) {
-	a := Snapshot{Rounds: 1, Messages: 2, CommBits: 3, RandomBits: 4, RandomCalls: 5}
-	b := Snapshot{Rounds: 10, Messages: 20, CommBits: 30, RandomBits: 40, RandomCalls: 50}
+	a := Snapshot{Rounds: 1, Messages: 2, CommBits: 3, RandomBits: 4, RandomCalls: 5, Crashes: 6, Retries: 7}
+	b := Snapshot{Rounds: 10, Messages: 20, CommBits: 30, RandomBits: 40, RandomCalls: 50, Crashes: 60, Retries: 70}
 	got := a.Add(b)
-	want := Snapshot{Rounds: 11, Messages: 22, CommBits: 33, RandomBits: 44, RandomCalls: 55}
+	want := Snapshot{Rounds: 11, Messages: 22, CommBits: 33, RandomBits: 44, RandomCalls: 55, Crashes: 66, Retries: 77}
 	if got != want {
 		t.Fatalf("Add = %+v, want %+v", got, want)
+	}
+}
+
+func TestCrashRetryCounters(t *testing.T) {
+	var c Counters
+	c.AddCrash()
+	c.AddRetry()
+	c.AddRetry()
+	s := c.Snapshot()
+	if s.Crashes != 1 || s.Retries != 2 {
+		t.Fatalf("crashes=%d retries=%d, want 1/2", s.Crashes, s.Retries)
+	}
+	if !strings.Contains(s.String(), "crashes=1") || !strings.Contains(s.String(), "retries=2") {
+		t.Fatalf("String() = %q", s.String())
+	}
+	if strings.Contains(Snapshot{Rounds: 1}.String(), "crashes") {
+		t.Fatalf("fault-free String() must omit crash counters: %q", Snapshot{Rounds: 1}.String())
 	}
 }
 

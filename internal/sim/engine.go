@@ -46,6 +46,14 @@ var (
 
 // errAborted is the sentinel used to unwind protocol goroutines when the
 // engine aborts; it never escapes the package.
+//
+// PANIC AUDIT: the engine panics in exactly three places, none reachable
+// from external input. exchange panics with this sentinel to unwind a
+// protocol goroutine blocked at the barrier when the engine aborts, and
+// runProcess recovers precisely that sentinel; any other panic crossing
+// runProcess is a protocol bug and is re-raised as an internal invariant
+// violation. All adversary- and configuration-level failures are returned
+// as errors from Run.
 var errAborted = errors.New("sim: execution aborted")
 
 type event struct {
@@ -139,6 +147,8 @@ func Run(cfg Config, proto Protocol) (*Result, error) {
 func (e *Engine) runProcess(wg *sync.WaitGroup, pid int, proto Protocol) {
 	defer wg.Done()
 	defer func() {
+		// INVARIANT: only the errAborted sentinel is recovered; a
+		// protocol bug's panic must surface, not be swallowed.
 		if r := recover(); r != nil && r != any(errAborted) {
 			panic(r)
 		}

@@ -1,0 +1,56 @@
+package sim
+
+import "fmt"
+
+// Outcome classifies how one process ended a networked execution. The
+// in-memory engine has no crash class (goroutines cannot lose their
+// "connection" to the scheduler), but the TCP transport converts real-world
+// process failures into in-model omission faults, and reports the
+// conversion through these values.
+type Outcome int
+
+const (
+	// OutcomeAborted means the run ended before the process reported a
+	// decision (the zero value, so an aborted run needs no fix-up pass).
+	OutcomeAborted Outcome = iota
+	// OutcomeDecided means the process reported a decision (possibly the
+	// explicit "no decision" value -1).
+	OutcomeDecided
+	// OutcomeCrashed means the process failed mid-run (broken connection,
+	// timeout, or protocol-violating frame) and was converted into an
+	// in-model omission fault: its pending outbox was dropped and its
+	// inbox is discarded for the remainder of the execution.
+	OutcomeCrashed
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeDecided:
+		return "decided"
+	case OutcomeCrashed:
+		return "crashed"
+	case OutcomeAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// FailureEvent is one entry of a networked execution's failure log: a
+// process failure the coordinator observed and (under FailAsOmission)
+// absorbed as an in-model fault.
+type FailureEvent struct {
+	// Process is the failed process id.
+	Process int
+	// Round is the 1-based round in which the failure was observed.
+	Round int
+	// Reason describes the underlying fault (I/O error, timeout, or
+	// protocol violation).
+	Reason string
+}
+
+// String implements fmt.Stringer.
+func (f FailureEvent) String() string {
+	return fmt.Sprintf("process %d round %d: %s", f.Process, f.Round, f.Reason)
+}

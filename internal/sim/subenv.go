@@ -34,8 +34,10 @@ func NewSubEnv(parent Env, members []int, subT int) *SubEnv {
 	}
 	id, ok := local[parent.ID()]
 	if !ok {
-		// A non-member SubEnv is a programming error; fail loudly at
-		// construction rather than mid-protocol.
+		// INVARIANT (panic audit): member sets are computed locally by
+		// the caller (ParamOmissions' round-robin schedule), never from
+		// network input, so a non-member construction is a programming
+		// error; fail loudly at construction rather than mid-protocol.
 		panic("sim: SubEnv constructed by non-member process")
 	}
 	return &SubEnv{parent: parent, members: ms, local: local, id: id, t: subT}

@@ -1,0 +1,193 @@
+// Package faultconn wraps net.Conn with seeded, deterministic fault
+// injection — artificial delays, split writes, read stalls, and connection
+// resets — so the transport's failure handling can be exercised by tests
+// and by cmd/netdemo without a real flaky network.
+//
+// Determinism is per connection: given the same Config.Seed, connection
+// index, and the same sequence of Read/Write calls, a connection injects
+// the same schedule of faults. (Cross-goroutine interleaving is of course
+// still up to the scheduler; the point is that fault decisions never
+// depend on wall-clock or a global random source.)
+package faultconn
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config selects the fault schedule. All probabilities are in [0, 1] and
+// are evaluated independently per Read/Write call.
+type Config struct {
+	// Seed drives the per-connection deterministic schedule.
+	Seed uint64
+	// DelayProb injects a latency of up to Delay before an operation.
+	DelayProb float64
+	// Delay is the maximum injected latency (default 2ms when a
+	// delay-type fault is enabled with a zero duration).
+	Delay time.Duration
+	// SplitProb splits a Write into two flushes separated by a pause,
+	// exercising torn-frame handling in the peer's reader.
+	SplitProb float64
+	// StallProb holds a Read for up to Delay before letting it proceed,
+	// exercising the peer's write deadlines.
+	StallProb float64
+	// ResetProb abruptly closes the connection during an operation and
+	// returns an error, as a remote RST would.
+	ResetProb float64
+	// FailAfterOps, when positive, deterministically resets the
+	// connection on the FailAfterOps-th Read/Write call — the trigger
+	// used by tests that need a failure at an exact point mid-round.
+	FailAfterOps int
+}
+
+// enabled reports whether the configuration injects any fault at all.
+func (c Config) enabled() bool {
+	return c.DelayProb > 0 || c.SplitProb > 0 || c.StallProb > 0 ||
+		c.ResetProb > 0 || c.FailAfterOps > 0
+}
+
+// ErrInjectedReset is returned (wrapped) by operations the wrapper chose
+// to fail.
+var errInjectedReset = fmt.Errorf("faultconn: injected connection reset")
+
+// Conn is a net.Conn with fault injection on Read and Write. All other
+// methods delegate to the wrapped connection.
+type Conn struct {
+	net.Conn
+	cfg Config
+
+	mu    sync.Mutex
+	rng   uint64
+	ops   int
+	reset bool
+}
+
+// Wrap returns c with the fault schedule derived from cfg.
+func Wrap(c net.Conn, cfg Config) *Conn {
+	if cfg.Delay <= 0 {
+		cfg.Delay = 2 * time.Millisecond
+	}
+	return &Conn{Conn: c, cfg: cfg, rng: cfg.Seed ^ 0x9e3779b97f4a7c15}
+}
+
+// next steps the splitmix64 state; the stream is private to the
+// connection so fault schedules never perturb protocol randomness.
+func (c *Conn) next() uint64 {
+	c.rng += 0x9e3779b97f4a7c15
+	z := c.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// roll reports whether an event with probability p fires.
+func (c *Conn) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return float64(c.next()>>11)/float64(1<<53) < p
+}
+
+// dur returns a deterministic duration in (0, max].
+func (c *Conn) dur(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	return time.Duration(c.next()%uint64(max)) + 1
+}
+
+// decide consumes one operation slot and returns the faults to apply:
+// a pre-operation sleep, whether to split a write, and whether to reset.
+func (c *Conn) decide(read bool) (sleep time.Duration, split, reset bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.reset {
+		return 0, false, true
+	}
+	c.ops++
+	if c.cfg.FailAfterOps > 0 && c.ops >= c.cfg.FailAfterOps {
+		c.reset = true
+		return 0, false, true
+	}
+	if c.roll(c.cfg.ResetProb) {
+		c.reset = true
+		return 0, false, true
+	}
+	if c.roll(c.cfg.DelayProb) {
+		sleep = c.dur(c.cfg.Delay)
+	}
+	if read && c.roll(c.cfg.StallProb) {
+		sleep += c.dur(c.cfg.Delay)
+	}
+	if !read && c.roll(c.cfg.SplitProb) {
+		split = true
+	}
+	return sleep, split, false
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	sleep, _, reset := c.decide(true)
+	if reset {
+		c.Conn.Close()
+		return 0, fmt.Errorf("%w (read)", errInjectedReset)
+	}
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	return c.Conn.Read(p)
+}
+
+// Write implements net.Conn.
+func (c *Conn) Write(p []byte) (int, error) {
+	sleep, split, reset := c.decide(false)
+	if reset {
+		c.Conn.Close()
+		return 0, fmt.Errorf("%w (write)", errInjectedReset)
+	}
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	if split && len(p) > 1 {
+		half := len(p) / 2
+		n, err := c.Conn.Write(p[:half])
+		if err != nil {
+			return n, err
+		}
+		time.Sleep(c.pause())
+		m, err := c.Conn.Write(p[half:])
+		return n + m, err
+	}
+	return c.Conn.Write(p)
+}
+
+// pause returns the inter-chunk gap of a split write.
+func (c *Conn) pause() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dur(c.cfg.Delay)
+}
+
+// Dialer returns a dial function producing fault-injected TCP connections;
+// it plugs directly into the transport's NodeOptions.Dialer. Each
+// successive connection derives its own schedule from (cfg.Seed, index),
+// so a reconnect after an injected reset sees a fresh — but still
+// deterministic — schedule.
+func Dialer(cfg Config) func(addr string) (net.Conn, error) {
+	var index atomic.Uint64
+	return func(addr string) (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		if !cfg.enabled() {
+			return conn, nil
+		}
+		c := cfg
+		c.Seed = cfg.Seed + 0x6a09e667f3bcc909*(index.Add(1)-1)
+		return Wrap(conn, c), nil
+	}
+}

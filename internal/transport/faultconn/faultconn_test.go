@@ -1,0 +1,111 @@
+package faultconn
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pair returns two ends of a TCP loopback connection.
+func pair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan net.Conn, 1)
+	go func() {
+		c, aerr := ln.Accept()
+		if aerr != nil {
+			close(done)
+			return
+		}
+		done <- c
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, ok := <-done
+	if !ok {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+// failIndex writes 1-byte frames until the wrapper injects a reset and
+// returns the index of the failing write.
+func failIndex(t *testing.T, cfg Config) int {
+	t.Helper()
+	client, server := pair(t)
+	go io.Copy(io.Discard, server)
+	fc := Wrap(client, cfg)
+	for i := 0; i < 10_000; i++ {
+		if _, err := fc.Write([]byte{byte(i)}); err != nil {
+			return i
+		}
+	}
+	t.Fatal("no injected failure in 10000 writes")
+	return -1
+}
+
+func TestFailAfterOpsDeterministic(t *testing.T) {
+	cfg := Config{FailAfterOps: 3}
+	if i := failIndex(t, cfg); i != 2 {
+		t.Fatalf("FailAfterOps=3 failed at op %d, want 2", i)
+	}
+}
+
+func TestResetScheduleIsSeeded(t *testing.T) {
+	cfg := Config{Seed: 7, ResetProb: 0.05}
+	a := failIndex(t, cfg)
+	b := failIndex(t, cfg)
+	if a != b {
+		t.Fatalf("same seed failed at different ops: %d vs %d", a, b)
+	}
+}
+
+func TestSplitWritePreservesBytes(t *testing.T) {
+	client, server := pair(t)
+	fc := Wrap(client, Config{Seed: 1, SplitProb: 1, Delay: time.Millisecond})
+	msg := []byte("hello over a torn frame boundary")
+	go func() {
+		fc.Write(msg)
+		fc.Close()
+	}()
+	got, err := io.ReadAll(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q, want %q", got, msg)
+	}
+}
+
+func TestDialerPassThroughWhenDisabled(t *testing.T) {
+	client, _ := pair(t)
+	client.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, aerr := ln.Accept()
+		if aerr == nil {
+			c.Close()
+		}
+	}()
+	conn, err := Dialer(Config{})(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, wrapped := conn.(*Conn); wrapped {
+		t.Fatal("zero config must not wrap the connection")
+	}
+}

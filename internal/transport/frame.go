@@ -26,10 +26,11 @@ import (
 
 // Frame types.
 const (
-	frameHello   = 1
-	frameBatch   = 2
-	frameDone    = 3
-	frameDeliver = 4
+	frameHello     = 1
+	frameBatch     = 2
+	frameDone      = 3
+	frameDeliver   = 4
+	frameResumeAck = 5
 )
 
 // maxFrameSize bounds a single frame (16 MiB) to fail fast on corruption.
@@ -86,6 +87,24 @@ func (p rawPayload) AppendWire(buf []byte) []byte { return append(buf, p...) }
 func helloBody(id int) []byte {
 	body := []byte{frameHello}
 	return wire.AppendUvarint(body, uint64(id))
+}
+
+// resumeHelloBody encodes the extended HELLO{id, completed} a node sends
+// when re-dialing after a broken connection: completed is the number of
+// rounds whose DELIVER the node has already received, letting the
+// coordinator decide whether the last DELIVER must be replayed.
+func resumeHelloBody(id, completed int) []byte {
+	body := helloBody(id)
+	return wire.AppendUvarint(body, uint64(completed))
+}
+
+// resumeAckBody encodes RESUME-ACK{accepted, replay}. When replay is set
+// the coordinator follows the ack with a replayed DELIVER frame; when
+// accepted is clear the node cannot rejoin and must abort.
+func resumeAckBody(accepted, replay bool) []byte {
+	body := []byte{frameResumeAck}
+	body = wire.AppendBool(body, accepted)
+	return wire.AppendBool(body, replay)
 }
 
 // batchBody encodes BATCH{count, (to, frame)...}. Each entry's payload is

@@ -1,0 +1,262 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"omicon/internal/codec"
+	"omicon/internal/floodset"
+	"omicon/internal/sim"
+	"omicon/internal/transport/faultconn"
+)
+
+// clusterResult is one networked execution with per-node errors kept
+// (crashed nodes are expected to abort; that is not a test failure).
+type clusterResult struct {
+	res      *CoordinatorResult
+	err      error
+	nodeErrs []error
+	nodeMet  []int64 // retries per node
+}
+
+// runCluster runs a coordinator with copts plus n nodes with per-node
+// options and inputs, tolerating node-side errors.
+func runCluster(t *testing.T, n, tf int, copts Options, nopts []NodeOptions, inputs []int, proto sim.Protocol, maxRounds int) clusterResult {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	coord := NewCoordinator(n, tf, nil, maxRounds)
+	coord.SetOptions(copts)
+	out := clusterResult{nodeErrs: make([]error, n), nodeMet: make([]int64, n)}
+	served := make(chan struct{})
+	go func() {
+		out.res, out.err = coord.Serve(ln)
+		close(served)
+	}()
+
+	reg := codec.FullRegistry()
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			node, derr := DialOpts(ln.Addr().String(), id, n, tf, reg, 42, nopts[id])
+			if derr != nil {
+				out.nodeErrs[id] = derr
+				return
+			}
+			defer node.Close()
+			_, out.nodeErrs[id] = node.RunProtocol(proto, inputs[id])
+			out.nodeMet[id] = node.Metrics().Retries
+		}(id)
+	}
+	wg.Wait()
+	select {
+	case <-served:
+	case <-time.After(20 * time.Second):
+		t.Fatal("coordinator did not finish after all nodes exited")
+	}
+	return out
+}
+
+func uniformOpts(n int, o NodeOptions) []NodeOptions {
+	opts := make([]NodeOptions, n)
+	for i := range opts {
+		opts[i] = o
+	}
+	return opts
+}
+
+// TestKillMidRoundFailAsOmission is the acceptance scenario: one node's
+// connection is reset mid-round by the chaos wrapper; under FailAsOmission
+// the remaining nodes still reach agreement and the crashed node appears
+// in the failure log.
+func TestKillMidRoundFailAsOmission(t *testing.T) {
+	const n, tf, victim = 5, 1, 2
+	nopts := uniformOpts(n, NodeOptions{Timeout: 2 * time.Second})
+	// Reset the victim's connection on its 4th socket operation — during
+	// round 2 of floodset, mid-run by construction.
+	nopts[victim].Dialer = func(addr string) (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return faultconn.Wrap(conn, faultconn.Config{FailAfterOps: 4}), nil
+	}
+	copts := Options{Policy: FailAsOmission, IOTimeout: time.Second}
+	out := runCluster(t, n, tf, copts, nopts, []int{1, 0, 1, 0, 1}, floodset.Protocol(), 64)
+	if out.err != nil {
+		t.Fatalf("run aborted: %v", out.err)
+	}
+	if out.res.Outcomes[victim] != sim.OutcomeCrashed {
+		t.Fatalf("victim outcome = %v, want crashed", out.res.Outcomes[victim])
+	}
+	if len(out.res.Failures) != 1 || out.res.Failures[0].Process != victim {
+		t.Fatalf("failure log = %v, want exactly node %d", out.res.Failures, victim)
+	}
+	if err := out.res.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	if out.nodeErrs[victim] == nil {
+		t.Fatal("victim node must observe its own failure")
+	}
+	for id := 0; id < n; id++ {
+		if id != victim && out.nodeErrs[id] != nil {
+			t.Fatalf("survivor %d errored: %v", id, out.nodeErrs[id])
+		}
+	}
+}
+
+// TestKillMidRoundFailFast pins the historical behaviour: the same
+// mid-round reset aborts the whole run.
+func TestKillMidRoundFailFast(t *testing.T) {
+	const n, tf, victim = 5, 1, 2
+	nopts := uniformOpts(n, NodeOptions{Timeout: 2 * time.Second})
+	nopts[victim].Dialer = func(addr string) (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return faultconn.Wrap(conn, faultconn.Config{FailAfterOps: 4}), nil
+	}
+	copts := Options{Policy: FailFast, IOTimeout: time.Second}
+	out := runCluster(t, n, tf, copts, nopts, []int{1, 0, 1, 0, 1}, floodset.Protocol(), 64)
+	if out.err == nil {
+		t.Fatal("FailFast must abort when a node dies mid-round")
+	}
+}
+
+// TestReconnectResume breaks one node's connection at different points of
+// the round trip; with reconnection enabled the node re-dials, resumes
+// via the extended HELLO, and the run completes with no crash at all.
+func TestReconnectResume(t *testing.T) {
+	// failAfter selects where the connection dies: 2 = round-1 batch
+	// write, 3 = round-1 deliver read (exercises the DELIVER replay), 4 =
+	// round-2 batch write.
+	for _, failAfter := range []int{2, 3, 4} {
+		failAfter := failAfter
+		t.Run(fmt.Sprintf("failAfterOps=%d", failAfter), func(t *testing.T) {
+			t.Parallel()
+			const n, tf, victim = 4, 1, 1
+			nopts := uniformOpts(n, NodeOptions{Timeout: 2 * time.Second})
+			var dials int
+			var mu sync.Mutex
+			nopts[victim] = NodeOptions{
+				Timeout:   2 * time.Second,
+				RetryMax:  3,
+				RetryBase: 10 * time.Millisecond,
+				Dialer: func(addr string) (net.Conn, error) {
+					conn, err := net.Dial("tcp", addr)
+					if err != nil {
+						return nil, err
+					}
+					mu.Lock()
+					first := dials == 0
+					dials++
+					mu.Unlock()
+					if first {
+						return faultconn.Wrap(conn, faultconn.Config{FailAfterOps: failAfter}), nil
+					}
+					return conn, nil
+				},
+			}
+			copts := Options{
+				Policy:         FailAsOmission,
+				IOTimeout:      2 * time.Second,
+				ReconnectGrace: 2 * time.Second,
+			}
+			out := runCluster(t, n, tf, copts, nopts, []int{1, 1, 1, 1}, floodset.Protocol(), 64)
+			if out.err != nil {
+				t.Fatalf("run aborted: %v", out.err)
+			}
+			if out.res.Metrics.Crashes != 0 {
+				t.Fatalf("resume failed, %d crashes: %v", out.res.Metrics.Crashes, out.res.Failures)
+			}
+			for id := 0; id < n; id++ {
+				if out.nodeErrs[id] != nil {
+					t.Fatalf("node %d errored: %v", id, out.nodeErrs[id])
+				}
+				if out.res.Outcomes[id] != sim.OutcomeDecided {
+					t.Fatalf("node %d outcome = %v", id, out.res.Outcomes[id])
+				}
+				// Unanimous input 1: validity pins every decision.
+				if out.res.Decisions[id] != 1 {
+					t.Fatalf("node %d decided %d, validity requires 1", id, out.res.Decisions[id])
+				}
+			}
+			if out.nodeMet[victim] == 0 {
+				t.Fatal("victim reports zero reconnect attempts")
+			}
+		})
+	}
+}
+
+// TestSoakChaosSchedules drives whole runs through the fault injector
+// under many seeded schedules and asserts the robustness contract: every
+// run either completes with agreement and validity intact among the
+// non-corrupted survivors, or aborts cleanly with an error — never a
+// hang, never a panic, never a silent consistency violation.
+func TestSoakChaosSchedules(t *testing.T) {
+	schedules := 8
+	if testing.Short() {
+		schedules = 2 // keep tier-1 fast; full soak runs without -short
+	}
+	const n, tf = 6, 2
+	completed, aborted := 0, 0
+	for seed := 0; seed < schedules; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg := faultconn.Config{
+				Seed:      uint64(seed)*7919 + 1,
+				ResetProb: 0.12,
+				DelayProb: 0.2,
+				Delay:     2 * time.Millisecond,
+				SplitProb: 0.2,
+				StallProb: 0.1,
+			}
+			nopts := uniformOpts(n, NodeOptions{
+				Timeout:   time.Second,
+				RetryMax:  2,
+				RetryBase: 5 * time.Millisecond,
+				Dialer:    faultconn.Dialer(cfg),
+			})
+			copts := Options{
+				Policy:         FailAsOmission,
+				IOTimeout:      time.Second,
+				ReconnectGrace: 500 * time.Millisecond,
+			}
+			inputs := make([]int, n)
+			for i := range inputs {
+				inputs[i] = 1 // unanimous, so validity is checkable
+			}
+			out := runCluster(t, n, tf, copts, nopts, inputs, floodset.Protocol(), 64)
+			if out.err != nil {
+				// Clean abort (e.g. crashes beyond the fault budget) is
+				// within contract; the coordinator must still have
+				// classified every node.
+				aborted++
+				t.Logf("schedule aborted cleanly: %v", out.err)
+				if out.res == nil || len(out.res.Outcomes) != n {
+					t.Fatal("abort without per-node outcomes")
+				}
+				return
+			}
+			completed++
+			if err := out.res.CheckAgreement(); err != nil {
+				t.Fatalf("agreement violated under chaos: %v", err)
+			}
+			for p := 0; p < n; p++ {
+				if !out.res.Corrupted[p] && out.res.Decisions[p] != 1 {
+					t.Fatalf("validity violated: survivor %d decided %d on unanimous 1", p, out.res.Decisions[p])
+				}
+			}
+		})
+	}
+	t.Logf("chaos soak: %d completed, %d aborted cleanly", completed, aborted)
+}

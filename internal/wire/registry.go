@@ -34,6 +34,12 @@ func NewRegistry() *Registry {
 // programming error and panic at startup.
 func (r *Registry) Register(kind uint64, fn DecodeFunc) {
 	if _, dup := r.decoders[kind]; dup {
+		// INVARIANT (panic audit): registration happens only from
+		// package-level codec wiring at startup, never from network
+		// input; a duplicate kind is a build-time mistake that must
+		// fail the process before any traffic flows. Network-supplied
+		// kinds go through DecodeFrame, which returns an error for
+		// unknown kinds.
 		panic(fmt.Sprintf("wire: duplicate kind %#x", kind))
 	}
 	r.decoders[kind] = fn
