@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check soak vet
+.PHONY: build test check soak vet torture fuzz
 
 build:
 	$(GO) build ./...
@@ -11,13 +11,29 @@ test:
 vet:
 	$(GO) vet ./...
 
-# check is the pre-merge gate: vet plus the full suite under the race
-# detector (transport reconnect/resume and the chaos soak are concurrent
-# by construction). Uses -short to keep the soak at its fast schedule
-# count; run `make soak` for the full chaos sweep.
+# check is the pre-merge gate: vet, the full suite under the race detector
+# (transport reconnect/resume and the chaos soak are concurrent by
+# construction), then a deterministic torture smoke across the protocol x
+# adversary matrix. Uses -short to keep the soak at its fast schedule
+# count; run `make soak` for the full chaos sweep and `make torture` for a
+# longer campaign.
 check:
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
+	$(GO) run -race ./cmd/torture -trials 50 -seed 1 -q
 
 soak:
 	$(GO) test -race -count=1 -run 'TestSoakChaosSchedules|TestKillMidRound|TestReconnectResume' ./internal/transport/...
+
+# torture runs a longer randomized campaign, persisting and shrinking any
+# counterexamples under .torture-corpus/.
+torture:
+	$(GO) run ./cmd/torture -trials 2000 -corpus .torture-corpus -shrink
+
+# fuzz runs every native fuzz target for a bounded stretch: mutated
+# schedules through the replay adversary (engine must never panic, oracle
+# must never cry wolf) and the transcript codec round trip (the corpus
+# format must be stable).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzScheduleReplay -fuzztime 30s ./internal/torture/
+	$(GO) test -run '^$$' -fuzz FuzzTranscriptRoundTrip -fuzztime 30s ./internal/sim/

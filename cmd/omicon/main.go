@@ -75,11 +75,17 @@ func run() error {
 		adv, transcript = omicon.Recorded(adv)
 	}
 
-	res, err := inst.Run(omicon.MixedInputs(*n, *ones), *seed, adv)
+	inputs := omicon.MixedInputs(*n, *ones)
+	res, err := inst.Run(inputs, *seed, adv)
 	if err != nil {
 		return err
 	}
 	if transcript != nil {
+		// Stamp the replay metadata so `replay -verify` (and the torture
+		// harness) can re-execute the transcript deterministically.
+		transcript.Protocol = algo.String()
+		transcript.Seed = *seed
+		transcript.Inputs = inputs
 		f, ferr := os.Create(*record)
 		if ferr != nil {
 			return ferr

@@ -2,9 +2,17 @@
 // `omicon -record file.json`): decision latency, corruption timeline,
 // omission pressure and activity segmentation — without re-running the
 // execution.
+//
+// With -verify it additionally re-executes the transcript: the recorded
+// schedule is replayed through a schedule adversary against a freshly
+// built protocol instance, and the resulting transcript must match the
+// recorded one byte for byte. Verification needs the action-level replay
+// metadata of version-1 transcripts; older aggregate-only transcripts
+// still analyze fine but cannot be re-executed.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -12,6 +20,7 @@ import (
 
 	"omicon/internal/analysis"
 	"omicon/internal/sim"
+	"omicon/internal/torture"
 )
 
 func main() {
@@ -22,21 +31,82 @@ func main() {
 }
 
 func run() error {
+	verify := flag.Bool("verify", false, "re-execute the transcript and require a byte-identical recording")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		return fmt.Errorf("usage: replay <transcript.json>")
+		return fmt.Errorf("usage: replay [-verify] <transcript.json>")
 	}
-	f, err := os.Open(flag.Arg(0))
+	data, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 
 	var tr sim.Transcript
-	if err := json.NewDecoder(f).Decode(&tr); err != nil {
+	if err := json.Unmarshal(data, &tr); err != nil {
 		return fmt.Errorf("decode transcript: %w", err)
 	}
-	fmt.Printf("transcript %s: n=%d t=%d\n\n", flag.Arg(0), tr.N, tr.T)
+	if tr.Version > sim.TranscriptVersion {
+		return fmt.Errorf("transcript version %d is newer than this build understands (%d)",
+			tr.Version, sim.TranscriptVersion)
+	}
+	fmt.Printf("transcript %s: n=%d t=%d", flag.Arg(0), tr.N, tr.T)
+	if tr.Version >= 1 {
+		fmt.Printf(" v%d protocol=%s adversary=%s seed=%d", tr.Version, tr.Protocol, tr.Adversary, tr.Seed)
+	} else {
+		fmt.Printf(" (legacy aggregate-only format)")
+	}
+	fmt.Printf("\n\n")
 	fmt.Print(analysis.Analyze(&tr).Report())
+
+	if !*verify {
+		return nil
+	}
+	if !tr.HasReplayMeta() {
+		return fmt.Errorf("-verify needs replay metadata (protocol, seed, inputs); " +
+			"this transcript predates the action-level format — re-record it with the current build")
+	}
+	return verifyTranscript(&tr)
+}
+
+// verifyTranscript re-executes the recorded schedule and diffs the fresh
+// recording against the original.
+func verifyTranscript(tr *sim.Transcript) error {
+	spec, err := torture.FindProtocol(tr.Protocol)
+	if err != nil {
+		return err
+	}
+	proto, bound, err := spec.Build(tr.N, tr.T)
+	if err != nil {
+		return fmt.Errorf("rebuilding %s for n=%d t=%d: %w", tr.Protocol, tr.N, tr.T, err)
+	}
+	adv := sim.NewStrictScheduleAdversary(tr.Schedule())
+	rec, fresh := sim.NewRecorder(adv)
+	_, runErr := sim.Run(sim.Config{
+		N: tr.N, T: tr.T, Inputs: tr.Inputs, Seed: tr.Seed, Adversary: rec,
+		MaxRounds: bound + 64,
+	}, proto)
+	fresh.Protocol = tr.Protocol
+	fresh.Seed = tr.Seed
+	fresh.Inputs = append([]int(nil), tr.Inputs...)
+	// The replay necessarily runs under the schedule adversary's name;
+	// everything else must match exactly.
+	fresh.Adversary = tr.Adversary
+
+	var want, got bytes.Buffer
+	if err := tr.WriteJSON(&want); err != nil {
+		return err
+	}
+	if err := fresh.WriteJSON(&got); err != nil {
+		return err
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		return fmt.Errorf("verification FAILED: replayed transcript diverges from the recording\n"+
+			"  recorded: %s\n  replayed: %s", tr.Summary(), fresh.Summary())
+	}
+	fmt.Printf("\nverify: OK — %d rounds replayed byte-identically", len(fresh.Rounds))
+	if runErr != nil {
+		fmt.Printf(" (execution aborts identically: %v)", runErr)
+	}
+	fmt.Println()
 	return nil
 }

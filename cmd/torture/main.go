@@ -1,0 +1,122 @@
+// Command torture runs the property-based torture harness: randomized
+// trials over the protocol x adversary matrix with an invariant oracle
+// (agreement, validity, termination bounds, adversary legality, metrics
+// sanity, transcript determinism) checked after every trial. Failing
+// trials are persisted to a corpus directory as self-contained JSON
+// counterexamples, optionally delta-debugged down to a minimal schedule,
+// and can be re-executed deterministically with -replay.
+//
+//	torture -trials 500 -seed 1 -corpus .torture-corpus -shrink
+//	torture -protocols core,benor -adversaries chaos,sched-fuzz -trials 200
+//	torture -replay .torture-corpus/torture-floodset-....json
+//	torture -inject overbudget -trials 1   # self-test: oracle must fire
+//
+// Exit status: 0 when every trial satisfied the oracle (or the replayed
+// entry reproduced), 1 on violations (or a failed replay), 2 on usage or
+// I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"omicon/internal/torture"
+)
+
+func main() {
+	code, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "torture:", err)
+	}
+	os.Exit(code)
+}
+
+func run() (int, error) {
+	var (
+		trials      = flag.Int("trials", 200, "number of randomized trials across the matrix")
+		seed        = flag.Uint64("seed", 1, "campaign seed; same seed = identical campaign")
+		protocols   = flag.String("protocols", "", "comma-separated protocol subset (default: all correct protocols)")
+		adversaries = flag.String("adversaries", "", "comma-separated adversary subset (default: the portfolio)")
+		corpus      = flag.String("corpus", "", "directory receiving failing-trial counterexamples")
+		shrink      = flag.Bool("shrink", false, "delta-debug failing schedules to minimal counterexamples")
+		shrinkRuns  = flag.Int("shrink-runs", 200, "max replays the shrinker may spend per failure")
+		determinism = flag.Int("determinism", 10, "re-run every k-th trial and require a byte-identical transcript (0 = off)")
+		inject      = flag.String("inject", "", "deliberate sabotage self-test: overbudget | honest-drop")
+		replay      = flag.String("replay", "", "re-execute one corpus entry instead of running a campaign")
+		quiet       = flag.Bool("q", false, "suppress per-violation log lines")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		return 2, fmt.Errorf("unexpected arguments %v", flag.Args())
+	}
+
+	if *replay != "" {
+		return replayEntry(*replay)
+	}
+
+	opts := torture.Options{
+		Trials:           *trials,
+		Seed:             *seed,
+		Protocols:        splitNames(*protocols),
+		Adversaries:      splitNames(*adversaries),
+		CorpusDir:        *corpus,
+		Shrink:           *shrink,
+		ShrinkMaxRuns:    *shrinkRuns,
+		DeterminismEvery: *determinism,
+		Inject:           *inject,
+	}
+	if !*quiet {
+		opts.Log = os.Stderr
+	}
+	rep, err := torture.Run(opts)
+	if err != nil {
+		return 2, err
+	}
+	fmt.Print(rep.Summary())
+	if rep.Violations > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func replayEntry(path string) (int, error) {
+	entry, err := torture.LoadEntry(path)
+	if err != nil {
+		return 2, err
+	}
+	fmt.Printf("replaying %s: %s/%s n=%d t=%d seed=%d, recorded violations: %v\n",
+		path, entry.Protocol, entry.Adversary, entry.N, entry.T, entry.Seed, entry.Violations)
+	res, err := torture.Replay(entry)
+	if err != nil {
+		return 2, err
+	}
+	for _, v := range res.Verdict.Violations {
+		fmt.Printf("  %s\n", v)
+	}
+	switch {
+	case !res.Reproduced:
+		fmt.Println("replay: FAILED — the recorded violation did not reproduce")
+		return 1, nil
+	case !res.ByteIdentical:
+		fmt.Println("replay: FAILED — violation reproduced but the transcript diverged")
+		return 1, nil
+	default:
+		fmt.Println("replay: OK — violation reproduced, transcript byte-identical")
+		return 0, nil
+	}
+}
+
+func splitNames(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -25,6 +25,8 @@ func TestCommandSmoke(t *testing.T) {
 	}{
 		{"omicon", []string{"-n", "36", "-t", "1", "-algo", "optimal", "-adversary", "split-vote", "-record", transcript}, "decision"},
 		{"replay", []string{transcript}, "activity phases"},
+		{"replay", []string{"-verify", transcript}, "verify: OK"},
+		{"torture", []string{"-trials", "50", "-seed", "1", "-q"}, "50 trials, 0 violations"},
 		{"sweep", []string{"-sizes", "64", "-seeds", "1"}, "Thm 1"},
 		{"tradeoff", []string{"-mode", "param", "-n", "64", "-x", "1,4", "-seeds", "1"}, "Thm 3"},
 		{"tradeoff", []string{"-mode", "lower", "-n", "32", "-t", "8", "-caps", "0,4", "-seeds", "1"}, "Thm 2"},

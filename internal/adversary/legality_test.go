@@ -1,0 +1,113 @@
+package adversary
+
+import (
+	"fmt"
+	"testing"
+
+	"omicon/internal/benor"
+	"omicon/internal/graph"
+	"omicon/internal/sim"
+)
+
+// strictChecked wraps a strategy with the shared strict legality checker —
+// the same sim.Legality the engine runs (in tolerant mode) at runtime. Any
+// recorded error means the strategy emitted an action outside the model's
+// rules: over budget, a drop between honest processes, an out-of-range id,
+// a double-corruption or a duplicate drop.
+type strictChecked struct {
+	inner sim.Adversary
+	leg   *sim.Legality
+	err   error
+}
+
+func (c *strictChecked) Name() string { return c.inner.Name() }
+
+func (c *strictChecked) Step(v *sim.View) sim.Action {
+	act := c.inner.Step(v)
+	if c.err == nil {
+		if _, err := c.leg.Check(v.Round, v.Outbox, act); err != nil {
+			c.err = fmt.Errorf("round %d: %w", v.Round, err)
+		}
+	}
+	return act
+}
+
+// TestStrategiesEmitOnlyLegalActions is the legality property test: every
+// built-in strategy, across 100 seeds, emits only strictly legal actions
+// against a live protocol execution. The protocol is BenOr — randomized, so
+// the coin-reactive strategies (CoinHider, SplitVote) exercise their
+// full-information paths — and the engine runs in its usual tolerant mode
+// while the wrapper applies the strict contract.
+func TestStrategiesEmitOnlyLegalActions(t *testing.T) {
+	const n, tBudget = 16, 5
+	seeds := 100
+	if testing.Short() {
+		seeds = 20
+	}
+
+	g, err := graph.Build(n, graph.PracticalParams(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseSchedule := sim.Schedule{Rounds: []sim.ScheduleRound{
+		{Round: 1, Corrupt: []int{3}, Drops: []sim.Drop{{From: 3, To: 0}, {From: 3, To: 1}}},
+		{Round: 4, Corrupt: []int{7, 8}},
+	}}
+
+	strategies := map[string]func(seed uint64) sim.Adversary{
+		"static-crash":     func(uint64) sim.Adversary { return NewStaticCrash(firstK(tBudget)) },
+		"random-omission":  func(s uint64) sim.Adversary { return NewRandomOmission(tBudget, 0.75, s) },
+		"group-killer":     func(uint64) sim.Adversary { return NewGroupKiller(n, tBudget) },
+		"half-visibility":  func(uint64) sim.Adversary { return NewHalfVisibility(tBudget) },
+		"split-vote":       func(s uint64) sim.Adversary { return NewSplitVote(tBudget, s) },
+		"delayed-strike":   func(uint64) sim.Adversary { return NewDelayedStrike(tBudget) },
+		"chaos":            func(s uint64) sim.Adversary { return NewChaos(tBudget, 0.3, 0.7, s) },
+		"coin-hider":       func(uint64) sim.Adversary { return NewCoinHider(1) },
+		"eclipse":          func(uint64) sim.Adversary { return NewEclipse(g, tBudget, n/4) },
+		"rotating-eclipse": func(uint64) sim.Adversary { return NewRotatingEclipse(g, tBudget, 3) },
+		"committee-killer": func(uint64) sim.Adversary { return NewCommitteeKiller([]int{1, 5, 9, 13}) },
+		"flood-split":      func(uint64) sim.Adversary { return NewFloodSplit(tBudget+1, n-1) },
+		"oblivious-crash":  func(s uint64) sim.Adversary { return NewObliviousCrash(n, tBudget, s) },
+		"sched-fuzz":       func(s uint64) sim.Adversary { return NewScheduleFuzzer(sim.Schedule{}, tBudget, s) },
+		"sched-fuzz-base":  func(s uint64) sim.Adversary { return NewScheduleFuzzer(baseSchedule, tBudget, s) },
+	}
+
+	params := benor.DefaultParams(n, tBudget)
+	for name, make := range strategies {
+		name, make := name, make
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for s := 0; s < seeds; s++ {
+				seed := uint64(s)*977 + 13
+				checked := &strictChecked{inner: make(seed), leg: sim.NewStrictLegality(n, tBudget)}
+				inputs := make2(n, s)
+				_, err := sim.Run(sim.Config{
+					N: n, T: tBudget, Inputs: inputs, Seed: seed, Adversary: checked,
+				}, benor.Protocol(params))
+				if checked.err != nil {
+					t.Fatalf("seed %d: illegal action: %v", seed, checked.err)
+				}
+				if err != nil {
+					t.Fatalf("seed %d: engine rejected the strategy: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+// make2 spreads input bits with a seed-dependent pattern so validity,
+// unanimity and skew paths all get exercised.
+func make2(n, s int) []int {
+	in := make([]int, n)
+	switch s % 3 {
+	case 0:
+		for i := range in {
+			in[i] = i % 2
+		}
+	case 1:
+		for i := range in {
+			in[i] = 1
+		}
+	}
+	return in
+}

@@ -42,6 +42,8 @@ func TestEveryPayloadRoundTrips(t *testing.T) {
 		paramomissions.SafetyMsg{B: 1},
 		multivalue.ProposalMsg{Value: []byte("proposal")},
 		multivalue.RecoverMsg{Value: nil},
+		multivalue.InputMsg{Value: []byte("input")},
+		multivalue.EchoMsg{Value: []byte("echo")},
 		gossip.Msg{Items: []gossip.Item{{Source: 1, Value: []byte("v")}, {Source: 9, Value: nil}}},
 		gossip.Msg{},
 		committee.InputMsg{B: 1},
@@ -77,6 +79,12 @@ func equalPayload(a, b wire.Typed) bool {
 		return ok && string(av.Value) == string(bv.Value)
 	case multivalue.RecoverMsg:
 		bv, ok := b.(multivalue.RecoverMsg)
+		return ok && string(av.Value) == string(bv.Value)
+	case multivalue.InputMsg:
+		bv, ok := b.(multivalue.InputMsg)
+		return ok && string(av.Value) == string(bv.Value)
+	case multivalue.EchoMsg:
+		bv, ok := b.(multivalue.EchoMsg)
 		return ok && string(av.Value) == string(bv.Value)
 	case dolevstrong.RelayMsg:
 		bv, ok := b.(dolevstrong.RelayMsg)

@@ -106,6 +106,65 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 	}
 }
 
+// Check validates the internal consistency of a snapshot: every counter is
+// non-negative, and the randomness accounting respects the model (every
+// metered random-source access draws at least one bit, so RandomBits >=
+// RandomCalls). The torture oracle runs it after every trial; a failure
+// means the accounting itself is broken, not the protocol.
+func (s Snapshot) Check() error {
+	for _, c := range []struct {
+		name string
+		v    int64
+	}{
+		{"rounds", s.Rounds}, {"messages", s.Messages}, {"commBits", s.CommBits},
+		{"randomBits", s.RandomBits}, {"randomCalls", s.RandomCalls},
+		{"crashes", s.Crashes}, {"retries", s.Retries},
+	} {
+		if c.v < 0 {
+			return fmt.Errorf("metrics: negative %s counter %d", c.name, c.v)
+		}
+	}
+	if s.RandomBits < s.RandomCalls {
+		return fmt.Errorf("metrics: %d random calls drew only %d bits (every access draws >= 1 bit)",
+			s.RandomCalls, s.RandomBits)
+	}
+	if s.Messages > 0 && s.CommBits == 0 {
+		return fmt.Errorf("metrics: %d messages sent but zero communication bits accounted", s.Messages)
+	}
+	return nil
+}
+
+// Envelope bounds a snapshot's counters; zero fields are unbounded. The
+// torture harness configures per-protocol envelopes from the paper's
+// complexity bounds so that a silent performance regression (or a runaway
+// randomness drain) is flagged like any other invariant violation.
+type Envelope struct {
+	MaxRounds      int64
+	MaxMessages    int64
+	MaxCommBits    int64
+	MaxRandomBits  int64
+	MaxRandomCalls int64
+}
+
+// Check reports the first counter exceeding the envelope.
+func (e Envelope) Check(s Snapshot) error {
+	for _, c := range []struct {
+		name     string
+		v, bound int64
+	}{
+		{"rounds", s.Rounds, e.MaxRounds},
+		{"messages", s.Messages, e.MaxMessages},
+		{"commBits", s.CommBits, e.MaxCommBits},
+		{"randomBits", s.RandomBits, e.MaxRandomBits},
+		{"randomCalls", s.RandomCalls, e.MaxRandomCalls},
+	} {
+		if c.bound > 0 && c.v > c.bound {
+			return fmt.Errorf("metrics: %s=%d exceeds envelope %d", c.name, c.v, c.bound)
+		}
+	}
+	return nil
+}
+
 // String renders the snapshot as a compact single line. Crash and retry
 // counts only appear when a failure actually occurred, keeping fault-free
 // reports identical to the in-memory engine's.

@@ -82,3 +82,36 @@ func TestRoundsAccessor(t *testing.T) {
 		t.Fatalf("Rounds() = %d", c.Rounds())
 	}
 }
+
+func TestSnapshotCheck(t *testing.T) {
+	ok := Snapshot{Rounds: 3, Messages: 10, CommBits: 80, RandomBits: 5, RandomCalls: 5}
+	if err := ok.Check(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Snapshot{
+		{Rounds: -1},
+		{RandomCalls: 3, RandomBits: 2},
+		{Messages: 4, CommBits: 0},
+	}
+	for i, s := range cases {
+		if err := s.Check(); err == nil {
+			t.Fatalf("case %d: Check() accepted inconsistent snapshot %+v", i, s)
+		}
+	}
+}
+
+func TestEnvelopeCheck(t *testing.T) {
+	e := Envelope{MaxRounds: 10, MaxCommBits: 100}
+	if err := e.Check(Snapshot{Rounds: 10, CommBits: 100, RandomBits: 1 << 40}); err != nil {
+		t.Fatalf("unbounded counters must pass: %v", err)
+	}
+	if err := e.Check(Snapshot{Rounds: 11}); err == nil {
+		t.Fatal("rounds over envelope must fail")
+	}
+	if err := e.Check(Snapshot{CommBits: 101}); err == nil {
+		t.Fatal("commBits over envelope must fail")
+	}
+	if err := (Envelope{}).Check(Snapshot{Rounds: 1 << 40}); err != nil {
+		t.Fatalf("zero envelope is unbounded: %v", err)
+	}
+}

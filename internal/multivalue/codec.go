@@ -10,6 +10,8 @@ import (
 const (
 	KindProposal uint64 = 0x48 + iota
 	KindRecover
+	KindInput
+	KindEcho
 )
 
 // WireKind implements wire.Typed.
@@ -17,6 +19,12 @@ func (ProposalMsg) WireKind() uint64 { return KindProposal }
 
 // WireKind implements wire.Typed.
 func (RecoverMsg) WireKind() uint64 { return KindRecover }
+
+// WireKind implements wire.Typed.
+func (InputMsg) WireKind() uint64 { return KindInput }
+
+// WireKind implements wire.Typed.
+func (EchoMsg) WireKind() uint64 { return KindEcho }
 
 // RegisterPayloads adds this package's decoders to r.
 func RegisterPayloads(r *wire.Registry) {
@@ -32,6 +40,20 @@ func RegisterPayloads(r *wire.Registry) {
 			return nil, err
 		}
 		m := RecoverMsg{Value: d.Bytes()}
+		return m, d.Err()
+	})
+	r.Register(KindInput, func(d *wire.Decoder) (wire.Typed, error) {
+		if err := expectTag(d, 3); err != nil {
+			return nil, err
+		}
+		m := InputMsg{Value: d.Bytes()}
+		return m, d.Err()
+	})
+	r.Register(KindEcho, func(d *wire.Decoder) (wire.Typed, error) {
+		if err := expectTag(d, 4); err != nil {
+			return nil, err
+		}
+		m := EchoMsg{Value: d.Bytes()}
 		return m, d.Err()
 	})
 }

@@ -5,17 +5,51 @@
 // because faulty processes cannot equivocate (an omission-faulty proposer's
 // broadcast delivers either its true value or nothing):
 //
-//	for proposer = 0, 1, ..., t (at most t+1 iterations):
-//	  1. the proposer broadcasts its value;
-//	  2. binary consensus on "did you receive the proposal?";
-//	  3. if it decides 1, at least one non-faulty process holds the value
-//	     (validity would have forced 0 otherwise), every holder rebroadcasts,
-//	     and all non-faulty processes output it.
+//	0. every process broadcasts its input once; a process that receives
+//	   the same value from at least n-t distinct processes (counting
+//	   itself) "locks" it — at most one value can reach that count when
+//	   n > 2t, and if the non-faulty processes are unanimous they all
+//	   lock their common value;
+//	for proposer = 0, 1, ..., 2t (at most 2t+1 iterations):
+//	  1. the proposer broadcasts its value; holders echo it (processes
+//	     that missed the proposal adopt the value from an echo —
+//	     non-equivocation makes all echoes identical);
+//	  2. binary consensus on "is the proposal replicated?" — a process
+//	     endorses only a value held by at least t+1 distinct processes
+//	     (itself plus echo senders), and a locked process endorses only
+//	     its locked value;
+//	  3. if it decides 1, some t+1 processes held the value at echo time,
+//	     so at least one never-corrupted holder rebroadcasts it, and all
+//	     non-faulty processes output it.
 //
-// A non-faulty proposer's broadcast reaches every non-faulty process, so
-// iteration p for the first non-faulty proposer decides 1 — termination
-// within t+1 iterations. Agreement follows from the binary protocol's
-// agreement plus non-equivocation: all holders hold the same bytes.
+// The lock round buys *strong* validity: when every non-faulty process
+// starts with v they all lock v, every different proposal is unanimously
+// rejected (binary validity forces 0), and only v can be accepted. Without
+// it, a silently corrupted proposer — corrupted on the adversary's books
+// but with no message dropped — gets its minority value adopted by the
+// whole system while the non-faulty inputs are unanimous; the torture
+// harness found exactly that schedule (one corruption, zero omissions) and
+// shrank it to a single action.
+//
+// The t+1-holders threshold closes the second hole the harness found: the
+// adaptive adversary corrupts every holder of the proposal *during* the
+// binary phase and drops their recovery broadcasts, leaving a non-faulty
+// process that decided 1 with no way to learn the value. Requiring t+1
+// holders before endorsing means the adversary's budget cannot cover them
+// all, so decision 1 always leaves one uncorrupted holder to answer the
+// recovery round. (Binary validity is evaluated over the processes still
+// non-faulty at the end of the run, so decision 1 really does imply some
+// surviving process endorsed.)
+//
+// Termination needs 2t+1 iterations in the worst case: a lock on v implies
+// at least n-t processes hold v, so at most t corrupted proposers plus at
+// most t non-faulty proposers holding a different (hence rejectable) value
+// can fail before a non-faulty v-holder proposes. A non-faulty proposer's
+// broadcast reaches every non-faulty process (n-t >= t+1 of them echo, so
+// everyone passes the holder threshold), and its value matches every
+// lock, so its iteration decides 1. Agreement follows from the binary
+// protocol's agreement plus non-equivocation: all holders hold the same
+// bytes.
 //
 // Every iteration occupies a fixed number of rounds (the binary consensus
 // is padded to its worst-case bound), keeping all processes in lockstep
@@ -40,6 +74,29 @@ type ProposalMsg struct {
 // AppendWire implements wire.Marshaler.
 func (m ProposalMsg) AppendWire(buf []byte) []byte {
 	buf = wire.AppendUvarint(buf, 1)
+	return wire.AppendBytes(buf, m.Value)
+}
+
+// InputMsg announces a process's input in the lock round.
+type InputMsg struct {
+	Value []byte
+}
+
+// AppendWire implements wire.Marshaler.
+func (m InputMsg) AppendWire(buf []byte) []byte {
+	buf = wire.AppendUvarint(buf, 3)
+	return wire.AppendBytes(buf, m.Value)
+}
+
+// EchoMsg confirms receipt of the proposal; t+1 distinct holders are
+// required before a process endorses it.
+type EchoMsg struct {
+	Value []byte
+}
+
+// AppendWire implements wire.Marshaler.
+func (m EchoMsg) AppendWire(buf []byte) []byte {
+	buf = wire.AppendUvarint(buf, 4)
 	return wire.AppendBytes(buf, m.Value)
 }
 
@@ -92,8 +149,9 @@ type Params struct {
 	// Binary is the binary-consensus layer (see CoreBinary,
 	// PhaseKingBinary).
 	Binary BinaryConsensus
-	// MaxIterations caps the proposer rotation; 0 derives t+1 (enough:
-	// at most t proposers can be faulty).
+	// MaxIterations caps the proposer rotation; 0 derives 2t+1 (enough:
+	// at most t faulty proposers plus at most t non-faulty proposers
+	// whose value conflicts with a lock can fail).
 	MaxIterations int
 }
 
@@ -106,7 +164,7 @@ func Consensus(env sim.Env, value []byte, p Params) ([]byte, error) {
 	}
 	iterations := p.MaxIterations
 	if iterations == 0 {
-		iterations = env.T() + 1
+		iterations = 2*env.T() + 1
 	}
 	id := env.ID()
 	others := make([]int, 0, n-1)
@@ -116,6 +174,27 @@ func Consensus(env sim.Env, value []byte, p Params) ([]byte, error) {
 		}
 	}
 	binaryBound := p.Binary.RoundsBound
+
+	// Lock round: announce inputs; lock a value seen from >= n-t distinct
+	// processes. Processes cannot equivocate, so at most one value can
+	// reach that count (n > 2t), and unanimous non-faulty inputs always do.
+	in := env.Exchange(sim.Broadcast(id, InputMsg{Value: value}, others))
+	counts := map[string]int{string(value): 1}
+	for _, m := range in {
+		if im, ok := m.Payload.(InputMsg); ok {
+			counts[string(im.Value)]++
+		}
+	}
+	// At most one value can qualify when n > 2t; pick the smallest
+	// deterministically anyway so degenerate configurations cannot
+	// introduce map-order nondeterminism.
+	var lock []byte
+	locked := false
+	for v, c := range counts {
+		if c >= n-env.T() && (!locked || v < string(lock)) {
+			lock, locked = []byte(v), true
+		}
+	}
 
 	for iter := 0; iter < iterations; iter++ {
 		proposer := iter % n
@@ -139,11 +218,36 @@ func Consensus(env sim.Env, value []byte, p Params) ([]byte, error) {
 			}
 		}
 
-		// Step 2: binary consensus on receipt, padded to the fixed
-		// worst-case bound so every process finishes the iteration at
-		// the same round.
-		bit := 0
+		// Step 1b: holders echo the proposal. Non-equivocation makes
+		// every echo identical to the proposal, so a process that
+		// missed the broadcast can adopt from any echo, and counting
+		// distinct echo senders counts genuine holders.
+		out = nil
 		if have {
+			out = sim.Broadcast(id, EchoMsg{Value: proposal}, others)
+		}
+		in = env.Exchange(out)
+		holders := 0
+		if have {
+			holders = 1
+		}
+		for _, m := range in {
+			if em, ok := m.Payload.(EchoMsg); ok {
+				if !have {
+					proposal, have = em.Value, true
+				}
+				holders++
+			}
+		}
+
+		// Step 2: binary consensus on replication, padded to the fixed
+		// worst-case bound so every process finishes the iteration at
+		// the same round. Endorsing needs t+1 known holders (so one
+		// survives corruption to serve the recovery round) and, for a
+		// locked process, a proposal equal to its lock — which is what
+		// turns unanimity into strong validity.
+		bit := 0
+		if have && holders > env.T() && (!locked || bytes.Equal(proposal, lock)) {
 			bit = 1
 		}
 		start := env.Round()
@@ -173,16 +277,20 @@ func Consensus(env sim.Env, value []byte, p Params) ([]byte, error) {
 				}
 			}
 			if !have {
-				// Unreachable for non-faulty processes: decision 1
-				// guarantees a non-faulty holder whose recovery
-				// broadcast is delivered.
-				return nil, fmt.Errorf("multivalue: decided 1 but no value recovered")
+				// Unreachable for non-faulty processes (decision 1
+				// guarantees a never-corrupted holder whose recovery
+				// broadcast is delivered), but a corrupted process can
+				// have every inbound recovery message dropped — it
+				// cannot tell, so fall back to its own value rather
+				// than abort the run.
+				return value, nil
 			}
 			return proposal, nil
 		}
 	}
-	// All proposers exhausted without acceptance (possible only when the
-	// adversary controls every proposer tried): fall back to own value.
+	// All proposers exhausted without acceptance — unreachable at the
+	// default 2t+1 iterations (at most 2t can fail), possible only under
+	// a caller-supplied smaller MaxIterations: fall back to own value.
 	return value, nil
 }
 

@@ -77,7 +77,7 @@ func TestMultivalueFaultyProposer(t *testing.T) {
 	res, err := Run(sim.Config{
 		N: n, T: tf, Inputs: make([]int, n), Seed: 5,
 		Adversary: adversary.NewStaticCrash([]int{0, 1}),
-		MaxRounds: (tf + 2) * (p.Binary.RoundsBound + 8),
+		MaxRounds: 1 + (2*tf+2)*(p.Binary.RoundsBound+8),
 	}, values, p)
 	if err != nil {
 		t.Fatal(err)
@@ -103,7 +103,7 @@ func TestMultivalueUnderOmissionAdversaries(t *testing.T) {
 		res, err := Run(sim.Config{
 			N: n, T: tf, Inputs: make([]int, n), Seed: 9,
 			Adversary: adv,
-			MaxRounds: (tf + 2) * (p.Binary.RoundsBound + 8),
+			MaxRounds: 1 + (2*tf+2)*(p.Binary.RoundsBound+8),
 		}, values, p)
 		if err != nil {
 			t.Fatalf("%s: %v", adv.Name(), err)
@@ -127,7 +127,7 @@ func TestMultivalueOverPhaseKing(t *testing.T) {
 	res, err := Run(sim.Config{
 		N: n, T: tf, Inputs: make([]int, n), Seed: 6,
 		Adversary: adversary.NewStaticCrash([]int{0}),
-		MaxRounds: (tf + 2) * (p.Binary.RoundsBound + 8),
+		MaxRounds: 1 + (2*tf+2)*(p.Binary.RoundsBound+8),
 	}, values, p)
 	if err != nil {
 		t.Fatal(err)
@@ -140,6 +140,57 @@ func TestMultivalueOverPhaseKing(t *testing.T) {
 	}
 	if res.Sim.Metrics.RandomCalls != 0 {
 		t.Fatalf("phase-king layer drew %d coins", res.Sim.Metrics.RandomCalls)
+	}
+}
+
+// silentCorrupt corrupts fixed processes in round 1 and never drops a
+// message — the torture harness's one-action counterexample against the
+// lock-free reduction.
+type silentCorrupt struct{ victims []int }
+
+func (silentCorrupt) Name() string { return "silent-corrupt" }
+
+func (a silentCorrupt) Step(v *sim.View) sim.Action {
+	if v.Round == 1 {
+		return sim.Action{Corrupt: a.victims}
+	}
+	return sim.Action{}
+}
+
+// TestMultivalueStrongValidity: when every non-faulty process proposes the
+// same value, that value must win even if the adversary silently corrupts
+// the first proposers (no omissions at all). Without the lock round the
+// corrupted minority proposal is endorsed unanimously and wins — the
+// schedule the torture harness shrank to a single corruption.
+func TestMultivalueStrongValidity(t *testing.T) {
+	n, tf := 16, 3
+	p := Params{Binary: PhaseKingBinary(tf)}
+	values := make([][]byte, n)
+	for i := range values {
+		values[i] = []byte("majority")
+	}
+	for i := 0; i < tf; i++ {
+		values[i] = []byte(fmt.Sprintf("minority-%d", i))
+	}
+	victims := []int{0, 1, 2}
+	res, err := Run(sim.Config{
+		N: n, T: tf, Inputs: make([]int, n), Seed: 21,
+		Adversary: silentCorrupt{victims: victims},
+		MaxRounds: 1 + (2*tf+1)*(p.Binary.RoundsBound+3) + 8,
+	}, values, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	for q, v := range res.Chosen {
+		if res.Sim.Corrupted[q] {
+			continue
+		}
+		if !bytes.Equal(v, []byte("majority")) {
+			t.Fatalf("process %d chose %q, want unanimous non-faulty %q", q, v, "majority")
+		}
 	}
 }
 

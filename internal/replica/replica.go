@@ -33,7 +33,7 @@ type StateMachine interface {
 type Config struct {
 	// N is the number of replicas, T the per-slot corruption budget.
 	N, T int
-	// MaxIterations bounds the proposer rotation per slot (0 = T+1).
+	// MaxIterations bounds the proposer rotation per slot (0 = 2T+1).
 	MaxIterations int
 }
 
@@ -79,7 +79,11 @@ func (c *Cluster) Propose(proposals [][]byte, seed uint64, adv sim.Adversary) (*
 	if len(proposals) != c.cfg.N {
 		return nil, fmt.Errorf("replica: %d proposals for n=%d", len(proposals), c.cfg.N)
 	}
-	maxRounds := (c.cfg.T + 2) * (c.mvParams.Binary.RoundsBound + 8)
+	iters := c.cfg.MaxIterations
+	if iters == 0 {
+		iters = 2*c.cfg.T + 1
+	}
+	maxRounds := 1 + (iters+1)*(c.mvParams.Binary.RoundsBound+8)
 	res, err := multivalue.Run(sim.Config{
 		N: c.cfg.N, T: c.cfg.T,
 		Inputs:    make([]int, c.cfg.N),

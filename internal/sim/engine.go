@@ -75,7 +75,7 @@ type Engine struct {
 	quit    chan struct{}
 
 	snapshots []any
-	corrupted []bool
+	legality  *Legality
 }
 
 // Run executes proto under cfg and returns the outcome. The returned error
@@ -107,7 +107,7 @@ func Run(cfg Config, proto Protocol) (*Result, error) {
 		deliver:   make([]chan []Message, cfg.N),
 		quit:      make(chan struct{}),
 		snapshots: make([]any, cfg.N),
-		corrupted: make([]bool, cfg.N),
+		legality:  NewLegality(cfg.N, cfg.T),
 	}
 	res := &Result{
 		Adversary:    cfg.Adversary.Name(),
@@ -133,7 +133,7 @@ func Run(cfg Config, proto Protocol) (*Result, error) {
 		close(e.quit) // unwind blocked protocol goroutines
 	}
 	wg.Wait()
-	res.Corrupted = append([]bool(nil), e.corrupted...)
+	res.Corrupted = e.legality.Mask()
 	res.Metrics = e.counters.Snapshot()
 	if err != nil {
 		return res, err
@@ -240,34 +240,9 @@ func (e *Engine) communicate(res *Result, round int, submitted []bool, outs [][]
 	view := e.makeView(res, round, outbox)
 	action := e.cfg.Adversary.Step(view)
 
-	for _, p := range action.Corrupt {
-		if p < 0 || p >= n {
-			return fmt.Errorf("sim: adversary corrupted invalid process %d", p)
-		}
-		if !e.corrupted[p] {
-			e.corrupted[p] = true
-		}
-	}
-	budget := 0
-	for _, c := range e.corrupted {
-		if c {
-			budget++
-		}
-	}
-	if budget > e.cfg.T {
-		return fmt.Errorf("%w: %d > t=%d in round %d", ErrBudget, budget, e.cfg.T, round)
-	}
-
-	dropped := make(map[int]bool, len(action.Drop))
-	for _, idx := range action.Drop {
-		if idx < 0 || idx >= len(outbox) {
-			return fmt.Errorf("sim: adversary dropped invalid outbox index %d", idx)
-		}
-		m := outbox[idx]
-		if !e.corrupted[m.From] && !e.corrupted[m.To] {
-			return fmt.Errorf("%w: %s in round %d", ErrIllegalOmission, m, round)
-		}
-		dropped[idx] = true
+	dropped, err := e.legality.Check(round, outbox, action)
+	if err != nil {
+		return err
 	}
 
 	inboxes := make([][]Message, n)
@@ -297,7 +272,7 @@ func (e *Engine) makeView(res *Result, round int, outbox []Message) *View {
 		N:           n,
 		T:           e.cfg.T,
 		Inputs:      res.Inputs,
-		Corrupted:   append([]bool(nil), e.corrupted...),
+		Corrupted:   e.legality.Mask(),
 		Terminated:  make([]bool, n),
 		Decisions:   append([]int(nil), res.Decisions...),
 		Snapshots:   append([]any(nil), e.snapshots...),

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func legalityOutbox(pairs ...[2]int) []Message {
+	out := make([]Message, 0, len(pairs))
+	for _, p := range pairs {
+		out = append(out, Msg(p[0], p[1], bitPayload{1}))
+	}
+	return out
+}
+
+func TestLegalityBudget(t *testing.T) {
+	l := NewLegality(4, 1)
+	if _, err := l.Check(1, nil, Action{Corrupt: []int{0}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Check(2, nil, Action{Corrupt: []int{1}}); !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestLegalityCorruptionPersistsAcrossRounds(t *testing.T) {
+	l := NewLegality(4, 2)
+	out := legalityOutbox([2]int{0, 1})
+	if _, err := l.Check(1, nil, Action{Corrupt: []int{0}}); err != nil {
+		t.Fatal(err)
+	}
+	dropped, err := l.Check(2, out, Action{Drop: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dropped[0] {
+		t.Fatal("drop on message from a process corrupted last round must be legal")
+	}
+	if l.NumCorrupted() != 1 || !l.IsCorrupted(0) || l.IsCorrupted(1) {
+		t.Fatalf("corrupted state wrong: %v", l.Mask())
+	}
+}
+
+func TestLegalityIllegalOmission(t *testing.T) {
+	l := NewLegality(4, 1)
+	out := legalityOutbox([2]int{2, 3})
+	if _, err := l.Check(1, out, Action{Drop: []int{0}}); !errors.Is(err, ErrIllegalOmission) {
+		t.Fatalf("err = %v, want ErrIllegalOmission", err)
+	}
+}
+
+func TestLegalitySameRoundCorruptThenDrop(t *testing.T) {
+	l := NewLegality(4, 1)
+	out := legalityOutbox([2]int{2, 3})
+	dropped, err := l.Check(1, out, Action{Corrupt: []int{2}, Drop: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dropped[0] {
+		t.Fatal("drop on a same-round corruption must be legal")
+	}
+}
+
+func TestLegalityInvalidIndices(t *testing.T) {
+	l := NewLegality(4, 2)
+	if _, err := l.Check(1, nil, Action{Corrupt: []int{7}}); err == nil ||
+		!strings.Contains(err.Error(), "invalid process") {
+		t.Fatalf("err = %v", err)
+	}
+	l = NewLegality(4, 2)
+	if _, err := l.Check(1, nil, Action{Drop: []int{0}}); err == nil ||
+		!strings.Contains(err.Error(), "invalid outbox index") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLegalityTolerantDuplicates(t *testing.T) {
+	l := NewLegality(4, 1)
+	out := legalityOutbox([2]int{0, 1})
+	dropped, err := l.Check(1, out, Action{Corrupt: []int{0, 0}, Drop: []int{0, 0}})
+	if err != nil {
+		t.Fatalf("engine-grade checker must tolerate duplicates as no-ops: %v", err)
+	}
+	if len(dropped) != 1 {
+		t.Fatalf("dropped = %v", dropped)
+	}
+}
+
+func TestStrictLegalityRejectsDoubleCorruption(t *testing.T) {
+	l := NewStrictLegality(4, 2)
+	if _, err := l.Check(1, nil, Action{Corrupt: []int{0, 0}}); err == nil ||
+		!strings.Contains(err.Error(), "re-corrupted") {
+		t.Fatalf("err = %v", err)
+	}
+	l = NewStrictLegality(4, 2)
+	if _, err := l.Check(1, nil, Action{Corrupt: []int{0}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Check(2, nil, Action{Corrupt: []int{0}}); err == nil ||
+		!strings.Contains(err.Error(), "re-corrupted") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStrictLegalityRejectsDuplicateDrops(t *testing.T) {
+	l := NewStrictLegality(4, 1)
+	out := legalityOutbox([2]int{0, 1})
+	if _, err := l.Check(1, out, Action{Corrupt: []int{0}, Drop: []int{0, 0}}); err == nil ||
+		!strings.Contains(err.Error(), "twice") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,180 @@
+package sim
+
+// Drop identifies one omitted message by its endpoints. When a sender
+// emits several messages to the same receiver in one round, repeated Drop
+// entries consume successive occurrences in outbox order.
+type Drop struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+}
+
+// Schedule is the action-level content of an execution: exactly which
+// processes the adversary corrupted and which messages it dropped, round
+// by round. A Schedule extracted from a version >= 1 Transcript replays an
+// execution exactly (ScheduleAdversary); a hand-edited or shrunk Schedule
+// replays a neighborhood of it.
+type Schedule struct {
+	Rounds []ScheduleRound `json:"rounds"`
+}
+
+// ScheduleRound is the adversary's recorded action for one round.
+type ScheduleRound struct {
+	Round   int    `json:"round"`
+	Corrupt []int  `json:"corrupt,omitempty"`
+	Drops   []Drop `json:"drops,omitempty"`
+}
+
+// Schedule extracts the action-level schedule from a transcript; rounds
+// without adversarial activity are elided. For version-0 transcripts the
+// result carries corruptions only (drop endpoints were not recorded).
+func (t *Transcript) Schedule() Schedule {
+	var s Schedule
+	for _, r := range t.Rounds {
+		if len(r.Corrupted) == 0 && len(r.Drops) == 0 {
+			continue
+		}
+		s.Rounds = append(s.Rounds, ScheduleRound{
+			Round:   r.Round,
+			Corrupt: append([]int(nil), r.Corrupted...),
+			Drops:   append([]Drop(nil), r.Drops...),
+		})
+	}
+	return s
+}
+
+// NumActions counts the schedule's atomic actions (corruptions + drops).
+func (s Schedule) NumActions() int {
+	n := 0
+	for _, r := range s.Rounds {
+		n += len(r.Corrupt) + len(r.Drops)
+	}
+	return n
+}
+
+// Clone deep-copies the schedule.
+func (s Schedule) Clone() Schedule {
+	out := Schedule{Rounds: make([]ScheduleRound, len(s.Rounds))}
+	for i, r := range s.Rounds {
+		out.Rounds[i] = ScheduleRound{
+			Round:   r.Round,
+			Corrupt: append([]int(nil), r.Corrupt...),
+			Drops:   append([]Drop(nil), r.Drops...),
+		}
+	}
+	return out
+}
+
+// ScheduleAdversary replays a recorded (or hand-edited, or shrunk)
+// schedule. Two modes:
+//
+//   - Strict: emit the recorded actions verbatim. Replaying a legal
+//     schedule against the same protocol and seed reproduces the original
+//     execution exactly; replaying an illegal one reproduces the engine's
+//     legality error — which is what lets a persisted budget violation be
+//     re-demonstrated from its corpus file.
+//   - Lenient (default): clamp to legality. Corruptions beyond the budget,
+//     re-corruptions and drops whose endpoints are not corrupted are
+//     silently skipped (and counted). This keeps mutated or shrunk
+//     schedules legal by construction, so the engine never aborts while a
+//     shrinker or fuzzer explores the schedule's neighborhood.
+//
+// Drops are matched to the current outbox by (from, to) endpoints in
+// occurrence order; recorded drops with no matching message (the execution
+// diverged from the recording) are counted in Unmatched and skipped.
+type ScheduleAdversary struct {
+	rounds map[int]ScheduleRound
+	strict bool
+
+	unmatched int
+	clamped   int
+}
+
+// NewScheduleAdversary returns the lenient replayer.
+func NewScheduleAdversary(s Schedule) *ScheduleAdversary {
+	a := &ScheduleAdversary{rounds: make(map[int]ScheduleRound, len(s.Rounds))}
+	for _, r := range s.Rounds {
+		a.rounds[r.Round] = r
+	}
+	return a
+}
+
+// NewStrictScheduleAdversary returns the verbatim replayer.
+func NewStrictScheduleAdversary(s Schedule) *ScheduleAdversary {
+	a := NewScheduleAdversary(s)
+	a.strict = true
+	return a
+}
+
+// Name implements Adversary.
+func (a *ScheduleAdversary) Name() string { return "schedule-replay" }
+
+// Unmatched returns the number of recorded drops that found no matching
+// outbox message during replay (nonzero means the execution diverged from
+// the recording).
+func (a *ScheduleAdversary) Unmatched() int { return a.unmatched }
+
+// Clamped returns the number of recorded actions the lenient mode skipped
+// to preserve legality.
+func (a *ScheduleAdversary) Clamped() int { return a.clamped }
+
+// Step implements Adversary.
+func (a *ScheduleAdversary) Step(v *View) Action {
+	sr, ok := a.rounds[v.Round]
+	if !ok {
+		return Action{}
+	}
+	var act Action
+
+	bad := make(map[int]bool)
+	spent := 0
+	for p, c := range v.Corrupted {
+		if c {
+			bad[p] = true
+			spent++
+		}
+	}
+	for _, p := range sr.Corrupt {
+		if a.strict {
+			act.Corrupt = append(act.Corrupt, p)
+			if p >= 0 && p < v.N {
+				bad[p] = true
+			}
+			continue
+		}
+		if p < 0 || p >= v.N || bad[p] || spent >= v.T {
+			a.clamped++
+			continue
+		}
+		act.Corrupt = append(act.Corrupt, p)
+		bad[p] = true
+		spent++
+	}
+
+	if len(sr.Drops) == 0 {
+		return act
+	}
+	// Index the outbox by endpoint pair; each recorded drop consumes the
+	// next occurrence of its pair.
+	byPair := make(map[Drop][]int)
+	for i, m := range v.Outbox {
+		k := Drop{From: m.From, To: m.To}
+		byPair[k] = append(byPair[k], i)
+	}
+	for _, d := range sr.Drops {
+		idxs := byPair[d]
+		if len(idxs) == 0 {
+			a.unmatched++
+			continue
+		}
+		idx := idxs[0]
+		byPair[d] = idxs[1:]
+		if !a.strict && !bad[d.From] && !bad[d.To] {
+			a.clamped++
+			continue
+		}
+		act.Drop = append(act.Drop, idx)
+	}
+	return act
+}
+
+var _ Adversary = (*ScheduleAdversary)(nil)

@@ -1,0 +1,289 @@
+// Package torture is the property-based torture harness: randomized trials
+// over the full protocol matrix x adversary portfolio, an invariant oracle
+// checked after every trial, a failure corpus with deterministic replay,
+// and a delta-debugging shrinker that reduces any failing schedule to a
+// minimal counterexample.
+//
+// The paper's guarantees (Theorems 1 and 3) quantify over *every* legal
+// adaptive omission schedule; the harness hunts that space instead of
+// trusting the schedules the experiments happen to exercise. Related work
+// shows how necessary this is: FloodSet is correct under crashes and falls
+// to a single omission corruption, and committee sampling survives the
+// oblivious adversary only to be annihilated by the adaptive one.
+package torture
+
+import (
+	"fmt"
+
+	"omicon/internal/adversary"
+	"omicon/internal/benor"
+	"omicon/internal/core"
+	"omicon/internal/dolevstrong"
+	"omicon/internal/earlystop"
+	"omicon/internal/floodset"
+	"omicon/internal/graph"
+	"omicon/internal/multivalue"
+	"omicon/internal/paramomissions"
+	"omicon/internal/phaseking"
+	"omicon/internal/rng"
+	"omicon/internal/sim"
+)
+
+// ProtoSpec describes one protocol of the torture matrix: how to build it
+// for an (n, t) instance, which instances are legal, and what it promises.
+type ProtoSpec struct {
+	// Name is the canonical matrix name; Aliases are accepted on lookup
+	// (cmd/omicon's algorithm names, so recorded transcripts replay).
+	Name    string
+	Aliases []string
+	// Sizes are the default system sizes torture trials cycle through.
+	Sizes []int
+	// MaxT returns the largest corruption budget the protocol's proven
+	// fault bound admits at size n.
+	MaxT func(n int) int
+	// MonteCarlo marks protocols whose agreement holds only with high
+	// probability (no deterministic backstop): the oracle reports their
+	// agreement misses separately instead of failing the run.
+	MonteCarlo bool
+	// KnownBroken marks separation exhibits (FloodSet) that are *expected*
+	// to violate consensus under the right schedule; they are excluded
+	// from the default matrix and exist to exercise the
+	// catch-persist-shrink-replay pipeline on real violations.
+	KnownBroken bool
+	// Build returns the protocol and its termination bound in rounds: no
+	// non-faulty process may still be running after that many rounds.
+	Build func(n, t int) (sim.Protocol, int, error)
+}
+
+// protoSpecs is the protocol side of the matrix.
+var protoSpecs = []ProtoSpec{
+	{
+		Name:    "core",
+		Aliases: []string{"optimal", "optimal-omissions"},
+		Sizes:   []int{33, 36},
+		MaxT:    func(n int) int { return (n - 1) / 31 },
+		Build: func(n, t int) (sim.Protocol, int, error) {
+			p, err := core.Prepare(n, t)
+			if err != nil {
+				return nil, 0, err
+			}
+			return core.Protocol(p), p.TotalRoundsBound(), nil
+		},
+	},
+	{
+		Name:    "paramomissions",
+		Aliases: []string{"param", "param-omissions"},
+		Sizes:   []int{64},
+		MaxT:    func(n int) int { return (n - 1) / 61 },
+		Build: func(n, t int) (sim.Protocol, int, error) {
+			x := 1
+			for x*x*16 < n { // x ~ sqrt(n)/4, cmd/omicon's default
+				x++
+			}
+			p, err := paramomissions.Prepare(n, t, x)
+			if err != nil {
+				return nil, 0, err
+			}
+			return paramomissions.Protocol(p), p.TotalRoundsBound(), nil
+		},
+	},
+	{
+		Name:  "phaseking",
+		Aliases: []string{"phase-king"},
+		Sizes: []int{12, 16},
+		MaxT:  func(n int) int { return (n - 1) / 4 },
+		Build: func(n, t int) (sim.Protocol, int, error) {
+			proto := func(env sim.Env, input int) (int, error) {
+				return phaseking.Consensus(env, input)
+			}
+			return proto, phaseking.Rounds(phaseking.DefaultPhases(t)), nil
+		},
+	},
+	{
+		Name:  "dolevstrong",
+		Aliases: []string{"dolev-strong"},
+		Sizes: []int{10, 12},
+		MaxT:  func(n int) int { return (n - 1) / 2 },
+		Build: func(n, t int) (sim.Protocol, int, error) {
+			return dolevstrong.Protocol(), dolevstrong.Rounds(t), nil
+		},
+	},
+	{
+		Name:       "benor",
+		Sizes:      []int{16, 20},
+		MaxT:       func(n int) int { return (n - 1) / 4 },
+		MonteCarlo: true,
+		Build: func(n, t int) (sim.Protocol, int, error) {
+			p := benor.DefaultParams(n, t)
+			return benor.Protocol(p), p.MaxEpochs + 2, nil
+		},
+	},
+	{
+		Name:  "earlystop",
+		Aliases: []string{"early-stopping"},
+		Sizes: []int{24, 30},
+		MaxT:  func(n int) int { return (n - 1) / 6 },
+		Build: func(n, t int) (sim.Protocol, int, error) {
+			return earlystop.Protocol(), earlystop.MaxRounds(t), nil
+		},
+	},
+	{
+		Name:  "multivalue",
+		Sizes: []int{12, 16},
+		MaxT:  func(n int) int { return (n - 1) / 4 },
+		Build: func(n, t int) (sim.Protocol, int, error) {
+			p := multivalue.Params{Binary: multivalue.PhaseKingBinary(t)}
+			proto := func(env sim.Env, input int) (int, error) {
+				v, err := multivalue.Consensus(env, []byte{byte(input)}, p)
+				if err != nil {
+					return -1, err
+				}
+				if len(v) != 1 {
+					return -1, fmt.Errorf("torture: multivalue chose %d-byte value", len(v))
+				}
+				return int(v[0]), nil
+			}
+			// One lock round, then 2t+1 proposer iterations, each 3
+			// framing rounds (proposal, echo, recovery) plus the
+			// padded binary-consensus bound.
+			bound := 1 + (2*t+1)*(3+p.Binary.RoundsBound)
+			return proto, bound, nil
+		},
+	},
+	{
+		Name:        "floodset",
+		Sizes:       []int{8, 12},
+		MaxT:        func(n int) int { return (n - 1) / 4 },
+		KnownBroken: true,
+		Build: func(n, t int) (sim.Protocol, int, error) {
+			return floodset.Protocol(), floodset.Rounds(t), nil
+		},
+	},
+}
+
+// Protocols returns every registered spec, including known-broken
+// separation exhibits.
+func Protocols() []ProtoSpec { return protoSpecs }
+
+// DefaultProtocols returns the standing correctness matrix: every spec
+// that promises consensus under legal schedules.
+func DefaultProtocols() []ProtoSpec {
+	out := make([]ProtoSpec, 0, len(protoSpecs))
+	for _, s := range protoSpecs {
+		if !s.KnownBroken {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// FindProtocol resolves a canonical name or alias.
+func FindProtocol(name string) (ProtoSpec, error) {
+	for _, s := range protoSpecs {
+		if s.Name == name {
+			return s, nil
+		}
+		for _, a := range s.Aliases {
+			if a == name {
+				return s, nil
+			}
+		}
+	}
+	return ProtoSpec{}, fmt.Errorf("torture: unknown protocol %q", name)
+}
+
+// AdvSpec describes one adversary of the portfolio. Make receives the most
+// recently recorded schedule of the same matrix cell (zero for the first
+// trial); only mutating strategies use it.
+type AdvSpec struct {
+	Name string
+	Make func(base sim.Schedule, n, t int, seed uint64) sim.Adversary
+}
+
+func ignoreBase(f func(n, t int, seed uint64) sim.Adversary) func(sim.Schedule, int, int, uint64) sim.Adversary {
+	return func(_ sim.Schedule, n, t int, seed uint64) sim.Adversary { return f(n, t, seed) }
+}
+
+// advSpecs is the adversary side of the matrix. The default portfolio is
+// the ISSUE's six; the rest are reachable by name.
+var advSpecs = []AdvSpec{
+	{Name: "chaos", Make: ignoreBase(func(n, t int, seed uint64) sim.Adversary {
+		return adversary.NewChaos(t, 0.2, 0.7, seed)
+	})},
+	{Name: "eclipse", Make: ignoreBase(func(n, t int, seed uint64) sim.Adversary {
+		g, err := graph.Build(n, graph.PracticalParams(n))
+		if err != nil {
+			return sim.NoFaults{} // unreachable for registered sizes
+		}
+		return adversary.NewEclipse(g, t, n/4)
+	})},
+	{Name: "coin-hider", Make: ignoreBase(func(n, t int, seed uint64) sim.Adversary {
+		return adversary.NewCoinHider(1)
+	})},
+	{Name: "committee-killer", Make: ignoreBase(func(n, t int, seed uint64) sim.Adversary {
+		k := t
+		if k < 1 {
+			k = 1
+		}
+		return adversary.NewCommitteeKiller(rng.Unmetered(seed, 0xc033).Perm(n)[:k])
+	})},
+	{Name: "flood-split", Make: ignoreBase(func(n, t int, seed uint64) sim.Adversary {
+		return adversary.NewFloodSplit(t+1, n-1)
+	})},
+	{Name: "sched-fuzz", Make: func(base sim.Schedule, n, t int, seed uint64) sim.Adversary {
+		return adversary.NewScheduleFuzzer(base, t, seed)
+	}},
+	// Extras, reachable via -adversaries.
+	{Name: "none", Make: ignoreBase(func(int, int, uint64) sim.Adversary { return sim.NoFaults{} })},
+	{Name: "static-crash", Make: ignoreBase(func(n, t int, seed uint64) sim.Adversary {
+		targets := make([]int, t)
+		for i := range targets {
+			targets[i] = i
+		}
+		return adversary.NewStaticCrash(targets)
+	})},
+	{Name: "random-omission", Make: ignoreBase(func(n, t int, seed uint64) sim.Adversary {
+		return adversary.NewRandomOmission(t, 0.75, seed)
+	})},
+	{Name: "group-killer", Make: ignoreBase(func(n, t int, seed uint64) sim.Adversary {
+		return adversary.NewGroupKiller(n, t)
+	})},
+	{Name: "half-visibility", Make: ignoreBase(func(n, t int, seed uint64) sim.Adversary {
+		return adversary.NewHalfVisibility(t)
+	})},
+	{Name: "split-vote", Make: ignoreBase(func(n, t int, seed uint64) sim.Adversary {
+		return adversary.NewSplitVote(t, seed)
+	})},
+	{Name: "delayed-strike", Make: ignoreBase(func(n, t int, seed uint64) sim.Adversary {
+		return adversary.NewDelayedStrike(t)
+	})},
+	{Name: "oblivious-crash", Make: ignoreBase(func(n, t int, seed uint64) sim.Adversary {
+		return adversary.NewObliviousCrash(n, t, seed)
+	})},
+}
+
+// defaultPortfolio is the adversary set of the standing matrix.
+var defaultPortfolio = []string{"chaos", "eclipse", "coin-hider", "committee-killer", "flood-split", "sched-fuzz"}
+
+// Adversaries returns every registered adversary spec.
+func Adversaries() []AdvSpec { return advSpecs }
+
+// DefaultAdversaries returns the default portfolio.
+func DefaultAdversaries() []AdvSpec {
+	out := make([]AdvSpec, 0, len(defaultPortfolio))
+	for _, name := range defaultPortfolio {
+		s, _ := FindAdversary(name)
+		out = append(out, s)
+	}
+	return out
+}
+
+// FindAdversary resolves an adversary spec by name.
+func FindAdversary(name string) (AdvSpec, error) {
+	for _, s := range advSpecs {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return AdvSpec{}, fmt.Errorf("torture: unknown adversary %q", name)
+}

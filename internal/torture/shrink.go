@@ -1,0 +1,109 @@
+package torture
+
+import "omicon/internal/sim"
+
+// atom is one indivisible schedule action: a single corruption or a single
+// endpoint drop in a specific round. The shrinker removes atoms, never
+// rounds wholesale, so the minimal schedule pinpoints exactly which
+// corruptions and which message omissions carry the violation.
+type atom struct {
+	round   int
+	corrupt bool // corruption of p, else drop
+	p       int
+	drop    sim.Drop
+}
+
+func flatten(s sim.Schedule) []atom {
+	var out []atom
+	for _, r := range s.Rounds {
+		for _, p := range r.Corrupt {
+			out = append(out, atom{round: r.Round, corrupt: true, p: p})
+		}
+		for _, d := range r.Drops {
+			out = append(out, atom{round: r.Round, drop: d})
+		}
+	}
+	return out
+}
+
+func rebuild(atoms []atom) sim.Schedule {
+	byRound := make(map[int]*sim.ScheduleRound)
+	var order []int
+	for _, a := range atoms {
+		r, ok := byRound[a.round]
+		if !ok {
+			r = &sim.ScheduleRound{Round: a.round}
+			byRound[a.round] = r
+			order = append(order, a.round)
+		}
+		if a.corrupt {
+			r.Corrupt = append(r.Corrupt, a.p)
+		} else {
+			r.Drops = append(r.Drops, a.drop)
+		}
+	}
+	var s sim.Schedule
+	for _, round := range order {
+		s.Rounds = append(s.Rounds, *byRound[round])
+	}
+	return s
+}
+
+// ShrinkFunc replays one candidate schedule and reports whether it still
+// produces a violation of the targeted kind.
+type ShrinkFunc func(sim.Schedule) bool
+
+// Shrink delta-debugs a failing schedule down to a locally minimal one:
+// no single removed chunk (down to single actions) still reproduces the
+// violation. reproduce is called at most maxRuns times; the best schedule
+// found so far is returned together with the number of replays spent.
+//
+// This is ddmin over the flattened action list: try removing chunks of
+// half the list, then quarters, and so on down to single atoms, restarting
+// the pass whenever a removal keeps the violation alive.
+func Shrink(s sim.Schedule, reproduce ShrinkFunc, maxRuns int) (sim.Schedule, int) {
+	atoms := flatten(s)
+	runs := 0
+	try := func(candidate []atom) bool {
+		if runs >= maxRuns {
+			return false
+		}
+		runs++
+		return reproduce(rebuild(candidate))
+	}
+
+	chunk := len(atoms) / 2
+	if chunk < 1 {
+		chunk = 1
+	}
+	for chunk >= 1 && len(atoms) > 0 && runs < maxRuns {
+		removed := false
+		for start := 0; start < len(atoms); {
+			end := start + chunk
+			if end > len(atoms) {
+				end = len(atoms)
+			}
+			candidate := make([]atom, 0, len(atoms)-(end-start))
+			candidate = append(candidate, atoms[:start]...)
+			candidate = append(candidate, atoms[end:]...)
+			if try(candidate) {
+				atoms = candidate
+				removed = true
+				// Keep the same start: the next chunk slid into place.
+			} else {
+				start = end
+			}
+			if runs >= maxRuns {
+				break
+			}
+		}
+		if removed {
+			continue // something came out; re-scan at the same granularity
+		}
+		if chunk == 1 {
+			break // locally minimal
+		}
+		chunk /= 2
+	}
+	return rebuild(atoms), runs
+}

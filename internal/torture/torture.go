@@ -1,0 +1,452 @@
+package torture
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"omicon/internal/metrics"
+	"omicon/internal/sim"
+)
+
+// Options configures a torture run.
+type Options struct {
+	// Trials is the number of randomized trials spread round-robin over
+	// the protocol x adversary matrix.
+	Trials int
+	// Seed derives every trial's seed; the same (Seed, Options) is fully
+	// deterministic.
+	Seed uint64
+	// Protocols and Adversaries select matrix rows/columns by name; empty
+	// means the defaults (all non-broken protocols, the six-strategy
+	// portfolio).
+	Protocols   []string
+	Adversaries []string
+	// CorpusDir receives a corpus entry per failing trial; empty disables
+	// persistence.
+	CorpusDir string
+	// Shrink delta-debugs each failing schedule before persisting it.
+	Shrink bool
+	// ShrinkMaxRuns caps the replays the shrinker spends per failure
+	// (default 200).
+	ShrinkMaxRuns int
+	// DeterminismEvery re-runs every k-th trial with a fresh adversary of
+	// the same seed and requires a byte-identical transcript; 0 disables,
+	// 1 checks every trial.
+	DeterminismEvery int
+	// Envelope adds cost caps on top of the per-trial round envelope.
+	Envelope metrics.Envelope
+	// Inject deliberately sabotages the run to prove the oracle catches
+	// violations: "overbudget" corrupts t+1 processes in round 1,
+	// "honest-drop" drops a message between two honest processes.
+	Inject string
+	// Log, when set, receives one line per violation and a final summary.
+	Log io.Writer
+}
+
+// CellStats aggregates one (protocol, adversary) matrix cell.
+type CellStats struct {
+	Trials     int `json:"trials"`
+	Violations int `json:"violations"`
+	MCMisses   int `json:"mcMisses,omitempty"`
+}
+
+// Report is the outcome of a torture run.
+type Report struct {
+	Trials            int
+	Violations        int
+	MCMisses          int
+	DeterminismChecks int
+	Cells             map[string]*CellStats
+	// Failures holds one record per failing trial, in trial order.
+	Failures []*Entry
+	// CorpusPaths lists the files written under Options.CorpusDir.
+	CorpusPaths []string
+}
+
+// Summary renders the report as a short human-readable block.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "torture: %d trials, %d violations, %d monte-carlo misses, %d determinism checks\n",
+		r.Trials, r.Violations, r.MCMisses, r.DeterminismChecks)
+	keys := make([]string, 0, len(r.Cells))
+	for k := range r.Cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c := r.Cells[k]
+		fmt.Fprintf(&b, "  %-32s trials=%-4d violations=%-3d", k, c.Trials, c.Violations)
+		if c.MCMisses > 0 {
+			fmt.Fprintf(&b, " mcMisses=%d", c.MCMisses)
+		}
+		b.WriteString("\n")
+	}
+	for _, p := range r.CorpusPaths {
+		fmt.Fprintf(&b, "  corpus: %s\n", p)
+	}
+	return b.String()
+}
+
+// mix is SplitMix64, deriving independent trial seeds from the run seed.
+func mix(seed uint64, i int) uint64 {
+	z := seed + uint64(i+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// trialInputs cycles input patterns. Mixed patterns put more than t
+// processes in each camp (guaranteed by capT), so corruption can never
+// empty a camp and turn validity vacuously true or false by accident.
+func trialInputs(n, variant int) []int {
+	in := make([]int, n)
+	switch variant % 4 {
+	case 0: // balanced mixed
+		for i := range in {
+			in[i] = i % 2
+		}
+	case 1: // unanimous one
+		for i := range in {
+			in[i] = 1
+		}
+	case 2: // unanimous zero
+	default: // near-unanimous: one hidden minority holder (the
+		// flood-split shape — a value the adversary can conceal)
+		for i := range in {
+			in[i] = 1
+		}
+		in[0] = 0
+	}
+	return in
+}
+
+// capT bounds the corruption budget so every mixed-input camp keeps a
+// non-faulty member: t <= n/2 - 1 with balanced camps of size >= n/2.
+func capT(spec ProtoSpec, n int) int {
+	t := spec.MaxT(n)
+	if cap := n/2 - 1; t > cap {
+		t = cap
+	}
+	if t < 0 {
+		t = 0
+	}
+	return t
+}
+
+type cell struct {
+	proto ProtoSpec
+	adv   AdvSpec
+}
+
+func resolveMatrix(o Options) ([]cell, error) {
+	var protos []ProtoSpec
+	if len(o.Protocols) == 0 {
+		protos = DefaultProtocols()
+	} else {
+		for _, name := range o.Protocols {
+			s, err := FindProtocol(name)
+			if err != nil {
+				return nil, err
+			}
+			protos = append(protos, s)
+		}
+	}
+	var advs []AdvSpec
+	if len(o.Adversaries) == 0 {
+		advs = DefaultAdversaries()
+	} else {
+		for _, name := range o.Adversaries {
+			s, err := FindAdversary(name)
+			if err != nil {
+				return nil, err
+			}
+			advs = append(advs, s)
+		}
+	}
+	cells := make([]cell, 0, len(protos)*len(advs))
+	for _, p := range protos {
+		for _, a := range advs {
+			cells = append(cells, cell{proto: p, adv: a})
+		}
+	}
+	return cells, nil
+}
+
+// injected wraps an adversary with a deliberate violation, the harness's
+// own self-test that the oracle pipeline actually fires.
+type injected struct {
+	inner sim.Adversary
+	mode  string
+	t     int
+	done  bool
+}
+
+func (a *injected) Name() string { return a.inner.Name() + "+" + a.mode }
+
+func (a *injected) Step(v *sim.View) sim.Action {
+	act := a.inner.Step(v)
+	if a.done {
+		return act
+	}
+	switch a.mode {
+	case "overbudget":
+		// Corrupt t+1 fresh processes immediately: must trip ErrBudget.
+		act = sim.Action{}
+		for p := 0; p < v.N && len(act.Corrupt) < a.t+1; p++ {
+			if !v.Corrupted[p] {
+				act.Corrupt = append(act.Corrupt, p)
+			}
+		}
+		a.done = true
+	case "honest-drop":
+		// Drop a message between two honest processes: ErrIllegalOmission.
+		for i, m := range v.Outbox {
+			if !v.Corrupted[m.From] && !v.Corrupted[m.To] {
+				act.Drop = append(act.Drop, i)
+				a.done = true
+				break
+			}
+		}
+	}
+	return act
+}
+
+func wrapInject(adv sim.Adversary, mode string, t int) (sim.Adversary, error) {
+	switch mode {
+	case "":
+		return adv, nil
+	case "overbudget", "honest-drop":
+		return &injected{inner: adv, mode: mode, t: t}, nil
+	default:
+		return nil, fmt.Errorf("torture: unknown inject mode %q", mode)
+	}
+}
+
+// trialRun is one complete simulated execution plus recorded transcript.
+type trialRun struct {
+	res *sim.Result
+	err error
+	tr  *sim.Transcript
+}
+
+func runOnce(spec ProtoSpec, proto sim.Protocol, bound int, adv sim.Adversary, n, t int, inputs []int, seed uint64) trialRun {
+	rec, tr := sim.NewRecorder(adv)
+	res, err := sim.Run(sim.Config{
+		N: n, T: t, Inputs: inputs, Seed: seed, Adversary: rec,
+		MaxRounds: bound + 64,
+	}, proto)
+	tr.Protocol = spec.Name
+	tr.Seed = seed
+	tr.Inputs = append([]int(nil), inputs...)
+	return trialRun{res: res, err: err, tr: tr}
+}
+
+// Run executes the torture campaign.
+func Run(o Options) (*Report, error) {
+	if o.Trials <= 0 {
+		o.Trials = 100
+	}
+	if o.ShrinkMaxRuns <= 0 {
+		o.ShrinkMaxRuns = 200
+	}
+	cells, err := resolveMatrix(o)
+	if err != nil {
+		return nil, err
+	}
+	logf := func(format string, args ...any) {
+		if o.Log != nil {
+			fmt.Fprintf(o.Log, format+"\n", args...)
+		}
+	}
+
+	report := &Report{Cells: make(map[string]*CellStats)}
+	// lastSchedule feeds each cell's most recent recorded schedule to
+	// mutating adversaries (sched-fuzz) as their base.
+	lastSchedule := make(map[string]sim.Schedule)
+
+	for i := 0; i < o.Trials; i++ {
+		c := cells[i%len(cells)]
+		lap := i / len(cells)
+		n := c.proto.Sizes[lap%len(c.proto.Sizes)]
+		t := capT(c.proto, n)
+		seed := mix(o.Seed, i)
+		inputs := trialInputs(n, lap)
+		key := c.proto.Name + "/" + c.adv.Name
+		stats := report.Cells[key]
+		if stats == nil {
+			stats = &CellStats{}
+			report.Cells[key] = stats
+		}
+
+		proto, bound, err := c.proto.Build(n, t)
+		if err != nil {
+			return nil, fmt.Errorf("torture: build %s n=%d t=%d: %w", c.proto.Name, n, t, err)
+		}
+		makeAdv := func() (sim.Adversary, error) {
+			return wrapInject(c.adv.Make(lastSchedule[key], n, t, seed), o.Inject, t)
+		}
+		adv, err := makeAdv()
+		if err != nil {
+			return nil, err
+		}
+
+		run := runOnce(c.proto, proto, bound, adv, n, t, inputs, seed)
+		verdict := Check(CheckInput{
+			N: n, T: t, RoundBound: bound, Envelope: o.Envelope,
+			MonteCarlo: c.proto.MonteCarlo,
+			Result:     run.res, RunErr: run.err, Transcript: run.tr,
+		})
+
+		// Determinism: a fresh adversary with the same seed must yield a
+		// byte-identical transcript.
+		if o.DeterminismEvery > 0 && i%o.DeterminismEvery == 0 {
+			report.DeterminismChecks++
+			adv2, err := makeAdv()
+			if err != nil {
+				return nil, err
+			}
+			run2 := runOnce(c.proto, proto, bound, adv2, n, t, inputs, seed)
+			b1, b2 := transcriptBytes(run.tr), transcriptBytes(run2.tr)
+			if !bytes.Equal(b1, b2) {
+				verdict.add(KindDeterminism,
+					"same seed %d produced different transcripts (%d vs %d bytes)", seed, len(b1), len(b2))
+			}
+		}
+
+		stats.Trials++
+		report.Trials++
+		stats.MCMisses += verdict.MonteCarloMisses
+		report.MCMisses += verdict.MonteCarloMisses
+		lastSchedule[key] = run.tr.Schedule()
+
+		if !verdict.Failed() {
+			continue
+		}
+		stats.Violations += len(verdict.Violations)
+		report.Violations += len(verdict.Violations)
+		for _, v := range verdict.Violations {
+			logf("FAIL %s n=%d t=%d seed=%d: %s", key, n, t, seed, v)
+		}
+
+		entry := &Entry{
+			Version: EntryVersion, Protocol: c.proto.Name, Adversary: adv.Name(),
+			N: n, T: t, Seed: seed, Inputs: inputs, RoundBound: bound,
+			MonteCarlo: c.proto.MonteCarlo,
+			Violations: verdict.Violations,
+			Schedule:   run.tr.Schedule(),
+			Transcript: run.tr,
+		}
+		if o.Shrink {
+			target := verdict.Violations[0].Kind
+			min, runs := shrinkEntry(c.proto, proto, bound, entry, target, o.ShrinkMaxRuns)
+			entry.MinSchedule = &min
+			entry.ShrinkRuns = runs
+			logf("shrunk %s seed=%d: %d -> %d actions in %d replays",
+				key, seed, entry.Schedule.NumActions(), min.NumActions(), runs)
+		}
+		report.Failures = append(report.Failures, entry)
+		if o.CorpusDir != "" {
+			path, err := entry.Write(o.CorpusDir)
+			if err != nil {
+				return nil, fmt.Errorf("torture: persisting corpus entry: %w", err)
+			}
+			report.CorpusPaths = append(report.CorpusPaths, path)
+			logf("corpus: %s", path)
+		}
+	}
+	logf("%s", strings.TrimRight(report.Summary(), "\n"))
+	return report, nil
+}
+
+func transcriptBytes(tr *sim.Transcript) []byte {
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		return nil
+	}
+	return buf.Bytes()
+}
+
+// scheduleVerdict replays one candidate schedule against the protocol and
+// returns its oracle verdict. Legality-kind targets replay strictly (the
+// schedule must reproduce the illegal action for the engine to reject);
+// everything else replays leniently so partial schedules stay legal.
+func scheduleVerdict(spec ProtoSpec, proto sim.Protocol, bound int, e *Entry, s sim.Schedule, strict bool) Verdict {
+	var adv sim.Adversary
+	if strict {
+		adv = sim.NewStrictScheduleAdversary(s)
+	} else {
+		adv = sim.NewScheduleAdversary(s)
+	}
+	run := runOnce(spec, proto, bound, adv, e.N, e.T, e.Inputs, e.Seed)
+	return Check(CheckInput{
+		N: e.N, T: e.T, RoundBound: bound,
+		MonteCarlo: e.MonteCarlo,
+		Result:     run.res, RunErr: run.err, Transcript: run.tr,
+	})
+}
+
+func shrinkEntry(spec ProtoSpec, proto sim.Protocol, bound int, e *Entry, target Kind, maxRuns int) (sim.Schedule, int) {
+	strict := target == KindLegality
+	return Shrink(e.Schedule, func(s sim.Schedule) bool {
+		return scheduleVerdict(spec, proto, bound, e, s, strict).Has(target)
+	}, maxRuns)
+}
+
+// ReplayResult is the outcome of replaying one corpus entry.
+type ReplayResult struct {
+	Verdict Verdict
+	// Reproduced reports whether the replay hit a violation of the same
+	// kind as the entry's first recorded one.
+	Reproduced bool
+	// ByteIdentical reports whether the replayed transcript matches the
+	// persisted one byte-for-byte (modulo the adversary name header,
+	// which necessarily changes to schedule-replay).
+	ByteIdentical bool
+	Transcript    *sim.Transcript
+}
+
+// Replay re-executes a corpus entry from its recorded schedule and checks
+// that the violation reproduces and the transcript matches.
+func Replay(e *Entry) (*ReplayResult, error) {
+	spec, err := FindProtocol(e.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	proto, bound, err := spec.Build(e.N, e.T)
+	if err != nil {
+		return nil, err
+	}
+	if e.RoundBound > 0 {
+		bound = e.RoundBound
+	}
+	strict := len(e.Violations) > 0 && e.Violations[0].Kind == KindLegality
+	var adv sim.Adversary
+	if strict {
+		adv = sim.NewStrictScheduleAdversary(e.Schedule)
+	} else {
+		adv = sim.NewScheduleAdversary(e.Schedule)
+	}
+	run := runOnce(spec, proto, bound, adv, e.N, e.T, e.Inputs, e.Seed)
+	verdict := Check(CheckInput{
+		N: e.N, T: e.T, RoundBound: bound,
+		MonteCarlo: e.MonteCarlo,
+		Result:     run.res, RunErr: run.err, Transcript: run.tr,
+	})
+	out := &ReplayResult{Verdict: verdict, Transcript: run.tr}
+	if len(e.Violations) > 0 {
+		out.Reproduced = verdict.Has(e.Violations[0].Kind)
+	} else {
+		out.Reproduced = verdict.Failed()
+	}
+	if e.Transcript != nil {
+		// Normalize the adversary header: the replay necessarily runs
+		// under the schedule adversary's name.
+		want := *e.Transcript
+		want.Adversary = run.tr.Adversary
+		out.ByteIdentical = bytes.Equal(transcriptBytes(&want), transcriptBytes(run.tr))
+	}
+	return out, nil
+}

@@ -1,0 +1,239 @@
+package torture
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMatrixSmoke runs a small deterministic campaign across the default
+// matrix and requires it to be violation-free: every protocol keeps its
+// promises against every portfolio adversary.
+func TestMatrixSmoke(t *testing.T) {
+	trials := 80
+	if testing.Short() {
+		trials = 40
+	}
+	rep, err := Run(Options{Trials: trials, Seed: 1, DeterminismEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations != 0 {
+		for _, e := range rep.Failures {
+			t.Errorf("%s/%s n=%d t=%d seed=%d: %v", e.Protocol, e.Adversary, e.N, e.T, e.Seed, e.Violations)
+		}
+		t.Fatalf("%d violations in default matrix", rep.Violations)
+	}
+	if rep.Trials != trials {
+		t.Fatalf("ran %d trials, wanted %d", rep.Trials, trials)
+	}
+	if rep.DeterminismChecks == 0 {
+		t.Fatal("no determinism checks ran")
+	}
+}
+
+// TestMatrixDeterministic runs the same campaign twice and requires
+// identical reports — the harness itself must be reproducible, or corpus
+// seeds would be worthless.
+func TestMatrixDeterministic(t *testing.T) {
+	run := func() string {
+		var buf bytes.Buffer
+		rep, err := Run(Options{Trials: 30, Seed: 42, Log: &buf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Summary() + buf.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same options produced different campaigns:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+}
+
+// TestFloodsetPipeline is the end-to-end acceptance test on a *genuine*
+// violation: FloodSet (crash-tolerant, omission-broken) against the
+// FloodSplit schedule must fail agreement; the failure must be persisted
+// to the corpus, shrunk to a minimal schedule that still breaks it, and
+// replayed byte-identically from the corpus file.
+func TestFloodsetPipeline(t *testing.T) {
+	dir := t.TempDir()
+	rep, err := Run(Options{
+		Trials:    8,
+		Seed:      7,
+		Protocols: []string{"floodset"},
+		Adversaries: []string{
+			"flood-split",
+		},
+		CorpusDir: dir,
+		Shrink:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations == 0 {
+		t.Fatal("FloodSplit failed to break FloodSet: the harness cannot catch real violations")
+	}
+	if len(rep.CorpusPaths) == 0 {
+		t.Fatal("violations found but no corpus entries written")
+	}
+
+	entry, err := LoadEntry(rep.CorpusPaths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasAgreement := false
+	for _, v := range entry.Violations {
+		if v.Kind == KindAgreement {
+			hasAgreement = true
+		}
+	}
+	if !hasAgreement {
+		t.Fatalf("expected an agreement violation, got %v", entry.Violations)
+	}
+
+	// The shrinker must have produced a still-failing, no-larger schedule.
+	if entry.MinSchedule == nil {
+		t.Fatal("shrinking was requested but no minimal schedule persisted")
+	}
+	if got, orig := entry.MinSchedule.NumActions(), entry.Schedule.NumActions(); got > orig {
+		t.Fatalf("shrunk schedule has %d actions, original %d", got, orig)
+	}
+	spec, err := FindProtocol(entry.Protocol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, bound, err := spec.Build(entry.N, entry.T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := scheduleVerdict(spec, proto, bound, entry, *entry.MinSchedule, false); !v.Has(KindAgreement) {
+		t.Fatalf("minimal schedule does not reproduce the agreement violation: %v", v.Violations)
+	}
+
+	// Byte-identical replay from the corpus file.
+	res, err := Replay(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reproduced {
+		t.Fatalf("replay did not reproduce the violation: %v", res.Verdict.Violations)
+	}
+	if !res.ByteIdentical {
+		t.Fatal("replayed transcript differs from the persisted one")
+	}
+}
+
+// TestInjectOverbudget proves the oracle catches an adversary stepping
+// over its corruption budget, end to end: engine abort, legality verdict,
+// corpus entry, strict-replay reproduction.
+func TestInjectOverbudget(t *testing.T) {
+	dir := t.TempDir()
+	rep, err := Run(Options{
+		Trials:      2,
+		Seed:        3,
+		Protocols:   []string{"phaseking"},
+		Adversaries: []string{"chaos"},
+		Inject:      "overbudget",
+		CorpusDir:   dir,
+		Shrink:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations == 0 {
+		t.Fatal("injected over-budget adversary was not caught")
+	}
+	entry, err := LoadEntry(rep.CorpusPaths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Violations[0].Kind != KindLegality {
+		t.Fatalf("expected a legality violation, got %v", entry.Violations)
+	}
+	if !strings.Contains(entry.Adversary, "overbudget") {
+		t.Fatalf("entry adversary %q does not mark the injection", entry.Adversary)
+	}
+	res, err := Replay(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reproduced {
+		t.Fatalf("strict replay did not reproduce the budget violation: %v", res.Verdict.Violations)
+	}
+	if !res.ByteIdentical {
+		t.Fatal("replayed transcript differs from the persisted one")
+	}
+	if entry.MinSchedule == nil || entry.MinSchedule.NumActions() > entry.T+1 {
+		t.Fatalf("budget violation should shrink to t+1=%d corruptions, got %v",
+			entry.T+1, entry.MinSchedule)
+	}
+}
+
+// TestInjectHonestDrop covers the other legality clause: a drop between
+// two honest processes.
+func TestInjectHonestDrop(t *testing.T) {
+	rep, err := Run(Options{
+		Trials:      1,
+		Seed:        5,
+		Protocols:   []string{"dolevstrong"},
+		Adversaries: []string{"none"},
+		Inject:      "honest-drop",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations == 0 || rep.Failures[0].Violations[0].Kind != KindLegality {
+		t.Fatalf("honest drop was not flagged as a legality violation: %+v", rep.Failures)
+	}
+}
+
+// TestCorpusRoundTrip checks Entry persistence and the version gate.
+func TestCorpusRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rep, err := Run(Options{
+		Trials: 8, Seed: 11,
+		Protocols: []string{"floodset"}, Adversaries: []string{"flood-split"},
+		CorpusDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.CorpusPaths) == 0 {
+		t.Fatalf("expected corpus files, got none")
+	}
+	e, err := LoadEntry(rep.CorpusPaths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Version != EntryVersion || e.Protocol != "floodset" || len(e.Inputs) != e.N {
+		t.Fatalf("entry lost fields: %+v", e)
+	}
+
+	// A future-versioned entry must be rejected, not misread.
+	data, err := os.ReadFile(rep.CorpusPaths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	future := bytes.Replace(data, []byte(`"version": 1`), []byte(`"version": 99`), 1)
+	path := filepath.Join(dir, "future.json")
+	if err := os.WriteFile(path, future, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadEntry(path); err == nil {
+		t.Fatal("future-versioned corpus entry was accepted")
+	}
+}
+
+// TestUnknownNames checks matrix resolution errors.
+func TestUnknownNames(t *testing.T) {
+	if _, err := Run(Options{Trials: 1, Protocols: []string{"nope"}}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if _, err := Run(Options{Trials: 1, Adversaries: []string{"nope"}}); err == nil {
+		t.Fatal("unknown adversary accepted")
+	}
+	if _, err := Run(Options{Trials: 1, Inject: "nope", Protocols: []string{"phaseking"}}); err == nil {
+		t.Fatal("unknown inject mode accepted")
+	}
+}
