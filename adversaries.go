@@ -58,7 +58,8 @@ func Recorded(inner Adversary) (Adversary, *Transcript) {
 
 // Traced wraps any adversary with a per-round text log of the execution
 // dynamics (candidate counts, corruption and omission activity) written to
-// w — the observability hook behind `cmd/omicon -trace`.
+// w — the observability hook behind `cmd/omicon -advtrace`. (For the
+// structured event stream, see Config.Trace and `cmd/omicon -trace`.)
 func Traced(inner Adversary, w interface{ Write([]byte) (int, error) }) Adversary {
 	return adversary.NewTraced(inner, w)
 }

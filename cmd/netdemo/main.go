@@ -19,6 +19,13 @@
 //
 //	netdemo -role local -n 8 -t 2 -algo floodset -policy omission \
 //	    -grace 500ms -retries 3 -chaos -chaos-reset 0.05 -chaos-delay 0.2
+//
+// Observability: -trace writes the coordinator's JSONL event stream (see
+// docs/OBSERVABILITY.md), and -debug-addr serves Prometheus-text /metrics
+// plus /debug/pprof for the duration of the run:
+//
+//	netdemo -role local -n 8 -t 1 -algo phaseking \
+//	    -trace run.trace.jsonl -debug-addr 127.0.0.1:8055
 package main
 
 import (
@@ -36,6 +43,7 @@ import (
 	"omicon/internal/floodset"
 	"omicon/internal/phaseking"
 	"omicon/internal/sim"
+	"omicon/internal/trace"
 	"omicon/internal/transport"
 	"omicon/internal/transport/faultconn"
 )
@@ -61,11 +69,13 @@ func run() error {
 		ones     = flag.Int("ones", -1, "local: number of 1-inputs (-1 = n/2)")
 		seed     = flag.Uint64("seed", 42, "node randomness seed base")
 
-		policy  = flag.String("policy", "failfast", "failure policy: failfast | omission")
-		grace   = flag.Duration("grace", 0, "reconnect grace window (0 disables resume)")
-		retries = flag.Int("retries", 0, "node-side reconnect attempts after a broken connection")
-		ioTmo   = flag.Duration("io-timeout", 30*time.Second, "per-frame I/O deadline")
-		accTmo  = flag.Duration("accept-timeout", 30*time.Second, "coordinator wait for all HELLOs")
+		policy    = flag.String("policy", "failfast", "failure policy: failfast | omission")
+		grace     = flag.Duration("grace", 0, "reconnect grace window (0 disables resume)")
+		retries   = flag.Int("retries", 0, "node-side reconnect attempts after a broken connection")
+		ioTmo     = flag.Duration("io-timeout", 30*time.Second, "per-frame I/O deadline")
+		accTmo    = flag.Duration("accept-timeout", 30*time.Second, "coordinator wait for all HELLOs")
+		debugAddr = flag.String("debug-addr", "", "coordinator: serve /metrics and /debug/pprof on this address for the run")
+		traceFile = flag.String("trace", "", "coordinator: write a JSONL event trace to this file")
 
 		chaos      = flag.Bool("chaos", false, "inject seeded faults on node connections")
 		chaosSeed  = flag.Uint64("chaos-seed", 1, "fault-injection seed")
@@ -85,6 +95,20 @@ func run() error {
 		IOTimeout:      *ioTmo,
 		AcceptTimeout:  *accTmo,
 		ReconnectGrace: *grace,
+		DebugAddr:      *debugAddr,
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		sink := trace.NewJSONL(f)
+		defer func() {
+			if err := sink.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "netdemo: trace:", err)
+			}
+		}()
+		coordOpts.Trace = trace.New(sink)
 	}
 	nodeOpts := transport.NodeOptions{
 		Timeout:  *ioTmo,
@@ -255,7 +279,7 @@ func printResult(res *transport.CoordinatorResult) {
 	fmt.Printf("decisions   : %v\n", res.Decisions)
 	fmt.Printf("outcomes    : %v\n", res.Outcomes)
 	fmt.Printf("agreement   : %v (non-corrupted decided %d)\n", agree, want)
-	fmt.Printf("wire metrics: %s\n", res.Metrics)
+	fmt.Printf("wire metrics: %s\n", res.Metrics.Verbose())
 	for _, f := range res.Failures {
 		fmt.Printf("failure     : %s\n", f)
 	}

@@ -5,14 +5,25 @@
 // Usage:
 //
 //	omicon -n 128 -t 4 -algo optimal -adversary split-vote -ones 64 -seed 1
+//
+// Observability (see docs/OBSERVABILITY.md): -trace writes the structured
+// JSONL event stream of the execution (round boundaries with cost deltas,
+// phase spans, corruptions, decisions); -advtrace logs the adversary's
+// per-round decisions to stdout; -cpuprofile / -memprofile write standard
+// pprof profiles:
+//
+//	omicon -n 256 -t 8 -algo optimal -trace run.trace.jsonl -cpuprofile cpu.pb.gz
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"omicon"
+	"omicon/internal/trace"
 )
 
 func main() {
@@ -35,10 +46,40 @@ func run() error {
 		paper    = flag.Bool("paperscale", false, "use the paper's literal constants")
 		largeT   = flag.Bool("allow-large-t", false, "disable the t < n/30 (n/60) guards")
 		verbose  = flag.Bool("v", false, "print per-process decisions")
-		trace    = flag.Bool("trace", false, "log per-round counts and adversary activity")
+		advTrace = flag.Bool("advtrace", false, "log per-round counts and adversary activity")
 		record   = flag.String("record", "", "write a JSON execution transcript to this file")
+
+		traceFile  = flag.String("trace", "", "write the structured JSONL event trace to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile after the run to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "omicon: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "omicon: memprofile:", err)
+			}
+		}()
+	}
 
 	algo, err := omicon.ParseAlgorithm(*algoName)
 	if err != nil {
@@ -47,14 +88,28 @@ func run() error {
 	if *ones < 0 {
 		*ones = *n / 2
 	}
-	inst, err := omicon.NewInstance(omicon.Config{
+	cfg := omicon.Config{
 		N: *n, T: *t,
 		Algorithm:     algo,
 		X:             *x,
 		RandomnessCap: *cap,
 		PaperScale:    *paper,
 		AllowLargeT:   *largeT,
-	})
+	}
+	if *traceFile != "" {
+		f, ferr := os.Create(*traceFile)
+		if ferr != nil {
+			return ferr
+		}
+		sink := trace.NewJSONL(f)
+		defer func() {
+			if cerr := sink.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "omicon: trace:", cerr)
+			}
+		}()
+		cfg.Trace = omicon.NewTracer(sink)
+	}
+	inst, err := omicon.NewInstance(cfg)
 	if err != nil {
 		return err
 	}
@@ -67,7 +122,7 @@ func run() error {
 	} else if adv, err = omicon.ParseAdversary(*advName, *n, *t, *seed); err != nil {
 		return err
 	}
-	if *trace {
+	if *advTrace {
 		adv = omicon.Traced(adv, os.Stdout)
 	}
 	var transcript *omicon.Transcript

@@ -6,9 +6,39 @@
 // n^{3/2} log^2 n (random bits), plus fitted scaling exponents. The
 // reproduction target is the shape: measured/envelope ratios bounded and
 // fitted exponents at or below the paper's.
+//
+// Besides the human-readable table, -json writes the full measurement set
+// as a machine-readable file (default BENCH_sweep.json; empty disables).
+// Its schema, versioned by the top-level "schema" string, is:
+//
+//	{
+//	  "schema": "omicon/bench-sweep/v1",
+//	  "seeds": <seeds per (size, adversary) cell>,
+//	  "baseSeed": <base seed>,
+//	  "cells": [                    // one per system size, ascending n
+//	    {
+//	      "n": 64, "t": 2,
+//	      "samples": [              // one per (adversary, seed), adversary-major
+//	        {"adversary": "...", "rounds": R, "commBits": C, "randBits": B},
+//	        ...
+//	      ],
+//	      "rounds":   {"p50": .., "p90": .., "max": ..},  // nearest-rank
+//	      "commBits": {"p50": .., "p90": .., "max": ..},  // quantiles over
+//	      "randBits": {"p50": .., "p90": .., "max": ..}   // the samples
+//	    }, ...
+//	  ],
+//	  "fits": {                     // power-law fits over worst-case points,
+//	    "rounds":   {"exponent": .., "r2": ..},  // omitted when the fit
+//	    "commBits": {"exponent": .., "r2": ..}   // degenerates (one size)
+//	  }
+//	}
+//
+// "rounds" counts rounds until the last non-faulty process terminated;
+// "commBits"/"randBits" are the totals of the paper's Section 2 metrics.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -17,6 +47,7 @@ import (
 	"strings"
 
 	"omicon/internal/experiments"
+	"omicon/internal/stats"
 )
 
 func main() {
@@ -26,11 +57,33 @@ func main() {
 	}
 }
 
+// benchFile mirrors the schema documented in the file header.
+type benchFile struct {
+	Schema   string                  `json:"schema"`
+	Seeds    int                     `json:"seeds"`
+	BaseSeed uint64                  `json:"baseSeed"`
+	Cells    []experiments.SweepCell `json:"cells"`
+	Fits     *benchFits              `json:"fits,omitempty"`
+}
+
+type benchFits struct {
+	Rounds   benchFit `json:"rounds"`
+	CommBits benchFit `json:"commBits"`
+}
+
+type benchFit struct {
+	Exponent float64 `json:"exponent"`
+	R2       float64 `json:"r2"`
+}
+
+const benchSchema = "omicon/bench-sweep/v1"
+
 func run() error {
 	var (
-		sizes = flag.String("sizes", "64,128,256,512", "comma-separated system sizes")
-		seeds = flag.Int("seeds", 3, "seeds per (size, adversary) cell")
-		base  = flag.Uint64("seed", 1, "base seed")
+		sizes    = flag.String("sizes", "64,128,256,512", "comma-separated system sizes")
+		seeds    = flag.Int("seeds", 3, "seeds per (size, adversary) cell")
+		base     = flag.Uint64("seed", 1, "base seed")
+		jsonPath = flag.String("json", "BENCH_sweep.json", "write machine-readable results to this file (empty = off)")
 	)
 	flag.Parse()
 
@@ -39,10 +92,11 @@ func run() error {
 		return err
 	}
 
-	points, err := experiments.Thm1Sweep(ns, *seeds, *base)
+	cells, err := experiments.Thm1Detailed(ns, *seeds, *base)
 	if err != nil {
 		return err
 	}
+	points := experiments.Worst(cells)
 
 	fmt.Println("Table 1, row Thm 1 — OptimalOmissionsConsensus, worst case over the adversary portfolio")
 	fmt.Printf("%6s %5s | %8s %12s %12s | %10s %10s %10s | %s\n",
@@ -58,9 +112,36 @@ func run() error {
 			pt.WorstAdversary)
 	}
 
-	if rfit, bfit, err := experiments.Thm1Fits(points); err == nil {
+	var rfit, bfit stats.Power
+	haveFits := false
+	if rfit, bfit, err = experiments.Thm1Fits(points); err == nil {
+		haveFits = true
 		fmt.Printf("\nfitted rounds   ~ n^%.2f (R²=%.3f; paper: n^0.5·polylog)\n", rfit.Exponent, rfit.R2)
 		fmt.Printf("fitted commBits ~ n^%.2f (R²=%.3f; paper: n^2·polylog)\n", bfit.Exponent, bfit.R2)
+	}
+
+	if *jsonPath != "" {
+		out := benchFile{Schema: benchSchema, Seeds: *seeds, BaseSeed: *base, Cells: cells}
+		if haveFits {
+			out.Fits = &benchFits{
+				Rounds:   benchFit{Exponent: rfit.Exponent, R2: rfit.R2},
+				CommBits: benchFit{Exponent: bfit.Exponent, R2: bfit.R2},
+			}
+		}
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s (%s)\n", *jsonPath, benchSchema)
 	}
 	return nil
 }

@@ -11,6 +11,12 @@
 //	torture -replay .torture-corpus/torture-floodset-....json
 //	torture -inject overbudget -trials 1   # self-test: oracle must fire
 //
+// Observability (see docs/OBSERVABILITY.md): -trace streams every trial's
+// structured events to a JSONL file; when -corpus is set, each failing
+// trial additionally dumps its ring-buffer trace next to the corpus entry
+// as <entry>.trace.jsonl. -cpuprofile and -memprofile write standard pprof
+// profiles of the campaign.
+//
 // Exit status: 0 when every trial satisfied the oracle (or the replayed
 // entry reproduced), 1 on violations (or a failed replay), 2 on usage or
 // I/O errors.
@@ -20,9 +26,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"omicon/internal/torture"
+	"omicon/internal/trace"
 )
 
 func main() {
@@ -46,10 +55,39 @@ func run() (int, error) {
 		inject      = flag.String("inject", "", "deliberate sabotage self-test: overbudget | honest-drop")
 		replay      = flag.String("replay", "", "re-execute one corpus entry instead of running a campaign")
 		quiet       = flag.Bool("q", false, "suppress per-violation log lines")
+		traceFile   = flag.String("trace", "", "write every trial's JSONL event trace to this file")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile after the campaign to this file")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		return 2, fmt.Errorf("unexpected arguments %v", flag.Args())
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return 2, err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return 2, err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "torture: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "torture: memprofile:", err)
+			}
+		}()
 	}
 
 	if *replay != "" {
@@ -69,6 +107,19 @@ func run() (int, error) {
 	}
 	if !*quiet {
 		opts.Log = os.Stderr
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return 2, err
+		}
+		sink := trace.NewJSONL(f)
+		defer func() {
+			if err := sink.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "torture: trace:", err)
+			}
+		}()
+		opts.Trace = trace.New(sink)
 	}
 	rep, err := torture.Run(opts)
 	if err != nil {

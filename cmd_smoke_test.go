@@ -17,17 +17,20 @@ func TestCommandSmoke(t *testing.T) {
 	}
 	bin := t.TempDir()
 	transcript := filepath.Join(bin, "run.json")
+	traceFile := filepath.Join(bin, "run.trace.jsonl")
+	benchJSON := filepath.Join(bin, "BENCH_sweep.json")
 
 	cases := []struct {
 		name   string
 		args   []string
 		marker string
 	}{
-		{"omicon", []string{"-n", "36", "-t", "1", "-algo", "optimal", "-adversary", "split-vote", "-record", transcript}, "decision"},
+		{"omicon", []string{"-n", "36", "-t", "1", "-algo", "optimal", "-adversary", "split-vote", "-record", transcript, "-trace", traceFile}, "decision"},
 		{"replay", []string{transcript}, "activity phases"},
 		{"replay", []string{"-verify", transcript}, "verify: OK"},
+		{"tracelint", []string{traceFile}, "1 segments"},
 		{"torture", []string{"-trials", "50", "-seed", "1", "-q"}, "50 trials, 0 violations"},
-		{"sweep", []string{"-sizes", "64", "-seeds", "1"}, "Thm 1"},
+		{"sweep", []string{"-sizes", "64", "-seeds", "1", "-json", benchJSON}, "wrote " + benchJSON},
 		{"tradeoff", []string{"-mode", "param", "-n", "64", "-x", "1,4", "-seeds", "1"}, "Thm 3"},
 		{"tradeoff", []string{"-mode", "lower", "-n", "32", "-t", "8", "-caps", "0,4", "-seeds", "1"}, "Thm 2"},
 		{"coingame", []string{"-k", "16", "-alpha", "0.5", "-trials", "100"}, "Lemma 12"},

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"omicon/internal/rng"
+	"omicon/internal/trace"
 )
 
 // Hidden is the sentinel for a value the adversary replaced with ⊥.
@@ -117,18 +118,32 @@ func (r Result) SuccessRate() float64 {
 // Experiment(MajorityGame(k), v, Budget(k, alpha), ...) has success rate
 // at least 1 - alpha.
 func Experiment(g Game, v, budget, trials int, seed uint64) Result {
+	return TracedExperiment(g, v, budget, trials, seed, nil)
+}
+
+// TracedExperiment is Experiment with per-trial observability: every trial
+// emits one coin-trial event (Drops carries the number of hidden players,
+// Value is 1 when the bias succeeded), so a trace shows the adversary's
+// hiding effort distribution, not just the aggregate rate. A nil tracer
+// reduces to Experiment.
+func TracedExperiment(g Game, v, budget, trials int, seed uint64, tr *trace.Tracer) Result {
 	rnd := rng.Unmetered(seed, 0xc01f)
 	res := Result{Trials: trials}
 	totalHidden := 0
 	values := make([]int, g.K)
-	for tr := 0; tr < trials; tr++ {
+	for t := 0; t < trials; t++ {
 		for i := range values {
 			values[i] = int(rnd.Uint64() & 1)
 		}
 		hidden, ok := GreedyBias(g, values, v, budget)
 		totalHidden += hidden
+		forced := int64(0)
 		if ok {
 			res.Successes++
+			forced = 1
+		}
+		if tr.Enabled() {
+			tr.Emit(trace.Event{Kind: trace.KindCoinTrial, Round: t, Proc: -1, Drops: int64(hidden), Value: forced})
 		}
 	}
 	if trials > 0 {

@@ -3,6 +3,8 @@ package coinflip
 import (
 	"math"
 	"testing"
+
+	"omicon/internal/trace"
 )
 
 func TestMajorityGameOutcome(t *testing.T) {
@@ -121,5 +123,28 @@ func TestExperimentDeterministic(t *testing.T) {
 	b := Experiment(MajorityGame(64), 1, 10, 200, 9)
 	if a != b {
 		t.Fatal("Experiment must be deterministic per seed")
+	}
+}
+
+func TestTracedExperimentEmitsTrials(t *testing.T) {
+	ring := trace.NewRing(512)
+	res := TracedExperiment(MajorityGame(32), 1, 8, 100, 3, trace.New(ring))
+	if ring.Len() != 100 {
+		t.Fatalf("got %d events, want one per trial (100)", ring.Len())
+	}
+	forced := 0
+	for _, e := range ring.Events() {
+		if e.Kind != trace.KindCoinTrial {
+			t.Fatalf("unexpected event kind %q", e.Kind)
+		}
+		if e.Value == 1 {
+			forced++
+		}
+	}
+	if forced != res.Successes {
+		t.Fatalf("trace shows %d forced trials, result says %d", forced, res.Successes)
+	}
+	if got := TracedExperiment(MajorityGame(32), 1, 8, 100, 3, nil); got != res {
+		t.Fatal("nil tracer must not change the experiment outcome")
 	}
 }

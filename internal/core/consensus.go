@@ -83,7 +83,9 @@ func epochs(env sim.Env, input int, p Params) (b int, decided, operative bool) {
 		// Line 6: intra-group counting. Inoperative processes keep
 		// serving as transmitters (GroupRelay's specification) but
 		// never as sources.
+		closeAgg := env.Span("group-relay")
 		gOnes, gZeros, stillOp := groupBitsAggregation(env, p, gi, operative, b)
+		closeAgg()
 		wasOperative := operative
 		operative = wasOperative && stillOp
 
@@ -95,7 +97,9 @@ func epochs(env sim.Env, input int, p Params) (b int, decided, operative bool) {
 		}
 
 		// Line 8: inter-group spreading along the Theorem-4 graph.
+		closeSpread := env.Span("spreading")
 		ones, zeros, stillOp := groupBitsSpreading(env, p, ls, gi.index, gOnes, gZeros)
+		closeSpread()
 		if !stillOp {
 			// Partial counts are never used: only processes
 			// operative at the end of the epoch update b
@@ -127,6 +131,7 @@ func epochs(env sim.Env, input int, p Params) (b int, decided, operative bool) {
 // value is the first decision received (-1 if none). It is exported because
 // ParamOmissions reuses the identical construction for its line 24-25.
 func DecisionBroadcastRound(env sim.Env, n, b int, decided, operative bool) int {
+	defer env.Span("decision-bcast")()
 	env.SetSnapshot(Snapshot{Phase: "finish", B: b, Operative: operative, Decided: decided})
 	var out []sim.Message
 	if operative && decided {
@@ -164,6 +169,7 @@ func Finish(env sim.Env, n, fallbackPhases int, kind FallbackKind, b int, decide
 	if operative {
 		// Line 18: deterministic backstop among the operative
 		// undecided, then announce.
+		defer env.Span("fallback")()
 		env.SetSnapshot(Snapshot{Phase: "fallback", B: b, Operative: operative})
 		var v int
 		switch kind {
@@ -178,6 +184,7 @@ func Finish(env sim.Env, n, fallbackPhases int, kind FallbackKind, b int, decide
 
 	// Line 19: inoperative and undecided — listen through the fallback
 	// window for any decision announcement.
+	defer env.Span("fallback")()
 	fallbackWindow := phaseking.Rounds(fallbackPhases) + 1
 	if kind == FallbackDolevStrong {
 		fallbackWindow = dolevstrong.Rounds(fallbackPhases) + 1

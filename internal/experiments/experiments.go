@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"omicon/internal/adversary"
 	"omicon/internal/core"
@@ -40,11 +41,55 @@ type Thm1Point struct {
 	WorstAdversary string
 }
 
-// Thm1Sweep measures OptimalOmissionsConsensus at maximal fault load
-// across sizes, taking the worst case over the adversary portfolio.
+// SweepSample is one measured execution inside a SweepCell: which
+// adversary it ran against and the three complexity metrics.
+type SweepSample struct {
+	Adversary string `json:"adversary"`
+	Rounds    int64  `json:"rounds"`
+	CommBits  int64  `json:"commBits"`
+	RandBits  int64  `json:"randBits"`
+}
+
+// Quantiles summarizes one metric's distribution over a cell's samples
+// using the nearest-rank method (no interpolation; every reported value
+// was actually observed).
+type Quantiles struct {
+	P50 int64 `json:"p50"`
+	P90 int64 `json:"p90"`
+	Max int64 `json:"max"`
+}
+
+// QuantilesOf computes nearest-rank P50/P90/Max over vals.
+func QuantilesOf(vals []int64) Quantiles {
+	if len(vals) == 0 {
+		return Quantiles{}
+	}
+	sorted := append([]int64(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := func(p int) int64 { // nearest rank: ceil(p% * len), 1-indexed
+		return sorted[(len(sorted)*p+99)/100-1]
+	}
+	return Quantiles{P50: rank(50), P90: rank(90), Max: sorted[len(sorted)-1]}
+}
+
+// SweepCell is one (n, t) configuration of the Theorem 1 sweep: the full
+// sample set (one per adversary x seed, in adversary-major order) plus
+// per-metric quantiles across it.
+type SweepCell struct {
+	N        int           `json:"n"`
+	T        int           `json:"t"`
+	Samples  []SweepSample `json:"samples"`
+	Rounds   Quantiles     `json:"rounds"`
+	CommBits Quantiles     `json:"commBits"`
+	RandBits Quantiles     `json:"randBits"`
+}
+
+// Thm1Detailed measures OptimalOmissionsConsensus at maximal fault load
+// across sizes, keeping every (adversary, seed) sample instead of only
+// the worst case. Rounds are counted over non-faulty processes.
 // Consensus violations are returned as errors (they are protocol bugs).
-func Thm1Sweep(sizes []int, seeds int, baseSeed uint64) ([]Thm1Point, error) {
-	points := make([]Thm1Point, 0, len(sizes))
+func Thm1Detailed(sizes []int, seeds int, baseSeed uint64) ([]SweepCell, error) {
+	cells := make([]SweepCell, 0, len(sizes))
 	for _, n := range sizes {
 		t := (n - 1) / 31
 		params, err := core.Prepare(n, t)
@@ -53,7 +98,7 @@ func Thm1Sweep(sizes []int, seeds int, baseSeed uint64) ([]Thm1Point, error) {
 		}
 		advs := adversary.Registry(n, t, baseSeed)
 		advs = append(advs, adversary.NewEclipse(params.Graph, t, n/10))
-		pt := Thm1Point{N: n, T: t, WorstAdversary: "none"}
+		cell := SweepCell{N: n, T: t}
 		for _, adv := range advs {
 			for s := 0; s < seeds; s++ {
 				res, err := sim.Run(sim.Config{
@@ -69,22 +114,59 @@ func Thm1Sweep(sizes []int, seeds int, baseSeed uint64) ([]Thm1Point, error) {
 				if cerr := res.CheckConsensus(); cerr != nil {
 					return nil, fmt.Errorf("experiments: n=%d %s: consensus violated: %w", n, adv.Name(), cerr)
 				}
-				r := int64(res.RoundsNonFaulty())
-				if r > pt.Rounds || (r == pt.Rounds && res.Metrics.CommBits > pt.CommBits) {
-					pt.Rounds = r
-					pt.WorstAdversary = adv.Name()
-				}
-				if res.Metrics.CommBits > pt.CommBits {
-					pt.CommBits = res.Metrics.CommBits
-				}
-				if res.Metrics.RandomBits > pt.RandBits {
-					pt.RandBits = res.Metrics.RandomBits
-				}
+				cell.Samples = append(cell.Samples, SweepSample{
+					Adversary: adv.Name(),
+					Rounds:    int64(res.RoundsNonFaulty()),
+					CommBits:  res.Metrics.CommBits,
+					RandBits:  res.Metrics.RandomBits,
+				})
+			}
+		}
+		rs := make([]int64, len(cell.Samples))
+		cs := make([]int64, len(cell.Samples))
+		bs := make([]int64, len(cell.Samples))
+		for i, s := range cell.Samples {
+			rs[i], cs[i], bs[i] = s.Rounds, s.CommBits, s.RandBits
+		}
+		cell.Rounds, cell.CommBits, cell.RandBits = QuantilesOf(rs), QuantilesOf(cs), QuantilesOf(bs)
+		cells = append(cells, cell)
+	}
+	return cells, nil
+}
+
+// Thm1Sweep measures OptimalOmissionsConsensus at maximal fault load
+// across sizes, taking the worst case over the adversary portfolio.
+// Consensus violations are returned as errors (they are protocol bugs).
+func Thm1Sweep(sizes []int, seeds int, baseSeed uint64) ([]Thm1Point, error) {
+	cells, err := Thm1Detailed(sizes, seeds, baseSeed)
+	if err != nil {
+		return nil, err
+	}
+	return Worst(cells), nil
+}
+
+// Worst reduces detailed cells to the worst-case Thm1Points: max rounds
+// (the sample attaining it names the worst adversary, ties broken toward
+// higher communication) and independent maxima for bits.
+func Worst(cells []SweepCell) []Thm1Point {
+	points := make([]Thm1Point, 0, len(cells))
+	for _, c := range cells {
+		pt := Thm1Point{N: c.N, T: c.T, WorstAdversary: "none"}
+		for _, s := range c.Samples {
+			if s.Rounds > pt.Rounds || (s.Rounds == pt.Rounds && s.CommBits > pt.CommBits) {
+				pt.Rounds = s.Rounds
+				pt.WorstAdversary = s.Adversary
+			}
+			if s.CommBits > pt.CommBits {
+				pt.CommBits = s.CommBits
+			}
+			if s.RandBits > pt.RandBits {
+				pt.RandBits = s.RandBits
 			}
 		}
 		points = append(points, pt)
 	}
-	return points, nil
+	return points
 }
 
 // Thm1Fits estimates the scaling exponents of rounds and communication

@@ -165,3 +165,41 @@ func TestMessageFloor(t *testing.T) {
 		}
 	}
 }
+
+func TestQuantilesOfNearestRank(t *testing.T) {
+	q := QuantilesOf([]int64{5, 1, 4, 2, 3})
+	if q.P50 != 3 || q.P90 != 5 || q.Max != 5 {
+		t.Fatalf("got %+v", q)
+	}
+	q = QuantilesOf([]int64{10})
+	if q.P50 != 10 || q.P90 != 10 || q.Max != 10 {
+		t.Fatalf("singleton: got %+v", q)
+	}
+	if q := QuantilesOf(nil); q != (Quantiles{}) {
+		t.Fatalf("empty: got %+v", q)
+	}
+}
+
+func TestWorstReduction(t *testing.T) {
+	cells := []SweepCell{{
+		N: 64, T: 2,
+		Samples: []SweepSample{
+			{Adversary: "a", Rounds: 10, CommBits: 100, RandBits: 7},
+			{Adversary: "b", Rounds: 12, CommBits: 90, RandBits: 9},
+			{Adversary: "c", Rounds: 12, CommBits: 95, RandBits: 1},
+		},
+	}}
+	pts := Worst(cells)
+	if len(pts) != 1 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	pt := pts[0]
+	// b set rounds=12 first; c ties on rounds but its commBits (95) does
+	// not exceed the running max (100), so b keeps the blame.
+	if pt.Rounds != 12 || pt.WorstAdversary != "b" {
+		t.Fatalf("worst = %+v", pt)
+	}
+	if pt.CommBits != 100 || pt.RandBits != 9 {
+		t.Fatalf("maxima not independent: %+v", pt)
+	}
+}

@@ -75,8 +75,17 @@ func (c *Counters) AddCrash() { c.crashes.Add(1) }
 // AddRetry records one reconnect attempt (a re-dial or a resume adoption).
 func (c *Counters) AddRetry() { c.retries.Add(1) }
 
-// Snapshot returns a consistent-enough copy for post-execution reporting.
-// It must only be trusted after the execution has quiesced.
+// Snapshot returns a copy of the counters for post-execution reporting.
+//
+// CONTRACT (torn reads): each field is read with an independent atomic
+// load, so a snapshot taken while updaters are still running can be torn
+// across counters — e.g. a message counted whose bits are not yet, making
+// even Check-validated invariants transiently false. Calling Snapshot
+// concurrently is race-free and fine for monitoring (the live /metrics
+// endpoint does exactly that), but the snapshot is exact only after the
+// execution has quiesced: every goroutine updating the counters has
+// returned and the caller has synchronized with it (TestSnapshotQuiesced
+// pins this contract under the race detector).
 func (c *Counters) Snapshot() Snapshot {
 	return Snapshot{
 		Rounds:      c.rounds.Load(),
@@ -137,13 +146,18 @@ func (s Snapshot) Check() error {
 // Envelope bounds a snapshot's counters; zero fields are unbounded. The
 // torture harness configures per-protocol envelopes from the paper's
 // complexity bounds so that a silent performance regression (or a runaway
-// randomness drain) is flagged like any other invariant violation.
+// randomness drain) is flagged like any other invariant violation; the
+// transport soak tests additionally cap crashes and retries so a flaky
+// environment cannot silently absorb more failures than the scenario
+// intends.
 type Envelope struct {
 	MaxRounds      int64
 	MaxMessages    int64
 	MaxCommBits    int64
 	MaxRandomBits  int64
 	MaxRandomCalls int64
+	MaxCrashes     int64
+	MaxRetries     int64
 }
 
 // Check reports the first counter exceeding the envelope.
@@ -157,6 +171,8 @@ func (e Envelope) Check(s Snapshot) error {
 		{"commBits", s.CommBits, e.MaxCommBits},
 		{"randomBits", s.RandomBits, e.MaxRandomBits},
 		{"randomCalls", s.RandomCalls, e.MaxRandomCalls},
+		{"crashes", s.Crashes, e.MaxCrashes},
+		{"retries", s.Retries, e.MaxRetries},
 	} {
 		if c.bound > 0 && c.v > c.bound {
 			return fmt.Errorf("metrics: %s=%d exceeds envelope %d", c.name, c.v, c.bound)
@@ -167,7 +183,8 @@ func (e Envelope) Check(s Snapshot) error {
 
 // String renders the snapshot as a compact single line. Crash and retry
 // counts only appear when a failure actually occurred, keeping fault-free
-// reports identical to the in-memory engine's.
+// reports identical to the in-memory engine's. Transport reports, where
+// zero crashes is a finding and not a tautology, use Verbose instead.
 func (s Snapshot) String() string {
 	out := fmt.Sprintf("rounds=%d messages=%d commBits=%d randomBits=%d randomCalls=%d",
 		s.Rounds, s.Messages, s.CommBits, s.RandomBits, s.RandomCalls)
@@ -175,4 +192,19 @@ func (s Snapshot) String() string {
 		out += fmt.Sprintf(" crashes=%d retries=%d", s.Crashes, s.Retries)
 	}
 	return out
+}
+
+// Verbose renders the snapshot with every counter, including zero crash
+// and retry counts — the form transport runs report, so "no failures
+// occurred" is stated rather than implied by omission.
+func (s Snapshot) Verbose() string {
+	return fmt.Sprintf("rounds=%d messages=%d commBits=%d randomBits=%d randomCalls=%d crashes=%d retries=%d",
+		s.Rounds, s.Messages, s.CommBits, s.RandomBits, s.RandomCalls, s.Crashes, s.Retries)
+}
+
+// errMismatch formats a reconciliation failure between a summed time
+// series and a final aggregate snapshot.
+func errMismatch(got, want Snapshot) error {
+	return fmt.Errorf("metrics: series sums to [%s] but the aggregate snapshot is [%s]",
+		got.Verbose(), want.Verbose())
 }

@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+)
+
+// Delta is a cost increment attributed to one (round, span) cell of the
+// execution time series. Unlike Snapshot it carries no round count —
+// rounds are attributed whole to a single owning span per record.
+type Delta struct {
+	Messages    int64 `json:"messages,omitempty"`
+	CommBits    int64 `json:"commBits,omitempty"`
+	RandomBits  int64 `json:"randomBits,omitempty"`
+	RandomCalls int64 `json:"randomCalls,omitempty"`
+	Drops       int64 `json:"drops,omitempty"`
+}
+
+// Add returns the component-wise sum.
+func (d Delta) Add(o Delta) Delta {
+	return Delta{
+		Messages:    d.Messages + o.Messages,
+		CommBits:    d.CommBits + o.CommBits,
+		RandomBits:  d.RandomBits + o.RandomBits,
+		RandomCalls: d.RandomCalls + o.RandomCalls,
+		Drops:       d.Drops + o.Drops,
+	}
+}
+
+// IsZero reports whether every component is zero.
+func (d Delta) IsZero() bool { return d == Delta{} }
+
+// RoundRecord is one row of the per-round time series: the total cost
+// accrued since the previous round boundary plus its per-span breakdown.
+type RoundRecord struct {
+	// Round is the engine round the record closes.
+	Round int `json:"round"`
+	// Rounds is the round-count increment: 1 for a real communication
+	// phase, 0 for the post-run residual record.
+	Rounds int64 `json:"rounds"`
+	// Span names the phase the round itself is attributed to.
+	Span string `json:"span,omitempty"`
+	// Total is the execution-wide delta for this record.
+	Total Delta `json:"total"`
+	// Spans breaks Total down by phase-attribution span; the values sum
+	// exactly to Total (minus Drops, which are not span-attributed).
+	Spans map[string]Delta `json:"spans,omitempty"`
+}
+
+// SpanTotal aggregates one span across the execution.
+type SpanTotal struct {
+	Span   string `json:"span"`
+	Rounds int64  `json:"rounds"`
+	Delta
+}
+
+// Series is the per-round, per-span time series of one execution — the
+// component-wise view the paper's theorem-by-theorem bounds need (rounds
+// and bits per GroupRelay / spreading / coin / fallback region, not just
+// end-of-run totals). The engine appends one record per communication
+// phase; appends are serialized by the engine, reads are valid after the
+// execution has quiesced.
+type Series struct {
+	mu      sync.Mutex
+	records []RoundRecord
+	spans   map[string]*SpanTotal
+}
+
+// NewSeries returns an empty series.
+func NewSeries() *Series {
+	return &Series{spans: make(map[string]*SpanTotal)}
+}
+
+// Append adds one record and folds it into the per-span aggregates.
+func (s *Series) Append(rec RoundRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.records = append(s.records, rec)
+	owner := s.span(rec.Span)
+	owner.Rounds += rec.Rounds
+	for name, d := range rec.Spans {
+		agg := s.span(name)
+		agg.Delta = agg.Delta.Add(d)
+	}
+}
+
+func (s *Series) span(name string) *SpanTotal {
+	agg := s.spans[name]
+	if agg == nil {
+		agg = &SpanTotal{Span: name}
+		s.spans[name] = agg
+	}
+	return agg
+}
+
+// Len returns the number of records.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.records)
+}
+
+// Records returns a copy of the time series in append order.
+func (s *Series) Records() []RoundRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]RoundRecord(nil), s.records...)
+}
+
+// Spans returns the per-span aggregates sorted by span name.
+func (s *Series) Spans() []SpanTotal {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SpanTotal, 0, len(s.spans))
+	for _, agg := range s.spans {
+		out = append(out, *agg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Span < out[j].Span })
+	return out
+}
+
+// Total sums the series into an aggregate snapshot (crash/retry counts are
+// not part of the series; they remain zero).
+func (s *Series) Total() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out Snapshot
+	for _, rec := range s.records {
+		out.Rounds += rec.Rounds
+		out.Messages += rec.Total.Messages
+		out.CommBits += rec.Total.CommBits
+		out.RandomBits += rec.Total.RandomBits
+		out.RandomCalls += rec.Total.RandomCalls
+	}
+	return out
+}
+
+// Reconcile checks that the series sums exactly to the final aggregate
+// snapshot on the dimensions the series tracks (rounds, messages, bits,
+// randomness — crash/retry counts are transport events outside the series).
+// A mismatch means the per-round accounting lost or invented cost.
+func (s *Series) Reconcile(final Snapshot) error {
+	got := s.Total()
+	got.Crashes, got.Retries = final.Crashes, final.Retries
+	if got != final {
+		return errMismatch(got, final)
+	}
+	return nil
+}

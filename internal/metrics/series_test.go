@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSeriesAppendAndTotals(t *testing.T) {
+	s := NewSeries()
+	s.Append(RoundRecord{
+		Round: 1, Rounds: 1, Span: "group-relay",
+		Total: Delta{Messages: 10, CommBits: 40, RandomBits: 2, RandomCalls: 2},
+		Spans: map[string]Delta{
+			"group-relay": {Messages: 8, CommBits: 32, RandomBits: 2, RandomCalls: 2},
+			"unspanned":   {Messages: 2, CommBits: 8},
+		},
+	})
+	s.Append(RoundRecord{
+		Round: 2, Rounds: 1, Span: "spreading",
+		Total: Delta{Messages: 5, CommBits: 20, Drops: 3},
+		Spans: map[string]Delta{"spreading": {Messages: 5, CommBits: 20, Drops: 3}},
+	})
+	s.Append(RoundRecord{ // post-run residual: randomness, no round
+		Round: 2, Rounds: 0, Span: "spreading",
+		Total: Delta{RandomBits: 7, RandomCalls: 1},
+		Spans: map[string]Delta{"spreading": {RandomBits: 7, RandomCalls: 1}},
+	})
+
+	if s.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", s.Len())
+	}
+	want := Snapshot{Rounds: 2, Messages: 15, CommBits: 60, RandomBits: 9, RandomCalls: 3}
+	if got := s.Total(); got != want {
+		t.Fatalf("Total() = %+v, want %+v", got, want)
+	}
+
+	spans := s.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	// Sorted by name: group-relay, spreading, unspanned.
+	if spans[0].Span != "group-relay" || spans[0].Rounds != 1 || spans[0].Messages != 8 {
+		t.Fatalf("group-relay aggregate wrong: %+v", spans[0])
+	}
+	if spans[1].Span != "spreading" || spans[1].Rounds != 1 || spans[1].RandomBits != 7 || spans[1].Drops != 3 {
+		t.Fatalf("spreading aggregate wrong: %+v", spans[1])
+	}
+	if spans[2].Span != "unspanned" || spans[2].Rounds != 0 || spans[2].CommBits != 8 {
+		t.Fatalf("unspanned aggregate wrong: %+v", spans[2])
+	}
+
+	if err := s.Reconcile(want); err != nil {
+		t.Fatalf("Reconcile of exact totals failed: %v", err)
+	}
+	// Crash/retry counts live outside the series and must not trip it.
+	withCrashes := want
+	withCrashes.Crashes, withCrashes.Retries = 2, 5
+	if err := s.Reconcile(withCrashes); err != nil {
+		t.Fatalf("Reconcile must ignore crash/retry counts: %v", err)
+	}
+	bad := want
+	bad.CommBits++
+	err := s.Reconcile(bad)
+	if err == nil {
+		t.Fatal("Reconcile accepted a mismatched snapshot")
+	}
+	if !strings.Contains(err.Error(), "commBits=61") {
+		t.Fatalf("mismatch error must render both sides verbosely: %v", err)
+	}
+}
+
+func TestDeltaAddIsZero(t *testing.T) {
+	a := Delta{Messages: 1, CommBits: 2}
+	b := Delta{CommBits: 3, Drops: 4}
+	if got := a.Add(b); got != (Delta{Messages: 1, CommBits: 5, Drops: 4}) {
+		t.Fatalf("Add = %+v", got)
+	}
+	if !(Delta{}).IsZero() || a.IsZero() {
+		t.Fatal("IsZero wrong")
+	}
+}
+
+// TestSnapshotQuiesced pins the documented contract of Counters.Snapshot:
+// once every updating goroutine has returned and the reader has
+// synchronized with them, the snapshot is exact (and the concurrent calls
+// made while they ran were race-free, which the race detector checks).
+func TestSnapshotQuiesced(t *testing.T) {
+	var c Counters
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() { // concurrent monitoring reads are race-free (may be torn)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = c.Snapshot()
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.AddRounds(1)
+				c.AddMessage(8)
+				c.AddRandom(2)
+				c.AddCrash()
+				c.AddRetry()
+			}
+		}()
+	}
+	wg.Wait() // quiesce: happens-before edge from every worker
+	close(stop)
+	want := Snapshot{
+		Rounds: workers * each, Messages: workers * each,
+		CommBits: 8 * workers * each, RandomBits: 2 * workers * each,
+		RandomCalls: workers * each, Crashes: workers * each, Retries: workers * each,
+	}
+	if got := c.Snapshot(); got != want {
+		t.Fatalf("quiesced snapshot %+v, want %+v", got, want)
+	}
+}
+
+func TestEnvelopeCrashRetryBounds(t *testing.T) {
+	e := Envelope{MaxCrashes: 2, MaxRetries: 3}
+	if err := e.Check(Snapshot{Crashes: 2, Retries: 3}); err != nil {
+		t.Fatalf("at-bound snapshot must pass: %v", err)
+	}
+	if err := e.Check(Snapshot{Crashes: 3}); err == nil || !strings.Contains(err.Error(), "crashes") {
+		t.Fatalf("crashes over envelope must fail naming the counter: %v", err)
+	}
+	if err := e.Check(Snapshot{Retries: 4}); err == nil || !strings.Contains(err.Error(), "retries") {
+		t.Fatalf("retries over envelope must fail naming the counter: %v", err)
+	}
+	if err := (Envelope{}).Check(Snapshot{Crashes: 1 << 30, Retries: 1 << 30}); err != nil {
+		t.Fatalf("zero envelope leaves crashes/retries unbounded: %v", err)
+	}
+}
+
+func TestVerboseString(t *testing.T) {
+	s := Snapshot{Rounds: 1, Messages: 2, CommBits: 3, RandomBits: 4, RandomCalls: 4}
+	if str := s.String(); strings.Contains(str, "crashes") {
+		t.Fatalf("String() must omit zero crashes: %q", str)
+	}
+	v := s.Verbose()
+	if !strings.Contains(v, "crashes=0") || !strings.Contains(v, "retries=0") {
+		t.Fatalf("Verbose() must always include crashes/retries: %q", v)
+	}
+	s.Crashes = 2
+	if !strings.Contains(s.String(), "crashes=2") {
+		t.Fatal("String() must include nonzero crashes")
+	}
+}

@@ -178,7 +178,9 @@ func Consensus(env sim.Env, value []byte, p Params) ([]byte, error) {
 	// Lock round: announce inputs; lock a value seen from >= n-t distinct
 	// processes. Processes cannot equivocate, so at most one value can
 	// reach that count (n > 2t), and unanimous non-faulty inputs always do.
+	closeLock := env.Span("mv-lock")
 	in := env.Exchange(sim.Broadcast(id, InputMsg{Value: value}, others))
+	closeLock()
 	counts := map[string]int{string(value): 1}
 	for _, m := range in {
 		if im, ok := m.Payload.(InputMsg); ok {
@@ -200,11 +202,13 @@ func Consensus(env sim.Env, value []byte, p Params) ([]byte, error) {
 		proposer := iter % n
 
 		// Step 1: proposal broadcast.
+		closePropose := env.Span("mv-propose")
 		var out []sim.Message
 		if id == proposer {
 			out = sim.Broadcast(id, ProposalMsg{Value: value}, others)
 		}
 		in := env.Exchange(out)
+		closePropose()
 		var proposal []byte
 		have := false
 		if id == proposer {
@@ -222,11 +226,13 @@ func Consensus(env sim.Env, value []byte, p Params) ([]byte, error) {
 		// every echo identical to the proposal, so a process that
 		// missed the broadcast can adopt from any echo, and counting
 		// distinct echo senders counts genuine holders.
+		closeEcho := env.Span("mv-echo")
 		out = nil
 		if have {
 			out = sim.Broadcast(id, EchoMsg{Value: proposal}, others)
 		}
 		in = env.Exchange(out)
+		closeEcho()
 		holders := 0
 		if have {
 			holders = 1
@@ -250,23 +256,29 @@ func Consensus(env sim.Env, value []byte, p Params) ([]byte, error) {
 		if have && holders > env.T() && (!locked || bytes.Equal(proposal, lock)) {
 			bit = 1
 		}
+		closeBinary := env.Span("mv-binary")
 		start := env.Round()
 		d, err := p.Binary.Run(env, bit)
 		if err != nil {
+			closeBinary()
 			return nil, err
 		}
 		used := env.Round() - start
 		if used > binaryBound {
+			closeBinary()
 			return nil, fmt.Errorf("multivalue: binary consensus used %d > bound %d rounds", used, binaryBound)
 		}
 		sim.Idle(env, binaryBound-used)
+		closeBinary()
 
 		// Step 3: recovery round.
+		closeRecover := env.Span("mv-recover")
 		out = nil
 		if d == 1 && have {
 			out = sim.Broadcast(id, RecoverMsg{Value: proposal}, others)
 		}
 		in = env.Exchange(out)
+		closeRecover()
 		if d == 1 {
 			if !have {
 				for _, m := range in {

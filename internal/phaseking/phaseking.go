@@ -139,6 +139,10 @@ func Run(env sim.Env, input int, participate bool, phases int) int {
 // Consensus is the standalone deterministic protocol: every process
 // participates and the phase budget is t+1. It decides in exactly
 // 2(t+1) rounds with zero randomness, tolerating t < n/4 omission faults.
+//
+// The span is opened here and not in Run so that an invocation from
+// Algorithm 1's line 18 stays attributed to the caller's "fallback" region.
 func Consensus(env sim.Env, input int) (int, error) {
+	defer env.Span("phase-king")()
 	return Run(env, input, true, DefaultPhases(env.T())), nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"omicon/internal/metrics"
 	"omicon/internal/rng"
+	"omicon/internal/trace"
 )
 
 // Protocol is the code run by every process: it receives its environment and
@@ -30,6 +31,11 @@ type Config struct {
 	// MaxRounds aborts runaway executions; 0 selects 60*N + 4096, far
 	// above every protocol in this codebase at any tested scale.
 	MaxRounds int
+	// Trace receives structured per-round events (round boundaries with
+	// cost deltas, span attribution, corruptions, decisions). A nil or
+	// disabled tracer keeps the engine on its untraced hot path; when
+	// enabled, the Result additionally carries the per-round Series.
+	Trace *trace.Tracer
 }
 
 // Errors reported by the engine.
@@ -76,6 +82,8 @@ type Engine struct {
 
 	snapshots []any
 	legality  *Legality
+	obs       *observer // nil when untraced
+	lastRound int
 }
 
 // Run executes proto under cfg and returns the outcome. The returned error
@@ -121,6 +129,10 @@ func Run(cfg Config, proto Protocol) (*Result, error) {
 		e.sources[p] = rng.New(cfg.Seed, uint64(p), e.counters)
 		e.deliver[p] = make(chan []Message, 1)
 	}
+	if cfg.Trace.Enabled() {
+		e.obs = newObserver(cfg.Trace, e.counters, e.sources)
+		cfg.Trace.ExecStart(fmt.Sprintf("sim n=%d t=%d adversary=%s", cfg.N, cfg.T, cfg.Adversary.Name()), cfg.Seed)
+	}
 
 	var wg sync.WaitGroup
 	for p := 0; p < cfg.N; p++ {
@@ -135,6 +147,10 @@ func Run(cfg Config, proto Protocol) (*Result, error) {
 	wg.Wait()
 	res.Corrupted = e.legality.Mask()
 	res.Metrics = e.counters.Snapshot()
+	if e.obs != nil {
+		e.obs.finish(e.lastRound, res.Metrics)
+		res.Series = e.obs.series
+	}
 	if err != nil {
 		return res, err
 	}
@@ -171,6 +187,7 @@ func (e *Engine) loop(res *Result) error {
 	outs := make([][]Message, n)
 	numSubmitted := 0
 	round := 0
+	defer func() { e.lastRound = round }()
 
 	for active > 0 {
 		ev := <-e.events
@@ -180,6 +197,9 @@ func (e *Engine) loop(res *Result) error {
 			res.TerminatedAt[ev.pid] = round
 			if ev.err != nil && res.protocolErr == nil {
 				res.protocolErr = fmt.Errorf("sim: process %d: %w", ev.pid, ev.err)
+			}
+			if e.obs != nil {
+				e.obs.decide(round, ev.pid, ev.decision)
 			}
 		} else {
 			submitted[ev.pid] = true
@@ -243,6 +263,10 @@ func (e *Engine) communicate(res *Result, round int, submitted []bool, outs [][]
 	dropped, err := e.legality.Check(round, outbox, action)
 	if err != nil {
 		return err
+	}
+	if e.obs != nil {
+		e.obs.corruptions(round, action.Corrupt)
+		e.obs.roundEnd(round, outbox, dropped, submitted)
 	}
 
 	inboxes := make([][]Message, n)

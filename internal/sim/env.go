@@ -29,6 +29,12 @@ type Env interface {
 	// SetSnapshot publishes the process's current protocol state to the
 	// full-information adversary. Honest protocols publish faithfully.
 	SetSnapshot(s any)
+	// Span opens a named phase-attribution region: cost accrued by this
+	// process (messages sent, randomness drawn) until the returned closure
+	// is called is attributed to the span in traces and per-round metric
+	// series. Spans may nest; the closure restores the enclosing span.
+	// On an untraced execution both open and close are no-ops.
+	Span(name string) func()
 }
 
 // procEnv is the engine-backed Env for one process.
@@ -55,6 +61,13 @@ func (e *procEnv) Exchange(out []Message) []Message {
 
 func (e *procEnv) SetSnapshot(s any) {
 	e.engine.setSnapshot(e.id, s)
+}
+
+func (e *procEnv) Span(name string) func() {
+	if e.engine.obs == nil {
+		return func() {}
+	}
+	return e.engine.obs.openSpan(e.id, e.round, name)
 }
 
 // Idle performs k empty communication rounds.

@@ -66,6 +66,10 @@ func (s *SubEnv) Rand() *rng.Source { return s.parent.Rand() }
 // retains full information during sub-protocols.
 func (s *SubEnv) SetSnapshot(v any) { s.parent.SetSnapshot(v) }
 
+// Span implements Env, forwarding to the parent so cost spent inside the
+// group is attributed to the enclosing execution's span stack.
+func (s *SubEnv) Span(name string) func() { return s.parent.Span(name) }
+
 // Exchange implements Env, translating identifiers both ways.
 func (s *SubEnv) Exchange(out []Message) []Message {
 	translated := make([]Message, 0, len(out))

@@ -9,7 +9,14 @@ import (
 
 	"omicon/internal/metrics"
 	"omicon/internal/sim"
+	"omicon/internal/trace"
 )
+
+// ringCap bounds the per-trial flight recorder. 8192 events comfortably
+// covers the largest matrix trials (hundreds of rounds, a handful of span
+// and corruption events per round) while keeping the per-trial allocation
+// fixed.
+const ringCap = 8192
 
 // Options configures a torture run.
 type Options struct {
@@ -42,6 +49,14 @@ type Options struct {
 	// violations: "overbudget" corrupts t+1 processes in round 1,
 	// "honest-drop" drops a message between two honest processes.
 	Inject string
+	// Trace receives the structured event stream of every primary trial
+	// (one exec-start..exec-end segment per trial). Determinism re-runs
+	// and shrink replays are never traced, so the stream stays one
+	// segment per campaign trial. Independently of Trace, when CorpusDir
+	// is set each trial also records into a fixed-size ring buffer and a
+	// failing trial's ring is dumped next to its corpus entry as
+	// <entry>.trace.jsonl.
+	Trace *trace.Tracer
 	// Log, when set, receives one line per violation and a final summary.
 	Log io.Writer
 }
@@ -64,6 +79,9 @@ type Report struct {
 	Failures []*Entry
 	// CorpusPaths lists the files written under Options.CorpusDir.
 	CorpusPaths []string
+	// TracePaths lists the per-failure ring-buffer dumps written next to
+	// the corpus entries (same order as CorpusPaths).
+	TracePaths []string
 }
 
 // Summary renders the report as a short human-readable block.
@@ -86,6 +104,9 @@ func (r *Report) Summary() string {
 	}
 	for _, p := range r.CorpusPaths {
 		fmt.Fprintf(&b, "  corpus: %s\n", p)
+	}
+	for _, p := range r.TracePaths {
+		fmt.Fprintf(&b, "  trace: %s\n", p)
 	}
 	return b.String()
 }
@@ -232,11 +253,11 @@ type trialRun struct {
 	tr  *sim.Transcript
 }
 
-func runOnce(spec ProtoSpec, proto sim.Protocol, bound int, adv sim.Adversary, n, t int, inputs []int, seed uint64) trialRun {
+func runOnce(spec ProtoSpec, proto sim.Protocol, bound int, adv sim.Adversary, n, t int, inputs []int, seed uint64, tracer *trace.Tracer) trialRun {
 	rec, tr := sim.NewRecorder(adv)
 	res, err := sim.Run(sim.Config{
 		N: n, T: t, Inputs: inputs, Seed: seed, Adversary: rec,
-		MaxRounds: bound + 64,
+		MaxRounds: bound + 64, Trace: tracer,
 	}, proto)
 	tr.Protocol = spec.Name
 	tr.Seed = seed
@@ -293,7 +314,19 @@ func Run(o Options) (*Report, error) {
 			return nil, err
 		}
 
-		run := runOnce(c.proto, proto, bound, adv, n, t, inputs, seed)
+		// The primary trial is traced into the campaign tracer and, when a
+		// corpus directory is set, also into a per-trial flight recorder so
+		// a failure can dump its own event history. Determinism re-runs and
+		// shrink replays below run untraced: they would otherwise emit
+		// duplicate segments for executions that are not campaign trials.
+		var ring *trace.Ring
+		tracer := o.Trace
+		if o.CorpusDir != "" {
+			ring = trace.NewRing(ringCap)
+			tracer = trace.New(trace.MultiSink(ring, o.Trace))
+		}
+
+		run := runOnce(c.proto, proto, bound, adv, n, t, inputs, seed, tracer)
 		verdict := Check(CheckInput{
 			N: n, T: t, RoundBound: bound, Envelope: o.Envelope,
 			MonteCarlo: c.proto.MonteCarlo,
@@ -308,7 +341,7 @@ func Run(o Options) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			run2 := runOnce(c.proto, proto, bound, adv2, n, t, inputs, seed)
+			run2 := runOnce(c.proto, proto, bound, adv2, n, t, inputs, seed, nil)
 			b1, b2 := transcriptBytes(run.tr), transcriptBytes(run2.tr)
 			if !bytes.Equal(b1, b2) {
 				verdict.add(KindDeterminism,
@@ -355,6 +388,12 @@ func Run(o Options) (*Report, error) {
 			}
 			report.CorpusPaths = append(report.CorpusPaths, path)
 			logf("corpus: %s", path)
+			tracePath := strings.TrimSuffix(path, ".json") + ".trace.jsonl"
+			if err := trace.WriteFile(tracePath, ring.Events()); err != nil {
+				return nil, fmt.Errorf("torture: persisting trace artifact: %w", err)
+			}
+			report.TracePaths = append(report.TracePaths, tracePath)
+			logf("trace: %s", tracePath)
 		}
 	}
 	logf("%s", strings.TrimRight(report.Summary(), "\n"))
@@ -380,7 +419,7 @@ func scheduleVerdict(spec ProtoSpec, proto sim.Protocol, bound int, e *Entry, s 
 	} else {
 		adv = sim.NewScheduleAdversary(s)
 	}
-	run := runOnce(spec, proto, bound, adv, e.N, e.T, e.Inputs, e.Seed)
+	run := runOnce(spec, proto, bound, adv, e.N, e.T, e.Inputs, e.Seed, nil)
 	return Check(CheckInput{
 		N: e.N, T: e.T, RoundBound: bound,
 		MonteCarlo: e.MonteCarlo,
@@ -429,7 +468,7 @@ func Replay(e *Entry) (*ReplayResult, error) {
 	} else {
 		adv = sim.NewScheduleAdversary(e.Schedule)
 	}
-	run := runOnce(spec, proto, bound, adv, e.N, e.T, e.Inputs, e.Seed)
+	run := runOnce(spec, proto, bound, adv, e.N, e.T, e.Inputs, e.Seed, nil)
 	verdict := Check(CheckInput{
 		N: e.N, T: e.T, RoundBound: bound,
 		MonteCarlo: e.MonteCarlo,

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"omicon/internal/trace"
 )
 
 // TestMatrixSmoke runs a small deterministic campaign across the default
@@ -235,5 +237,60 @@ func TestUnknownNames(t *testing.T) {
 	}
 	if _, err := Run(Options{Trials: 1, Inject: "nope", Protocols: []string{"phaseking"}}); err == nil {
 		t.Fatal("unknown inject mode accepted")
+	}
+}
+
+// TestFailureTraceArtifact checks the observability contract of a failing
+// trial: its ring-buffer trace is dumped next to the corpus entry, the dump
+// is a parseable, self-consistent event stream, and the campaign tracer saw
+// exactly one exec segment per trial.
+func TestFailureTraceArtifact(t *testing.T) {
+	dir := t.TempDir()
+	campaign := trace.NewRing(1 << 15)
+	rep, err := Run(Options{
+		Trials: 8, Seed: 7,
+		Protocols: []string{"floodset"}, Adversaries: []string{"flood-split"},
+		CorpusDir:        dir,
+		Shrink:           true, // shrink replays must not pollute the stream
+		DeterminismEvery: 2,    // nor determinism re-runs
+		Trace:            trace.New(campaign),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations == 0 {
+		t.Fatal("flood-split failed to break floodset")
+	}
+	if len(rep.TracePaths) != len(rep.CorpusPaths) {
+		t.Fatalf("%d trace artifacts for %d corpus entries", len(rep.TracePaths), len(rep.CorpusPaths))
+	}
+	for i, p := range rep.TracePaths {
+		if want := strings.TrimSuffix(rep.CorpusPaths[i], ".json") + ".trace.jsonl"; p != want {
+			t.Fatalf("trace artifact %q not next to corpus entry %q", p, rep.CorpusPaths[i])
+		}
+		events, err := trace.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums, err := trace.Verify(events)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if len(sums) != 1 {
+			t.Fatalf("%s: %d segments, want 1", p, len(sums))
+		}
+	}
+	if !strings.Contains(rep.Summary(), ".trace.jsonl") {
+		t.Fatal("report summary does not surface the trace artifacts")
+	}
+
+	// The campaign stream must hold one segment per trial — shrink replays
+	// and determinism re-runs run untraced.
+	sums, err := trace.Verify(campaign.Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != rep.Trials {
+		t.Fatalf("campaign stream has %d segments for %d trials", len(sums), rep.Trials)
 	}
 }

@@ -1,0 +1,7 @@
+//go:build !race
+
+package trace
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// assertions are skipped under its instrumentation overhead.
+const raceEnabled = false

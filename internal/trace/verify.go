@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"fmt"
+
+	"omicon/internal/metrics"
+)
+
+// SegmentSummary reports one verified execution segment.
+type SegmentSummary struct {
+	// Note is the exec-start annotation.
+	Note string
+	// Rounds is the number of round-end events observed.
+	Rounds int
+	// Final is the aggregate snapshot the segment's exec-end carried.
+	Final metrics.Snapshot
+	// Spans is the number of distinct spans that received attribution.
+	Spans int
+}
+
+// Verify checks the self-consistency of an event stream: for every
+// execution segment (exec-start .. exec-end), the per-round and post-run
+// deltas must sum exactly to the final snapshot carried by exec-end, the
+// crash/retry events must account for the final crash/retry counts, and —
+// when span attribution is present — the span deltas must partition the
+// round deltas. It returns one summary per segment.
+//
+// Events outside any segment (notes, coin trials) are ignored. A truncated
+// stream (a segment opened but never closed) is an error: Verify is for
+// complete JSONL traces, not capacity-bounded ring dumps.
+func Verify(events []Event) ([]SegmentSummary, error) {
+	var out []SegmentSummary
+	open := false
+	var acc metrics.Snapshot
+	var spanSum metrics.Snapshot // messages/bits/randomness attributed to spans
+	spans := map[string]bool{}
+	note := ""
+	roundEnds := 0
+	segStart := 0
+
+	for i, e := range events {
+		switch e.Kind {
+		case KindExecStart:
+			if open {
+				return out, fmt.Errorf("trace: event %d: exec-start inside an open segment (started at event %d)", i, segStart)
+			}
+			open = true
+			segStart = i
+			acc, spanSum = metrics.Snapshot{}, metrics.Snapshot{}
+			spans = map[string]bool{}
+			note = e.Note
+			roundEnds = 0
+
+		case KindRoundEnd, KindPost:
+			if !open {
+				return out, fmt.Errorf("trace: event %d: %s outside any segment", i, e.Kind)
+			}
+			acc.Rounds += e.Rounds
+			acc.Messages += e.Messages
+			acc.CommBits += e.CommBits
+			acc.RandomBits += e.RandomBits
+			acc.RandomCalls += e.RandomCalls
+			if e.Kind == KindRoundEnd {
+				roundEnds++
+			}
+
+		case KindSpanDelta:
+			if !open {
+				return out, fmt.Errorf("trace: event %d: span-delta outside any segment", i)
+			}
+			spans[e.Span] = true
+			spanSum.Messages += e.Messages
+			spanSum.CommBits += e.CommBits
+			spanSum.RandomBits += e.RandomBits
+			spanSum.RandomCalls += e.RandomCalls
+
+		case KindCrash:
+			if open {
+				acc.Crashes += e.Crashes
+			}
+		case KindRetry:
+			if open {
+				acc.Retries += e.Retries
+			}
+
+		case KindExecEnd:
+			if !open {
+				return out, fmt.Errorf("trace: event %d: exec-end without exec-start", i)
+			}
+			open = false
+			final := metrics.Snapshot{
+				Rounds: e.Rounds, Messages: e.Messages, CommBits: e.CommBits,
+				RandomBits: e.RandomBits, RandomCalls: e.RandomCalls,
+				Crashes: e.Crashes, Retries: e.Retries,
+			}
+			if acc != final {
+				return out, fmt.Errorf("trace: segment %q (event %d): summed deltas [%s] do not reconcile with exec-end [%s]",
+					note, i, acc.Verbose(), final.Verbose())
+			}
+			if len(spans) > 0 {
+				want := metrics.Snapshot{
+					Messages: final.Messages, CommBits: final.CommBits,
+					RandomBits: final.RandomBits, RandomCalls: final.RandomCalls,
+				}
+				if spanSum != want {
+					return out, fmt.Errorf("trace: segment %q (event %d): span deltas [%s] do not partition the totals [%s]",
+						note, i, spanSum.Verbose(), want.Verbose())
+				}
+			}
+			out = append(out, SegmentSummary{Note: note, Rounds: roundEnds, Final: final, Spans: len(spans)})
+		}
+	}
+	if open {
+		return out, fmt.Errorf("trace: segment %q (event %d) never closed with exec-end", note, segStart)
+	}
+	return out, nil
+}

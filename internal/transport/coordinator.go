@@ -7,10 +7,12 @@ import (
 	"io"
 	"net"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"omicon/internal/metrics"
 	"omicon/internal/sim"
+	"omicon/internal/trace"
 	"omicon/internal/wire"
 )
 
@@ -76,6 +78,14 @@ type Options struct {
 	// budget t; 0 means the cap is t itself (crashed processes count as
 	// corrupted, so the budget check enforces it).
 	MaxCrashes int
+	// Trace receives structured events for the run: round boundaries with
+	// wire-level cost deltas, crashes, resume adoptions, decisions. Nil
+	// disables tracing.
+	Trace *trace.Tracer
+	// DebugAddr, when non-empty, serves Prometheus-text /metrics and
+	// /debug/pprof endpoints on the given listen address for the duration
+	// of Serve ("127.0.0.1:0" picks a free port; see DebugListenAddr).
+	DebugAddr string
 }
 
 func (o Options) withDefaults() Options {
@@ -116,6 +126,17 @@ type Coordinator struct {
 	connCh     chan helloConn
 	acceptDone chan struct{}
 	parked     map[int]*helloConn
+
+	// Trace bookkeeping: the counter snapshot at the previous round
+	// boundary, so round-end events carry exact wire-cost deltas.
+	lastTraced metrics.Snapshot
+
+	// Live gauges for the debug endpoint, updated at barriers so the HTTP
+	// handler never touches the Serve goroutine's plain slices.
+	liveRound     atomic.Int64
+	liveActive    atomic.Int64
+	liveCorrupted atomic.Int64
+	debugAddr     atomic.Pointer[string]
 }
 
 // CoordinatorResult reports one networked execution.
@@ -245,12 +266,55 @@ func (c *Coordinator) Serve(ln net.Listener) (*CoordinatorResult, error) {
 		c.active[i] = true
 	}
 	c.numActive = c.n
+	c.liveActive.Store(int64(c.n))
+
+	if c.opts.DebugAddr != "" {
+		srv, addr, err := c.startDebugServer(c.opts.DebugAddr)
+		if err != nil {
+			return c.result(), err
+		}
+		c.debugAddr.Store(&addr)
+		defer srv.Close()
+	}
+	c.opts.Trace.ExecStart(fmt.Sprintf("transport n=%d t=%d adversary=%s policy=%s",
+		c.n, c.t, c.adversary.Name(), c.opts.Policy), 0)
 
 	if err := c.awaitHellos(conns); err != nil {
+		c.traceFinish()
 		return c.result(), err
 	}
 	err := c.runRounds(conns)
+	c.traceFinish()
 	return c.result(), err
+}
+
+// DebugListenAddr returns the bound address of the debug HTTP server, or ""
+// while no server is running. It resolves ":0"-style DebugAddr values to
+// the actual port.
+func (c *Coordinator) DebugListenAddr() string {
+	if p := c.debugAddr.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// traceFinish closes the trace segment: residual wire cost accrued since
+// the last round boundary (e.g. a round aborted mid-gather) goes into one
+// post event, then exec-end carries the final snapshot. Crash and retry
+// totals are carried by their own 1:1 events, never by deltas.
+func (c *Coordinator) traceFinish() {
+	if !c.opts.Trace.Enabled() {
+		return
+	}
+	final := c.counters.Snapshot()
+	c.opts.Trace.Emit(trace.Event{
+		Kind: trace.KindPost, Round: int(c.liveRound.Load()), Proc: -1,
+		Rounds:   final.Rounds - c.lastTraced.Rounds,
+		Messages: final.Messages - c.lastTraced.Messages,
+		CommBits: final.CommBits - c.lastTraced.CommBits,
+	})
+	c.lastTraced = final
+	c.opts.Trace.ExecEnd(final)
 }
 
 // acceptLoop accepts connections for the whole run (initial HELLOs and
@@ -458,6 +522,11 @@ func (c *Coordinator) parseFrame(id int, body []byte, outbox *[]outMsg) error {
 		c.outcomes[id] = sim.OutcomeDecided
 		c.active[id] = false
 		c.numActive--
+		c.liveActive.Store(int64(c.numActive))
+		c.opts.Trace.Emit(trace.Event{
+			Kind: trace.KindDecide, Round: int(c.liveRound.Load()) + 1, Proc: id,
+			Value: int64(decision),
+		})
 		return nil
 	case frameBatch:
 		d := wire.NewDecoder(body[1:])
@@ -495,6 +564,7 @@ func (c *Coordinator) fail(conns []*nodeConn, id, round int, cause error) error 
 	c.outcomes[id] = sim.OutcomeCrashed
 	c.counters.AddCrash()
 	c.failures = append(c.failures, sim.FailureEvent{Process: id, Round: round, Reason: cause.Error()})
+	c.opts.Trace.Emit(trace.Event{Kind: trace.KindCrash, Round: round, Proc: id, Crashes: 1, Note: cause.Error()})
 
 	crashes, budget := 0, 0
 	for p := 0; p < c.n; p++ {
@@ -505,6 +575,8 @@ func (c *Coordinator) fail(conns []*nodeConn, id, round int, cause error) error 
 			budget++
 		}
 	}
+	c.liveActive.Store(int64(c.numActive))
+	c.liveCorrupted.Store(int64(budget))
 	if c.opts.MaxCrashes > 0 && crashes > c.opts.MaxCrashes {
 		return fmt.Errorf("transport: %d crashes exceed cap %d: %w", crashes, c.opts.MaxCrashes, cause)
 	}
@@ -589,6 +661,9 @@ func (c *Coordinator) adopt(hc *helloConn, id int) *nodeConn {
 		}
 	}
 	c.counters.AddRetry()
+	c.opts.Trace.Emit(trace.Event{
+		Kind: trace.KindRetry, Round: int(c.liveRound.Load()), Proc: id, Retries: 1,
+	})
 	return nc
 }
 
@@ -634,6 +709,24 @@ func (c *Coordinator) communicate(conns []*nodeConn, round int, outbox []outMsg)
 			budget++
 		}
 	}
+	c.liveRound.Store(int64(round))
+	c.liveCorrupted.Store(int64(budget))
+	if c.opts.Trace.Enabled() {
+		// view.Corrupted is the pre-Step copy; diff it to report only the
+		// takeovers of this round, with cumulative budget drain in Value.
+		drain := int64(0)
+		for _, b := range view.Corrupted {
+			if b {
+				drain++
+			}
+		}
+		for p, b := range c.corrupted {
+			if b && !view.Corrupted[p] {
+				drain++
+				c.opts.Trace.Emit(trace.Event{Kind: trace.KindCorrupt, Round: round, Proc: p, Value: drain})
+			}
+		}
+	}
 	if budget > c.t {
 		return fmt.Errorf("%w: %d > t=%d", sim.ErrBudget, budget, c.t)
 	}
@@ -647,6 +740,19 @@ func (c *Coordinator) communicate(conns []*nodeConn, round int, outbox []outMsg)
 			return fmt.Errorf("%w: %d->%d", sim.ErrIllegalOmission, m.from, m.to)
 		}
 		dropped[idx] = true
+	}
+	if c.opts.Trace.Enabled() {
+		// Round boundary: the delta since the previous boundary, crashes
+		// and retries excluded (their events carry those totals).
+		snap := c.counters.Snapshot()
+		c.opts.Trace.Emit(trace.Event{
+			Kind: trace.KindRoundEnd, Round: round, Proc: -1,
+			Rounds:   snap.Rounds - c.lastTraced.Rounds,
+			Messages: snap.Messages - c.lastTraced.Messages,
+			CommBits: snap.CommBits - c.lastTraced.CommBits,
+			Drops:    int64(len(dropped)),
+		})
+		c.lastTraced = snap
 	}
 
 	inboxes := make([][]deliverEntry, c.n)

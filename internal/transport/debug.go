@@ -1,0 +1,60 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// startDebugServer binds addr and serves the coordinator's observability
+// endpoints for the duration of one run:
+//
+//	/metrics      — Prometheus text exposition of the wire-level counters
+//	                plus live round/active/corrupted gauges
+//	/debug/pprof  — the standard Go profiling endpoints
+//
+// The handlers read only atomic state (counters and gauges), so they are
+// safe concurrently with the Serve goroutine; counter snapshots taken
+// mid-run may be torn across fields (see metrics.Counters.Snapshot), which
+// is acceptable for monitoring. The mux is private — the process-global
+// http.DefaultServeMux is left untouched.
+func (c *Coordinator) startDebugServer(addr string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("transport: debug listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", c.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}
+
+// handleMetrics renders the Prometheus text exposition format (version
+// 0.0.4): `# HELP` / `# TYPE` comment pairs followed by one sample per
+// metric, no labels.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s := c.counters.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	for _, m := range []struct {
+		name, kind, help string
+		v                int64
+	}{
+		{"omicon_rounds_total", "counter", "Completed synchronous communication rounds.", s.Rounds},
+		{"omicon_messages_total", "counter", "Point-to-point messages observed on the wire.", s.Messages},
+		{"omicon_comm_bits_total", "counter", "Total bits of all sent messages.", s.CommBits},
+		{"omicon_crashes_total", "counter", "Node failures absorbed as in-model faults.", s.Crashes},
+		{"omicon_retries_total", "counter", "Reconnect adoptions after broken connections.", s.Retries},
+		{"omicon_live_round", "gauge", "Round currently at or past the barrier.", c.liveRound.Load()},
+		{"omicon_live_active", "gauge", "Nodes still participating.", c.liveActive.Load()},
+		{"omicon_live_corrupted", "gauge", "Adversary budget consumed (corrupted processes).", c.liveCorrupted.Load()},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", m.name, m.help, m.name, m.kind, m.name, m.v)
+	}
+}

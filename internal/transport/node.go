@@ -141,6 +141,11 @@ func (nd *Node) Rand() *rng.Source { return nd.rand }
 // the model's worst case.
 func (nd *Node) SetSnapshot(any) {}
 
+// Span implements sim.Env. Phase attribution is an engine-side concern; the
+// transport coordinator traces round boundaries only, so spans are no-ops
+// here like SetSnapshot.
+func (nd *Node) Span(string) func() { return func() {} }
+
 // sleepBackoff waits RetryBase<<attempt with a deterministic ±50% jitter.
 func (nd *Node) sleepBackoff(attempt int) {
 	if attempt > 16 {

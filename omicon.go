@@ -46,6 +46,7 @@ import (
 	"omicon/internal/paramomissions"
 	"omicon/internal/phaseking"
 	"omicon/internal/sim"
+	"omicon/internal/trace"
 )
 
 // Re-exported simulator types. The implementation lives in internal
@@ -70,7 +71,14 @@ type (
 	Env = sim.Env
 	// Protocol is a per-process protocol function.
 	Protocol = sim.Protocol
+	// Tracer emits the structured per-round event stream of a traced
+	// execution (see Config.Trace and docs/OBSERVABILITY.md).
+	Tracer = trace.Tracer
 )
+
+// NewTracer wraps a trace sink (e.g. trace.NewRing, trace.NewJSONL) as a
+// Tracer for Config.Trace. A nil tracer disables tracing at near-zero cost.
+func NewTracer(sink trace.Sink) *Tracer { return trace.New(sink) }
 
 // Algorithm selects which consensus protocol to run.
 type Algorithm int
@@ -172,6 +180,10 @@ type Config struct {
 	Adversary Adversary
 	// MaxRounds guards runaway executions (0 = derived bound).
 	MaxRounds int
+	// Trace, when non-nil, streams structured per-round events (round
+	// boundaries with cost deltas, phase spans, corruptions, decisions)
+	// to its sink and populates Result.Series; see docs/OBSERVABILITY.md.
+	Trace *Tracer
 	// PaperScale uses the paper's literal constants (Δ = 832 log n,
 	// 8 log n gossip rounds) instead of the simulation-scale defaults.
 	PaperScale bool
@@ -268,6 +280,7 @@ func (inst *Instance) Run(inputs []int, seed uint64, adv Adversary) (*Result, er
 		Seed:      seed,
 		Adversary: adv,
 		MaxRounds: inst.maxRounds,
+		Trace:     inst.cfg.Trace,
 	}, inst.protocol)
 }
 
