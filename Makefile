@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check soak vet torture fuzz
+.PHONY: build test check soak vet torture fuzz bench bench-json benchcheck
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,20 @@ soak:
 # counterexamples under .torture-corpus/.
 torture:
 	$(GO) run ./cmd/torture -trials 2000 -corpus .torture-corpus -shrink
+
+# bench runs the engine hot-path benchmarks interactively; pipe two runs
+# through benchstat to compare. bench-json refreshes the committed
+# baseline (BENCH_engine.json) with cmd/bench, and benchcheck verifies a
+# fresh measurement against it — the same comparison CI performs.
+bench:
+	$(GO) test ./internal/sim/ -run '^$$' -bench 'EngineRound' -benchtime=100x -count=3
+
+bench-json:
+	$(GO) run ./cmd/bench -out BENCH_engine.json
+
+benchcheck:
+	$(GO) run ./cmd/bench -out bench-fresh.json
+	$(GO) run ./cmd/benchcheck -baseline BENCH_engine.json -fresh bench-fresh.json
 
 # fuzz runs every native fuzz target for a bounded stretch: mutated
 # schedules through the replay adversary (engine must never panic, oracle

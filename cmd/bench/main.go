@@ -1,0 +1,218 @@
+// Command bench measures the simulation engine's hot-path cost and the
+// parallel trial runner's throughput scaling, writing a machine-readable
+// baseline (default BENCH_engine.json). The committed baseline is the
+// trajectory seed cmd/benchcheck compares fresh runs against in CI.
+//
+// The schema, versioned by the top-level "schema" string, is:
+//
+//	{
+//	  "schema": "omicon/bench-engine/v1",
+//	  "gomaxprocs": 8,
+//	  "benchmarks": [           // all-to-all rounds, see internal/sim benchmarks
+//	    {"name": "EngineRoundThroughput/n=64",
+//	     "nsPerOp": .., "bytesPerOp": .., "allocsPerOp": ..},
+//	    ...
+//	  ],
+//	  "parallel": {             // partrial runner, workers 1 vs GOMAXPROCS
+//	    "trials": 64, "workers": 8,
+//	    "trialsPerSecSerial": .., "trialsPerSecParallel": .., "speedup": ..
+//	  }
+//	}
+//
+// ns/op figures are machine-dependent; benchcheck therefore compares with a
+// generous tolerance and CI only fails on multiple-x regressions.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"omicon/internal/partrial"
+	"omicon/internal/sim"
+	"omicon/internal/wire"
+)
+
+const benchSchema = "omicon/bench-engine/v1"
+
+type benchFile struct {
+	Schema     string        `json:"schema"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Benchmarks []benchResult `json:"benchmarks"`
+	Parallel   parallelBench `json:"parallel"`
+}
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+}
+
+type parallelBench struct {
+	Trials               int     `json:"trials"`
+	Workers              int     `json:"workers"`
+	TrialsPerSecSerial   float64 `json:"trialsPerSecSerial"`
+	TrialsPerSecParallel float64 `json:"trialsPerSecParallel"`
+	Speedup              float64 `json:"speedup"`
+}
+
+type bitPayload struct{ b int }
+
+func (p bitPayload) AppendWire(buf []byte) []byte {
+	return wire.AppendUvarint(buf, uint64(p.b))
+}
+
+// passThrough forces the engine's full adversarial path (sort + View +
+// legality) while taking no actions, mirroring the in-package benchmarks.
+type passThrough struct{}
+
+func (passThrough) Name() string              { return "pass-through" }
+func (passThrough) Step(*sim.View) sim.Action { return sim.Action{} }
+
+// roundsProto is the benchmark workload: all-to-all broadcast for `rounds`
+// rounds. When rebuild is set every round rebuilds its outbox (the shape
+// real protocols have); otherwise the outbox is built once and resent, so
+// only engine overhead remains.
+func roundsProto(n, rounds int, rebuild bool) sim.Protocol {
+	return func(env sim.Env, input int) (int, error) {
+		targets := make([]int, 0, n-1)
+		for i := 0; i < n; i++ {
+			if i != env.ID() {
+				targets = append(targets, i)
+			}
+		}
+		out := sim.Broadcast(env.ID(), bitPayload{1}, targets)
+		for r := 0; r < rounds; r++ {
+			if rebuild {
+				out = sim.Broadcast(env.ID(), bitPayload{1}, targets)
+			}
+			env.Exchange(out)
+		}
+		return 0, nil
+	}
+}
+
+func runRounds(b *testing.B, n int, adv sim.Adversary, rebuild bool) {
+	rounds := b.N
+	_, err := sim.Run(sim.Config{
+		N: n, T: 0, Inputs: make([]int, n), Seed: 1,
+		MaxRounds: rounds + 8, Adversary: adv,
+	}, roundsProto(n, rounds, rebuild))
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func engineBenchmarks(sizes []int) []benchResult {
+	type def struct {
+		name    string
+		adv     sim.Adversary
+		rebuild bool
+	}
+	defs := []def{
+		{"EngineRoundThroughput", nil, true},
+		{"EngineRoundAdversarial", passThrough{}, true},
+		{"EngineRoundOverhead/fast", nil, false},
+		{"EngineRoundOverhead/full", passThrough{}, false},
+	}
+	var out []benchResult
+	for _, d := range defs {
+		for _, n := range sizes {
+			d, n := d, n
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				runRounds(b, n, d.adv, d.rebuild)
+			})
+			out = append(out, benchResult{
+				Name:        fmt.Sprintf("%s/n=%d", d.name, n),
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+			})
+		}
+	}
+	return out
+}
+
+// measureParallel times `trials` independent consensus executions through
+// the partrial runner at the given worker count and returns trials/sec.
+func measureParallel(trials, workers, n, rounds int) (float64, error) {
+	start := time.Now()
+	err := partrial.Do(trials, workers,
+		func(i int) (*sim.Result, error) {
+			return sim.Run(sim.Config{
+				N: n, T: 0, Inputs: make([]int, n), Seed: uint64(i + 1),
+				MaxRounds: rounds + 8, Adversary: passThrough{},
+			}, roundsProto(n, rounds, true))
+		},
+		func(i int, res *sim.Result) error { return nil })
+	if err != nil {
+		return 0, err
+	}
+	return float64(trials) / time.Since(start).Seconds(), nil
+}
+
+func run() error {
+	var (
+		out    = flag.String("out", "BENCH_engine.json", "write the baseline to this file (empty = stdout only)")
+		trials = flag.Int("trials", 64, "trials for the parallel-runner measurement")
+		n      = flag.Int("n", 64, "system size for the parallel-runner measurement")
+		rounds = flag.Int("rounds", 40, "rounds per trial for the parallel-runner measurement")
+	)
+	flag.Parse()
+
+	f := benchFile{Schema: benchSchema, GoMaxProcs: runtime.GOMAXPROCS(0)}
+
+	fmt.Fprintln(os.Stderr, "bench: measuring engine round benchmarks...")
+	f.Benchmarks = engineBenchmarks([]int{16, 64, 256})
+	for _, b := range f.Benchmarks {
+		fmt.Fprintf(os.Stderr, "  %-36s %12.0f ns/op %10d B/op %6d allocs/op\n",
+			b.Name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
+	}
+
+	fmt.Fprintf(os.Stderr, "bench: measuring parallel runner (%d trials, n=%d, %d rounds)...\n",
+		*trials, *n, *rounds)
+	serial, err := measureParallel(*trials, 1, *n, *rounds)
+	if err != nil {
+		return err
+	}
+	parallel, err := measureParallel(*trials, f.GoMaxProcs, *n, *rounds)
+	if err != nil {
+		return err
+	}
+	f.Parallel = parallelBench{
+		Trials: *trials, Workers: f.GoMaxProcs,
+		TrialsPerSecSerial:   serial,
+		TrialsPerSecParallel: parallel,
+		Speedup:              parallel / serial,
+	}
+	fmt.Fprintf(os.Stderr, "  workers=1: %.1f trials/sec  workers=%d: %.1f trials/sec  speedup %.2fx\n",
+		serial, f.Parallel.Workers, parallel, f.Parallel.Speedup)
+
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", *out)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,128 @@
+// Command benchcheck compares a fresh engine benchmark run against the
+// committed baseline (BENCH_engine.json, schema omicon/bench-engine/v1)
+// and fails on regressions.
+//
+// ns/op and allocs/op are compared per benchmark with a multiplicative
+// tolerance (default 2x — CI machines vary widely, only multiple-x
+// regressions are actionable signals). allocs/op additionally gets a small
+// absolute grace so a 1->2 allocation change does not read as a 2x
+// regression. The parallel-scaling figures are recorded but never gated:
+// CI runners have too few stable cores for a speedup threshold.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+const benchSchema = "omicon/bench-engine/v1"
+
+// allocGrace is the absolute allocs/op slack applied before the ratio
+// check; see the package comment.
+const allocGrace = 4
+
+type benchFile struct {
+	Schema     string        `json:"schema"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Benchmarks []benchResult `json:"benchmarks"`
+	Parallel   parallelBench `json:"parallel"`
+}
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+}
+
+type parallelBench struct {
+	Trials               int     `json:"trials"`
+	Workers              int     `json:"workers"`
+	TrialsPerSecSerial   float64 `json:"trialsPerSecSerial"`
+	TrialsPerSecParallel float64 `json:"trialsPerSecParallel"`
+	Speedup              float64 `json:"speedup"`
+}
+
+func load(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != benchSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, f.Schema, benchSchema)
+	}
+	return &f, nil
+}
+
+func run() error {
+	var (
+		basePath  = flag.String("baseline", "BENCH_engine.json", "committed baseline file")
+		freshPath = flag.String("fresh", "", "freshly measured file to check (required)")
+		tolerance = flag.Float64("tolerance", 2.0, "maximum allowed fresh/baseline ratio for ns/op and allocs/op")
+	)
+	flag.Parse()
+	if *freshPath == "" {
+		return fmt.Errorf("-fresh is required")
+	}
+	base, err := load(*basePath)
+	if err != nil {
+		return err
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		return err
+	}
+	byName := make(map[string]benchResult, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		byName[b.Name] = b
+	}
+
+	regressions := 0
+	for _, want := range base.Benchmarks {
+		got, ok := byName[want.Name]
+		if !ok {
+			fmt.Printf("FAIL %-36s missing from fresh run\n", want.Name)
+			regressions++
+			continue
+		}
+		status := "ok  "
+		var notes []string
+		if want.NsPerOp > 0 && got.NsPerOp > want.NsPerOp**tolerance {
+			notes = append(notes, fmt.Sprintf("ns/op %.0f vs baseline %.0f (>%.1fx)",
+				got.NsPerOp, want.NsPerOp, *tolerance))
+		}
+		if limit := float64(want.AllocsPerOp+allocGrace) * *tolerance; float64(got.AllocsPerOp) > limit {
+			notes = append(notes, fmt.Sprintf("allocs/op %d vs baseline %d (limit %.0f)",
+				got.AllocsPerOp, want.AllocsPerOp, limit))
+		}
+		if len(notes) > 0 {
+			status = "FAIL"
+			regressions++
+		}
+		fmt.Printf("%s %-36s %12.0f ns/op %6d allocs/op", status, want.Name, got.NsPerOp, got.AllocsPerOp)
+		for _, n := range notes {
+			fmt.Printf("  %s", n)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("parallel: baseline %.2fx speedup at %d workers, fresh %.2fx at %d (informational)\n",
+		base.Parallel.Speedup, base.Parallel.Workers, fresh.Parallel.Speedup, fresh.Parallel.Workers)
+	if regressions > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.1fx", regressions, *tolerance)
+	}
+	fmt.Println("benchcheck: all benchmarks within tolerance")
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+}

@@ -84,6 +84,7 @@ func run() error {
 		seeds    = flag.Int("seeds", 3, "seeds per (size, adversary) cell")
 		base     = flag.Uint64("seed", 1, "base seed")
 		jsonPath = flag.String("json", "BENCH_sweep.json", "write machine-readable results to this file (empty = off)")
+		workers  = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS); results are identical at any width")
 	)
 	flag.Parse()
 
@@ -92,7 +93,7 @@ func run() error {
 		return err
 	}
 
-	cells, err := experiments.Thm1Detailed(ns, *seeds, *base)
+	cells, err := experiments.Thm1Detailed(ns, *seeds, *base, *workers)
 	if err != nil {
 		return err
 	}

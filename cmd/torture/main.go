@@ -58,6 +58,7 @@ func run() (int, error) {
 		traceFile   = flag.String("trace", "", "write every trial's JSONL event trace to this file")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile after the campaign to this file")
+		workers     = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS, 1 = serial); reports and corpora are identical at any width")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -104,6 +105,7 @@ func run() (int, error) {
 		ShrinkMaxRuns:    *shrinkRuns,
 		DeterminismEvery: *determinism,
 		Inject:           *inject,
+		Workers:          *workers,
 	}
 	if !*quiet {
 		opts.Log = os.Stderr

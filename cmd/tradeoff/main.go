@@ -31,14 +31,15 @@ func main() {
 
 func run() error {
 	var (
-		mode   = flag.String("mode", "param", "param | lower")
-		n      = flag.Int("n", 256, "system size")
-		t      = flag.Int("t", -1, "fault budget (-1 = mode default)")
-		xs     = flag.String("x", "1,2,4,8,16,32", "param mode: super-process counts")
-		caps   = flag.String("caps", "0,32,8,2", "lower mode: coiner caps (0 = all)")
-		seeds  = flag.Int("seeds", 3, "seeds per point")
-		base   = flag.Uint64("seed", 1, "base seed")
-		stress = flag.Bool("stress", false, "param mode: exceed the t < n/60 bound so the group-killer can burn whole phases (worst-case randomness regime)")
+		mode    = flag.String("mode", "param", "param | lower")
+		n       = flag.Int("n", 256, "system size")
+		t       = flag.Int("t", -1, "fault budget (-1 = mode default)")
+		xs      = flag.String("x", "1,2,4,8,16,32", "param mode: super-process counts")
+		caps    = flag.String("caps", "0,32,8,2", "lower mode: coiner caps (0 = all)")
+		seeds   = flag.Int("seeds", 3, "seeds per point")
+		base    = flag.Uint64("seed", 1, "base seed")
+		stress  = flag.Bool("stress", false, "param mode: exceed the t < n/60 bound so the group-killer can burn whole phases (worst-case randomness regime)")
+		workers = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS); results are identical at any width")
 	)
 	flag.Parse()
 
@@ -50,7 +51,7 @@ func run() error {
 				*t = *n / 16
 			}
 		}
-		return paramMode(*n, *t, *xs, *seeds, *base, *stress)
+		return paramMode(*n, *t, *xs, *seeds, *base, *stress, *workers)
 	case "lower":
 		if *t < 0 {
 			*t = *n / 4
@@ -61,7 +62,7 @@ func run() error {
 	}
 }
 
-func paramMode(n, t int, xsSpec string, seeds int, base uint64, stress bool) error {
+func paramMode(n, t int, xsSpec string, seeds int, base uint64, stress bool, workers int) error {
 	xs, err := parseInts(xsSpec)
 	if err != nil {
 		return err
@@ -70,7 +71,7 @@ func paramMode(n, t int, xsSpec string, seeds int, base uint64, stress bool) err
 	// the round-robin cannot finish in its first phase, and spread
 	// inputs keep every group's electorate mixed; see
 	// internal/experiments.
-	points, err := experiments.Thm3Sweep(n, t, xs, seeds, base, stress)
+	points, err := experiments.Thm3Sweep(n, t, xs, seeds, base, stress, workers)
 	if err != nil {
 		return err
 	}

@@ -12,7 +12,9 @@ import (
 
 	"omicon/internal/adversary"
 	"omicon/internal/core"
+	"omicon/internal/metrics"
 	"omicon/internal/paramomissions"
+	"omicon/internal/partrial"
 	"omicon/internal/sim"
 	"omicon/internal/stats"
 )
@@ -88,7 +90,14 @@ type SweepCell struct {
 // across sizes, keeping every (adversary, seed) sample instead of only
 // the worst case. Rounds are counted over non-faulty processes.
 // Consensus violations are returned as errors (they are protocol bugs).
-func Thm1Detailed(sizes []int, seeds int, baseSeed uint64) ([]SweepCell, error) {
+//
+// Trials run on a partrial pool of the given width (<=0 selects
+// GOMAXPROCS). Every trial constructs its own adversary from the trial
+// index — several portfolio strategies carry evolving internal randomness,
+// so sharing instances across trials would make sample i depend on trials
+// before it — which is also what makes the output independent of the
+// worker count: cells and samples are byte-identical at any width.
+func Thm1Detailed(sizes []int, seeds int, baseSeed uint64, workers int) ([]SweepCell, error) {
 	cells := make([]SweepCell, 0, len(sizes))
 	for _, n := range sizes {
 		t := (n - 1) / 31
@@ -96,32 +105,41 @@ func Thm1Detailed(sizes []int, seeds int, baseSeed uint64) ([]SweepCell, error) 
 		if err != nil {
 			return nil, err
 		}
-		advs := adversary.Registry(n, t, baseSeed)
-		advs = append(advs, adversary.NewEclipse(params.Graph, t, n/10))
-		cell := SweepCell{N: n, T: t}
-		for _, adv := range advs {
-			for s := 0; s < seeds; s++ {
-				res, err := sim.Run(sim.Config{
-					N: n, T: t,
-					Inputs:    spreadInputs(n, n/2),
-					Seed:      baseSeed + uint64(s)*101,
-					Adversary: adv,
-					MaxRounds: params.TotalRoundsBound() + 64,
-				}, core.Protocol(params))
-				if err != nil {
-					return nil, fmt.Errorf("experiments: n=%d %s: %w", n, adv.Name(), err)
-				}
-				if cerr := res.CheckConsensus(); cerr != nil {
-					return nil, fmt.Errorf("experiments: n=%d %s: consensus violated: %w", n, adv.Name(), cerr)
-				}
-				cell.Samples = append(cell.Samples, SweepSample{
-					Adversary: adv.Name(),
-					Rounds:    int64(res.RoundsNonFaulty()),
-					CommBits:  res.Metrics.CommBits,
-					RandBits:  res.Metrics.RandomBits,
-				})
-			}
+		// One probe instance only to size and name the portfolio; trial
+		// adversaries are built fresh inside each produce call.
+		advsFor := func() []sim.Adversary {
+			advs := adversary.Registry(n, t, baseSeed)
+			return append(advs, adversary.NewEclipse(params.Graph, t, n/10))
 		}
+		nAdvs := len(advsFor())
+		cell := SweepCell{N: n, T: t}
+		samples, err := partrial.Map(nAdvs*seeds, workers, func(i int) (SweepSample, error) {
+			adv := advsFor()[i/seeds] // adversary-major order, fresh instance
+			s := i % seeds
+			res, err := sim.Run(sim.Config{
+				N: n, T: t,
+				Inputs:    spreadInputs(n, n/2),
+				Seed:      baseSeed + uint64(s)*101,
+				Adversary: adv,
+				MaxRounds: params.TotalRoundsBound() + 64,
+			}, core.Protocol(params))
+			if err != nil {
+				return SweepSample{}, fmt.Errorf("experiments: n=%d %s: %w", n, adv.Name(), err)
+			}
+			if cerr := res.CheckConsensus(); cerr != nil {
+				return SweepSample{}, fmt.Errorf("experiments: n=%d %s: consensus violated: %w", n, adv.Name(), cerr)
+			}
+			return SweepSample{
+				Adversary: adv.Name(),
+				Rounds:    int64(res.RoundsNonFaulty()),
+				CommBits:  res.Metrics.CommBits,
+				RandBits:  res.Metrics.RandomBits,
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		cell.Samples = samples
 		rs := make([]int64, len(cell.Samples))
 		cs := make([]int64, len(cell.Samples))
 		bs := make([]int64, len(cell.Samples))
@@ -137,8 +155,8 @@ func Thm1Detailed(sizes []int, seeds int, baseSeed uint64) ([]SweepCell, error) 
 // Thm1Sweep measures OptimalOmissionsConsensus at maximal fault load
 // across sizes, taking the worst case over the adversary portfolio.
 // Consensus violations are returned as errors (they are protocol bugs).
-func Thm1Sweep(sizes []int, seeds int, baseSeed uint64) ([]Thm1Point, error) {
-	cells, err := Thm1Detailed(sizes, seeds, baseSeed)
+func Thm1Sweep(sizes []int, seeds int, baseSeed uint64, workers int) ([]Thm1Point, error) {
+	cells, err := Thm1Detailed(sizes, seeds, baseSeed, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -198,8 +216,10 @@ type Thm3Point struct {
 
 // Thm3Sweep measures ParamOmissions across the super-process spectrum at
 // fixed (n, t), averaging over seeds, against the group-killing adversary
-// (the strategy that burns round-robin phases).
-func Thm3Sweep(n, t int, xs []int, seeds int, baseSeed uint64, allowLargeT bool) ([]Thm3Point, error) {
+// (the strategy that burns round-robin phases). Seeds run on a partrial
+// pool; per-seed metrics are summed in seed order, so the averages are
+// bitwise independent of the worker count.
+func Thm3Sweep(n, t int, xs []int, seeds int, baseSeed uint64, allowLargeT bool, workers int) ([]Thm3Point, error) {
 	var points []Thm3Point
 	for _, x := range xs {
 		if n/x < 4 {
@@ -214,7 +234,7 @@ func Thm3Sweep(n, t int, xs []int, seeds int, baseSeed uint64, allowLargeT bool)
 			return nil, err
 		}
 		pt := Thm3Point{X: x}
-		for s := 0; s < seeds; s++ {
+		err = partrial.Do(seeds, workers, func(s int) (metrics.Snapshot, error) {
 			res, err := sim.Run(sim.Config{
 				N: n, T: t,
 				Inputs:    spreadInputs(n, n/2),
@@ -223,14 +243,22 @@ func Thm3Sweep(n, t int, xs []int, seeds int, baseSeed uint64, allowLargeT bool)
 				MaxRounds: params.TotalRoundsBound() + 64,
 			}, paramomissions.Protocol(params))
 			if err != nil {
-				return nil, fmt.Errorf("experiments: x=%d: %w", x, err)
+				return metrics.Snapshot{}, fmt.Errorf("experiments: x=%d: %w", x, err)
 			}
 			if cerr := res.CheckConsensus(); cerr != nil {
-				return nil, fmt.Errorf("experiments: x=%d: consensus violated: %w", x, cerr)
+				return metrics.Snapshot{}, fmt.Errorf("experiments: x=%d: consensus violated: %w", x, cerr)
 			}
-			pt.Rounds += float64(res.RoundsNonFaulty())
-			pt.RandBits += float64(res.Metrics.RandomBits)
-			pt.CommBits += float64(res.Metrics.CommBits)
+			snap := res.Metrics
+			snap.Rounds = int64(res.RoundsNonFaulty())
+			return snap, nil
+		}, func(s int, snap metrics.Snapshot) error {
+			pt.Rounds += float64(snap.Rounds)
+			pt.RandBits += float64(snap.RandomBits)
+			pt.CommBits += float64(snap.CommBits)
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		k := float64(seeds)
 		pt.Rounds /= k

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestThm1DetailedWorkerIndependent pins the parallel-runner contract at
+// the experiments layer: the detailed sweep is byte-identical (as JSON)
+// whether trials run serially or on an 8-wide pool.
+func TestThm1DetailedWorkerIndependent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow; run without -short")
+	}
+	run := func(workers int) string {
+		cells, err := Thm1Detailed([]int{64}, 2, 5, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(cells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if a, b := run(1), run(8); a != b {
+		t.Fatalf("worker count changed the sweep:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", a, b)
+	}
+}
+
+// TestThm3SweepWorkerIndependent does the same for the per-seed averaged
+// Theorem 3 sweep, whose snapshots are summed in seed order at commit.
+func TestThm3SweepWorkerIndependent(t *testing.T) {
+	run := func(workers int) string {
+		pts, err := Thm3Sweep(16, 0, []int{1, 4}, 4, 9, false, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if a, b := run(1), run(8); a != b {
+		t.Fatalf("worker count changed the sweep:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", a, b)
+	}
+}

@@ -62,11 +62,30 @@ func (c *Counters) AddMessage(bits int64) {
 	c.commBits.Add(bits)
 }
 
+// AddMessages records a whole batch of sent messages totalling the given
+// number of bits — one atomic update pair per communication phase instead of
+// one per message, which is what keeps the engine's hot path off these two
+// cache lines.
+func (c *Counters) AddMessages(count, bits int64) {
+	c.messages.Add(count)
+	c.commBits.Add(bits)
+}
+
 // AddRandom records one random-source access that drew the given number of
 // bits.
 func (c *Counters) AddRandom(bits int64) {
 	c.randomCalls.Add(1)
 	c.randomBits.Add(bits)
+}
+
+// SetRandom overwrites the randomness counters with externally aggregated
+// totals. The engine shards randomness accounting per rng.Source (each
+// process meters its own draws without touching shared state) and folds the
+// per-source sums in here at barrier and snapshot points; see
+// docs/PERFORMANCE.md for the reconciliation argument.
+func (c *Counters) SetRandom(calls, bits int64) {
+	c.randomCalls.Store(calls)
+	c.randomBits.Store(bits)
 }
 
 // AddCrash records one process failure converted into an in-model fault.

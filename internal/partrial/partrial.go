@@ -1,0 +1,120 @@
+// Package partrial runs independent, seed-indexed trials on a bounded
+// worker pool while keeping every observable output identical to a serial
+// run. The contract has three legs: a trial's inputs are derived from its
+// index alone (never from another trial's output or from scheduling), all
+// results are committed from the caller's goroutine in strict index order,
+// and the worker count influences neither — it changes wall-clock time
+// and nothing else. Experiment sweeps, torture campaigns and the benchmark
+// harness all parallelize through this package, so "workers=1 and
+// workers=N produce byte-identical JSON" is a property of one piece of
+// code rather than of every call site.
+package partrial
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Clamp normalizes a -workers flag value: zero or negative selects
+// GOMAXPROCS, anything else is returned unchanged.
+func Clamp(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// Do runs produce(i) for every i in [0, n) on up to workers goroutines and
+// invokes commit(i, v) from the calling goroutine in strict index order.
+//
+// produce must be self-contained: everything a trial needs is derived from
+// its index (seeds, configs, fresh adversaries), and it must not touch
+// state shared with other trials or with commit. commit may be arbitrarily
+// stateful — it is never called concurrently and always sees trials in
+// input order.
+//
+// On error the smallest failing index wins: Do returns that trial's error,
+// every commit before it has run, and no commit at or after it runs —
+// the same prefix a serial loop would have committed. (Under workers > 1
+// some later produce calls may already have started; they are waited for,
+// and their results discarded.) workers <= 1 runs the plain serial loop.
+func Do[T any](n, workers int, produce func(i int) (T, error), commit func(i int, v T) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Clamp(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			v, err := produce(i)
+			if err != nil {
+				return err
+			}
+			if err := commit(i, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	type slot struct {
+		v   T
+		err error
+	}
+	results := make([]slot, n)
+	ready := make([]chan struct{}, n)
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	var next atomic.Int64 // work-stealing trial feed
+	var stop atomic.Bool  // set on first error; workers drain out
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || stop.Load() {
+					return
+				}
+				v, err := produce(i)
+				results[i] = slot{v: v, err: err}
+				close(ready[i])
+			}
+		}()
+	}
+
+	err := func() error {
+		for i := 0; i < n; i++ {
+			<-ready[i]
+			if e := results[i].err; e != nil {
+				return e
+			}
+			if e := commit(i, results[i].v); e != nil {
+				return e
+			}
+		}
+		return nil
+	}()
+	stop.Store(true)
+	wg.Wait()
+	return err
+}
+
+// Map runs fn over [0, n) on the pool and returns the results indexed by
+// input position. Same contract as Do with a collecting commit.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := Do(n, workers, fn, func(i int, v T) error {
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,144 @@
+package partrial
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCommitOrderAndResults: commits arrive in strict index order and the
+// collected output is independent of the worker count.
+func TestCommitOrderAndResults(t *testing.T) {
+	const n = 200
+	for _, workers := range []int{1, 2, 8, 64, 300} {
+		var order []int
+		err := Do(n, workers, func(i int) (int, error) {
+			return i * i, nil
+		}, func(i, v int) error {
+			if v != i*i {
+				t.Fatalf("workers=%d: trial %d produced %d", workers, i, v)
+			}
+			order = append(order, i)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(order) != n {
+			t.Fatalf("workers=%d: %d commits", workers, len(order))
+		}
+		for i, got := range order {
+			if got != i {
+				t.Fatalf("workers=%d: commit %d was for trial %d", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestMapMatchesSerial(t *testing.T) {
+	fn := func(i int) (string, error) { return fmt.Sprintf("trial-%d", i*7%13), nil }
+	serial, err := Map(100, 1, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Map(100, 8, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("trial %d: %q vs %q", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestSmallestErrorWins: the reported error is the one at the smallest
+// index, and commits stop exactly before it.
+func TestSmallestErrorWins(t *testing.T) {
+	bad := errors.New("trial 7 failed")
+	worse := errors.New("trial 3 failed")
+	for _, workers := range []int{1, 4, 16} {
+		committed := 0
+		err := Do(20, workers, func(i int) (int, error) {
+			switch i {
+			case 7:
+				return 0, bad
+			case 3:
+				return 0, worse
+			}
+			return i, nil
+		}, func(i, v int) error {
+			if i >= 3 {
+				t.Fatalf("workers=%d: committed trial %d past the first error", workers, i)
+			}
+			committed++
+			return nil
+		})
+		if !errors.Is(err, worse) {
+			t.Fatalf("workers=%d: got %v, want the smallest-index error", workers, err)
+		}
+		if committed != 3 {
+			t.Fatalf("workers=%d: %d commits before the error, want 3", workers, committed)
+		}
+	}
+}
+
+func TestCommitErrorStops(t *testing.T) {
+	stopAt := errors.New("commit refused")
+	err := Do(50, 8, func(i int) (int, error) { return i, nil }, func(i, v int) error {
+		if i == 5 {
+			return stopAt
+		}
+		if i > 5 {
+			t.Fatalf("committed %d after a commit error", i)
+		}
+		return nil
+	})
+	if !errors.Is(err, stopAt) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// TestWorkersActuallyOverlap proves the pool runs trials concurrently
+// (otherwise the parallel runner silently degrades to serial): with enough
+// workers, some trial must observe another one in flight.
+func TestWorkersActuallyOverlap(t *testing.T) {
+	const n = 64
+	var inFlight, overlapped atomic.Int64
+	gate := make(chan struct{})
+	_, err := Map(n, 8, func(i int) (int, error) {
+		if inFlight.Add(1) > 1 {
+			overlapped.Store(1)
+			select {
+			case <-gate:
+			default:
+				close(gate)
+			}
+		}
+		<-gate // all trials park until two are in flight at once
+		inFlight.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overlapped.Load() == 0 {
+		t.Fatal("no two trials ever ran concurrently")
+	}
+}
+
+func TestZeroTrials(t *testing.T) {
+	if err := Do(0, 8, func(int) (int, error) { return 0, nil }, func(int, int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(0) < 1 || Clamp(-3) < 1 {
+		t.Fatal("Clamp must select a positive default")
+	}
+	if Clamp(5) != 5 {
+		t.Fatal("explicit worker counts pass through")
+	}
+}

@@ -4,7 +4,11 @@
 // and independent distributed random bits."
 //
 // Every draw is metered: the number of calls (the R of Theorem 2) and the
-// number of bits are recorded in a metrics.Counters. Sources are
+// number of bits are recorded locally in the Source itself. Accounting is
+// deliberately sharded per source — a draw touches only the owning
+// process's two plain int64 fields, never a shared atomic — and harnesses
+// fold the per-source totals into a metrics.Counters at quiescent points
+// (engine barriers, final snapshots) via SyncTotals. Sources are
 // deterministic given their seed, which makes whole executions replayable.
 package rng
 
@@ -15,25 +19,26 @@ import (
 )
 
 // Source is a per-process random source. It is not safe for concurrent use;
-// each simulated process owns exactly one Source.
+// each simulated process owns exactly one Source. Calls and BitsDrawn may be
+// read from another goroutine only when the owner is quiescent (the engine
+// reads them at barriers, where every process is blocked or done).
 type Source struct {
-	rnd      *rand.Rand
-	counters *metrics.Counters
-	// local mirrors of the global counters, so the adversary's
-	// full-information view can see how much randomness an individual
-	// process has consumed.
+	rnd *rand.Rand
+	// calls and bits meter this source's consumption: the number of
+	// random-source accesses (the R of Theorem 2) and the number of bits
+	// drawn. They are the authoritative accounting; shared counters are
+	// derived from them by SyncTotals.
 	calls int64
 	bits  int64
 }
 
 // New returns a Source seeded deterministically from (seed, stream).
 // Distinct streams (e.g. process IDs) yield independent-looking sequences.
-func New(seed, stream uint64, counters *metrics.Counters) *Source {
+func New(seed, stream uint64) *Source {
 	// splitmix-style avalanche so that nearby (seed, stream) pairs do not
 	// produce correlated PCG states.
 	return &Source{
-		rnd:      rand.New(rand.NewPCG(mix(seed, 0x9e3779b97f4a7c15^stream), mix(stream, seed))),
-		counters: counters,
+		rnd: rand.New(rand.NewPCG(mix(seed, 0x9e3779b97f4a7c15^stream), mix(stream, seed))),
 	}
 }
 
@@ -103,9 +108,24 @@ func (s *Source) BitsDrawn() int64 { return s.bits }
 func (s *Source) account(bits int64) {
 	s.calls++
 	s.bits += bits
-	if s.counters != nil {
-		s.counters.AddRandom(bits)
+}
+
+// SyncTotals folds the per-source randomness totals into c. Callers invoke
+// it at points where every source is quiescent — the engine barrier, a
+// transport node's post-run snapshot — so that c's randomness counters are
+// exact there. Between sync points the shared counters lag the per-source
+// truth; trace.Verify and metrics.Series.Reconcile prove the sums still
+// match exactly at every emission point.
+func SyncTotals(c *metrics.Counters, sources ...*Source) {
+	var calls, bits int64
+	for _, s := range sources {
+		if s == nil {
+			continue
+		}
+		calls += s.calls
+		bits += s.bits
 	}
+	c.SetRandom(calls, bits)
 }
 
 // bitsFor returns ceil(log2(n)) for n >= 2.

@@ -8,16 +8,16 @@ import (
 )
 
 func TestDeterminismPerSeedAndStream(t *testing.T) {
-	a := New(7, 3, nil)
-	b := New(7, 3, nil)
+	a := New(7, 3)
+	b := New(7, 3)
 	for i := 0; i < 100; i++ {
 		if a.Bit() != b.Bit() {
 			t.Fatal("same (seed, stream) must produce identical bits")
 		}
 	}
-	c := New(7, 4, nil)
+	c := New(7, 4)
 	same := true
-	d := New(7, 3, nil)
+	d := New(7, 3)
 	for i := 0; i < 64; i++ {
 		if c.Bit() != d.Bit() {
 			same = false
@@ -29,11 +29,25 @@ func TestDeterminismPerSeedAndStream(t *testing.T) {
 }
 
 func TestAccounting(t *testing.T) {
-	var c metrics.Counters
-	s := New(1, 1, &c)
+	s := New(1, 1)
 	s.Bit()
 	s.Bits(10)
 	s.IntN(100) // 7 bits
+	if s.Calls() != 3 || s.BitsDrawn() != 18 {
+		t.Fatalf("per-source totals: calls=%d bits=%d, want 3/18", s.Calls(), s.BitsDrawn())
+	}
+}
+
+// TestSyncTotals pins the sharded-accounting contract: folding per-source
+// totals into a shared Counters at a quiescent point reproduces exactly the
+// sums the old per-draw accounting maintained.
+func TestSyncTotals(t *testing.T) {
+	var c metrics.Counters
+	a, b := New(1, 1), New(1, 2)
+	a.Bit()
+	a.Bits(10)
+	b.IntN(100) // 7 bits
+	SyncTotals(&c, a, b, nil)
 	snap := c.Snapshot()
 	if snap.RandomCalls != 3 {
 		t.Fatalf("calls = %d, want 3", snap.RandomCalls)
@@ -41,13 +55,16 @@ func TestAccounting(t *testing.T) {
 	if snap.RandomBits != 1+10+7 {
 		t.Fatalf("bits = %d, want 18", snap.RandomBits)
 	}
-	if s.Calls() != 3 || s.BitsDrawn() != 18 {
-		t.Fatalf("local mirrors: calls=%d bits=%d", s.Calls(), s.BitsDrawn())
+	// Syncing again must overwrite, not double-count.
+	b.Bit()
+	SyncTotals(&c, a, b)
+	if snap = c.Snapshot(); snap.RandomCalls != 4 || snap.RandomBits != 19 {
+		t.Fatalf("re-sync: calls=%d bits=%d, want 4/19", snap.RandomCalls, snap.RandomBits)
 	}
 }
 
 func TestBitsLength(t *testing.T) {
-	s := New(2, 2, nil)
+	s := New(2, 2)
 	if got := s.Bits(17); len(got) != 17 {
 		t.Fatalf("len = %d", len(got))
 	}
@@ -62,7 +79,7 @@ func TestBitsLength(t *testing.T) {
 }
 
 func TestIntNRange(t *testing.T) {
-	s := New(3, 3, nil)
+	s := New(3, 3)
 	for i := 0; i < 1000; i++ {
 		v := s.IntN(17)
 		if v < 0 || v >= 17 {
@@ -75,7 +92,7 @@ func TestIntNRange(t *testing.T) {
 }
 
 func TestPermIsPermutation(t *testing.T) {
-	s := New(4, 4, nil)
+	s := New(4, 4)
 	p := s.Perm(20)
 	seen := make([]bool, 20)
 	for _, v := range p {
@@ -90,7 +107,7 @@ func TestPermIsPermutation(t *testing.T) {
 }
 
 func TestBitUniformity(t *testing.T) {
-	s := New(5, 5, nil)
+	s := New(5, 5)
 	const trials = 20000
 	ones := 0
 	for i := 0; i < trials; i++ {

@@ -9,6 +9,13 @@ package sim
 //
 // The adversary must treat the View as read-only; the engine retains
 // ownership of all slices.
+//
+// ALIASING CONTRACT: the View and every slice it carries (including Outbox)
+// are engine-owned buffers reused across rounds. They are valid only for
+// the duration of the Adversary.Step call that receives them; an adversary
+// that wants to remember anything across rounds must copy the values out
+// (see adversary.CoinHider for the canonical example). Retaining a View
+// slice yields data from a later round, not a snapshot of this one.
 type View struct {
 	// Round is the 1-based round about to complete its communication
 	// phase.

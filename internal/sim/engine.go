@@ -3,7 +3,6 @@ package sim
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 
 	"omicon/internal/metrics"
@@ -84,6 +83,32 @@ type Engine struct {
 	legality  *Legality
 	obs       *observer // nil when untraced
 	lastRound int
+
+	// fast short-circuits the communication phase when the adversary is
+	// NoFaults and the run is untraced: no canonical sort, no View, no
+	// legality bookkeeping — straight to delivery.
+	fast bool
+
+	// Hot-path buffers, reused across rounds (see docs/PERFORMANCE.md).
+	// outbox, droppedBuf and the View backing slices are engine-owned and
+	// overwritten every round; only the adversary observes them, and only
+	// during Step (the View aliasing contract in adversary.go). The inbox
+	// backing array is the one per-round allocation that must stay fresh:
+	// protocols may retain delivered slices indefinitely.
+	outbox     []Message
+	orderer    Orderer[Message]
+	droppedBuf []bool
+	inCounts   []int
+	inStarts   []int
+	view       View // backing slices allocated lazily on first makeView
+}
+
+// syncRandom folds the per-source randomness totals into the shared
+// counters. Sound only at barriers (and after the final wg.Wait), where
+// every process is blocked in exchange or has sent its done event — the
+// same happens-before edge makeView relies on to read the sources.
+func (e *Engine) syncRandom() {
+	rng.SyncTotals(e.counters, e.sources...)
 }
 
 // Run executes proto under cfg and returns the outcome. The returned error
@@ -116,6 +141,11 @@ func Run(cfg Config, proto Protocol) (*Result, error) {
 		quit:      make(chan struct{}),
 		snapshots: make([]any, cfg.N),
 		legality:  NewLegality(cfg.N, cfg.T),
+		inCounts:  make([]int, cfg.N),
+		inStarts:  make([]int, cfg.N),
+	}
+	if _, benign := cfg.Adversary.(NoFaults); benign && !cfg.Trace.Enabled() {
+		e.fast = true
 	}
 	res := &Result{
 		Adversary:    cfg.Adversary.Name(),
@@ -126,7 +156,7 @@ func Run(cfg Config, proto Protocol) (*Result, error) {
 	for p := 0; p < cfg.N; p++ {
 		res.Decisions[p] = -1
 		res.TerminatedAt[p] = -1
-		e.sources[p] = rng.New(cfg.Seed, uint64(p), e.counters)
+		e.sources[p] = rng.New(cfg.Seed, uint64(p))
 		e.deliver[p] = make(chan []Message, 1)
 	}
 	if cfg.Trace.Enabled() {
@@ -145,6 +175,7 @@ func Run(cfg Config, proto Protocol) (*Result, error) {
 		close(e.quit) // unwind blocked protocol goroutines
 	}
 	wg.Wait()
+	e.syncRandom() // all processes have quiesced; fold in sharded totals
 	res.Corrupted = e.legality.Mask()
 	res.Metrics = e.counters.Snapshot()
 	if e.obs != nil {
@@ -232,10 +263,13 @@ func (e *Engine) loop(res *Result) error {
 }
 
 // communicate runs one communication phase: account sent bits, consult the
-// adversary, enforce legality, deliver survivors.
+// adversary, enforce legality, deliver survivors. Apart from the inbox
+// backing array (which delivered slices alias, so protocols may retain it)
+// everything here runs on reused engine-owned buffers.
 func (e *Engine) communicate(res *Result, round int, submitted []bool, outs [][]Message) error {
 	n := e.cfg.N
-	var outbox []Message
+	outbox := e.outbox[:0]
+	var sentBits int64
 	for p := 0; p < n; p++ {
 		for _, m := range outs[p] {
 			if m.From != p {
@@ -245,65 +279,126 @@ func (e *Engine) communicate(res *Result, round int, submitted []bool, outs [][]
 				return fmt.Errorf("sim: process %d sent to invalid target %d", p, m.To)
 			}
 			outbox = append(outbox, m)
+			sentBits += m.Bits()
 		}
 	}
-	sort.SliceStable(outbox, func(i, j int) bool {
-		if outbox[i].From != outbox[j].From {
-			return outbox[i].From < outbox[j].From
-		}
-		return outbox[i].To < outbox[j].To
-	})
-	for _, m := range outbox {
-		e.counters.AddMessage(m.Bits())
+	e.outbox = outbox // keep the grown capacity for the next round
+	e.counters.AddMessages(int64(len(outbox)), sentBits)
+
+	if e.fast {
+		// NoFaults, untraced: nothing observes the canonical order, no
+		// message can be dropped, and no View is ever read. The outbox is
+		// already grouped by sender in ascending order, so each receiver's
+		// inbox comes out From-sorted with ties in send order — exactly
+		// the order the canonical path delivers.
+		e.deliverAll(submitted, outbox, nil)
+		return nil
 	}
+
+	e.orderer.Sort(outbox, n)
 
 	view := e.makeView(res, round, outbox)
 	action := e.cfg.Adversary.Step(view)
 
-	dropped, err := e.legality.Check(round, outbox, action)
+	if cap(e.droppedBuf) < len(outbox) {
+		e.droppedBuf = make([]bool, len(outbox))
+	}
+	dropped := e.droppedBuf[:len(outbox)]
+	ndrop, err := e.legality.CheckInto(round, outbox, action, dropped)
 	if err != nil {
 		return err
 	}
 	if e.obs != nil {
+		e.syncRandom() // barrier: make the shared counters exact for the snapshot
 		e.obs.corruptions(round, action.Corrupt)
-		e.obs.roundEnd(round, outbox, dropped, submitted)
+		e.obs.roundEnd(round, outbox, int64(ndrop), submitted)
 	}
+	if ndrop == 0 {
+		dropped = nil
+	}
+	e.deliverAll(submitted, outbox, dropped)
+	return nil
+}
 
-	inboxes := make([][]Message, n)
+// deliverAll partitions the surviving outbox into per-receiver inboxes and
+// delivers them. The backing array is freshly allocated each round because
+// protocols may retain their inbox slices; everything else (the count and
+// start offset passes) runs on reused buffers. With outbox in canonical
+// (From, To) order — or sender-grouped ascending on the fast path — each
+// receiver's subsequence is already sorted by From, so no per-receiver sort
+// is needed. Each inbox is capacity-clamped so a protocol appending to it
+// cannot clobber a neighbour's messages.
+func (e *Engine) deliverAll(submitted []bool, outbox []Message, dropped []bool) {
+	n := e.cfg.N
+	counts := e.inCounts
+	for p := 0; p < n; p++ {
+		counts[p] = 0
+	}
+	total := 0
 	for idx, m := range outbox {
-		if dropped[idx] {
+		if dropped != nil && dropped[idx] {
 			continue
 		}
 		if submitted[m.To] { // terminated receivers discard silently
-			inboxes[m.To] = append(inboxes[m.To], m)
+			counts[m.To]++
+			total++
+		}
+	}
+	var backing []Message
+	if total > 0 {
+		backing = make([]Message, total)
+		starts := e.inStarts
+		off := 0
+		for p := 0; p < n; p++ {
+			starts[p] = off
+			off += counts[p]
+			counts[p] = starts[p] // reuse counts as the fill cursor
+		}
+		for idx, m := range outbox {
+			if dropped != nil && dropped[idx] {
+				continue
+			}
+			if submitted[m.To] {
+				backing[counts[m.To]] = m
+				counts[m.To]++
+			}
 		}
 	}
 	for p := 0; p < n; p++ {
 		if !submitted[p] {
 			continue
 		}
-		in := inboxes[p]
-		sort.SliceStable(in, func(i, j int) bool { return in[i].From < in[j].From })
+		var in []Message
+		if total > 0 && counts[p] > e.inStarts[p] {
+			in = backing[e.inStarts[p]:counts[p]:counts[p]]
+		}
 		e.deliver[p] <- in
 	}
-	return nil
 }
 
+// makeView refreshes the engine's reused View for this round's Step call.
+// The backing slices are allocated once, on the first traced or adversarial
+// round (the NoFaults fast path never gets here), and overwritten each
+// round — the aliasing contract documented on View.
 func (e *Engine) makeView(res *Result, round int, outbox []Message) *View {
 	n := e.cfg.N
-	v := &View{
-		Round:       round,
-		N:           n,
-		T:           e.cfg.T,
-		Inputs:      res.Inputs,
-		Corrupted:   e.legality.Mask(),
-		Terminated:  make([]bool, n),
-		Decisions:   append([]int(nil), res.Decisions...),
-		Snapshots:   append([]any(nil), e.snapshots...),
-		RandomCalls: make([]int64, n),
-		RandomBits:  make([]int64, n),
-		Outbox:      outbox,
+	v := &e.view
+	if v.Terminated == nil {
+		v.N = n
+		v.T = e.cfg.T
+		v.Inputs = res.Inputs
+		v.Corrupted = make([]bool, n)
+		v.Terminated = make([]bool, n)
+		v.Decisions = make([]int, n)
+		v.Snapshots = make([]any, n)
+		v.RandomCalls = make([]int64, n)
+		v.RandomBits = make([]int64, n)
 	}
+	v.Round = round
+	v.Outbox = outbox
+	copy(v.Corrupted, e.legality.corrupted)
+	copy(v.Decisions, res.Decisions)
+	copy(v.Snapshots, e.snapshots)
 	for p := 0; p < n; p++ {
 		v.Terminated[p] = res.TerminatedAt[p] >= 0
 		v.RandomCalls[p] = e.sources[p].Calls()

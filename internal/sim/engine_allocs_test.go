@@ -1,0 +1,43 @@
+//go:build !race
+
+package sim
+
+import "testing"
+
+// TestEngineRoundAllocationBudget gates the hot-path allocation work: with
+// processes resending a pre-built outbox, the engine's own per-round cost
+// is one inbox backing slice plus amortized setup. The budget of 8 per
+// round is several times the steady state (~1) but far below what any
+// reintroduced per-round View/sort/map allocation would cost (tens per
+// round at n=64). Excluded under -race: the detector's instrumentation
+// allocates on its own behalf.
+func TestEngineRoundAllocationBudget(t *testing.T) {
+	const n, rounds = 64, 300
+	for _, tc := range []struct {
+		name string
+		adv  Adversary
+	}{{"fast", nil}, {"full", passThrough{}}} {
+		proto := func(env Env, input int) (int, error) {
+			targets := make([]int, 0, n-1)
+			for i := 0; i < n; i++ {
+				if i != env.ID() {
+					targets = append(targets, i)
+				}
+			}
+			out := Broadcast(env.ID(), bitPayload{1}, targets)
+			for r := 0; r < rounds; r++ {
+				env.Exchange(out)
+			}
+			return 0, nil
+		}
+		allocs := testing.AllocsPerRun(3, func() {
+			if _, err := Run(Config{N: n, T: 0, Inputs: make([]int, n), Seed: 1, MaxRounds: rounds + 8, Adversary: tc.adv}, proto); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if perRound := allocs / rounds; perRound > 8 {
+			t.Errorf("%s path: %.1f allocs per round (%.0f per run), budget is 8",
+				tc.name, perRound, allocs)
+		}
+	}
+}

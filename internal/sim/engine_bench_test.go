@@ -2,33 +2,93 @@ package sim
 
 import "testing"
 
+// benchRounds drives one Run of `rounds` all-to-all rounds under the given
+// adversary (nil selects the NoFaults fast path). Each process rebuilds its
+// broadcast every round, the shape real protocols have.
+func benchRounds(b *testing.B, n, rounds int, adv Adversary) *Result {
+	b.Helper()
+	res, err := Run(Config{N: n, T: 0, Inputs: make([]int, n), Seed: 1, MaxRounds: rounds + 8, Adversary: adv},
+		func(env Env, input int) (int, error) {
+			targets := make([]int, 0, n-1)
+			for i := 0; i < n; i++ {
+				if i != env.ID() {
+					targets = append(targets, i)
+				}
+			}
+			payload := bitPayload{1}
+			for r := 0; r < rounds; r++ {
+				env.Exchange(Broadcast(env.ID(), payload, targets))
+			}
+			return 0, nil
+		})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
 // BenchmarkEngineRoundThroughput measures the simulator's cost per
 // communication phase with all-to-all traffic — the figure that bounds how
-// large an n the experiment suite can afford.
+// large an n the experiment suite can afford. With no adversary configured
+// this exercises the NoFaults fast path.
 func BenchmarkEngineRoundThroughput(b *testing.B) {
 	for _, n := range []int{16, 64, 256} {
 		n := n
 		b.Run(byN(n), func(b *testing.B) {
-			rounds := b.N
-			res, err := Run(Config{N: n, T: 0, Inputs: make([]int, n), Seed: 1, MaxRounds: rounds + 8},
-				func(env Env, input int) (int, error) {
-					targets := make([]int, 0, n-1)
-					for i := 0; i < n; i++ {
-						if i != env.ID() {
-							targets = append(targets, i)
-						}
-					}
-					payload := bitPayload{1}
-					for r := 0; r < rounds; r++ {
-						env.Exchange(Broadcast(env.ID(), payload, targets))
-					}
-					return 0, nil
-				})
-			if err != nil {
-				b.Fatal(err)
-			}
+			b.ReportAllocs()
+			res := benchRounds(b, n, b.N, nil)
 			b.ReportMetric(float64(res.Metrics.Messages)/float64(b.N), "messages/round")
 		})
+	}
+}
+
+// BenchmarkEngineRoundAdversarial is the same workload forced down the full
+// adversarial path (canonical sort, View construction, legality checking)
+// by a do-nothing adversary that is not the NoFaults type.
+func BenchmarkEngineRoundAdversarial(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		n := n
+		b.Run(byN(n), func(b *testing.B) {
+			b.ReportAllocs()
+			res := benchRounds(b, n, b.N, passThrough{})
+			b.ReportMetric(float64(res.Metrics.Messages)/float64(b.N), "messages/round")
+		})
+	}
+}
+
+// BenchmarkEngineRoundOverhead isolates the engine's own per-round cost:
+// every process builds its outbox once and resends the same slice, so the
+// allocations reported here are pure harness overhead, not protocol work.
+func BenchmarkEngineRoundOverhead(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		n := n
+		for _, tc := range []struct {
+			name string
+			adv  Adversary
+		}{{"fast", nil}, {"full", passThrough{}}} {
+			tc := tc
+			b.Run(byN(n)+"/"+tc.name, func(b *testing.B) {
+				b.ReportAllocs()
+				rounds := b.N
+				_, err := Run(Config{N: n, T: 0, Inputs: make([]int, n), Seed: 1, MaxRounds: rounds + 8, Adversary: tc.adv},
+					func(env Env, input int) (int, error) {
+						targets := make([]int, 0, n-1)
+						for i := 0; i < n; i++ {
+							if i != env.ID() {
+								targets = append(targets, i)
+							}
+						}
+						out := Broadcast(env.ID(), bitPayload{1}, targets)
+						for r := 0; r < rounds; r++ {
+							env.Exchange(out)
+						}
+						return 0, nil
+					})
+				if err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
 	}
 }
 

@@ -55,13 +55,32 @@ func (l *Legality) Mask() []bool { return append([]bool(nil), l.corrupted...) }
 // in-range corruptions are recorded even when a later check fails, matching
 // the engine's abort semantics.
 func (l *Legality) Check(round int, outbox []Message, act Action) (map[int]bool, error) {
+	dropped := make([]bool, len(outbox))
+	n, err := l.CheckInto(round, outbox, act, dropped)
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[int]bool, n)
+	for idx, d := range dropped {
+		if d {
+			set[idx] = true
+		}
+	}
+	return set, nil
+}
+
+// CheckInto is Check with caller-owned drop storage, for the engine's
+// per-round hot path: dropped must have exactly len(outbox) entries and is
+// reset and filled here, avoiding a map allocation per round. It returns
+// the number of dropped messages. Semantics are identical to Check.
+func (l *Legality) CheckInto(round int, outbox []Message, act Action, dropped []bool) (int, error) {
 	for _, p := range act.Corrupt {
 		if p < 0 || p >= l.n {
-			return nil, fmt.Errorf("sim: adversary corrupted invalid process %d", p)
+			return 0, fmt.Errorf("sim: adversary corrupted invalid process %d", p)
 		}
 		if l.corrupted[p] {
 			if l.strict {
-				return nil, fmt.Errorf("sim: adversary re-corrupted process %d in round %d", p, round)
+				return 0, fmt.Errorf("sim: adversary re-corrupted process %d in round %d", p, round)
 			}
 			continue
 		}
@@ -69,25 +88,29 @@ func (l *Legality) Check(round int, outbox []Message, act Action) (map[int]bool,
 		l.numCorr++
 	}
 	if l.numCorr > l.t {
-		return nil, fmt.Errorf("%w: %d > t=%d in round %d", ErrBudget, l.numCorr, l.t, round)
+		return 0, fmt.Errorf("%w: %d > t=%d in round %d", ErrBudget, l.numCorr, l.t, round)
 	}
 
-	dropped := make(map[int]bool, len(act.Drop))
+	for i := range dropped {
+		dropped[i] = false
+	}
+	ndrop := 0
 	for _, idx := range act.Drop {
 		if idx < 0 || idx >= len(outbox) {
-			return nil, fmt.Errorf("sim: adversary dropped invalid outbox index %d", idx)
+			return 0, fmt.Errorf("sim: adversary dropped invalid outbox index %d", idx)
 		}
 		if dropped[idx] {
 			if l.strict {
-				return nil, fmt.Errorf("sim: adversary dropped outbox index %d twice in round %d", idx, round)
+				return 0, fmt.Errorf("sim: adversary dropped outbox index %d twice in round %d", idx, round)
 			}
 			continue
 		}
 		m := outbox[idx]
 		if !l.corrupted[m.From] && !l.corrupted[m.To] {
-			return nil, fmt.Errorf("%w: %s in round %d", ErrIllegalOmission, m, round)
+			return 0, fmt.Errorf("%w: %s in round %d", ErrIllegalOmission, m, round)
 		}
 		dropped[idx] = true
+		ndrop++
 	}
-	return dropped, nil
+	return ndrop, nil
 }

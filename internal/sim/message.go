@@ -31,6 +31,9 @@ type Message struct {
 // Bits returns the wire size of the message in bits.
 func (m Message) Bits() int64 { return m.bits }
 
+// Endpoints implements Addressed for canonical outbox ordering.
+func (m Message) Endpoints() (from, to int) { return m.From, m.To }
+
 // Msg constructs a message; the bit cost is fixed immediately.
 func Msg(from, to int, payload wire.Marshaler) Message {
 	return Message{From: from, To: to, Payload: payload, bits: wire.BitLen(payload)}

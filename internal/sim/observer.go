@@ -17,9 +17,15 @@ import (
 // still-active process is blocked in exchange and every terminated process
 // has sent its done event — the same channel-derived happens-before edge
 // that already lets makeView read the per-process rng counters and the
-// snapshots slice without locks. Emissions themselves may be concurrent
-// (span open/close fire from protocol goroutines); sinks are concurrency-
-// safe by contract.
+// snapshots slice without locks.
+//
+// DETERMINISM: events originating from process goroutines (span open/close)
+// or from nondeterministic channel-arrival order (decide) are not emitted
+// inline — they queue in per-process slots and flush at the next barrier in
+// process-id order. Every emission therefore happens on the engine
+// goroutine in an order derived only from (seed, config), which is what
+// makes a trace — and the torture harness's per-failure ring dumps —
+// byte-identical across runs and worker counts.
 type observer struct {
 	tr       *trace.Tracer
 	series   *metrics.Series
@@ -28,6 +34,7 @@ type observer struct {
 
 	spans     []string // current span per process, SpanNone by default
 	pending   []map[string]metrics.Delta
+	queued    [][]trace.Event // per-process events awaiting the barrier flush
 	corrupted []bool
 	ncorrupt  int64
 
@@ -45,6 +52,7 @@ func newObserver(tr *trace.Tracer, counters *metrics.Counters, sources []*rng.So
 		sources:   sources,
 		spans:     make([]string, n),
 		pending:   make([]map[string]metrics.Delta, n),
+		queued:    make([][]trace.Event, n),
 		corrupted: make([]bool, n),
 		lastCalls: make([]int64, n),
 		lastBits:  make([]int64, n),
@@ -79,6 +87,26 @@ func (o *observer) drain(pid int) {
 	m[o.spans[pid]] = d
 }
 
+// queue parks an event in pid's slot until the barrier flush. Each slot is
+// touched only by pid's goroutine mid-round and by the engine at barriers
+// or after pid's done event — the drain/spans happens-before argument.
+func (o *observer) queue(pid int, e trace.Event) {
+	if o.tr.Enabled() {
+		o.queued[pid] = append(o.queued[pid], e)
+	}
+}
+
+// flush emits every queued event in process-id order. Called at barriers
+// and at finish, from the engine goroutine.
+func (o *observer) flush() {
+	for p, evs := range o.queued {
+		for _, e := range evs {
+			o.tr.Emit(e)
+		}
+		o.queued[p] = o.queued[p][:0]
+	}
+}
+
 // openSpan is the Env.Span implementation: it drains randomness accrued
 // under the enclosing span, switches process pid to the named span, and
 // returns the closure that drains and restores on close. Draws are thus
@@ -88,11 +116,11 @@ func (o *observer) openSpan(pid, round int, name string) func() {
 	o.drain(pid)
 	prev := o.spans[pid]
 	o.spans[pid] = name
-	o.tr.Emit(trace.Event{Kind: trace.KindSpanOpen, Round: round, Proc: pid, Span: name})
+	o.queue(pid, trace.Event{Kind: trace.KindSpanOpen, Round: round, Proc: pid, Span: name})
 	return func() {
 		o.drain(pid)
 		o.spans[pid] = prev
-		o.tr.Emit(trace.Event{Kind: trace.KindSpanClose, Round: round, Proc: pid, Span: name})
+		o.queue(pid, trace.Event{Kind: trace.KindSpanClose, Round: round, Proc: pid, Span: name})
 	}
 }
 
@@ -139,8 +167,11 @@ func (o *observer) emitRecord(kind trace.Kind, rec metrics.RoundRecord, drops in
 // roundEnd closes one communication phase at the barrier: it computes the
 // cost delta since the previous barrier, splits it across spans (messages
 // by sender's span, randomness by drawing process's span), and attributes
-// the round itself to the span of the lowest-id still-active process.
-func (o *observer) roundEnd(round int, outbox []Message, dropped map[int]bool, submitted []bool) {
+// the round itself to the span of the lowest-id still-active process. The
+// engine syncs the sharded randomness totals into the shared counters
+// immediately before calling, so the snapshot taken here is exact.
+func (o *observer) roundEnd(round int, outbox []Message, drops int64, submitted []bool) {
+	o.flush()
 	snap := o.counters.Snapshot()
 	spanMap := make(map[string]metrics.Delta)
 	o.spanDeltas(spanMap)
@@ -149,12 +180,6 @@ func (o *observer) roundEnd(round int, outbox []Message, dropped map[int]bool, s
 		d.Messages++
 		d.CommBits += m.Bits()
 		spanMap[o.spans[m.From]] = d
-	}
-	var drops int64
-	for _, b := range dropped {
-		if b {
-			drops++
-		}
 	}
 	owner := trace.SpanNone
 	for p, s := range submitted {
@@ -193,9 +218,11 @@ func (o *observer) corruptions(round int, corrupt []int) {
 	}
 }
 
-// decide emits a decision event for a terminating process.
+// decide records a decision event for a terminating process. Queued rather
+// than emitted: done events reach the engine in channel-arrival order,
+// which goroutine scheduling may permute within a round.
 func (o *observer) decide(round, pid, decision int) {
-	o.tr.Emit(trace.Event{Kind: trace.KindDecide, Round: round, Proc: pid, Value: int64(decision)})
+	o.queue(pid, trace.Event{Kind: trace.KindDecide, Round: round, Proc: pid, Value: int64(decision)})
 }
 
 // finish folds everything accrued after the last barrier — randomness drawn
@@ -205,6 +232,7 @@ func (o *observer) decide(round, pid, decision int) {
 // each process's final span; message residuals (only present on aborted
 // rounds, whose outbox never reached a barrier) fall to SpanNone.
 func (o *observer) finish(round int, final metrics.Snapshot) {
+	o.flush()
 	spanMap := make(map[string]metrics.Delta)
 	o.spanDeltas(spanMap)
 	if dm, db := final.Messages-o.lastSnap.Messages, final.CommBits-o.lastSnap.CommBits; dm != 0 || db != 0 {

@@ -1,0 +1,77 @@
+package sim
+
+// Addressed is implemented by message-like values carried from one process
+// to another. It is the key contract for CanonicalSort: both the in-memory
+// engine ([]Message) and the TCP coordinator (its internal frame batches)
+// order their per-round outboxes through the same helper, so the canonical
+// order — which Drop indices, transcripts and replay all depend on — cannot
+// drift between the two paths.
+type Addressed interface {
+	// Endpoints returns the sender and receiver process ids.
+	Endpoints() (from, to int)
+}
+
+// Orderer sorts batches of addressed messages into the canonical
+// (From, To) order using a two-pass stable counting sort: O(m + n) and
+// allocation-free once its scratch buffers are warm, versus the
+// reflect-driven sort.SliceStable closures it replaced on the engine's
+// hot path. The zero value is ready to use. An Orderer may be reused
+// across rounds but not concurrently.
+type Orderer[T Addressed] struct {
+	counts  []int
+	scratch []T
+}
+
+// Sort reorders msgs in place into ascending (from, to) order, preserving
+// the relative order of messages with equal endpoints — exactly the order
+// sort.SliceStable produced before. All endpoints must lie in [0, n).
+func (o *Orderer[T]) Sort(msgs []T, n int) {
+	if len(msgs) < 2 {
+		return
+	}
+	if cap(o.counts) < n {
+		o.counts = make([]int, n)
+	}
+	if cap(o.scratch) < len(msgs) {
+		o.scratch = make([]T, len(msgs))
+	}
+	counts := o.counts[:n]
+	scratch := o.scratch[:len(msgs)]
+	// LSD radix: a stable counting pass on the minor key (to) followed by
+	// a stable counting pass on the major key (from) yields (from, to)
+	// order with ties in original order.
+	countingPass(msgs, scratch, counts, false)
+	countingPass(scratch, msgs, counts, true)
+}
+
+// countingPass stably distributes src into dst ordered by one endpoint
+// (from when major, to otherwise). counts is caller-provided scratch with
+// one slot per process.
+func countingPass[T Addressed](src, dst []T, counts []int, major bool) {
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, m := range src {
+		f, t := m.Endpoints()
+		if major {
+			counts[f]++
+		} else {
+			counts[t]++
+		}
+	}
+	sum := 0
+	for k := range counts {
+		c := counts[k]
+		counts[k] = sum
+		sum += c
+	}
+	for _, m := range src {
+		f, t := m.Endpoints()
+		k := t
+		if major {
+			k = f
+		}
+		dst[counts[k]] = m
+		counts[k]++
+	}
+}

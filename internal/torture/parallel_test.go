@@ -1,0 +1,149 @@
+package torture
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"omicon/internal/trace"
+)
+
+// campaignArtifacts is every observable output of one torture campaign,
+// with the (run-specific) corpus directory normalized out of path-bearing
+// text so two runs are directly comparable.
+type campaignArtifacts struct {
+	reportJSON string
+	log        string
+	traceLines string
+	corpus     map[string]string // corpus file name -> contents
+	events     []trace.Event
+}
+
+func runParallelCampaign(t *testing.T, workers int) campaignArtifacts {
+	t.Helper()
+	dir := t.TempDir()
+	var logBuf, traceBuf bytes.Buffer
+	sink := trace.NewJSONL(&traceBuf)
+	rep, err := Run(Options{
+		Trials: 24,
+		Seed:   7,
+		// Four cells: floodset x flood-split produces genuine violations
+		// (corpus + shrink paths), sched-fuzz mutates the previous lap's
+		// recorded schedule (cross-lap base chaining), benor is
+		// Monte-Carlo (mcMisses accounting).
+		Protocols:        []string{"floodset", "benor"},
+		Adversaries:      []string{"flood-split", "sched-fuzz"},
+		CorpusDir:        dir,
+		Shrink:           true,
+		ShrinkMaxRuns:    60,
+		DeterminismEvery: 3,
+		Trace:            trace.New(sink),
+		Log:              &logBuf,
+		Workers:          workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations == 0 {
+		t.Fatal("campaign produced no violations; the comparison would not cover corpus/shrink paths")
+	}
+	norm := func(s string) string { return strings.ReplaceAll(s, dir, "$CORPUS") }
+	repJSON, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := make(map[string]string)
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		data, err := os.ReadFile(filepath.Join(dir, de.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		corpus[de.Name()] = string(data)
+	}
+	events, err := trace.ReadAll(bytes.NewReader(traceBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return campaignArtifacts{
+		reportJSON: norm(string(repJSON)),
+		log:        norm(logBuf.String()),
+		traceLines: traceBuf.String(),
+		corpus:     corpus,
+		events:     events,
+	}
+}
+
+// TestParallelCampaignByteIdentical is the parallel runner's contract in
+// one test: a campaign at Workers=8 must produce byte-identical artifacts —
+// report, log, campaign trace stream, corpus files — to the same campaign
+// run fully serially.
+func TestParallelCampaignByteIdentical(t *testing.T) {
+	serial := runParallelCampaign(t, 1)
+	parallel := runParallelCampaign(t, 8)
+
+	if serial.reportJSON != parallel.reportJSON {
+		t.Errorf("reports diverge:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+			serial.reportJSON, parallel.reportJSON)
+	}
+	if serial.log != parallel.log {
+		t.Errorf("logs diverge:\n--- workers=1 ---\n%s--- workers=8 ---\n%s",
+			serial.log, parallel.log)
+	}
+	if serial.traceLines != parallel.traceLines {
+		t.Error("campaign trace streams diverge")
+	}
+	if len(serial.corpus) != len(parallel.corpus) {
+		t.Fatalf("corpus file counts diverge: %d vs %d", len(serial.corpus), len(parallel.corpus))
+	}
+	for name, want := range serial.corpus {
+		got, ok := parallel.corpus[name]
+		if !ok {
+			t.Errorf("parallel run missing corpus file %s", name)
+			continue
+		}
+		if got != want {
+			t.Errorf("corpus file %s differs between worker counts", name)
+		}
+	}
+
+	// The parallel campaign's trace stream must still verify: one
+	// non-interleaved exec segment per trial, exact counter reconciliation.
+	sums, err := trace.Verify(parallel.events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 24 {
+		t.Fatalf("parallel campaign stream has %d segments for 24 trials", len(sums))
+	}
+}
+
+// TestParallelCampaignRaceSmoke keeps a multi-worker campaign under the
+// race detector's eye (run with -race in CI): pool workers share the
+// engine-per-trial machinery but no campaign state.
+func TestParallelCampaignRaceSmoke(t *testing.T) {
+	rep, err := Run(Options{
+		Trials:           20,
+		Seed:             13,
+		DeterminismEvery: 5,
+		Workers:          4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trials != 20 {
+		t.Fatalf("ran %d trials, wanted 20", rep.Trials)
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("default matrix produced %d violations at workers=4", rep.Violations)
+	}
+}

@@ -88,10 +88,10 @@ var protoSpecs = []ProtoSpec{
 		},
 	},
 	{
-		Name:  "phaseking",
+		Name:    "phaseking",
 		Aliases: []string{"phase-king"},
-		Sizes: []int{12, 16},
-		MaxT:  func(n int) int { return (n - 1) / 4 },
+		Sizes:   []int{12, 16},
+		MaxT:    func(n int) int { return (n - 1) / 4 },
 		Build: func(n, t int) (sim.Protocol, int, error) {
 			proto := func(env sim.Env, input int) (int, error) {
 				return phaseking.Consensus(env, input)
@@ -100,10 +100,10 @@ var protoSpecs = []ProtoSpec{
 		},
 	},
 	{
-		Name:  "dolevstrong",
+		Name:    "dolevstrong",
 		Aliases: []string{"dolev-strong"},
-		Sizes: []int{10, 12},
-		MaxT:  func(n int) int { return (n - 1) / 2 },
+		Sizes:   []int{10, 12},
+		MaxT:    func(n int) int { return (n - 1) / 2 },
 		Build: func(n, t int) (sim.Protocol, int, error) {
 			return dolevstrong.Protocol(), dolevstrong.Rounds(t), nil
 		},
@@ -119,10 +119,10 @@ var protoSpecs = []ProtoSpec{
 		},
 	},
 	{
-		Name:  "earlystop",
+		Name:    "earlystop",
 		Aliases: []string{"early-stopping"},
-		Sizes: []int{24, 30},
-		MaxT:  func(n int) int { return (n - 1) / 6 },
+		Sizes:   []int{24, 30},
+		MaxT:    func(n int) int { return (n - 1) / 6 },
 		Build: func(n, t int) (sim.Protocol, int, error) {
 			return earlystop.Protocol(), earlystop.MaxRounds(t), nil
 		},

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"omicon/internal/metrics"
+	"omicon/internal/partrial"
 	"omicon/internal/sim"
 	"omicon/internal/trace"
 )
@@ -59,6 +60,16 @@ type Options struct {
 	Trace *trace.Tracer
 	// Log, when set, receives one line per violation and a final summary.
 	Log io.Writer
+	// Workers sizes the worker pool running primary trials (0 selects
+	// GOMAXPROCS, 1 is fully serial). The campaign is parallelized one
+	// round-robin lap at a time — each (protocol, adversary) cell appears
+	// exactly once per lap, so the schedule bases mutating adversaries
+	// chain across laps are identical to a serial run's — and all
+	// bookkeeping (stats, corpus writes, shrinking, determinism re-runs,
+	// campaign trace emission) happens on the calling goroutine in trial
+	// order. Reports, corpus files and traces are byte-identical at any
+	// worker count.
+	Workers int
 }
 
 // CellStats aggregates one (protocol, adversary) matrix cell.
@@ -265,6 +276,32 @@ func runOnce(spec ProtoSpec, proto sim.Protocol, bound int, adv sim.Adversary, n
 	return trialRun{res: res, err: err, tr: tr}
 }
 
+// trialSpec carries everything trial i needs, fixed before its lap is
+// dispatched to the pool: the trial index alone (plus the schedule bases
+// captured at the previous lap boundary) determines the execution.
+type trialSpec struct {
+	i, lap  int
+	c       cell
+	n, t    int
+	seed    uint64
+	inputs  []int
+	key     string
+	base    sim.Schedule
+	makeAdv func() (sim.Adversary, error)
+}
+
+// trialOut is one primary execution's complete outcome, handed from a pool
+// worker to the serial commit phase.
+type trialOut struct {
+	run     trialRun
+	verdict Verdict
+	proto   sim.Protocol
+	bound   int
+	advName string
+	ring    *trace.Ring    // per-trial flight recorder (corpus runs)
+	capture *trace.Capture // campaign trace buffer, replayed at commit
+}
+
 // Run executes the torture campaign.
 func Run(o Options) (*Report, error) {
 	if o.Trials <= 0 {
@@ -285,67 +322,80 @@ func Run(o Options) (*Report, error) {
 
 	report := &Report{Cells: make(map[string]*CellStats)}
 	// lastSchedule feeds each cell's most recent recorded schedule to
-	// mutating adversaries (sched-fuzz) as their base.
+	// mutating adversaries (sched-fuzz) as their base. Bases are snapshotted
+	// into the trial specs at lap boundaries: every cell appears exactly
+	// once per lap, so a trial's base always comes from a previous lap —
+	// the identical dataflow a serial loop has — and pool workers never
+	// touch the map itself.
 	lastSchedule := make(map[string]sim.Schedule)
 
-	for i := 0; i < o.Trials; i++ {
-		c := cells[i%len(cells)]
-		lap := i / len(cells)
-		n := c.proto.Sizes[lap%len(c.proto.Sizes)]
-		t := capT(c.proto, n)
-		seed := mix(o.Seed, i)
-		inputs := trialInputs(n, lap)
-		key := c.proto.Name + "/" + c.adv.Name
-		stats := report.Cells[key]
+	// produce runs one primary trial; it only reads its spec.
+	produce := func(sp trialSpec) (trialOut, error) {
+		proto, bound, err := sp.c.proto.Build(sp.n, sp.t)
+		if err != nil {
+			return trialOut{}, fmt.Errorf("torture: build %s n=%d t=%d: %w", sp.c.proto.Name, sp.n, sp.t, err)
+		}
+		adv, err := sp.makeAdv()
+		if err != nil {
+			return trialOut{}, err
+		}
+
+		// The primary trial is traced into a per-trial capture buffer
+		// (replayed into the campaign tracer at commit, in trial order)
+		// and, when a corpus directory is set, also into a per-trial
+		// flight recorder so a failure can dump its own event history.
+		// Determinism re-runs and shrink replays run untraced: they would
+		// otherwise emit duplicate segments for executions that are not
+		// campaign trials.
+		out := trialOut{proto: proto, bound: bound, advName: adv.Name()}
+		var sinks []trace.Sink
+		if o.CorpusDir != "" {
+			out.ring = trace.NewRing(ringCap)
+			sinks = append(sinks, out.ring)
+		}
+		if o.Trace.Enabled() {
+			out.capture = &trace.Capture{}
+			sinks = append(sinks, out.capture)
+		}
+		tracer := trace.New(trace.MultiSink(sinks...))
+
+		out.run = runOnce(sp.c.proto, proto, bound, adv, sp.n, sp.t, sp.inputs, sp.seed, tracer)
+		out.verdict = Check(CheckInput{
+			N: sp.n, T: sp.t, RoundBound: bound, Envelope: o.Envelope,
+			MonteCarlo: sp.c.proto.MonteCarlo,
+			Result:     out.run.res, RunErr: out.run.err, Transcript: out.run.tr,
+		})
+		return out, nil
+	}
+
+	// commit folds one trial's outcome into the report — always called in
+	// trial order, from this goroutine.
+	commit := func(sp trialSpec, out trialOut) error {
+		run, verdict := out.run, out.verdict
+		stats := report.Cells[sp.key]
 		if stats == nil {
 			stats = &CellStats{}
-			report.Cells[key] = stats
+			report.Cells[sp.key] = stats
 		}
-
-		proto, bound, err := c.proto.Build(n, t)
-		if err != nil {
-			return nil, fmt.Errorf("torture: build %s n=%d t=%d: %w", c.proto.Name, n, t, err)
+		if out.capture != nil {
+			for _, e := range out.capture.Events() {
+				o.Trace.Emit(e)
+			}
 		}
-		makeAdv := func() (sim.Adversary, error) {
-			return wrapInject(c.adv.Make(lastSchedule[key], n, t, seed), o.Inject, t)
-		}
-		adv, err := makeAdv()
-		if err != nil {
-			return nil, err
-		}
-
-		// The primary trial is traced into the campaign tracer and, when a
-		// corpus directory is set, also into a per-trial flight recorder so
-		// a failure can dump its own event history. Determinism re-runs and
-		// shrink replays below run untraced: they would otherwise emit
-		// duplicate segments for executions that are not campaign trials.
-		var ring *trace.Ring
-		tracer := o.Trace
-		if o.CorpusDir != "" {
-			ring = trace.NewRing(ringCap)
-			tracer = trace.New(trace.MultiSink(ring, o.Trace))
-		}
-
-		run := runOnce(c.proto, proto, bound, adv, n, t, inputs, seed, tracer)
-		verdict := Check(CheckInput{
-			N: n, T: t, RoundBound: bound, Envelope: o.Envelope,
-			MonteCarlo: c.proto.MonteCarlo,
-			Result:     run.res, RunErr: run.err, Transcript: run.tr,
-		})
 
 		// Determinism: a fresh adversary with the same seed must yield a
-		// byte-identical transcript.
-		if o.DeterminismEvery > 0 && i%o.DeterminismEvery == 0 {
+		// byte-identical transcript. Re-runs stay serial by design.
+		if o.DeterminismEvery > 0 && sp.i%o.DeterminismEvery == 0 {
 			report.DeterminismChecks++
-			adv2, err := makeAdv()
+			adv2, err := sp.makeAdv()
 			if err != nil {
-				return nil, err
+				return err
 			}
-			run2 := runOnce(c.proto, proto, bound, adv2, n, t, inputs, seed, nil)
+			run2 := runOnce(sp.c.proto, out.proto, out.bound, adv2, sp.n, sp.t, sp.inputs, sp.seed, nil)
 			b1, b2 := transcriptBytes(run.tr), transcriptBytes(run2.tr)
 			if !bytes.Equal(b1, b2) {
 				verdict.add(KindDeterminism,
-					"same seed %d produced different transcripts (%d vs %d bytes)", seed, len(b1), len(b2))
+					"same seed %d produced different transcripts (%d vs %d bytes)", sp.seed, len(b1), len(b2))
 			}
 		}
 
@@ -353,47 +403,83 @@ func Run(o Options) (*Report, error) {
 		report.Trials++
 		stats.MCMisses += verdict.MonteCarloMisses
 		report.MCMisses += verdict.MonteCarloMisses
-		lastSchedule[key] = run.tr.Schedule()
+		lastSchedule[sp.key] = run.tr.Schedule()
 
 		if !verdict.Failed() {
-			continue
+			return nil
 		}
 		stats.Violations += len(verdict.Violations)
 		report.Violations += len(verdict.Violations)
 		for _, v := range verdict.Violations {
-			logf("FAIL %s n=%d t=%d seed=%d: %s", key, n, t, seed, v)
+			logf("FAIL %s n=%d t=%d seed=%d: %s", sp.key, sp.n, sp.t, sp.seed, v)
 		}
 
 		entry := &Entry{
-			Version: EntryVersion, Protocol: c.proto.Name, Adversary: adv.Name(),
-			N: n, T: t, Seed: seed, Inputs: inputs, RoundBound: bound,
-			MonteCarlo: c.proto.MonteCarlo,
+			Version: EntryVersion, Protocol: sp.c.proto.Name, Adversary: out.advName,
+			N: sp.n, T: sp.t, Seed: sp.seed, Inputs: sp.inputs, RoundBound: out.bound,
+			MonteCarlo: sp.c.proto.MonteCarlo,
 			Violations: verdict.Violations,
 			Schedule:   run.tr.Schedule(),
 			Transcript: run.tr,
 		}
 		if o.Shrink {
 			target := verdict.Violations[0].Kind
-			min, runs := shrinkEntry(c.proto, proto, bound, entry, target, o.ShrinkMaxRuns)
+			min, runs := shrinkEntry(sp.c.proto, out.proto, out.bound, entry, target, o.ShrinkMaxRuns)
 			entry.MinSchedule = &min
 			entry.ShrinkRuns = runs
 			logf("shrunk %s seed=%d: %d -> %d actions in %d replays",
-				key, seed, entry.Schedule.NumActions(), min.NumActions(), runs)
+				sp.key, sp.seed, entry.Schedule.NumActions(), min.NumActions(), runs)
 		}
 		report.Failures = append(report.Failures, entry)
 		if o.CorpusDir != "" {
 			path, err := entry.Write(o.CorpusDir)
 			if err != nil {
-				return nil, fmt.Errorf("torture: persisting corpus entry: %w", err)
+				return fmt.Errorf("torture: persisting corpus entry: %w", err)
 			}
 			report.CorpusPaths = append(report.CorpusPaths, path)
 			logf("corpus: %s", path)
 			tracePath := strings.TrimSuffix(path, ".json") + ".trace.jsonl"
-			if err := trace.WriteFile(tracePath, ring.Events()); err != nil {
-				return nil, fmt.Errorf("torture: persisting trace artifact: %w", err)
+			if err := trace.WriteFile(tracePath, out.ring.Events()); err != nil {
+				return fmt.Errorf("torture: persisting trace artifact: %w", err)
 			}
 			report.TracePaths = append(report.TracePaths, tracePath)
 			logf("trace: %s", tracePath)
+		}
+		return nil
+	}
+
+	// The campaign proceeds one round-robin lap at a time; trials within a
+	// lap are independent (distinct cells) and run on the pool.
+	for start := 0; start < o.Trials; start += len(cells) {
+		count := len(cells)
+		if start+count > o.Trials {
+			count = o.Trials - start
+		}
+		specs := make([]trialSpec, count)
+		for j := 0; j < count; j++ {
+			i := start + j
+			c := cells[i%len(cells)]
+			lap := i / len(cells)
+			n := c.proto.Sizes[lap%len(c.proto.Sizes)]
+			t := capT(c.proto, n)
+			sp := trialSpec{
+				i: i, lap: lap, c: c, n: n, t: t,
+				seed:   mix(o.Seed, i),
+				inputs: trialInputs(n, lap),
+				key:    c.proto.Name + "/" + c.adv.Name,
+			}
+			sp.base = lastSchedule[sp.key]
+			spec := sp // capture per-trial values for the closure
+			sp.makeAdv = func() (sim.Adversary, error) {
+				return wrapInject(spec.c.adv.Make(spec.base, spec.n, spec.t, spec.seed), o.Inject, spec.t)
+			}
+			specs[j] = sp
+		}
+		err := partrial.Do(count, o.Workers,
+			func(j int) (trialOut, error) { return produce(specs[j]) },
+			func(j int, out trialOut) error { return commit(specs[j], out) })
+		if err != nil {
+			return nil, err
 		}
 	}
 	logf("%s", strings.TrimRight(report.Summary(), "\n"))

@@ -120,6 +120,31 @@ func (s *JSONL) Close() error {
 	return ferr
 }
 
+// Capture is an unbounded in-memory sink recording every event in emission
+// order. It is how parallel trial runners keep campaign traces coherent:
+// each trial traces into its own Capture, and the buffers are replayed into
+// the campaign sink in trial order, so the stream keeps one non-interleaved
+// exec segment per trial regardless of how many workers ran them.
+type Capture struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements Sink.
+func (c *Capture) Emit(e Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// Events returns the recorded events in emission order. The slice is the
+// live buffer; read it only after the traced execution has quiesced.
+func (c *Capture) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.events
+}
+
 // Multi fans one event stream out to several sinks.
 type Multi []Sink
 

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"sort"
 	"sync/atomic"
 	"time"
 
@@ -131,6 +130,10 @@ type Coordinator struct {
 	// boundary, so round-end events carry exact wire-cost deltas.
 	lastTraced metrics.Snapshot
 
+	// orderer holds the reusable scratch for canonical outbox ordering,
+	// shared in implementation with the in-memory engine (sim.Orderer).
+	orderer sim.Orderer[outMsg]
+
 	// Live gauges for the debug endpoint, updated at barriers so the HTTP
 	// handler never touches the Serve goroutine's plain slices.
 	liveRound     atomic.Int64
@@ -239,6 +242,10 @@ type outMsg struct {
 	from, to int
 	frame    []byte
 }
+
+// Endpoints implements sim.Addressed so the coordinator's outbox is put
+// into canonical order by the same helper as the in-memory engine's.
+func (m outMsg) Endpoints() (from, to int) { return m.from, m.to }
 
 // Serve accepts n node connections on ln and runs the barrier until every
 // node reports DONE or crashes. It closes all node connections before
@@ -671,12 +678,7 @@ func (c *Coordinator) adopt(hc *helloConn, id int) *nodeConn {
 // adversary on a metadata view, enforce legality, deliver.
 func (c *Coordinator) communicate(conns []*nodeConn, round int, outbox []outMsg) error {
 	c.counters.AddRounds(1)
-	sort.SliceStable(outbox, func(i, j int) bool {
-		if outbox[i].from != outbox[j].from {
-			return outbox[i].from < outbox[j].from
-		}
-		return outbox[i].to < outbox[j].to
-	})
+	c.orderer.Sort(outbox, c.n)
 	view := &sim.View{
 		Round:       round,
 		N:           c.n,
@@ -692,10 +694,12 @@ func (c *Coordinator) communicate(conns []*nodeConn, round int, outbox []outMsg)
 	for id := 0; id < c.n; id++ {
 		view.Terminated[id] = !c.active[id]
 	}
+	var sentBits int64
 	for _, m := range outbox {
 		view.Outbox = append(view.Outbox, sim.Msg(m.from, m.to, rawPayload(m.frame)))
-		c.counters.AddMessage(int64(len(m.frame)) * 8)
+		sentBits += int64(len(m.frame)) * 8
 	}
+	c.counters.AddMessages(int64(len(outbox)), sentBits)
 	action := c.adversary.Step(view)
 	for _, p := range action.Corrupt {
 		if p < 0 || p >= c.n {

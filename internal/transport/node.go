@@ -92,7 +92,7 @@ func DialOpts(addr string, id, n, t int, registry *wire.Registry, seed uint64, o
 		counters: &metrics.Counters{},
 		jitter:   seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15,
 	}
-	node.rand = rng.New(seed, uint64(id), node.counters)
+	node.rand = rng.New(seed, uint64(id))
 
 	// Retries cover the whole registration, dial plus HELLO write: a
 	// connection that dies between the two is indistinguishable from a
@@ -349,8 +349,14 @@ func (nd *Node) RunProtocol(proto sim.Protocol, input int) (decision int, err er
 }
 
 // Metrics returns this node's local cost counters (messages/bits sent,
-// rounds participated, randomness drawn, reconnect attempts).
-func (nd *Node) Metrics() metrics.Snapshot { return nd.counters.Snapshot() }
+// rounds participated, randomness drawn, reconnect attempts). Randomness
+// accounting is sharded in the node's rng.Source; it is folded into the
+// shared counters here. Node is single-goroutine, so the source is always
+// quiescent from the caller's perspective.
+func (nd *Node) Metrics() metrics.Snapshot {
+	rng.SyncTotals(nd.counters, nd.rand)
+	return nd.counters.Snapshot()
+}
 
 // Close tears down the connection.
 func (nd *Node) Close() error { return nd.conn.Close() }
