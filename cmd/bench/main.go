@@ -6,10 +6,10 @@
 // The schema, versioned by the top-level "schema" string, is:
 //
 //	{
-//	  "schema": "omicon/bench-engine/v1",
+//	  "schema": "omicon/bench-engine/v2",
 //	  "gomaxprocs": 8,
-//	  "benchmarks": [           // all-to-all rounds, see internal/sim benchmarks
-//	    {"name": "EngineRoundThroughput/n=64",
+//	  "benchmarks": [           // see internal/sim benchmarks
+//	    {"name": "EngineRoundThroughput/n=64", "mode": "default",
 //	     "nsPerOp": .., "bytesPerOp": .., "allocsPerOp": ..},
 //	    ...
 //	  ],
@@ -18,6 +18,12 @@
 //	    "trialsPerSecSerial": .., "trialsPerSecParallel": .., "speedup": ..
 //	  }
 //	}
+//
+// v2 runs every benchmark in both execution modes ("default" = goroutine
+// per process, "sharded" = the worker-pool engine, see docs/PERFORMANCE.md)
+// and adds the sparse large-n workload EngineRoundSparse (sqrt(n) targets
+// per sender at n = 1024 and 4096 — the regime the sharded engine exists
+// for, where all-to-all rounds would be infeasible to benchmark).
 //
 // ns/op figures are machine-dependent; benchcheck therefore compares with a
 // generous tolerance and CI only fails on multiple-x regressions.
@@ -37,7 +43,7 @@ import (
 	"omicon/internal/wire"
 )
 
-const benchSchema = "omicon/bench-engine/v1"
+const benchSchema = "omicon/bench-engine/v2"
 
 type benchFile struct {
 	Schema     string        `json:"schema"`
@@ -48,9 +54,21 @@ type benchFile struct {
 
 type benchResult struct {
 	Name        string  `json:"name"`
+	Mode        string  `json:"mode"`
 	NsPerOp     float64 `json:"nsPerOp"`
 	BytesPerOp  int64   `json:"bytesPerOp"`
 	AllocsPerOp int64   `json:"allocsPerOp"`
+}
+
+// modes are the two execution paths of the engine; both must produce
+// identical results (the conformance suite pins that), so the baseline
+// tracks only their cost.
+var modes = []struct {
+	label  string
+	shards int
+}{
+	{"default", 0},
+	{"sharded", sim.ShardsAuto},
 }
 
 type parallelBench struct {
@@ -97,18 +115,55 @@ func roundsProto(n, rounds int, rebuild bool) sim.Protocol {
 	}
 }
 
-func runRounds(b *testing.B, n int, adv sim.Adversary, rebuild bool) {
+// sparseProto is the large-n workload: each process sends to sqrt(n)
+// evenly spread targets per round, the message density at which a
+// Theorem-1 execution actually runs (all-to-all at n=4096 would be 16.7M
+// messages per round — a memory benchmark, not an engine one).
+func sparseProto(n, rounds int) sim.Protocol {
+	deg := 1
+	for (deg+1)*(deg+1) <= n {
+		deg++
+	}
+	return func(env sim.Env, input int) (int, error) {
+		targets := make([]int, deg)
+		for j := range targets {
+			targets[j] = (env.ID() + 1 + j*deg) % n
+		}
+		out := sim.Broadcast(env.ID(), bitPayload{1}, targets)
+		for r := 0; r < rounds; r++ {
+			env.Exchange(out)
+		}
+		return 0, nil
+	}
+}
+
+func runProto(b *testing.B, n, shards int, adv sim.Adversary, proto func(rounds int) sim.Protocol) {
 	rounds := b.N
 	_, err := sim.Run(sim.Config{
 		N: n, T: 0, Inputs: make([]int, n), Seed: 1,
 		MaxRounds: rounds + 8, Adversary: adv,
-	}, roundsProto(n, rounds, rebuild))
+		Shards: shards,
+	}, proto(rounds))
 	if err != nil {
 		b.Fatal(err)
 	}
 }
 
-func engineBenchmarks(sizes []int) []benchResult {
+func measure(name, mode string, fn func(b *testing.B)) benchResult {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	return benchResult{
+		Name:        name,
+		Mode:        mode,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+func engineBenchmarks(sizes, sparseSizes []int) []benchResult {
 	type def struct {
 		name    string
 		adv     sim.Adversary
@@ -121,19 +176,24 @@ func engineBenchmarks(sizes []int) []benchResult {
 		{"EngineRoundOverhead/full", passThrough{}, false},
 	}
 	var out []benchResult
-	for _, d := range defs {
-		for _, n := range sizes {
-			d, n := d, n
-			r := testing.Benchmark(func(b *testing.B) {
-				b.ReportAllocs()
-				runRounds(b, n, d.adv, d.rebuild)
-			})
-			out = append(out, benchResult{
-				Name:        fmt.Sprintf("%s/n=%d", d.name, n),
-				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-				BytesPerOp:  r.AllocedBytesPerOp(),
-				AllocsPerOp: r.AllocsPerOp(),
-			})
+	for _, m := range modes {
+		for _, d := range defs {
+			for _, n := range sizes {
+				d, n, m := d, n, m
+				out = append(out, measure(fmt.Sprintf("%s/n=%d", d.name, n), m.label, func(b *testing.B) {
+					runProto(b, n, m.shards, d.adv, func(rounds int) sim.Protocol {
+						return roundsProto(n, rounds, d.rebuild)
+					})
+				}))
+			}
+		}
+		for _, n := range sparseSizes {
+			n, m := n, m
+			out = append(out, measure(fmt.Sprintf("EngineRoundSparse/n=%d", n), m.label, func(b *testing.B) {
+				runProto(b, n, m.shards, nil, func(rounds int) sim.Protocol {
+					return sparseProto(n, rounds)
+				})
+			}))
 		}
 	}
 	return out
@@ -168,11 +228,11 @@ func run() error {
 
 	f := benchFile{Schema: benchSchema, GoMaxProcs: runtime.GOMAXPROCS(0)}
 
-	fmt.Fprintln(os.Stderr, "bench: measuring engine round benchmarks...")
-	f.Benchmarks = engineBenchmarks([]int{16, 64, 256})
+	fmt.Fprintln(os.Stderr, "bench: measuring engine round benchmarks (both execution modes)...")
+	f.Benchmarks = engineBenchmarks([]int{16, 64, 256}, []int{1024, 4096})
 	for _, b := range f.Benchmarks {
-		fmt.Fprintf(os.Stderr, "  %-36s %12.0f ns/op %10d B/op %6d allocs/op\n",
-			b.Name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
+		fmt.Fprintf(os.Stderr, "  %-36s %-8s %12.0f ns/op %10d B/op %6d allocs/op\n",
+			b.Name, b.Mode, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
 	}
 
 	fmt.Fprintf(os.Stderr, "bench: measuring parallel runner (%d trials, n=%d, %d rounds)...\n",

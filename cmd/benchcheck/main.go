@@ -1,6 +1,8 @@
 // Command benchcheck compares a fresh engine benchmark run against the
-// committed baseline (BENCH_engine.json, schema omicon/bench-engine/v1)
-// and fails on regressions.
+// committed baseline (BENCH_engine.json, schema omicon/bench-engine/v2)
+// and fails on regressions. Benchmarks are matched per (name, mode) pair,
+// so a regression confined to one execution mode (default vs sharded) is
+// reported against that mode's own baseline, naming the offending metric.
 //
 // ns/op and allocs/op are compared per benchmark with a multiplicative
 // tolerance (default 2x — CI machines vary widely, only multiple-x
@@ -17,7 +19,7 @@ import (
 	"os"
 )
 
-const benchSchema = "omicon/bench-engine/v1"
+const benchSchema = "omicon/bench-engine/v2"
 
 // allocGrace is the absolute allocs/op slack applied before the ratio
 // check; see the package comment.
@@ -32,9 +34,21 @@ type benchFile struct {
 
 type benchResult struct {
 	Name        string  `json:"name"`
+	Mode        string  `json:"mode"`
 	NsPerOp     float64 `json:"nsPerOp"`
 	BytesPerOp  int64   `json:"bytesPerOp"`
 	AllocsPerOp int64   `json:"allocsPerOp"`
+}
+
+// key identifies a benchmark row: regressions are diffed per execution
+// mode, never across modes. Rows written before the mode split compare as
+// "default".
+func (b benchResult) key() string {
+	mode := b.Mode
+	if mode == "" {
+		mode = "default"
+	}
+	return b.Name + " [" + mode + "]"
 }
 
 type parallelBench struct {
@@ -78,34 +92,34 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	byName := make(map[string]benchResult, len(fresh.Benchmarks))
+	byKey := make(map[string]benchResult, len(fresh.Benchmarks))
 	for _, b := range fresh.Benchmarks {
-		byName[b.Name] = b
+		byKey[b.key()] = b
 	}
 
 	regressions := 0
 	for _, want := range base.Benchmarks {
-		got, ok := byName[want.Name]
+		got, ok := byKey[want.key()]
 		if !ok {
-			fmt.Printf("FAIL %-36s missing from fresh run\n", want.Name)
+			fmt.Printf("FAIL %-48s missing from fresh run\n", want.key())
 			regressions++
 			continue
 		}
 		status := "ok  "
 		var notes []string
 		if want.NsPerOp > 0 && got.NsPerOp > want.NsPerOp**tolerance {
-			notes = append(notes, fmt.Sprintf("ns/op %.0f vs baseline %.0f (>%.1fx)",
+			notes = append(notes, fmt.Sprintf("metric ns/op: %.0f vs baseline %.0f (>%.1fx)",
 				got.NsPerOp, want.NsPerOp, *tolerance))
 		}
 		if limit := float64(want.AllocsPerOp+allocGrace) * *tolerance; float64(got.AllocsPerOp) > limit {
-			notes = append(notes, fmt.Sprintf("allocs/op %d vs baseline %d (limit %.0f)",
+			notes = append(notes, fmt.Sprintf("metric allocs/op: %d vs baseline %d (limit %.0f)",
 				got.AllocsPerOp, want.AllocsPerOp, limit))
 		}
 		if len(notes) > 0 {
 			status = "FAIL"
 			regressions++
 		}
-		fmt.Printf("%s %-36s %12.0f ns/op %6d allocs/op", status, want.Name, got.NsPerOp, got.AllocsPerOp)
+		fmt.Printf("%s %-48s %12.0f ns/op %6d allocs/op", status, want.key(), got.NsPerOp, got.AllocsPerOp)
 		for _, n := range notes {
 			fmt.Printf("  %s", n)
 		}

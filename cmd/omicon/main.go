@@ -46,6 +46,7 @@ func run() error {
 		paper    = flag.Bool("paperscale", false, "use the paper's literal constants")
 		largeT   = flag.Bool("allow-large-t", false, "disable the t < n/30 (n/60) guards")
 		verbose  = flag.Bool("v", false, "print per-process decisions")
+		shards   = flag.Int("shards", 0, "simulator execution mode (0 = goroutine per process, -1 = auto-sized sharded engine, k = k shard workers); results are identical in both modes")
 		advTrace = flag.Bool("advtrace", false, "log per-round counts and adversary activity")
 		record   = flag.String("record", "", "write a JSON execution transcript to this file")
 
@@ -95,6 +96,7 @@ func run() error {
 		RandomnessCap: *cap,
 		PaperScale:    *paper,
 		AllowLargeT:   *largeT,
+		Shards:        *shards,
 	}
 	if *traceFile != "" {
 		f, ferr := os.Create(*traceFile)

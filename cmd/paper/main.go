@@ -36,6 +36,7 @@ func run() error {
 		quick = flag.Bool("quick", false, "smoke scale (minutes -> seconds)")
 		out   = flag.String("out", "", "also write the report to this file")
 	)
+	flag.IntVar(&shardsFlag, "shards", 0, "simulator execution mode for the sweep experiments (0 = goroutine per process, -1 = auto-sized sharded engine, k = k shard workers); results are identical in both modes")
 	flag.Parse()
 
 	var w io.Writer = os.Stdout
@@ -76,6 +77,11 @@ func run() error {
 	fmt.Fprintln(w, "\nAll experiments completed; consensus held in every checked run.")
 	return nil
 }
+
+// shardsFlag selects the simulator execution mode for the sweep-shaped
+// experiments (E1/E2); the remaining experiments run single executions at
+// sizes where sharding buys nothing.
+var shardsFlag int
 
 type config struct {
 	name     string
@@ -126,7 +132,7 @@ var quickScale = config{
 }
 
 func e1(w io.Writer, c config) error {
-	points, err := experiments.Thm1Sweep(c.e1Sizes, c.e1Seeds, 1, 0)
+	points, err := experiments.Thm1Sweep(c.e1Sizes, c.e1Seeds, 1, 0, shardsFlag)
 	if err != nil {
 		return err
 	}
@@ -148,7 +154,7 @@ func e1(w io.Writer, c config) error {
 
 func e2(w io.Writer, c config) error {
 	t := (c.e2N - 1) / 61
-	points, err := experiments.Thm3Sweep(c.e2N, t, c.e2Xs, c.e2Seeds, 1, false, 0)
+	points, err := experiments.Thm3Sweep(c.e2N, t, c.e2Xs, c.e2Seeds, 1, false, 0, shardsFlag)
 	if err != nil {
 		return err
 	}

@@ -32,6 +32,7 @@ func main() {
 
 func run() error {
 	verify := flag.Bool("verify", false, "re-execute the transcript and require a byte-identical recording")
+	flag.IntVar(&shardsFlag, "shards", 0, "simulator execution mode for -verify (0 = goroutine per process, -1 = auto-sized sharded engine, k = k shard workers); the replay must match in every mode")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		return fmt.Errorf("usage: replay [-verify] <transcript.json>")
@@ -68,6 +69,9 @@ func run() error {
 	return verifyTranscript(&tr)
 }
 
+// shardsFlag selects the execution mode used by -verify re-executions.
+var shardsFlag int
+
 // verifyTranscript re-executes the recorded schedule and diffs the fresh
 // recording against the original.
 func verifyTranscript(tr *sim.Transcript) error {
@@ -84,6 +88,7 @@ func verifyTranscript(tr *sim.Transcript) error {
 	_, runErr := sim.Run(sim.Config{
 		N: tr.N, T: tr.T, Inputs: tr.Inputs, Seed: tr.Seed, Adversary: rec,
 		MaxRounds: bound + 64,
+		Shards:    shardsFlag,
 	}, proto)
 	fresh.Protocol = tr.Protocol
 	fresh.Seed = tr.Seed

@@ -85,6 +85,7 @@ func run() error {
 		base     = flag.Uint64("seed", 1, "base seed")
 		jsonPath = flag.String("json", "BENCH_sweep.json", "write machine-readable results to this file (empty = off)")
 		workers  = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS); results are identical at any width")
+		shards   = flag.Int("shards", 0, "simulator execution mode per trial (0 = goroutine per process, -1 = auto-sized sharded engine, k = k shard workers); results are identical in both modes")
 	)
 	flag.Parse()
 
@@ -93,7 +94,7 @@ func run() error {
 		return err
 	}
 
-	cells, err := experiments.Thm1Detailed(ns, *seeds, *base, *workers)
+	cells, err := experiments.Thm1Detailed(ns, *seeds, *base, *workers, *shards)
 	if err != nil {
 		return err
 	}

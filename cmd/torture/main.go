@@ -59,6 +59,7 @@ func run() (int, error) {
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile after the campaign to this file")
 		workers     = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS, 1 = serial); reports and corpora are identical at any width")
+		shards      = flag.Int("shards", 0, "simulator execution mode for every trial (0 = goroutine per process, -1 = sharded with GOMAXPROCS workers, k = sharded with k workers); artifacts are identical in both modes")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -92,7 +93,7 @@ func run() (int, error) {
 	}
 
 	if *replay != "" {
-		return replayEntry(*replay)
+		return replayEntry(*replay, *shards)
 	}
 
 	opts := torture.Options{
@@ -106,6 +107,7 @@ func run() (int, error) {
 		DeterminismEvery: *determinism,
 		Inject:           *inject,
 		Workers:          *workers,
+		Shards:           *shards,
 	}
 	if !*quiet {
 		opts.Log = os.Stderr
@@ -134,14 +136,14 @@ func run() (int, error) {
 	return 0, nil
 }
 
-func replayEntry(path string) (int, error) {
+func replayEntry(path string, shards int) (int, error) {
 	entry, err := torture.LoadEntry(path)
 	if err != nil {
 		return 2, err
 	}
 	fmt.Printf("replaying %s: %s/%s n=%d t=%d seed=%d, recorded violations: %v\n",
 		path, entry.Protocol, entry.Adversary, entry.N, entry.T, entry.Seed, entry.Violations)
-	res, err := torture.Replay(entry)
+	res, err := torture.ReplayWith(entry, shards)
 	if err != nil {
 		return 2, err
 	}

@@ -40,6 +40,7 @@ func run() error {
 		base    = flag.Uint64("seed", 1, "base seed")
 		stress  = flag.Bool("stress", false, "param mode: exceed the t < n/60 bound so the group-killer can burn whole phases (worst-case randomness regime)")
 		workers = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS); results are identical at any width")
+		shards  = flag.Int("shards", 0, "simulator execution mode per trial (0 = goroutine per process, -1 = auto-sized sharded engine, k = k shard workers); results are identical in both modes")
 	)
 	flag.Parse()
 
@@ -51,7 +52,7 @@ func run() error {
 				*t = *n / 16
 			}
 		}
-		return paramMode(*n, *t, *xs, *seeds, *base, *stress, *workers)
+		return paramMode(*n, *t, *xs, *seeds, *base, *stress, *workers, *shards)
 	case "lower":
 		if *t < 0 {
 			*t = *n / 4
@@ -62,7 +63,7 @@ func run() error {
 	}
 }
 
-func paramMode(n, t int, xsSpec string, seeds int, base uint64, stress bool, workers int) error {
+func paramMode(n, t int, xsSpec string, seeds int, base uint64, stress bool, workers, shards int) error {
 	xs, err := parseInts(xsSpec)
 	if err != nil {
 		return err
@@ -71,7 +72,7 @@ func paramMode(n, t int, xsSpec string, seeds int, base uint64, stress bool, wor
 	// the round-robin cannot finish in its first phase, and spread
 	// inputs keep every group's electorate mixed; see
 	// internal/experiments.
-	points, err := experiments.Thm3Sweep(n, t, xs, seeds, base, stress, workers)
+	points, err := experiments.Thm3Sweep(n, t, xs, seeds, base, stress, workers, shards)
 	if err != nil {
 		return err
 	}

@@ -28,6 +28,7 @@ func TestCommandSmoke(t *testing.T) {
 		{"omicon", []string{"-n", "36", "-t", "1", "-algo", "optimal", "-adversary", "split-vote", "-record", transcript, "-trace", traceFile}, "decision"},
 		{"replay", []string{transcript}, "activity phases"},
 		{"replay", []string{"-verify", transcript}, "verify: OK"},
+		{"replay", []string{"-verify", "-shards", "4", transcript}, "verify: OK"},
 		{"tracelint", []string{traceFile}, "1 segments"},
 		{"torture", []string{"-trials", "50", "-seed", "1", "-q"}, "50 trials, 0 violations"},
 		{"sweep", []string{"-sizes", "64", "-seeds", "1", "-json", benchJSON}, "wrote " + benchJSON},

@@ -97,7 +97,12 @@ type SweepCell struct {
 // so sharing instances across trials would make sample i depend on trials
 // before it — which is also what makes the output independent of the
 // worker count: cells and samples are byte-identical at any width.
-func Thm1Detailed(sizes []int, seeds int, baseSeed uint64, workers int) ([]SweepCell, error) {
+//
+// shards selects the simulator execution mode inside each trial
+// (sim.Config.Shards); results are byte-identical in both modes, so it —
+// like workers — changes only wall-clock time. partrial.Budget resolves
+// the two knobs jointly for auto settings.
+func Thm1Detailed(sizes []int, seeds int, baseSeed uint64, workers, shards int) ([]SweepCell, error) {
 	cells := make([]SweepCell, 0, len(sizes))
 	for _, n := range sizes {
 		t := (n - 1) / 31
@@ -113,7 +118,8 @@ func Thm1Detailed(sizes []int, seeds int, baseSeed uint64, workers int) ([]Sweep
 		}
 		nAdvs := len(advsFor())
 		cell := SweepCell{N: n, T: t}
-		samples, err := partrial.Map(nAdvs*seeds, workers, func(i int) (SweepSample, error) {
+		poolWorkers, trialShards := partrial.Budget(nAdvs*seeds, workers, shards)
+		samples, err := partrial.Map(nAdvs*seeds, poolWorkers, func(i int) (SweepSample, error) {
 			adv := advsFor()[i/seeds] // adversary-major order, fresh instance
 			s := i % seeds
 			res, err := sim.Run(sim.Config{
@@ -122,6 +128,7 @@ func Thm1Detailed(sizes []int, seeds int, baseSeed uint64, workers int) ([]Sweep
 				Seed:      baseSeed + uint64(s)*101,
 				Adversary: adv,
 				MaxRounds: params.TotalRoundsBound() + 64,
+				Shards:    trialShards,
 			}, core.Protocol(params))
 			if err != nil {
 				return SweepSample{}, fmt.Errorf("experiments: n=%d %s: %w", n, adv.Name(), err)
@@ -152,11 +159,40 @@ func Thm1Detailed(sizes []int, seeds int, baseSeed uint64, workers int) ([]Sweep
 	return cells, nil
 }
 
+// Thm1Trial runs a single Theorem-1 execution — OptimalOmissionsConsensus
+// at maximal fault load t = (n-1)/31 against the group-killing adversary —
+// in the given simulator execution mode and verifies consensus. It is the
+// unit the large-n smoke tests and CI build on: one trial exercises the
+// full canonical-order/View/legality path at scales the sweep runners
+// only reach through the sharded engine.
+func Thm1Trial(n int, seed uint64, shards int) (*sim.Result, error) {
+	t := (n - 1) / 31
+	params, err := core.Prepare(n, t)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(sim.Config{
+		N: n, T: t,
+		Inputs:    spreadInputs(n, n/2),
+		Seed:      seed,
+		Adversary: adversary.NewGroupKiller(n, t),
+		MaxRounds: params.TotalRoundsBound() + 64,
+		Shards:    shards,
+	}, core.Protocol(params))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: n=%d trial: %w", n, err)
+	}
+	if cerr := res.CheckConsensus(); cerr != nil {
+		return nil, fmt.Errorf("experiments: n=%d trial: consensus violated: %w", n, cerr)
+	}
+	return res, nil
+}
+
 // Thm1Sweep measures OptimalOmissionsConsensus at maximal fault load
 // across sizes, taking the worst case over the adversary portfolio.
 // Consensus violations are returned as errors (they are protocol bugs).
-func Thm1Sweep(sizes []int, seeds int, baseSeed uint64, workers int) ([]Thm1Point, error) {
-	cells, err := Thm1Detailed(sizes, seeds, baseSeed, workers)
+func Thm1Sweep(sizes []int, seeds int, baseSeed uint64, workers, shards int) ([]Thm1Point, error) {
+	cells, err := Thm1Detailed(sizes, seeds, baseSeed, workers, shards)
 	if err != nil {
 		return nil, err
 	}
@@ -219,8 +255,9 @@ type Thm3Point struct {
 // (the strategy that burns round-robin phases). Seeds run on a partrial
 // pool; per-seed metrics are summed in seed order, so the averages are
 // bitwise independent of the worker count.
-func Thm3Sweep(n, t int, xs []int, seeds int, baseSeed uint64, allowLargeT bool, workers int) ([]Thm3Point, error) {
+func Thm3Sweep(n, t int, xs []int, seeds int, baseSeed uint64, allowLargeT bool, workers, shards int) ([]Thm3Point, error) {
 	var points []Thm3Point
+	poolWorkers, trialShards := partrial.Budget(seeds, workers, shards)
 	for _, x := range xs {
 		if n/x < 4 {
 			continue
@@ -234,13 +271,14 @@ func Thm3Sweep(n, t int, xs []int, seeds int, baseSeed uint64, allowLargeT bool,
 			return nil, err
 		}
 		pt := Thm3Point{X: x}
-		err = partrial.Do(seeds, workers, func(s int) (metrics.Snapshot, error) {
+		err = partrial.Do(seeds, poolWorkers, func(s int) (metrics.Snapshot, error) {
 			res, err := sim.Run(sim.Config{
 				N: n, T: t,
 				Inputs:    spreadInputs(n, n/2),
 				Seed:      baseSeed + uint64(s)*31,
 				Adversary: adversary.NewGroupKiller(n, t),
 				MaxRounds: params.TotalRoundsBound() + 64,
+				Shards:    trialShards,
 			}, paramomissions.Protocol(params))
 			if err != nil {
 				return metrics.Snapshot{}, fmt.Errorf("experiments: x=%d: %w", x, err)

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestThm1TrialSharded runs one full Theorem-1 trial through the sharded
+// engine and cross-checks the default engine at the same size. The default
+// size keeps the test inside the ordinary suite budget; setting
+// OMICON_LARGEN to a size (CI uses 1024 under -race, the acceptance run
+// 4096) scales the sharded trial to the regime the goroutine-per-process
+// engine exists to escape — at large sizes only the sharded run executes,
+// since the differential half is already pinned below and by the
+// conformance suites.
+func TestThm1TrialSharded(t *testing.T) {
+	n := 256
+	large := false
+	if v := os.Getenv("OMICON_LARGEN"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 32 {
+			t.Fatalf("OMICON_LARGEN=%q: want an integer size >= 32", v)
+		}
+		n, large = parsed, true
+	}
+
+	shardRes, err := Thm1Trial(n, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shardRes.Metrics.Rounds == 0 || shardRes.Metrics.Messages == 0 {
+		t.Fatalf("n=%d sharded trial ran no rounds (%v)", n, shardRes.Metrics)
+	}
+	t.Logf("n=%d sharded: %v", n, shardRes.Metrics)
+	if large {
+		return
+	}
+
+	defRes, err := Thm1Trial(n, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defRes.Metrics != shardRes.Metrics {
+		t.Fatalf("metrics diverge between engines: default %v, sharded %v", defRes.Metrics, shardRes.Metrics)
+	}
+	for p := range defRes.Decisions {
+		if defRes.Decisions[p] != shardRes.Decisions[p] || defRes.TerminatedAt[p] != shardRes.TerminatedAt[p] ||
+			defRes.Corrupted[p] != shardRes.Corrupted[p] {
+			t.Fatalf("process %d diverged between engines", p)
+		}
+	}
+}

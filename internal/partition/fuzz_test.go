@@ -1,0 +1,99 @@
+package partition
+
+import "testing"
+
+// FuzzPartitionInvariants drives Blocks and the bag tree with arbitrary
+// (n, numGroups) pairs and checks the structural invariants every layer of
+// the simulator leans on: group sizes differ by at most one, every process
+// sits in exactly one group at the position the inverse maps claim, and at
+// every tree layer the bags tile the group's member range without gaps or
+// overlaps down to the leaves.
+func FuzzPartitionInvariants(f *testing.F) {
+	f.Add(1, 1)
+	f.Add(17, 4)
+	f.Add(64, 8)
+	f.Add(100, 7)
+	f.Add(4096, 64)
+	f.Add(5, 9) // more groups than processes
+	f.Add(0, 3)
+	f.Add(-2, -1)
+	f.Fuzz(func(t *testing.T, n, numGroups int) {
+		if n > 1<<16 {
+			n %= 1 << 16
+		}
+		if n < 0 || numGroups > 1<<16 {
+			return
+		}
+		d := Blocks(n, numGroups)
+		if n == 0 {
+			if d.NumGroups() > 1 || d.MaxGroupSize() != 0 {
+				t.Fatalf("Blocks(0,%d) is non-empty", numGroups)
+			}
+			return
+		}
+
+		// Groups cover 0..n-1 by consecutive blocks, sizes within one of
+		// each other, and the inverse maps agree with the forward one.
+		min, max := n+1, 0
+		next := 0
+		for gi := 0; gi < d.NumGroups(); gi++ {
+			grp := d.Group(gi)
+			if len(grp) == 0 {
+				t.Fatalf("group %d empty at n=%d k=%d", gi, n, numGroups)
+			}
+			if len(grp) < min {
+				min = len(grp)
+			}
+			if len(grp) > max {
+				max = len(grp)
+			}
+			for k, p := range grp {
+				if p != next {
+					t.Fatalf("group %d member %d is %d, want %d", gi, k, p, next)
+				}
+				if d.GroupOf(p) != gi || d.IndexOf(p) != k {
+					t.Fatalf("inverse maps disagree for process %d: GroupOf=%d IndexOf=%d, want (%d,%d)",
+						p, d.GroupOf(p), d.IndexOf(p), gi, k)
+				}
+				next++
+			}
+		}
+		if next != n {
+			t.Fatalf("groups cover %d processes, want %d", next, n)
+		}
+		if max-min > 1 {
+			t.Fatalf("group sizes range [%d,%d] at n=%d k=%d, want spread <= 1", min, max, n, numGroups)
+		}
+		if max != d.MaxGroupSize() {
+			t.Fatalf("MaxGroupSize %d, observed %d", d.MaxGroupSize(), max)
+		}
+
+		// The bag tree of the largest group tiles every layer exactly.
+		tree := NewTree(max)
+		layers := tree.Layers()
+		if top := tree.NumBags(layers); top != 1 {
+			t.Fatalf("size %d: %d root bags at layer %d", max, top, layers)
+		}
+		if lo, hi := tree.Bag(layers, 0); lo != 0 || hi != max {
+			t.Fatalf("size %d: root bag [%d,%d), want [0,%d)", max, lo, hi, max)
+		}
+		for j := 1; j <= layers; j++ {
+			cursor := 0
+			for k := 0; k < tree.NumBags(j); k++ {
+				lo, hi := tree.Bag(j, k)
+				if lo != cursor || hi <= lo {
+					t.Fatalf("size %d layer %d: bag %d is [%d,%d), cursor %d", max, j, k, lo, hi, cursor)
+				}
+				for m := lo; m < hi; m++ {
+					if tree.BagOf(j, m) != k {
+						t.Fatalf("size %d layer %d: BagOf(%d)=%d, want %d", max, j, m, tree.BagOf(j, m), k)
+					}
+				}
+				cursor = hi
+			}
+			if cursor != max {
+				t.Fatalf("size %d layer %d: bags cover [0,%d), want [0,%d)", max, j, cursor, max)
+			}
+		}
+	})
+}

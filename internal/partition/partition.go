@@ -34,6 +34,9 @@ func Sqrt(n int) *Decomposition {
 // differ by at most one. It also serves ParamOmissions' super-process
 // partition SP_1, ..., SP_x (Algorithm 4, line 1).
 func Blocks(n, numGroups int) *Decomposition {
+	if n <= 0 {
+		return &Decomposition{}
+	}
 	if numGroups < 1 {
 		numGroups = 1
 	}

@@ -25,6 +25,37 @@ func Clamp(workers int) int {
 	return workers
 }
 
+// Budget splits the machine between the two parallelism axes a harness
+// can combine: trial-level workers (this package's pools) and intra-trial
+// shards (sim.Config.Shards). It resolves the two flag values into
+// concrete counts such that auto settings never oversubscribe the machine
+// with workers*shards runnable goroutines. shards == 0 disables the
+// sharded engine and budgets every core to workers, preserving each
+// flag's existing meaning. An explicit positive value on either axis is
+// respected unchanged (operators may deliberately oversubscribe); only
+// auto values are derived — workers first (trial-level parallelism
+// amortizes better; docs/PERFORMANCE.md discusses why), shards from
+// whatever cores remain per worker.
+func Budget(trials, workers, shards int) (resolvedWorkers, resolvedShards int) {
+	if shards == 0 {
+		return Clamp(workers), 0
+	}
+	cpus := runtime.GOMAXPROCS(0)
+	if workers <= 0 {
+		workers = cpus
+		if trials > 0 && workers > trials {
+			workers = trials
+		}
+	}
+	if shards < 0 {
+		shards = cpus / workers
+		if shards < 1 {
+			shards = 1
+		}
+	}
+	return workers, shards
+}
+
 // Do runs produce(i) for every i in [0, n) on up to workers goroutines and
 // invokes commit(i, v) from the calling goroutine in strict index order.
 //

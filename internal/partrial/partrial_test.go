@@ -3,6 +3,7 @@ package partrial
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
 )
@@ -140,5 +141,33 @@ func TestClamp(t *testing.T) {
 	}
 	if Clamp(5) != 5 {
 		t.Fatal("explicit worker counts pass through")
+	}
+}
+
+func TestBudget(t *testing.T) {
+	cpus := runtime.GOMAXPROCS(0)
+	// Shards off: workers keep their existing meaning, shards stay 0.
+	if w, s := Budget(100, 0, 0); w != cpus || s != 0 {
+		t.Fatalf("Budget(100,0,0) = (%d,%d), want (%d,0)", w, s, cpus)
+	}
+	if w, s := Budget(100, 3, 0); w != 3 || s != 0 {
+		t.Fatalf("Budget(100,3,0) = (%d,%d), want (3,0)", w, s)
+	}
+	// Explicit values on both axes pass through untouched.
+	if w, s := Budget(100, 2, 5); w != 2 || s != 5 {
+		t.Fatalf("Budget(100,2,5) = (%d,%d), want (2,5)", w, s)
+	}
+	// Auto workers cap at the trial count; auto shards split the rest.
+	if w, s := Budget(1, 0, -1); w != 1 || s != cpus {
+		t.Fatalf("Budget(1,0,-1) = (%d,%d), want (1,%d)", w, s, cpus)
+	}
+	// Auto shards never drop below one full worker pool's worth.
+	if w, s := Budget(100, 4*cpus, -1); w != 4*cpus || s != 1 {
+		t.Fatalf("Budget(100,%d,-1) = (%d,%d), want (%d,1)", 4*cpus, w, s, 4*cpus)
+	}
+	// The auto x auto product never oversubscribes.
+	w, s := Budget(1000, 0, -1)
+	if w*s > cpus && s != 1 {
+		t.Fatalf("Budget(1000,0,-1) = (%d,%d) oversubscribes %d cores", w, s, cpus)
 	}
 }

@@ -117,7 +117,18 @@ func (s *Source) account(bits int64) {
 // truth; trace.Verify and metrics.Series.Reconcile prove the sums still
 // match exactly at every emission point.
 func SyncTotals(c *metrics.Counters, sources ...*Source) {
-	var calls, bits int64
+	calls, bits := Sum(sources...)
+	c.SetRandom(calls, bits)
+}
+
+// Sum returns the combined randomness totals of the sources without
+// touching any shared counter. It is the per-shard half of SyncTotals:
+// the sharded engine has each worker sum its own contiguous source range
+// at a barrier and the coordinator folds the shard partials (in shard
+// order, though integer addition makes the order immaterial) into the
+// shared counters. The quiescence contract is the caller's: every summed
+// source must be blocked or done.
+func Sum(sources ...*Source) (calls, bits int64) {
 	for _, s := range sources {
 		if s == nil {
 			continue
@@ -125,7 +136,7 @@ func SyncTotals(c *metrics.Counters, sources ...*Source) {
 		calls += s.calls
 		bits += s.bits
 	}
-	c.SetRandom(calls, bits)
+	return calls, bits
 }
 
 // bitsFor returns ceil(log2(n)) for n >= 2.

@@ -35,6 +35,28 @@ type Config struct {
 	// disabled tracer keeps the engine on its untraced hot path; when
 	// enabled, the Result additionally carries the per-round Series.
 	Trace *trace.Tracer
+	// Shards selects the execution mode. 0 (the default) runs the
+	// goroutine-per-process engine below. ShardsAuto (or any negative
+	// value) runs the sharded engine with GOMAXPROCS workers; k >= 1 runs
+	// it with k workers (clamped to N). The two modes are observably
+	// identical — results, metrics, traces and transcripts are
+	// byte-for-byte the same at any shard count (the conformance suites in
+	// this package and internal/torture pin that contract); only wall-clock
+	// time and scheduler pressure change. See docs/PERFORMANCE.md.
+	Shards int
+}
+
+// ShardsAuto selects the sharded engine with GOMAXPROCS workers.
+const ShardsAuto = -1
+
+// WithShards returns a copy of the Config selecting the sharded engine
+// with k workers; k <= 0 selects ShardsAuto.
+func (c Config) WithShards(k int) Config {
+	if k <= 0 {
+		k = ShardsAuto
+	}
+	c.Shards = k
+	return c
 }
 
 // Errors reported by the engine.
@@ -111,25 +133,54 @@ func (e *Engine) syncRandom() {
 	rng.SyncTotals(e.counters, e.sources...)
 }
 
+// normalize validates cfg and applies the defaults both execution modes
+// share, so the goroutine-per-process and sharded paths cannot drift on
+// what a legal configuration is.
+func (c Config) normalize() (Config, error) {
+	if c.N <= 0 {
+		return c, fmt.Errorf("sim: invalid N=%d", c.N)
+	}
+	if len(c.Inputs) != c.N {
+		return c, fmt.Errorf("sim: got %d inputs for N=%d", len(c.Inputs), c.N)
+	}
+	if c.T < 0 || c.T >= c.N {
+		return c, fmt.Errorf("sim: invalid T=%d for N=%d", c.T, c.N)
+	}
+	if c.Adversary == nil {
+		c.Adversary = NoFaults{}
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 60*c.N + 4096
+	}
+	return c, nil
+}
+
+// newResult builds the pre-execution Result shell shared by both engines.
+func newResult(cfg Config) *Result {
+	res := &Result{
+		Adversary:    cfg.Adversary.Name(),
+		Inputs:       append([]int(nil), cfg.Inputs...),
+		Decisions:    make([]int, cfg.N),
+		TerminatedAt: make([]int, cfg.N),
+	}
+	for p := 0; p < cfg.N; p++ {
+		res.Decisions[p] = -1
+		res.TerminatedAt[p] = -1
+	}
+	return res
+}
+
 // Run executes proto under cfg and returns the outcome. The returned error
 // reports engine- or protocol-level failures (illegal adversary actions,
 // protocol bugs, runaway executions); consensus-property violations are
 // checked on the Result, not here.
 func Run(cfg Config, proto Protocol) (*Result, error) {
-	if cfg.N <= 0 {
-		return nil, fmt.Errorf("sim: invalid N=%d", cfg.N)
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
 	}
-	if len(cfg.Inputs) != cfg.N {
-		return nil, fmt.Errorf("sim: got %d inputs for N=%d", len(cfg.Inputs), cfg.N)
-	}
-	if cfg.T < 0 || cfg.T >= cfg.N {
-		return nil, fmt.Errorf("sim: invalid T=%d for N=%d", cfg.T, cfg.N)
-	}
-	if cfg.Adversary == nil {
-		cfg.Adversary = NoFaults{}
-	}
-	if cfg.MaxRounds == 0 {
-		cfg.MaxRounds = 60*cfg.N + 4096
+	if cfg.Shards != 0 {
+		return runSharded(cfg, proto)
 	}
 
 	e := &Engine{
@@ -147,15 +198,8 @@ func Run(cfg Config, proto Protocol) (*Result, error) {
 	if _, benign := cfg.Adversary.(NoFaults); benign && !cfg.Trace.Enabled() {
 		e.fast = true
 	}
-	res := &Result{
-		Adversary:    cfg.Adversary.Name(),
-		Inputs:       append([]int(nil), cfg.Inputs...),
-		Decisions:    make([]int, cfg.N),
-		TerminatedAt: make([]int, cfg.N),
-	}
+	res := newResult(cfg)
 	for p := 0; p < cfg.N; p++ {
-		res.Decisions[p] = -1
-		res.TerminatedAt[p] = -1
 		e.sources[p] = rng.New(cfg.Seed, uint64(p))
 		e.deliver[p] = make(chan []Message, 1)
 	}
@@ -170,7 +214,7 @@ func Run(cfg Config, proto Protocol) (*Result, error) {
 		go e.runProcess(&wg, p, proto)
 	}
 
-	err := e.loop(res)
+	err = e.loop(res)
 	if err != nil {
 		close(e.quit) // unwind blocked protocol goroutines
 	}

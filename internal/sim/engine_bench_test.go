@@ -1,13 +1,22 @@
 package sim
 
-import "testing"
+import (
+	"flag"
+	"testing"
+)
+
+// benchShards selects the execution mode for the engine benchmarks, so CI
+// can run the same matrix against the sharded engine:
+//
+//	go test ./internal/sim/ -bench EngineRound -shards 4
+var benchShards = flag.Int("shards", 0, "execution mode for engine benchmarks (0 = goroutine per process, -1 = auto-sized sharded, k = k shard workers)")
 
 // benchRounds drives one Run of `rounds` all-to-all rounds under the given
 // adversary (nil selects the NoFaults fast path). Each process rebuilds its
 // broadcast every round, the shape real protocols have.
 func benchRounds(b *testing.B, n, rounds int, adv Adversary) *Result {
 	b.Helper()
-	res, err := Run(Config{N: n, T: 0, Inputs: make([]int, n), Seed: 1, MaxRounds: rounds + 8, Adversary: adv},
+	res, err := Run(Config{N: n, T: 0, Inputs: make([]int, n), Seed: 1, MaxRounds: rounds + 8, Adversary: adv, Shards: *benchShards},
 		func(env Env, input int) (int, error) {
 			targets := make([]int, 0, n-1)
 			for i := 0; i < n; i++ {
@@ -70,7 +79,7 @@ func BenchmarkEngineRoundOverhead(b *testing.B) {
 			b.Run(byN(n)+"/"+tc.name, func(b *testing.B) {
 				b.ReportAllocs()
 				rounds := b.N
-				_, err := Run(Config{N: n, T: 0, Inputs: make([]int, n), Seed: 1, MaxRounds: rounds + 8, Adversary: tc.adv},
+				_, err := Run(Config{N: n, T: 0, Inputs: make([]int, n), Seed: 1, MaxRounds: rounds + 8, Adversary: tc.adv, Shards: *benchShards},
 					func(env Env, input int) (int, error) {
 						targets := make([]int, 0, n-1)
 						for i := 0; i < n; i++ {

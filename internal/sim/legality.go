@@ -74,6 +74,18 @@ func (l *Legality) Check(round int, outbox []Message, act Action) (map[int]bool,
 // reset and filled here, avoiding a map allocation per round. It returns
 // the number of dropped messages. Semantics are identical to Check.
 func (l *Legality) CheckInto(round int, outbox []Message, act Action, dropped []bool) (int, error) {
+	for i := range dropped {
+		dropped[i] = false
+	}
+	return l.checkIntoCleared(round, outbox, act, dropped)
+}
+
+// checkIntoCleared is CheckInto minus the reset pass: dropped must arrive
+// all-false. The sharded engine clears the buffer in per-shard chunks at
+// the view barrier and then runs the (inherently serial — the corrupted
+// set is stateful) validation here, so the O(m) memclear is off the
+// coordinator's critical path.
+func (l *Legality) checkIntoCleared(round int, outbox []Message, act Action, dropped []bool) (int, error) {
 	for _, p := range act.Corrupt {
 		if p < 0 || p >= l.n {
 			return 0, fmt.Errorf("sim: adversary corrupted invalid process %d", p)
@@ -91,9 +103,6 @@ func (l *Legality) CheckInto(round int, outbox []Message, act Action, dropped []
 		return 0, fmt.Errorf("%w: %d > t=%d in round %d", ErrBudget, l.numCorr, l.t, round)
 	}
 
-	for i := range dropped {
-		dropped[i] = false
-	}
 	ndrop := 0
 	for _, idx := range act.Drop {
 		if idx < 0 || idx >= len(outbox) {

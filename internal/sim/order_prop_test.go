@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+
+	"omicon/internal/rng"
+)
+
+// indexPayload tags a message with its position in the original batch so
+// stability violations are observable even for duplicate (From, To) pairs.
+type indexPayload struct{ i int }
+
+func (p indexPayload) AppendWire(buf []byte) []byte { return buf }
+
+// TestOrdererMatchesSliceStable is the property-based half of the canonical
+// order contract: on randomized batches — including the adversarial shapes
+// that tripped counting sorts historically (empty, single sender, all-to-one,
+// heavy duplicate endpoints) — Orderer.Sort must agree element-for-element
+// with sort.SliceStable under the (From, To) key, which is the order Drop
+// indices, transcripts and replay are defined against.
+func TestOrdererMatchesSliceStable(t *testing.T) {
+	type gen struct {
+		name  string
+		batch func(r interface{ IntN(int) int }, n, m int) []Message
+	}
+	gens := []gen{
+		{"uniform", func(r interface{ IntN(int) int }, n, m int) []Message {
+			msgs := make([]Message, m)
+			for i := range msgs {
+				msgs[i] = Msg(r.IntN(n), r.IntN(n), indexPayload{i})
+			}
+			return msgs
+		}},
+		{"single-sender", func(r interface{ IntN(int) int }, n, m int) []Message {
+			from := r.IntN(n)
+			msgs := make([]Message, m)
+			for i := range msgs {
+				msgs[i] = Msg(from, r.IntN(n), indexPayload{i})
+			}
+			return msgs
+		}},
+		{"all-to-one", func(r interface{ IntN(int) int }, n, m int) []Message {
+			to := r.IntN(n)
+			msgs := make([]Message, m)
+			for i := range msgs {
+				msgs[i] = Msg(r.IntN(n), to, indexPayload{i})
+			}
+			return msgs
+		}},
+		{"duplicate-pairs", func(r interface{ IntN(int) int }, n, m int) []Message {
+			// Few distinct (From, To) pairs, many duplicates: stability is
+			// the whole story here.
+			pairs := 1 + r.IntN(4)
+			from := make([]int, pairs)
+			to := make([]int, pairs)
+			for i := range from {
+				from[i], to[i] = r.IntN(n), r.IntN(n)
+			}
+			msgs := make([]Message, m)
+			for i := range msgs {
+				k := r.IntN(pairs)
+				msgs[i] = Msg(from[k], to[k], indexPayload{i})
+			}
+			return msgs
+		}},
+	}
+
+	r := rng.Unmetered(0x0edea, 1)
+	var o Orderer[Message]
+	for _, g := range gens {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			for trial := 0; trial < 200; trial++ {
+				n := 1 + r.IntN(40)
+				m := r.IntN(200) // includes the empty batch
+				batch := g.batch(r, n, m)
+
+				want := append([]Message(nil), batch...)
+				sort.SliceStable(want, func(i, j int) bool {
+					if want[i].From != want[j].From {
+						return want[i].From < want[j].From
+					}
+					return want[i].To < want[j].To
+				})
+
+				got := append([]Message(nil), batch...)
+				o.Sort(got, n) // reused orderer: scratch must not leak between batches
+
+				for i := range want {
+					if want[i].From != got[i].From || want[i].To != got[i].To ||
+						want[i].Payload.(indexPayload).i != got[i].Payload.(indexPayload).i {
+						t.Fatalf("trial %d (n=%d m=%d): batch diverged at %d: got (%d->%d #%d), want (%d->%d #%d)",
+							trial, n, m, i,
+							got[i].From, got[i].To, got[i].Payload.(indexPayload).i,
+							want[i].From, want[i].To, want[i].Payload.(indexPayload).i)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,46 @@
+//go:build !race
+
+package sim
+
+import "testing"
+
+// TestShardedRoundAllocationBudget is TestEngineRoundAllocationBudget for
+// the sharded executor: once the per-shard scratch is warm, a round costs
+// the one inbox backing slice plus amortized growth — the phase barriers,
+// chunked View fill and parallel carve all run on reused buffers. The same
+// budget of 8 allocs per round as the default engine gates regressions in
+// either the merge or the carve. Excluded under -race: the detector's
+// instrumentation allocates on its own behalf.
+func TestShardedRoundAllocationBudget(t *testing.T) {
+	const n, rounds = 64, 300
+	for _, tc := range []struct {
+		name string
+		adv  Adversary
+	}{{"fast", nil}, {"full", passThrough{}}} {
+		for _, shards := range []int{1, 4} {
+			proto := func(env Env, input int) (int, error) {
+				targets := make([]int, 0, n-1)
+				for i := 0; i < n; i++ {
+					if i != env.ID() {
+						targets = append(targets, i)
+					}
+				}
+				out := Broadcast(env.ID(), bitPayload{1}, targets)
+				for r := 0; r < rounds; r++ {
+					env.Exchange(out)
+				}
+				return 0, nil
+			}
+			allocs := testing.AllocsPerRun(3, func() {
+				if _, err := Run(Config{N: n, T: 0, Inputs: make([]int, n), Seed: 1,
+					MaxRounds: rounds + 8, Adversary: tc.adv, Shards: shards}, proto); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if perRound := allocs / rounds; perRound > 8 {
+				t.Errorf("%s path, shards=%d: %.1f allocs per round (%.0f per run), budget is 8",
+					tc.name, shards, perRound, allocs)
+			}
+		}
+	}
+}

@@ -54,7 +54,7 @@ func FuzzScheduleReplay(f *testing.F) {
 			return // pathological blobs add time, not coverage
 		}
 		adv := sim.NewScheduleAdversary(s)
-		run := runOnce(spec, proto, bound, adv, n, t, inputs, 99, nil)
+		run := runOnce(spec, proto, bound, adv, n, t, inputs, 99, nil, 0)
 		if run.err != nil {
 			tt.Fatalf("lenient replay must keep every schedule legal, engine said: %v", run.err)
 		}

@@ -3,6 +3,7 @@ package torture
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -24,33 +25,42 @@ type campaignArtifacts struct {
 
 func runParallelCampaign(t *testing.T, workers int) campaignArtifacts {
 	t.Helper()
-	dir := t.TempDir()
-	var logBuf, traceBuf bytes.Buffer
-	sink := trace.NewJSONL(&traceBuf)
-	rep, err := Run(Options{
-		Trials: 24,
-		Seed:   7,
-		// Four cells: floodset x flood-split produces genuine violations
-		// (corpus + shrink paths), sched-fuzz mutates the previous lap's
-		// recorded schedule (cross-lap base chaining), benor is
-		// Monte-Carlo (mcMisses accounting).
+	// Four cells: floodset x flood-split produces genuine violations
+	// (corpus + shrink paths), sched-fuzz mutates the previous lap's
+	// recorded schedule (cross-lap base chaining), benor is
+	// Monte-Carlo (mcMisses accounting).
+	return runCampaign(t, Options{
+		Trials:           24,
+		Seed:             7,
 		Protocols:        []string{"floodset", "benor"},
 		Adversaries:      []string{"flood-split", "sched-fuzz"},
-		CorpusDir:        dir,
 		Shrink:           true,
 		ShrinkMaxRuns:    60,
 		DeterminismEvery: 3,
-		Trace:            trace.New(sink),
-		Log:              &logBuf,
 		Workers:          workers,
-	})
+	}, true)
+}
+
+// runCampaign executes one torture campaign with corpus, log and trace
+// capture on top of the provided options and returns every observable
+// artifact. wantViolations guards comparisons that only mean something
+// when the corpus/shrink paths actually ran.
+func runCampaign(t *testing.T, o Options, wantViolations bool) campaignArtifacts {
+	t.Helper()
+	dir := t.TempDir()
+	var logBuf, traceBuf bytes.Buffer
+	sink := trace.NewJSONL(&traceBuf)
+	o.CorpusDir = dir
+	o.Trace = trace.New(sink)
+	o.Log = &logBuf
+	rep, err := Run(o)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := sink.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	if rep.Violations == 0 {
+	if wantViolations && rep.Violations == 0 {
 		t.Fatal("campaign produced no violations; the comparison would not cover corpus/shrink paths")
 	}
 	norm := func(s string) string { return strings.ReplaceAll(s, dir, "$CORPUS") }
@@ -124,6 +134,104 @@ func TestParallelCampaignByteIdentical(t *testing.T) {
 	}
 	if len(sums) != 24 {
 		t.Fatalf("parallel campaign stream has %d segments for 24 trials", len(sums))
+	}
+}
+
+// assertArtifactsIdentical compares every observable campaign artifact of
+// two runs, labeling a divergence with the run names.
+func assertArtifactsIdentical(t *testing.T, aName, bName string, a, b campaignArtifacts) {
+	t.Helper()
+	if a.reportJSON != b.reportJSON {
+		t.Errorf("reports diverge:\n--- %s ---\n%s\n--- %s ---\n%s", aName, a.reportJSON, bName, b.reportJSON)
+	}
+	if a.log != b.log {
+		t.Errorf("logs diverge:\n--- %s ---\n%s--- %s ---\n%s", aName, a.log, bName, b.log)
+	}
+	if a.traceLines != b.traceLines {
+		t.Errorf("campaign trace streams diverge between %s and %s", aName, bName)
+	}
+	if len(a.corpus) != len(b.corpus) {
+		t.Fatalf("corpus file counts diverge: %d (%s) vs %d (%s)", len(a.corpus), aName, len(b.corpus), bName)
+	}
+	for name, want := range a.corpus {
+		got, ok := b.corpus[name]
+		if !ok {
+			t.Errorf("%s missing corpus file %s", bName, name)
+			continue
+		}
+		if got != want {
+			t.Errorf("corpus file %s differs between %s and %s", name, aName, bName)
+		}
+	}
+}
+
+// TestShardedCampaignByteIdentical is the differential conformance suite's
+// torture-level headline: the violation-producing campaign (corpus, shrink,
+// determinism re-runs, cross-lap schedule chaining, per-failure ring dumps)
+// replayed with every execution inside the sharded engine at shards=1 and
+// shards=8 must produce artifacts byte-identical to the default
+// goroutine-per-process engine — and each mode's trace stream must still
+// verify segment by segment.
+func TestShardedCampaignByteIdentical(t *testing.T) {
+	base := Options{
+		Trials:           24,
+		Seed:             7,
+		Protocols:        []string{"floodset", "benor"},
+		Adversaries:      []string{"flood-split", "sched-fuzz"},
+		Shrink:           true,
+		ShrinkMaxRuns:    60,
+		DeterminismEvery: 3,
+		Workers:          1,
+	}
+	run := func(shards int) campaignArtifacts {
+		o := base
+		o.Shards = shards
+		return runCampaign(t, o, true)
+	}
+	ref := run(0)
+	for _, shards := range []int{1, 8} {
+		got := run(shards)
+		assertArtifactsIdentical(t, "default-engine", fmt.Sprintf("shards=%d", shards), ref, got)
+		sums, err := trace.Verify(got.events)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if len(sums) != base.Trials {
+			t.Fatalf("shards=%d: stream has %d segments for %d trials", shards, len(sums), base.Trials)
+		}
+	}
+}
+
+// TestShardedFullMatrixByteIdentical sweeps one full lap of the default
+// protocol x adversary matrix (every non-broken protocol against the whole
+// portfolio) under shards=1 vs shards=8 and requires byte-identical report,
+// log and trace artifacts. No cell here is expected to fail, so this pins
+// the clean-path behavior the headline test's violation matrix cannot:
+// every protocol's full message pattern through the sharded carve.
+func TestShardedFullMatrixByteIdentical(t *testing.T) {
+	cells, err := resolveMatrix(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Options{
+		Trials:           len(cells), // one full lap: every cell exactly once
+		Seed:             29,
+		DeterminismEvery: 7,
+		Workers:          1,
+	}
+	run := func(shards int) campaignArtifacts {
+		o := base
+		o.Shards = shards
+		return runCampaign(t, o, false)
+	}
+	one := run(1)
+	if strings.Contains(one.log, "FAIL") {
+		t.Fatalf("default matrix produced violations:\n%s", one.log)
+	}
+	eight := run(8)
+	assertArtifactsIdentical(t, "shards=1", "shards=8", one, eight)
+	if _, err := trace.Verify(eight.events); err != nil {
+		t.Fatal(err)
 	}
 }
 

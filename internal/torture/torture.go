@@ -70,6 +70,16 @@ type Options struct {
 	// order. Reports, corpus files and traces are byte-identical at any
 	// worker count.
 	Workers int
+	// Shards selects the simulator execution mode for every execution the
+	// campaign performs — primary trials, determinism re-runs and shrink
+	// replays alike (sim.Config.Shards: 0 is the goroutine-per-process
+	// engine, sim.ShardsAuto or k >= 1 the sharded engine). The two modes
+	// are observably identical, so reports, corpus files and traces are
+	// byte-identical at any shard count too; TestShardedCampaignByteIdentical
+	// pins exactly that. Orthogonal to Workers: Workers spreads whole
+	// trials over a pool, Shards parallelizes inside a single execution
+	// (docs/PERFORMANCE.md discusses when to prefer which).
+	Shards int
 }
 
 // CellStats aggregates one (protocol, adversary) matrix cell.
@@ -264,11 +274,11 @@ type trialRun struct {
 	tr  *sim.Transcript
 }
 
-func runOnce(spec ProtoSpec, proto sim.Protocol, bound int, adv sim.Adversary, n, t int, inputs []int, seed uint64, tracer *trace.Tracer) trialRun {
+func runOnce(spec ProtoSpec, proto sim.Protocol, bound int, adv sim.Adversary, n, t int, inputs []int, seed uint64, tracer *trace.Tracer, shards int) trialRun {
 	rec, tr := sim.NewRecorder(adv)
 	res, err := sim.Run(sim.Config{
 		N: n, T: t, Inputs: inputs, Seed: seed, Adversary: rec,
-		MaxRounds: bound + 64, Trace: tracer,
+		MaxRounds: bound + 64, Trace: tracer, Shards: shards,
 	}, proto)
 	tr.Protocol = spec.Name
 	tr.Seed = seed
@@ -359,7 +369,7 @@ func Run(o Options) (*Report, error) {
 		}
 		tracer := trace.New(trace.MultiSink(sinks...))
 
-		out.run = runOnce(sp.c.proto, proto, bound, adv, sp.n, sp.t, sp.inputs, sp.seed, tracer)
+		out.run = runOnce(sp.c.proto, proto, bound, adv, sp.n, sp.t, sp.inputs, sp.seed, tracer, o.Shards)
 		out.verdict = Check(CheckInput{
 			N: sp.n, T: sp.t, RoundBound: bound, Envelope: o.Envelope,
 			MonteCarlo: sp.c.proto.MonteCarlo,
@@ -391,7 +401,7 @@ func Run(o Options) (*Report, error) {
 			if err != nil {
 				return err
 			}
-			run2 := runOnce(sp.c.proto, out.proto, out.bound, adv2, sp.n, sp.t, sp.inputs, sp.seed, nil)
+			run2 := runOnce(sp.c.proto, out.proto, out.bound, adv2, sp.n, sp.t, sp.inputs, sp.seed, nil, o.Shards)
 			b1, b2 := transcriptBytes(run.tr), transcriptBytes(run2.tr)
 			if !bytes.Equal(b1, b2) {
 				verdict.add(KindDeterminism,
@@ -424,7 +434,7 @@ func Run(o Options) (*Report, error) {
 		}
 		if o.Shrink {
 			target := verdict.Violations[0].Kind
-			min, runs := shrinkEntry(sp.c.proto, out.proto, out.bound, entry, target, o.ShrinkMaxRuns)
+			min, runs := shrinkEntry(sp.c.proto, out.proto, out.bound, entry, target, o.ShrinkMaxRuns, o.Shards)
 			entry.MinSchedule = &min
 			entry.ShrinkRuns = runs
 			logf("shrunk %s seed=%d: %d -> %d actions in %d replays",
@@ -498,14 +508,14 @@ func transcriptBytes(tr *sim.Transcript) []byte {
 // returns its oracle verdict. Legality-kind targets replay strictly (the
 // schedule must reproduce the illegal action for the engine to reject);
 // everything else replays leniently so partial schedules stay legal.
-func scheduleVerdict(spec ProtoSpec, proto sim.Protocol, bound int, e *Entry, s sim.Schedule, strict bool) Verdict {
+func scheduleVerdict(spec ProtoSpec, proto sim.Protocol, bound int, e *Entry, s sim.Schedule, strict bool, shards int) Verdict {
 	var adv sim.Adversary
 	if strict {
 		adv = sim.NewStrictScheduleAdversary(s)
 	} else {
 		adv = sim.NewScheduleAdversary(s)
 	}
-	run := runOnce(spec, proto, bound, adv, e.N, e.T, e.Inputs, e.Seed, nil)
+	run := runOnce(spec, proto, bound, adv, e.N, e.T, e.Inputs, e.Seed, nil, shards)
 	return Check(CheckInput{
 		N: e.N, T: e.T, RoundBound: bound,
 		MonteCarlo: e.MonteCarlo,
@@ -513,10 +523,10 @@ func scheduleVerdict(spec ProtoSpec, proto sim.Protocol, bound int, e *Entry, s 
 	})
 }
 
-func shrinkEntry(spec ProtoSpec, proto sim.Protocol, bound int, e *Entry, target Kind, maxRuns int) (sim.Schedule, int) {
+func shrinkEntry(spec ProtoSpec, proto sim.Protocol, bound int, e *Entry, target Kind, maxRuns, shards int) (sim.Schedule, int) {
 	strict := target == KindLegality
 	return Shrink(e.Schedule, func(s sim.Schedule) bool {
-		return scheduleVerdict(spec, proto, bound, e, s, strict).Has(target)
+		return scheduleVerdict(spec, proto, bound, e, s, strict, shards).Has(target)
 	}, maxRuns)
 }
 
@@ -534,8 +544,17 @@ type ReplayResult struct {
 }
 
 // Replay re-executes a corpus entry from its recorded schedule and checks
-// that the violation reproduces and the transcript matches.
+// that the violation reproduces and the transcript matches. It runs on the
+// default engine; ReplayWith selects the execution mode.
 func Replay(e *Entry) (*ReplayResult, error) {
+	return ReplayWith(e, 0)
+}
+
+// ReplayWith is Replay on an explicit simulator execution mode (see
+// sim.Config.Shards). A corpus entry must reproduce identically on both
+// engines; the differential seed-corpus tests replay every committed
+// recording under both.
+func ReplayWith(e *Entry, shards int) (*ReplayResult, error) {
 	spec, err := FindProtocol(e.Protocol)
 	if err != nil {
 		return nil, err
@@ -554,7 +573,7 @@ func Replay(e *Entry) (*ReplayResult, error) {
 	} else {
 		adv = sim.NewScheduleAdversary(e.Schedule)
 	}
-	run := runOnce(spec, proto, bound, adv, e.N, e.T, e.Inputs, e.Seed, nil)
+	run := runOnce(spec, proto, bound, adv, e.N, e.T, e.Inputs, e.Seed, nil, shards)
 	verdict := Check(CheckInput{
 		N: e.N, T: e.T, RoundBound: bound,
 		MonteCarlo: e.MonteCarlo,

@@ -109,7 +109,7 @@ func TestFloodsetPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v := scheduleVerdict(spec, proto, bound, entry, *entry.MinSchedule, false); !v.Has(KindAgreement) {
+	if v := scheduleVerdict(spec, proto, bound, entry, *entry.MinSchedule, false, 0); !v.Has(KindAgreement) {
 		t.Fatalf("minimal schedule does not reproduce the agreement violation: %v", v.Violations)
 	}
 

@@ -184,6 +184,11 @@ type Config struct {
 	// boundaries with cost deltas, phase spans, corruptions, decisions)
 	// to its sink and populates Result.Series; see docs/OBSERVABILITY.md.
 	Trace *Tracer
+	// Shards selects the simulator execution mode: 0 runs a goroutine per
+	// process, -1 an auto-sized sharded worker pool, k > 0 exactly k shard
+	// workers. Results are byte-identical in every mode; see
+	// docs/PERFORMANCE.md.
+	Shards int
 	// PaperScale uses the paper's literal constants (Δ = 832 log n,
 	// 8 log n gossip rounds) instead of the simulation-scale defaults.
 	PaperScale bool
@@ -281,6 +286,7 @@ func (inst *Instance) Run(inputs []int, seed uint64, adv Adversary) (*Result, er
 		Adversary: adv,
 		MaxRounds: inst.maxRounds,
 		Trace:     inst.cfg.Trace,
+		Shards:    inst.cfg.Shards,
 	}, inst.protocol)
 }
 
