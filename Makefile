@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check soak vet torture fuzz bench bench-json benchcheck
+.PHONY: build test check soak vet torture fuzz bench bench-json benchcheck chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -46,9 +46,24 @@ benchcheck:
 
 # fuzz runs every native fuzz target for a bounded stretch: mutated
 # schedules through the replay adversary (engine must never panic, oracle
-# must never cry wolf) and the transcript codec round trip (the corpus
-# format must be stable).
+# must never cry wolf), the transcript codec round trip (the corpus
+# format must be stable) and journal recovery over damaged files (Open
+# must never panic, reject, or lose pre-damage records).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzScheduleReplay -fuzztime 30s ./internal/torture/
 	$(GO) test -run '^$$' -fuzz FuzzTranscriptRoundTrip -fuzztime 30s ./internal/sim/
 	$(GO) test -run '^$$' -fuzz FuzzPartitionInvariants -fuzztime 30s ./internal/partition/
+	$(GO) test -run '^$$' -fuzz FuzzJournalRecover -fuzztime 30s ./internal/journal/
+
+# chaos-smoke is the crash-recovery gate CI runs (docs/RESILIENCE.md): a
+# race-enabled torture campaign supervised under >= 10 SIGKILLs at seeded
+# random points plus journal-tail corruption, restarted with -resume, must
+# produce a report, log and corpus byte-identical to an uninterrupted run.
+chaos-smoke:
+	$(GO) build -race -o .chaos-smoke/torture ./cmd/torture
+	$(GO) run ./cmd/chaos -dir .chaos-smoke/run -kills 10 -stalls 2 \
+		-corrupt truncate-tail -corruptions 3 -ok-codes 0,1 \
+		-min-delay 20ms -max-delay 120ms -crash-budget 8 -verify -- \
+		.chaos-smoke/torture -trials 600 -seed 5 -protocols floodset,core \
+		-corpus '{dir}/corpus' -shrink -shrink-runs 40 -determinism 7 \
+		-workers 2 -journal '{dir}/campaign.wal' -resume

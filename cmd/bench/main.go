@@ -30,11 +30,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"testing"
 	"time"
 
@@ -48,6 +52,10 @@ const benchSchema = "omicon/bench-engine/v2"
 type benchFile struct {
 	Schema     string        `json:"schema"`
 	GoMaxProcs int           `json:"gomaxprocs"`
+	// Partial marks a baseline cut short by SIGINT/SIGTERM: the
+	// benchmarks measured before the interrupt are kept, the rest are
+	// absent. benchcheck refuses partial baselines.
+	Partial    bool          `json:"partial,omitempty"`
 	Benchmarks []benchResult `json:"benchmarks"`
 	Parallel   parallelBench `json:"parallel"`
 }
@@ -163,7 +171,10 @@ func measure(name, mode string, fn func(b *testing.B)) benchResult {
 	}
 }
 
-func engineBenchmarks(sizes, sparseSizes []int) []benchResult {
+// engineBenchmarks measures every (workload, mode, size) cell, checking
+// ctx between cells: an interrupt keeps the cells measured so far and
+// surfaces ctx.Err() so the caller can persist a partial baseline.
+func engineBenchmarks(ctx context.Context, sizes, sparseSizes []int) ([]benchResult, error) {
 	type def struct {
 		name    string
 		adv     sim.Adversary
@@ -179,6 +190,9 @@ func engineBenchmarks(sizes, sparseSizes []int) []benchResult {
 	for _, m := range modes {
 		for _, d := range defs {
 			for _, n := range sizes {
+				if err := ctx.Err(); err != nil {
+					return out, err
+				}
 				d, n, m := d, n, m
 				out = append(out, measure(fmt.Sprintf("%s/n=%d", d.name, n), m.label, func(b *testing.B) {
 					runProto(b, n, m.shards, d.adv, func(rounds int) sim.Protocol {
@@ -188,6 +202,9 @@ func engineBenchmarks(sizes, sparseSizes []int) []benchResult {
 			}
 		}
 		for _, n := range sparseSizes {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
 			n, m := n, m
 			out = append(out, measure(fmt.Sprintf("EngineRoundSparse/n=%d", n), m.label, func(b *testing.B) {
 				runProto(b, n, m.shards, nil, func(rounds int) sim.Protocol {
@@ -196,7 +213,7 @@ func engineBenchmarks(sizes, sparseSizes []int) []benchResult {
 			}))
 		}
 	}
-	return out
+	return out, nil
 }
 
 // measureParallel times `trials` independent consensus executions through
@@ -226,33 +243,46 @@ func run() error {
 	)
 	flag.Parse()
 
+	// SIGINT/SIGTERM stop between benchmark cells; the cells measured so
+	// far are written as a baseline marked "partial" and the exit code is
+	// 130.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	f := benchFile{Schema: benchSchema, GoMaxProcs: runtime.GOMAXPROCS(0)}
 
 	fmt.Fprintln(os.Stderr, "bench: measuring engine round benchmarks (both execution modes)...")
-	f.Benchmarks = engineBenchmarks([]int{16, 64, 256}, []int{1024, 4096})
+	benches, benchErr := engineBenchmarks(ctx, []int{16, 64, 256}, []int{1024, 4096})
+	f.Benchmarks = benches
+	if benchErr != nil && !errors.Is(benchErr, context.Canceled) {
+		return benchErr
+	}
 	for _, b := range f.Benchmarks {
 		fmt.Fprintf(os.Stderr, "  %-36s %-8s %12.0f ns/op %10d B/op %6d allocs/op\n",
 			b.Name, b.Mode, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
 	}
 
-	fmt.Fprintf(os.Stderr, "bench: measuring parallel runner (%d trials, n=%d, %d rounds)...\n",
-		*trials, *n, *rounds)
-	serial, err := measureParallel(*trials, 1, *n, *rounds)
-	if err != nil {
-		return err
+	if benchErr == nil && ctx.Err() == nil {
+		fmt.Fprintf(os.Stderr, "bench: measuring parallel runner (%d trials, n=%d, %d rounds)...\n",
+			*trials, *n, *rounds)
+		serial, err := measureParallel(*trials, 1, *n, *rounds)
+		if err != nil {
+			return err
+		}
+		parallel, err := measureParallel(*trials, f.GoMaxProcs, *n, *rounds)
+		if err != nil {
+			return err
+		}
+		f.Parallel = parallelBench{
+			Trials: *trials, Workers: f.GoMaxProcs,
+			TrialsPerSecSerial:   serial,
+			TrialsPerSecParallel: parallel,
+			Speedup:              parallel / serial,
+		}
+		fmt.Fprintf(os.Stderr, "  workers=1: %.1f trials/sec  workers=%d: %.1f trials/sec  speedup %.2fx\n",
+			serial, f.Parallel.Workers, parallel, f.Parallel.Speedup)
 	}
-	parallel, err := measureParallel(*trials, f.GoMaxProcs, *n, *rounds)
-	if err != nil {
-		return err
-	}
-	f.Parallel = parallelBench{
-		Trials: *trials, Workers: f.GoMaxProcs,
-		TrialsPerSecSerial:   serial,
-		TrialsPerSecParallel: parallel,
-		Speedup:              parallel / serial,
-	}
-	fmt.Fprintf(os.Stderr, "  workers=1: %.1f trials/sec  workers=%d: %.1f trials/sec  speedup %.2fx\n",
-		serial, f.Parallel.Workers, parallel, f.Parallel.Speedup)
+	f.Partial = ctx.Err() != nil
 
 	data, err := json.MarshalIndent(&f, "", "  ")
 	if err != nil {
@@ -260,18 +290,27 @@ func run() error {
 	}
 	data = append(data, '\n')
 	if *out == "" {
-		_, err = os.Stdout.Write(data)
-		return err
+		if _, err := os.Stdout.Write(data); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bench: wrote %s\n", *out)
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		return err
+	if f.Partial {
+		fmt.Fprintf(os.Stderr, "bench: interrupted after %d of the benchmark cells; baseline marked partial\n", len(f.Benchmarks))
+		return context.Canceled
 	}
-	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", *out)
 	return nil
 }
 
 func main() {
 	if err := run(); err != nil {
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}

@@ -28,6 +28,7 @@ const allocGrace = 4
 type benchFile struct {
 	Schema     string        `json:"schema"`
 	GoMaxProcs int           `json:"gomaxprocs"`
+	Partial    bool          `json:"partial,omitempty"`
 	Benchmarks []benchResult `json:"benchmarks"`
 	Parallel   parallelBench `json:"parallel"`
 }
@@ -70,6 +71,9 @@ func load(path string) (*benchFile, error) {
 	}
 	if f.Schema != benchSchema {
 		return nil, fmt.Errorf("%s: schema %q, want %q", path, f.Schema, benchSchema)
+	}
+	if f.Partial {
+		return nil, fmt.Errorf("%s: baseline is marked partial (bench run was interrupted); re-run cmd/bench to completion", path)
 	}
 	return &f, nil
 }

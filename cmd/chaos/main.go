@@ -1,0 +1,189 @@
+// Command chaos supervises a crash-recoverable campaign under injected
+// process-level faults: it runs the child command after "--" as its own
+// process group, SIGKILLs it at seeded random points (between trials,
+// mid-trial, or — with -corrupt truncate-tail — effectively inside a
+// journal append), injects SIGSTOP/SIGCONT stalls and journal corruption,
+// and restarts it until the campaign completes, with bounded exponential
+// backoff and a crash budget (docs/RESILIENCE.md).
+//
+// Occurrences of {dir} in the child argv are replaced by the scratch
+// directory, so the same template serves every run:
+//
+//	chaos -kills 10 -corrupt truncate-tail -corruptions 3 -ok-codes 0,1 \
+//	  -verify -- ./torture -trials 600 -seed 5 -protocols floodset,core \
+//	  -corpus {dir}/corpus -shrink -journal {dir}/campaign.wal -resume
+//
+// With -verify, the campaign runs twice — once untouched under {dir}/clean
+// and once chaos'd under {dir}/chaos — and the final report (stdout),
+// violation log (stderr, minus "journal:"/"chaos:" diagnostics) and every
+// artifact file (minus the journal itself) must match byte-for-byte.
+//
+// Exit status: 0 on success (and verification, if requested), 1 when the
+// supervisor gave up, too few kills landed, or verification failed, 2 on
+// usage errors.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"omicon/internal/chaos"
+)
+
+func main() {
+	code, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos:", err)
+	}
+	os.Exit(code)
+}
+
+func run() (int, error) {
+	var (
+		dir         = flag.String("dir", "", "scratch directory substituted for {dir} (default: a fresh temp dir)")
+		jpath       = flag.String("journal", "{dir}/campaign.wal", "child journal path ({dir} substituted); progress detection and corruption target")
+		seed        = flag.Uint64("seed", 1, "fault plan seed; same seed = same fault schedule")
+		kills       = flag.Int("kills", 5, "SIGKILLs to inject at random points")
+		stalls      = flag.Int("stalls", 0, "SIGSTOP/SIGCONT stalls to inject")
+		stallFor    = flag.Duration("stall-for", 100*time.Millisecond, "duration of each stall")
+		minDelay    = flag.Duration("min-delay", 20*time.Millisecond, "minimum delay before a fault fires")
+		maxDelay    = flag.Duration("max-delay", 150*time.Millisecond, "maximum delay before a fault fires")
+		corrupt     = flag.String("corrupt", "", "journal damage after kills: flip-tail | truncate-tail | readonly")
+		corruptions = flag.Int("corruptions", 0, "how many kills are followed by -corrupt damage")
+		budget      = flag.Int("crash-budget", 5, "consecutive no-progress deaths before giving up")
+		backoff     = flag.Duration("backoff", 50*time.Millisecond, "base restart backoff after a no-progress death")
+		backoffMax  = flag.Duration("backoff-max", 2*time.Second, "backoff ceiling")
+		okCodes     = flag.String("ok-codes", "0", "comma-separated child exit codes meaning the campaign finished")
+		requireKill = flag.Int("require-kills", -1, "fail unless at least this many kills landed (-1 = all planned kills)")
+		verify      = flag.Bool("verify", false, "also run the campaign cleanly and require byte-identical artifacts")
+		ignore      = flag.String("ignore", ".wal", "comma-separated artifact suffixes excluded from -verify dir comparison")
+		verbose     = flag.Bool("v", false, "stream child output")
+	)
+	flag.Parse()
+	argv := flag.Args()
+	if len(argv) == 0 {
+		return 2, fmt.Errorf("no child command; usage: chaos [flags] -- <command> [args with {dir}]")
+	}
+	codes, err := parseCodes(*okCodes)
+	if err != nil {
+		return 2, err
+	}
+	if *dir == "" {
+		tmp, err := os.MkdirTemp("", "chaos-")
+		if err != nil {
+			return 2, err
+		}
+		*dir = tmp
+		fmt.Fprintf(os.Stderr, "chaos: scratch dir %s\n", tmp)
+	}
+
+	plan := chaos.Plan{
+		Seed: *seed, Kills: *kills, Stalls: *stalls, StallFor: *stallFor,
+		MinDelay: *minDelay, MaxDelay: *maxDelay,
+		Corrupt: *corrupt, Corruptions: *corruptions,
+	}
+	wantKills := *requireKill
+	if wantKills < 0 {
+		wantKills = plan.Kills
+	}
+	supervise := func(runDir string, p chaos.Plan) (*chaos.Result, error) {
+		cfg := chaos.Config{
+			Argv:        argv,
+			Dir:         runDir,
+			JournalPath: chaos.ReplaceDir(*jpath, runDir),
+			Plan:        p,
+			CrashBudget: *budget,
+			BackoffBase: *backoff,
+			BackoffMax:  *backoffMax,
+			OKCodes:     codes,
+			Log:         os.Stderr,
+		}
+		if *verbose {
+			cfg.ChildOutput = os.Stderr
+		}
+		return chaos.Run(cfg)
+	}
+
+	if !*verify {
+		res, err := supervise(*dir, plan)
+		if err != nil {
+			return 1, err
+		}
+		if res.Kills < wantKills {
+			return 1, fmt.Errorf("only %d of %d required kills landed — campaign too short for the plan", res.Kills, wantKills)
+		}
+		os.Stdout.Write(res.FinalStdout)
+		return 0, nil
+	}
+
+	cleanDir := filepath.Join(*dir, "clean")
+	chaosDir := filepath.Join(*dir, "chaos")
+	fmt.Fprintf(os.Stderr, "chaos: reference run (no faults) in %s\n", cleanDir)
+	clean, err := supervise(cleanDir, chaos.Plan{})
+	if err != nil {
+		return 1, fmt.Errorf("reference run: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "chaos: chaos run in %s\n", chaosDir)
+	res, err := supervise(chaosDir, plan)
+	if err != nil {
+		return 1, err
+	}
+	if res.Kills < wantKills {
+		return 1, fmt.Errorf("only %d of %d required kills landed — campaign too short for the plan", res.Kills, wantKills)
+	}
+	if res.FinalExit != clean.FinalExit {
+		return 1, fmt.Errorf("verify: final exit %d, clean run exited %d", res.FinalExit, clean.FinalExit)
+	}
+	if want := chaos.NormalizePaths(clean.FinalStdout, cleanDir, chaosDir); !bytes.Equal(want, res.FinalStdout) {
+		return 1, fmt.Errorf("verify: report (stdout) diverged from clean run")
+	}
+	wantLog := chaos.StripLines(chaos.NormalizePaths(clean.FinalStderr, cleanDir, chaosDir), "journal:", "chaos:")
+	gotLog := chaos.StripLines(res.FinalStderr, "journal:", "chaos:")
+	if !bytes.Equal(wantLog, gotLog) {
+		return 1, fmt.Errorf("verify: campaign log (stderr) diverged from clean run")
+	}
+	suffixes := splitList(*ignore)
+	ignoreFn := func(rel string) bool {
+		for _, s := range suffixes {
+			if s != "" && strings.HasSuffix(rel, s) {
+				return true
+			}
+		}
+		return false
+	}
+	if err := chaos.DiffDirs(cleanDir, chaosDir, ignoreFn); err != nil {
+		return 1, fmt.Errorf("verify: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "chaos: verified byte-identical artifacts after %d kills, %d stalls, %d corruptions (%d attempts)\n",
+		res.Kills, res.Stalls, res.Corruptions, res.Attempts)
+	os.Stdout.Write(res.FinalStdout)
+	return 0, nil
+}
+
+func parseCodes(s string) ([]int, error) {
+	var out []int
+	for _, p := range splitList(s) {
+		c, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("invalid exit code %q", p)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

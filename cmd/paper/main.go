@@ -132,7 +132,7 @@ var quickScale = config{
 }
 
 func e1(w io.Writer, c config) error {
-	points, err := experiments.Thm1Sweep(c.e1Sizes, c.e1Seeds, 1, 0, shardsFlag)
+	points, err := experiments.Thm1Sweep(c.e1Sizes, c.e1Seeds, 1, experiments.Exec{Shards: shardsFlag})
 	if err != nil {
 		return err
 	}
@@ -154,7 +154,7 @@ func e1(w io.Writer, c config) error {
 
 func e2(w io.Writer, c config) error {
 	t := (c.e2N - 1) / 61
-	points, err := experiments.Thm3Sweep(c.e2N, t, c.e2Xs, c.e2Seeds, 1, false, 0, shardsFlag)
+	points, err := experiments.Thm3Sweep(c.e2N, t, c.e2Xs, c.e2Seeds, 1, false, experiments.Exec{Shards: shardsFlag})
 	if err != nil {
 		return err
 	}

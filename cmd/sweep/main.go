@@ -38,21 +38,29 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"omicon/internal/experiments"
+	"omicon/internal/journal"
 	"omicon/internal/stats"
 )
 
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
@@ -86,6 +94,8 @@ func run() error {
 		jsonPath = flag.String("json", "BENCH_sweep.json", "write machine-readable results to this file (empty = off)")
 		workers  = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS); results are identical at any width")
 		shards   = flag.Int("shards", 0, "simulator execution mode per trial (0 = goroutine per process, -1 = auto-sized sharded engine, k = k shard workers); results are identical in both modes")
+		jpath    = flag.String("journal", "", "journal completed trials to this write-ahead file; an interrupted sweep resumes from it (docs/RESILIENCE.md)")
+		resume   = flag.Bool("resume", false, "allow continuing from a non-empty journal; replayed trials are bitwise those of the original run")
 	)
 	flag.Parse()
 
@@ -94,8 +104,35 @@ func run() error {
 		return err
 	}
 
-	cells, err := experiments.Thm1Detailed(ns, *seeds, *base, *workers, *shards)
+	// SIGINT/SIGTERM cancel between trials: completed trials stay
+	// journaled, a partial message is printed, and the exit code is 130.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ex := experiments.Exec{Workers: *workers, Shards: *shards, Ctx: ctx}
+	if *jpath != "" {
+		j, info, err := journal.Open(*jpath)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		if j.Len() > 0 && !*resume {
+			return fmt.Errorf("journal %s already holds %d trials; pass -resume to continue that campaign or point -journal at a fresh file", *jpath, j.Len())
+		}
+		if info.DroppedBytes > 0 {
+			fmt.Fprintf(os.Stderr, "journal: recovered %s: dropped %d torn tail bytes (%s); lost trials will re-run\n", *jpath, info.DroppedBytes, info.TailError)
+		}
+		if j.Len() > 0 {
+			fmt.Fprintf(os.Stderr, "journal: resuming with %d journaled trials\n", j.Len())
+		}
+		ex.Journal = j
+	}
+
+	cells, err := experiments.Thm1Detailed(ns, *seeds, *base, ex)
 	if err != nil {
+		if errors.Is(err, context.Canceled) && *jpath != "" {
+			fmt.Fprintln(os.Stderr, "sweep: interrupted; journaled progress kept, re-run with -resume to continue")
+		}
 		return err
 	}
 	points := experiments.Worst(cells)

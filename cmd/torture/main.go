@@ -17,19 +17,32 @@
 // as <entry>.trace.jsonl. -cpuprofile and -memprofile write standard pprof
 // profiles of the campaign.
 //
+// Crash recovery (see docs/RESILIENCE.md): -journal appends every
+// completed trial to a CRC-framed write-ahead journal; a campaign killed
+// at any point — including mid-trial or mid-append — re-run with -resume
+// replays the journaled prefix and produces a report, log and corpus
+// byte-identical to an uninterrupted run. SIGINT/SIGTERM shut down
+// gracefully: in-flight trials finish journaling, the partial summary is
+// printed, and the exit code is 130.
+//
 // Exit status: 0 when every trial satisfied the oracle (or the replayed
 // entry reproduced), 1 on violations (or a failed replay), 2 on usage or
-// I/O errors.
+// I/O errors, 130 on interrupt.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
+	"omicon/internal/journal"
 	"omicon/internal/torture"
 	"omicon/internal/trace"
 )
@@ -60,6 +73,8 @@ func run() (int, error) {
 		memProfile  = flag.String("memprofile", "", "write a heap profile after the campaign to this file")
 		workers     = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS, 1 = serial); reports and corpora are identical at any width")
 		shards      = flag.Int("shards", 0, "simulator execution mode for every trial (0 = goroutine per process, -1 = sharded with GOMAXPROCS workers, k = sharded with k workers); artifacts are identical in both modes")
+		jpath       = flag.String("journal", "", "journal completed trials to this write-ahead file; a killed campaign resumes from it (docs/RESILIENCE.md)")
+		resume      = flag.Bool("resume", false, "allow continuing from a non-empty journal; replayed trials reproduce the original report, log and corpus bytes")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -112,6 +127,30 @@ func run() (int, error) {
 	if !*quiet {
 		opts.Log = os.Stderr
 	}
+
+	// SIGINT/SIGTERM cancel between trials: the journal and corpus are
+	// flushed, the partial summary prints, and the process exits 130.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opts.Ctx = ctx
+
+	if *jpath != "" {
+		j, info, err := journal.Open(*jpath)
+		if err != nil {
+			return 2, err
+		}
+		defer j.Close()
+		if j.Len() > 0 && !*resume {
+			return 2, fmt.Errorf("journal %s already holds %d records; pass -resume to continue that campaign or point -journal at a fresh file", *jpath, j.Len())
+		}
+		if info.DroppedBytes > 0 {
+			fmt.Fprintf(os.Stderr, "journal: recovered %s: dropped %d torn tail bytes (%s); lost trials will re-run\n", *jpath, info.DroppedBytes, info.TailError)
+		}
+		if j.Len() > 0 {
+			fmt.Fprintf(os.Stderr, "journal: resuming with %d journaled records\n", j.Len())
+		}
+		opts.Journal = j
+	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		if err != nil {
@@ -127,7 +166,19 @@ func run() (int, error) {
 	}
 	rep, err := torture.Run(opts)
 	if err != nil {
+		if rep != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			fmt.Print(rep.Summary())
+			hint := ""
+			if *jpath != "" {
+				hint = "; journaled progress kept, re-run with -resume to continue"
+			}
+			fmt.Fprintf(os.Stderr, "torture: interrupted after %d trials%s\n", rep.Trials, hint)
+			return 130, nil
+		}
 		return 2, err
+	}
+	if rep.Resumed > 0 {
+		fmt.Fprintf(os.Stderr, "journal: replayed %d journaled trials, ran %d live\n", rep.Resumed, rep.Trials-rep.Resumed)
 	}
 	fmt.Print(rep.Summary())
 	if rep.Violations > 0 {

@@ -72,7 +72,7 @@ func paramMode(n, t int, xsSpec string, seeds int, base uint64, stress bool, wor
 	// the round-robin cannot finish in its first phase, and spread
 	// inputs keep every group's electorate mixed; see
 	// internal/experiments.
-	points, err := experiments.Thm3Sweep(n, t, xs, seeds, base, stress, workers, shards)
+	points, err := experiments.Thm3Sweep(n, t, xs, seeds, base, stress, experiments.Exec{Workers: workers, Shards: shards})
 	if err != nil {
 		return err
 	}

@@ -19,6 +19,7 @@ func TestCommandSmoke(t *testing.T) {
 	transcript := filepath.Join(bin, "run.json")
 	traceFile := filepath.Join(bin, "run.trace.jsonl")
 	benchJSON := filepath.Join(bin, "BENCH_sweep.json")
+	walFile := filepath.Join(bin, "campaign.wal")
 
 	cases := []struct {
 		name   string
@@ -31,6 +32,8 @@ func TestCommandSmoke(t *testing.T) {
 		{"replay", []string{"-verify", "-shards", "4", transcript}, "verify: OK"},
 		{"tracelint", []string{traceFile}, "1 segments"},
 		{"torture", []string{"-trials", "50", "-seed", "1", "-q"}, "50 trials, 0 violations"},
+		{"torture", []string{"-trials", "50", "-seed", "1", "-q", "-journal", walFile}, "50 trials, 0 violations"},
+		{"torture", []string{"-trials", "50", "-seed", "1", "-q", "-journal", walFile, "-resume"}, "journal: replayed 50 journaled trials, ran 0 live"},
 		{"sweep", []string{"-sizes", "64", "-seeds", "1", "-json", benchJSON}, "wrote " + benchJSON},
 		{"tradeoff", []string{"-mode", "param", "-n", "64", "-x", "1,4", "-seeds", "1"}, "Thm 3"},
 		{"tradeoff", []string{"-mode", "lower", "-n", "32", "-t", "8", "-caps", "0,4", "-seeds", "1"}, "Thm 2"},
@@ -62,5 +65,28 @@ func TestCommandSmoke(t *testing.T) {
 		if !strings.Contains(string(out), c.marker) {
 			t.Fatalf("%s %v: output missing %q:\n%s", c.name, c.args, c.marker, out)
 		}
+	}
+
+	// cmd/chaos needs a campaign binary as its child, so it smokes after
+	// the table built cmd/torture: one SIGKILL into a short campaign,
+	// resumed to completion under the supervisor.
+	chaosBin := filepath.Join(bin, "chaos")
+	build := exec.Command("go", "build", "-o", chaosBin, "./cmd/chaos")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build chaos: %v\n%s", err, out)
+	}
+	chaosArgs := []string{
+		"-dir", filepath.Join(bin, "chaos-run"), "-kills", "1",
+		"-min-delay", "20ms", "-max-delay", "80ms", "-ok-codes", "0,1", "--",
+		built["torture"], "-trials", "120", "-seed", "5",
+		"-protocols", "floodset,core", "-corpus", "{dir}/corpus", "-q",
+		"-journal", "{dir}/campaign.wal", "-resume",
+	}
+	out, err := exec.Command(chaosBin, chaosArgs...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("chaos %v: %v\n%s", chaosArgs, err, out)
+	}
+	if !strings.Contains(string(out), "chaos: campaign finished") {
+		t.Fatalf("chaos: output missing completion marker:\n%s", out)
 	}
 }

@@ -1,0 +1,465 @@
+// Package chaos implements a process-level fault-injection supervisor
+// for crash-recovery testing: it runs a campaign binary as a child OS
+// process and kills it — SIGKILL at seeded random points, SIGSTOP/SIGCONT
+// stalls, journal corruption and write-failure injection between restarts
+// — then restarts it with its resume flags until the campaign completes.
+// The supervised campaign's final artifacts must be byte-identical to an
+// uninterrupted run's; the verification helpers in verify.go and the
+// cmd/chaos -verify mode assert exactly that (docs/RESILIENCE.md).
+//
+// Restarts follow a bounded exponential backoff, and a crash budget
+// bounds futility: a child that dies repeatedly *without journal
+// progress* is declared unrecoverable after Config.CrashBudget
+// consecutive no-progress deaths, producing a structured failure report
+// instead of an infinite crash loop. Deaths that made progress reset the
+// budget — a campaign advancing one trial per crash still converges.
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"omicon/internal/journal"
+)
+
+// Plan is the seeded fault schedule: everything the supervisor will do to
+// the child, derived deterministically from Seed so a chaos run can be
+// reproduced exactly.
+type Plan struct {
+	// Seed drives every random choice (fault delays, corruption
+	// positions). Same seed + same child timing = same fault schedule.
+	Seed uint64
+	// Kills is the number of SIGKILLs delivered to the child's process
+	// group, each after a uniform random delay in [MinDelay, MaxDelay) —
+	// landing at arbitrary points: between trials, mid-trial, or inside a
+	// journal append.
+	Kills int
+	// Stalls is the number of SIGSTOP/SIGCONT pauses (each StallFor
+	// long) injected before the kills are spent. Stalls don't terminate
+	// the child; they shake out wall-clock assumptions.
+	Stalls int
+	// StallFor is how long each stall suspends the child.
+	StallFor time.Duration
+	// MinDelay/MaxDelay bound the random delay before each fault fires,
+	// measured from child start (or from the previous fault in the same
+	// attempt).
+	MinDelay, MaxDelay time.Duration
+	// Corrupt selects the journal damage applied after each of the first
+	// Corruptions kills: "flip-tail" XORs a byte inside the journal's
+	// final record (a bit-rotted tail the CRC must catch),
+	// "truncate-tail" chops a random number of bytes off the end (a torn
+	// append), "readonly" makes the journal unwritable for one attempt (a
+	// write-failure stand-in for a full disk; restored afterwards).
+	Corrupt string
+	// Corruptions caps how many kills are followed by corruption.
+	Corruptions int
+}
+
+// Config configures one supervised campaign.
+type Config struct {
+	// Argv is the child command line. Occurrences of "{dir}" in any
+	// element are replaced by Dir, so one template serves scratch
+	// directories chosen at run time. The command must be restartable:
+	// include the campaign's -journal <path> -resume flags.
+	Argv []string
+	// Dir is the artifact scratch directory substituted for {dir}.
+	Dir string
+	// JournalPath is the child's write-ahead journal: the supervisor
+	// measures progress by its growth and targets it for corruption.
+	JournalPath string
+	// Plan is the fault schedule.
+	Plan Plan
+	// CrashBudget is the number of consecutive no-progress deaths after
+	// which the supervisor gives up (default 5). Progress resets it.
+	CrashBudget int
+	// BackoffBase/BackoffMax bound the exponential restart backoff
+	// applied after no-progress deaths (defaults 50ms / 2s). Deaths with
+	// progress restart immediately.
+	BackoffBase, BackoffMax time.Duration
+	// OKCodes are child exit codes that mean "campaign finished" (default
+	// {0}). A torture campaign that found violations exits 1 and is still
+	// finished; pass {0, 1}.
+	OKCodes []int
+	// Log receives supervisor diagnostics, every line prefixed "chaos:".
+	// Nil discards them.
+	Log io.Writer
+	// ChildOutput, when set, additionally receives the child's combined
+	// stdout/stderr live (for debugging; the final attempt's output is
+	// always captured in Result).
+	ChildOutput io.Writer
+}
+
+// Result summarizes a supervised campaign.
+type Result struct {
+	// Attempts is the number of times the child was started.
+	Attempts int
+	// Kills, Stalls and Corruptions count the faults actually injected
+	// (a campaign can finish before the plan is spent).
+	Kills, Stalls, Corruptions int
+	// FinalExit is the last child exit code.
+	FinalExit int
+	// FinalStdout/FinalStderr are the last attempt's output. A resumed
+	// campaign replays its journaled trials through the same logging
+	// path, so after success the final attempt alone carries the
+	// complete campaign log.
+	FinalStdout, FinalStderr []byte
+}
+
+// FailureReport is the structured give-up artifact, written to
+// Dir/chaos-failure.json when the crash budget is exhausted.
+type FailureReport struct {
+	Schema          string   `json:"schema"` // "omicon/chaos-failure/v1"
+	Argv            []string `json:"argv"`
+	Attempts        int      `json:"attempts"`
+	NoProgressDeath int      `json:"noProgressDeaths"`
+	LastExitCode    int      `json:"lastExitCode"`
+	LastStderrTail  string   `json:"lastStderrTail"`
+	JournalRecords  int      `json:"journalRecords"`
+}
+
+// FailureReportName is the file the give-up report is written to, under
+// Config.Dir.
+const FailureReportName = "chaos-failure.json"
+
+type faultKind int
+
+const (
+	faultKill faultKind = iota
+	faultStall
+)
+
+type fault struct {
+	kind  faultKind
+	delay time.Duration
+}
+
+// Run supervises the campaign to completion, injecting the plan's faults.
+// It returns an error (alongside the partial result) when the crash
+// budget is exhausted or the supervisor itself fails; a campaign that
+// finishes with an OKCodes exit returns nil.
+func Run(cfg Config) (*Result, error) {
+	if cfg.CrashBudget <= 0 {
+		cfg.CrashBudget = 5
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 50 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 2 * time.Second
+	}
+	if len(cfg.OKCodes) == 0 {
+		cfg.OKCodes = []int{0}
+	}
+	if cfg.Plan.MaxDelay <= cfg.Plan.MinDelay {
+		cfg.Plan.MaxDelay = cfg.Plan.MinDelay + time.Millisecond
+	}
+	argv := make([]string, len(cfg.Argv))
+	for i, a := range cfg.Argv {
+		argv[i] = ReplaceDir(a, cfg.Dir)
+	}
+	if len(argv) == 0 {
+		return nil, fmt.Errorf("chaos: empty child argv")
+	}
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("chaos: scratch dir: %w", err)
+		}
+	}
+
+	s := &supervisor{cfg: cfg, argv: argv, rng: rand.New(rand.NewSource(int64(cfg.Plan.Seed)))}
+	// Expand the plan into a deterministic fault queue: the stalls are
+	// spread among the kills by seeded shuffle, so their relative order
+	// is part of the plan.
+	for i := 0; i < cfg.Plan.Kills; i++ {
+		s.faults = append(s.faults, fault{kind: faultKill})
+	}
+	for i := 0; i < cfg.Plan.Stalls; i++ {
+		s.faults = append(s.faults, fault{kind: faultStall})
+	}
+	s.rng.Shuffle(len(s.faults), func(i, j int) { s.faults[i], s.faults[j] = s.faults[j], s.faults[i] })
+	for i := range s.faults {
+		span := cfg.Plan.MaxDelay - cfg.Plan.MinDelay
+		s.faults[i].delay = cfg.Plan.MinDelay + time.Duration(s.rng.Int63n(int64(span)))
+	}
+	return s.run()
+}
+
+// ReplaceDir substitutes the {dir} placeholder in a child argv element.
+func ReplaceDir(arg, dir string) string {
+	return replaceAll(arg, "{dir}", dir)
+}
+
+func replaceAll(s, old, new string) string {
+	return string(bytes.ReplaceAll([]byte(s), []byte(old), []byte(new)))
+}
+
+type supervisor struct {
+	cfg    Config
+	argv   []string
+	rng    *rand.Rand
+	faults []fault
+	res    Result
+}
+
+func (s *supervisor) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		fmt.Fprintf(s.cfg.Log, "chaos: "+format+"\n", args...)
+	}
+}
+
+// progressMarker measures journal progress: the number of valid record
+// lines when the file parses as a journal, else its raw size. Growth in
+// either means the child got further than last time.
+func (s *supervisor) progressMarker() int64 {
+	if s.cfg.JournalPath == "" {
+		return 0
+	}
+	if _, info, err := journal.Scan(s.cfg.JournalPath); err == nil {
+		return int64(info.Lines)
+	}
+	st, err := os.Stat(s.cfg.JournalPath)
+	if err != nil {
+		return 0
+	}
+	return st.Size()
+}
+
+func (s *supervisor) run() (*Result, error) {
+	noProgress := 0
+	restoreMode := false // journal was made read-only for this attempt
+	for {
+		before := s.progressMarker()
+		exit, killed, err := s.attempt()
+		if err != nil {
+			return &s.res, err
+		}
+		if restoreMode {
+			os.Chmod(s.cfg.JournalPath, 0o644)
+			restoreMode = false
+		}
+		if !killed {
+			for _, ok := range s.cfg.OKCodes {
+				if exit == ok {
+					s.res.FinalExit = exit
+					s.logf("campaign finished (exit %d) after %d attempts, %d kills, %d stalls, %d corruptions",
+						exit, s.res.Attempts, s.res.Kills, s.res.Stalls, s.res.Corruptions)
+					return &s.res, nil
+				}
+			}
+		}
+		after := s.progressMarker()
+		progressed := after > before
+		if progressed {
+			noProgress = 0
+		} else {
+			noProgress++
+		}
+		s.logf("child died (exit %d, killed=%v), journal %d -> %d, no-progress streak %d/%d",
+			exit, killed, before, after, noProgress, s.cfg.CrashBudget)
+		if noProgress >= s.cfg.CrashBudget {
+			rep := s.failureReport(exit, noProgress)
+			s.writeFailureReport(rep)
+			return &s.res, fmt.Errorf("chaos: giving up after %d consecutive no-progress deaths (%d attempts total); see %s",
+				noProgress, s.res.Attempts, filepath.Join(s.cfg.Dir, FailureReportName))
+		}
+
+		// Corruption injection: damage the journal the way a dying disk
+		// or torn write would, before the child gets to recover it.
+		if killed && s.cfg.Plan.Corrupt != "" && s.res.Corruptions < s.cfg.Plan.Corruptions {
+			mode := s.cfg.Plan.Corrupt
+			if err := s.corrupt(mode); err != nil {
+				s.logf("corruption (%s) skipped: %v", mode, err)
+			} else {
+				s.res.Corruptions++
+				restoreMode = mode == "readonly"
+				s.logf("injected journal corruption: %s", mode)
+			}
+		}
+
+		if !progressed {
+			backoff := s.cfg.BackoffBase << (noProgress - 1)
+			if backoff > s.cfg.BackoffMax {
+				backoff = s.cfg.BackoffMax
+			}
+			s.logf("backing off %s before restart", backoff)
+			time.Sleep(backoff)
+		}
+	}
+}
+
+// attempt starts the child once and supervises it until it exits —
+// naturally or by an injected kill. Faults are consumed from the plan
+// queue; stalls suspend and resume the child, kills end the attempt.
+func (s *supervisor) attempt() (exit int, killed bool, err error) {
+	cmd := exec.Command(s.argv[0], s.argv[1:]...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if s.cfg.ChildOutput != nil {
+		cmd.Stdout = io.MultiWriter(&stdout, s.cfg.ChildOutput)
+		cmd.Stderr = io.MultiWriter(&stderr, s.cfg.ChildOutput)
+	}
+	// The child gets its own process group so an injected SIGKILL takes
+	// down any helpers it spawned, exactly like the OOM killer would.
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+	if err := cmd.Start(); err != nil {
+		return 0, false, fmt.Errorf("chaos: start child: %w", err)
+	}
+	s.res.Attempts++
+	pgid := cmd.Process.Pid
+
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+
+	finish := func(werr error) int {
+		if werr == nil {
+			return 0
+		}
+		if ee, ok := werr.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		return -1
+	}
+
+	for {
+		if len(s.faults) == 0 {
+			werr := <-done
+			s.res.FinalStdout = stdout.Bytes()
+			s.res.FinalStderr = stderr.Bytes()
+			return finish(werr), false, nil
+		}
+		f := s.faults[0]
+		timer := time.NewTimer(f.delay)
+		select {
+		case werr := <-done:
+			timer.Stop()
+			// Child exited before the fault fired: the fault stays
+			// queued for the next attempt (a finished campaign simply
+			// leaves the plan unspent).
+			s.res.FinalStdout = stdout.Bytes()
+			s.res.FinalStderr = stderr.Bytes()
+			return finish(werr), false, nil
+		case <-timer.C:
+			s.faults = s.faults[1:]
+			switch f.kind {
+			case faultStall:
+				s.res.Stalls++
+				s.logf("SIGSTOP for %s after %s", s.cfg.Plan.StallFor, f.delay)
+				syscall.Kill(-pgid, syscall.SIGSTOP)
+				time.Sleep(s.cfg.Plan.StallFor)
+				syscall.Kill(-pgid, syscall.SIGCONT)
+				// Keep supervising this attempt with the next fault.
+			case faultKill:
+				s.res.Kills++
+				s.logf("SIGKILL after %s", f.delay)
+				syscall.Kill(-pgid, syscall.SIGKILL)
+				werr := <-done
+				s.res.FinalStdout = stdout.Bytes()
+				s.res.FinalStderr = stderr.Bytes()
+				return finish(werr), true, nil
+			}
+		}
+	}
+}
+
+// corrupt damages the journal per mode; see Plan.Corrupt.
+func (s *supervisor) corrupt(mode string) error {
+	path := s.cfg.JournalPath
+	if path == "" {
+		return fmt.Errorf("no journal path configured")
+	}
+	switch mode {
+	case "flip-tail":
+		return flipTailByte(path, s.rng)
+	case "truncate-tail":
+		return truncateTail(path, s.rng)
+	case "readonly":
+		return os.Chmod(path, 0o444)
+	default:
+		return fmt.Errorf("unknown corruption mode %q", mode)
+	}
+}
+
+// flipTailByte XORs one byte inside the journal's final line, so only the
+// tail record is damaged: recovery must drop exactly that record and the
+// campaign must re-run its trial.
+func flipTailByte(path string, rng *rand.Rand) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	start, end := lastLine(data)
+	if end <= start {
+		return fmt.Errorf("journal has no tail line")
+	}
+	data[start+rng.Intn(end-start)] ^= 0x20
+	return os.WriteFile(path, data, 0o644)
+}
+
+// truncateTail chops a random strict prefix of the final line's length
+// off the file — precisely what a SIGKILL inside the journal append
+// leaves behind.
+func truncateTail(path string, rng *rand.Rand) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	start, _ := lastLine(data)
+	tail := len(data) - start
+	if tail <= 1 {
+		return fmt.Errorf("journal has no tail line")
+	}
+	cut := 1 + rng.Intn(tail-1)
+	return os.WriteFile(path, data[:len(data)-cut], 0o644)
+}
+
+// lastLine locates the final non-empty line: [start, end) excludes the
+// trailing newline if present.
+func lastLine(data []byte) (start, end int) {
+	end = len(data)
+	if end > 0 && data[end-1] == '\n' {
+		end--
+	}
+	start = bytes.LastIndexByte(data[:end], '\n') + 1
+	return start, end
+}
+
+func (s *supervisor) failureReport(lastExit, noProgress int) FailureReport {
+	tail := s.res.FinalStderr
+	if len(tail) > 2048 {
+		tail = tail[len(tail)-2048:]
+	}
+	records := 0
+	if _, info, err := journal.Scan(s.cfg.JournalPath); err == nil {
+		records = info.Records
+	}
+	return FailureReport{
+		Schema:          "omicon/chaos-failure/v1",
+		Argv:            s.argv,
+		Attempts:        s.res.Attempts,
+		NoProgressDeath: noProgress,
+		LastExitCode:    lastExit,
+		LastStderrTail:  string(tail),
+		JournalRecords:  records,
+	}
+}
+
+func (s *supervisor) writeFailureReport(rep FailureReport) {
+	if s.cfg.Dir == "" {
+		return
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return
+	}
+	os.MkdirAll(s.cfg.Dir, 0o755)
+	os.WriteFile(filepath.Join(s.cfg.Dir, FailureReportName), append(data, '\n'), 0o644)
+}

@@ -1,0 +1,217 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// shChild builds a Config whose child is a shell one-liner; the unit
+// tests drive the supervisor with tiny scripts instead of real
+// campaigns.
+func shChild(dir, script string) Config {
+	return Config{
+		Argv:        []string{"sh", "-c", ReplaceDir(script, dir)},
+		Dir:         dir,
+		JournalPath: filepath.Join(dir, "j"),
+	}
+}
+
+func TestChildSucceedsWithoutFaults(t *testing.T) {
+	cfg := shChild(t.TempDir(), "echo done-$((40+2))")
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalExit != 0 || res.Attempts != 1 {
+		t.Fatalf("exit %d after %d attempts", res.FinalExit, res.Attempts)
+	}
+	if !bytes.Contains(res.FinalStdout, []byte("done-42")) {
+		t.Fatalf("stdout %q", res.FinalStdout)
+	}
+}
+
+// TestCrashBudgetGivesUp: a child that always dies without touching the
+// journal exhausts the crash budget and produces the structured failure
+// report.
+func TestCrashBudgetGivesUp(t *testing.T) {
+	dir := t.TempDir()
+	cfg := shChild(dir, "exit 3")
+	cfg.CrashBudget = 3
+	cfg.BackoffBase = time.Millisecond
+	cfg.BackoffMax = 2 * time.Millisecond
+	res, err := Run(cfg)
+	if err == nil {
+		t.Fatal("supervisor did not give up")
+	}
+	if res.Attempts != 3 {
+		t.Fatalf("attempts %d, want 3", res.Attempts)
+	}
+	data, rerr := os.ReadFile(filepath.Join(dir, FailureReportName))
+	if rerr != nil {
+		t.Fatalf("failure report: %v", rerr)
+	}
+	var rep FailureReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "omicon/chaos-failure/v1" || rep.LastExitCode != 3 || rep.Attempts != 3 {
+		t.Fatalf("report %+v", rep)
+	}
+}
+
+// TestProgressResetsCrashBudget: a child that grows the journal every
+// run and then dies keeps getting restarted — deaths with progress never
+// count against the budget — until it finally finishes.
+func TestProgressResetsCrashBudget(t *testing.T) {
+	dir := t.TempDir()
+	// Appends a line each run; exits 7 until the 6th run, then succeeds.
+	script := `echo x >> {dir}/j; [ "$(wc -l < {dir}/j)" -ge 6 ] && exit 0; exit 7`
+	cfg := shChild(dir, script)
+	cfg.CrashBudget = 2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 6 || res.FinalExit != 0 {
+		t.Fatalf("attempts %d exit %d", res.Attempts, res.FinalExit)
+	}
+}
+
+// TestKillAndRecover: the supervisor SIGKILLs a sleeping child, then the
+// restart runs to completion and the kill is accounted.
+func TestKillAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	cfg := shChild(dir, "echo x >> {dir}/j; sleep 0.4; exit 0")
+	cfg.Plan = Plan{Seed: 1, Kills: 1, MinDelay: 30 * time.Millisecond, MaxDelay: 60 * time.Millisecond}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kills != 1 {
+		t.Fatalf("kills %d, want 1", res.Kills)
+	}
+	if res.Attempts != 2 || res.FinalExit != 0 {
+		t.Fatalf("attempts %d exit %d", res.Attempts, res.FinalExit)
+	}
+}
+
+// TestStallDoesNotKill: a SIGSTOP/SIGCONT stall pauses the child but the
+// same attempt still runs to completion.
+func TestStallDoesNotKill(t *testing.T) {
+	dir := t.TempDir()
+	cfg := shChild(dir, "sleep 0.2; echo ok-$((40+2))")
+	cfg.Plan = Plan{Seed: 1, Stalls: 1, StallFor: 50 * time.Millisecond,
+		MinDelay: 20 * time.Millisecond, MaxDelay: 40 * time.Millisecond}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stalls != 1 || res.Attempts != 1 || res.FinalExit != 0 {
+		t.Fatalf("%+v", res)
+	}
+	if !bytes.Contains(res.FinalStdout, []byte("ok-42")) {
+		t.Fatalf("stdout %q", res.FinalStdout)
+	}
+}
+
+func TestOKCodesAcceptViolationExit(t *testing.T) {
+	cfg := shChild(t.TempDir(), "exit 1")
+	cfg.OKCodes = []int{0, 1}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalExit != 1 || res.Attempts != 1 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestFlipTailByteDamagesOnlyLastLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	orig := []byte("line-one\nline-two\nline-three\n")
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := flipTailByte(path, rand.New(rand.NewSource(7))); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if bytes.Equal(got, orig) {
+		t.Fatal("nothing flipped")
+	}
+	if !bytes.HasPrefix(got, []byte("line-one\nline-two\n")) {
+		t.Fatalf("flip escaped the tail line: %q", got)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("length changed: %d vs %d", len(got), len(orig))
+	}
+}
+
+func TestTruncateTailCutsWithinLastLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	orig := []byte("keep-me\nvictim-line\n")
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := truncateTail(path, rand.New(rand.NewSource(3))); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if len(got) >= len(orig) {
+		t.Fatal("nothing truncated")
+	}
+	if !bytes.HasPrefix(got, []byte("keep-me\n")) {
+		t.Fatalf("truncation ate earlier lines: %q", got)
+	}
+}
+
+func TestStripLines(t *testing.T) {
+	in := []byte("journal: resuming\nFAIL trial 3\nchaos: SIGKILL\nok\n")
+	got := string(StripLines(in, "journal:", "chaos:"))
+	if got != "FAIL trial 3\nok\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestNormalizePaths(t *testing.T) {
+	in := []byte("wrote /tmp/chaos-dir/corpus/x.json")
+	got := string(NormalizePaths(in, "/tmp/chaos-dir", "/tmp/clean-dir"))
+	if got != "wrote /tmp/clean-dir/corpus/x.json" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestDiffDirs(t *testing.T) {
+	a, b := t.TempDir(), t.TempDir()
+	write := func(dir, rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(a, "corpus/x.json", "same")
+	write(b, "corpus/x.json", "same")
+	write(a, "campaign.wal", "journal-a")
+	write(b, "campaign.wal", "journal-b")
+	ignore := func(rel string) bool { return strings.HasSuffix(rel, ".wal") }
+	if err := DiffDirs(a, b, ignore); err != nil {
+		t.Fatalf("identical trees diffed: %v", err)
+	}
+	if err := DiffDirs(a, b, nil); err == nil {
+		t.Fatal("journal difference not detected without ignore")
+	}
+	write(b, "corpus/extra.json", "x")
+	if err := DiffDirs(a, b, ignore); err == nil {
+		t.Fatal("extra file not detected")
+	}
+}

@@ -1,0 +1,100 @@
+package chaos
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestChaosSoakTortureByteIdentical is the PR's acceptance soak: a real
+// torture campaign supervised under 10 SIGKILLs at seeded random points
+// (landing between trials, mid-trial and — via truncate-tail corruption —
+// mid-journal-append), plus stalls, resumed after every death, must end
+// with a report, violation log and corpus byte-identical to one
+// uninterrupted run.
+func TestChaosSoakTortureByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test; -short skips")
+	}
+	root := t.TempDir()
+	bin := filepath.Join(root, "torture")
+	build := exec.Command("go", "build", "-o", bin, "omicon/cmd/torture")
+	build.Dir = "../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build torture: %v\n%s", err, out)
+	}
+
+	argv := []string{bin,
+		"-trials", "600", "-seed", "5",
+		"-protocols", "floodset,core",
+		"-corpus", "{dir}/corpus",
+		"-shrink", "-shrink-runs", "40",
+		"-determinism", "7",
+		"-workers", "2",
+		"-journal", "{dir}/campaign.wal", "-resume",
+	}
+	run := func(dir string, plan Plan) *Result {
+		t.Helper()
+		res, err := Run(Config{
+			Argv:        argv,
+			Dir:         dir,
+			JournalPath: filepath.Join(dir, "campaign.wal"),
+			Plan:        plan,
+			CrashBudget: 8,
+			OKCodes:     []int{0, 1},
+		})
+		if err != nil {
+			t.Fatalf("chaos run in %s: %v", dir, err)
+		}
+		return res
+	}
+
+	cleanDir := filepath.Join(root, "clean")
+	clean := run(cleanDir, Plan{})
+	if clean.FinalExit != 1 {
+		t.Fatalf("clean campaign exit %d, want 1 (floodset violations expected)", clean.FinalExit)
+	}
+
+	chaosDir := filepath.Join(root, "chaos")
+	plan := Plan{
+		Seed:     11,
+		Kills:    10,
+		Stalls:   2,
+		StallFor: 40 * time.Millisecond,
+		MinDelay: 20 * time.Millisecond,
+		MaxDelay: 100 * time.Millisecond,
+		// Truncating the journal tail between restarts is exactly the
+		// file state a SIGKILL inside a journal append leaves behind.
+		Corrupt:     "truncate-tail",
+		Corruptions: 3,
+	}
+	chaosRes := run(chaosDir, plan)
+	if chaosRes.Kills != plan.Kills {
+		t.Fatalf("only %d of %d kills injected — campaign too short for the plan", chaosRes.Kills, plan.Kills)
+	}
+	if chaosRes.FinalExit != clean.FinalExit {
+		t.Fatalf("final exit %d, clean exit %d", chaosRes.FinalExit, clean.FinalExit)
+	}
+	t.Logf("chaos: %d attempts, %d kills, %d stalls, %d corruptions", chaosRes.Attempts, chaosRes.Kills, chaosRes.Stalls, chaosRes.Corruptions)
+
+	// The report (stdout) and violation log (stderr) of the final resumed
+	// attempt must match the clean run byte-for-byte, modulo the scratch
+	// directory embedded in paths and the resilience machinery's own
+	// stderr diagnostics.
+	wantOut := NormalizePaths(clean.FinalStdout, cleanDir, chaosDir)
+	if !bytes.Equal(wantOut, chaosRes.FinalStdout) {
+		t.Fatalf("report diverged:\n--- clean ---\n%s--- chaos ---\n%s", wantOut, chaosRes.FinalStdout)
+	}
+	wantLog := StripLines(NormalizePaths(clean.FinalStderr, cleanDir, chaosDir), "journal:", "chaos:")
+	gotLog := StripLines(chaosRes.FinalStderr, "journal:", "chaos:")
+	if !bytes.Equal(wantLog, gotLog) {
+		t.Fatalf("log diverged:\n--- clean ---\n%s--- chaos ---\n%s", wantLog, gotLog)
+	}
+	ignore := func(rel string) bool { return strings.HasSuffix(rel, ".wal") }
+	if err := DiffDirs(cleanDir, chaosDir, ignore); err != nil {
+		t.Fatalf("corpus diverged: %v", err)
+	}
+}

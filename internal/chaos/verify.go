@@ -1,0 +1,124 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// NormalizePaths rewrites one artifact directory prefix to another, so
+// text artifacts that embed absolute paths (campaign summaries, log
+// lines naming corpus files) compare byte-for-byte across scratch
+// directories.
+func NormalizePaths(b []byte, from, to string) []byte {
+	if from == "" || from == to {
+		return b
+	}
+	return bytes.ReplaceAll(b, []byte(from), []byte(to))
+}
+
+// StripLines drops lines starting with any of the prefixes — the
+// resilience machinery's own diagnostics ("journal:", "chaos:",
+// "torture: interrupted") are not part of the campaign's artifact
+// contract and differ between a clean and a chaos'd run by design.
+func StripLines(b []byte, prefixes ...string) []byte {
+	if len(b) == 0 {
+		return b
+	}
+	var out bytes.Buffer
+	for _, line := range bytes.SplitAfter(b, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		drop := false
+		for _, p := range prefixes {
+			if bytes.HasPrefix(line, []byte(p)) {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			out.Write(line)
+		}
+	}
+	return out.Bytes()
+}
+
+// DiffDirs compares two directory trees byte-for-byte, ignoring relative
+// paths for which ignore returns true (the journal itself, whose byte
+// layout legitimately differs between a clean and a crash-recovered
+// campaign). It returns nil when the trees are identical; the error
+// names the first divergence. A missing directory compares as empty.
+func DiffDirs(wantDir, gotDir string, ignore func(rel string) bool) error {
+	want, err := dirFiles(wantDir, ignore)
+	if err != nil {
+		return err
+	}
+	got, err := dirFiles(gotDir, ignore)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(want))
+	for rel := range want {
+		names = append(names, rel)
+	}
+	sort.Strings(names)
+	for _, rel := range names {
+		g, ok := got[rel]
+		if !ok {
+			return fmt.Errorf("artifact %s present in %s but missing in %s", rel, wantDir, gotDir)
+		}
+		if !bytes.Equal(want[rel], g) {
+			return fmt.Errorf("artifact %s differs (%d bytes vs %d)", rel, len(want[rel]), len(g))
+		}
+	}
+	for rel := range got {
+		if _, ok := want[rel]; !ok {
+			return fmt.Errorf("artifact %s present in %s but missing in %s", rel, gotDir, wantDir)
+		}
+	}
+	return nil
+}
+
+func dirFiles(dir string, ignore func(rel string) bool) (map[string][]byte, error) {
+	out := map[string][]byte{}
+	if dir == "" {
+		return out, nil
+	}
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) && path == dir {
+				return filepath.SkipAll
+			}
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		if ignore != nil && ignore(rel) {
+			return nil
+		}
+		// Atomic-write temp files left by a kill are not artifacts.
+		if strings.HasPrefix(filepath.Base(rel), ".") && strings.Contains(rel, ".tmp-") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		out[rel] = data
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

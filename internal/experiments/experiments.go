@@ -7,17 +7,64 @@
 package experiments
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 
 	"omicon/internal/adversary"
 	"omicon/internal/core"
+	"omicon/internal/journal"
 	"omicon/internal/metrics"
 	"omicon/internal/paramomissions"
 	"omicon/internal/partrial"
 	"omicon/internal/sim"
 	"omicon/internal/stats"
 )
+
+// Exec bundles the cross-cutting execution knobs every sweep shares:
+// trial-level parallelism, the simulator execution mode, cancellation and
+// the durable trial journal. The zero value runs serially-auto (workers =
+// GOMAXPROCS), on the default engine, uncancellable and unjournaled —
+// exactly the old behaviour.
+type Exec struct {
+	// Workers sizes the partrial pool (<= 0 selects GOMAXPROCS). Results
+	// are byte-identical at any width.
+	Workers int
+	// Shards selects the simulator execution mode per trial
+	// (sim.Config.Shards). Results are byte-identical in both modes.
+	Shards int
+	// Ctx, when set, cancels the sweep between trials; completed trials
+	// keep their journal records, so a later run resumes them. The
+	// returned error wraps context.Canceled.
+	Ctx context.Context
+	// Journal, when set, records every completed trial keyed by a content
+	// hash of its inputs and replays journaled trials on a later run
+	// instead of re-executing them — measurements are replayed bitwise,
+	// so resumed sweep outputs are byte-identical to uninterrupted ones
+	// (docs/RESILIENCE.md).
+	Journal *journal.Journal
+}
+
+func (e Exec) context() context.Context {
+	if e.Ctx == nil {
+		return context.Background()
+	}
+	return e.Ctx
+}
+
+// lookupTrial fetches and decodes a journaled measurement into out,
+// reporting whether the trial can be skipped.
+func lookupTrial[T any](j *journal.Journal, key string, out *T) bool {
+	if j == nil {
+		return false
+	}
+	raw, ok := j.Lookup(key)
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(raw, out) == nil
+}
 
 // spreadInputs distributes `ones` ones evenly over the id space, avoiding
 // accidental alignment with the consecutive-block decompositions.
@@ -98,11 +145,16 @@ type SweepCell struct {
 // before it — which is also what makes the output independent of the
 // worker count: cells and samples are byte-identical at any width.
 //
-// shards selects the simulator execution mode inside each trial
-// (sim.Config.Shards); results are byte-identical in both modes, so it —
-// like workers — changes only wall-clock time. partrial.Budget resolves
-// the two knobs jointly for auto settings.
-func Thm1Detailed(sizes []int, seeds int, baseSeed uint64, workers, shards int) ([]SweepCell, error) {
+// ex bundles the execution knobs (Exec zero value = old serial
+// behaviour): ex.Shards selects the simulator execution mode inside each
+// trial (sim.Config.Shards); results are byte-identical in both modes, so
+// it — like Workers — changes only wall-clock time. partrial.Budget
+// resolves the two knobs jointly for auto settings. With ex.Journal set,
+// completed samples are journaled under a content hash of the trial
+// inputs and replayed bitwise on a later run; with ex.Ctx set, the sweep
+// stops between trials on cancellation, keeping journaled progress.
+func Thm1Detailed(sizes []int, seeds int, baseSeed uint64, ex Exec) ([]SweepCell, error) {
+	ctx := ex.context()
 	cells := make([]SweepCell, 0, len(sizes))
 	for _, n := range sizes {
 		t := (n - 1) / 31
@@ -116,10 +168,32 @@ func Thm1Detailed(sizes []int, seeds int, baseSeed uint64, workers, shards int) 
 			advs := adversary.Registry(n, t, baseSeed)
 			return append(advs, adversary.NewEclipse(params.Graph, t, n/10))
 		}
-		nAdvs := len(advsFor())
+		probe := advsFor()
+		nAdvs := len(probe)
+		names := make([]string, nAdvs)
+		for i, a := range probe {
+			names[i] = a.Name()
+		}
 		cell := SweepCell{N: n, T: t}
-		poolWorkers, trialShards := partrial.Budget(nAdvs*seeds, workers, shards)
-		samples, err := partrial.Map(nAdvs*seeds, poolWorkers, func(i int) (SweepSample, error) {
+		poolWorkers, trialShards := partrial.Budget(nAdvs*seeds, ex.Workers, ex.Shards)
+		total := nAdvs * seeds
+		keys := make([]string, total)
+		if ex.Journal != nil {
+			for i := range keys {
+				keys[i] = journal.Key("sweep-thm1/v1", n, t, names[i/seeds], i%seeds, baseSeed, ex.Shards)
+			}
+		}
+		samples := make([]SweepSample, total)
+		replayed := make([]bool, total)
+		err = partrial.Do(total, poolWorkers, func(i int) (SweepSample, error) {
+			var cached SweepSample
+			if ex.Journal != nil && lookupTrial(ex.Journal, keys[i], &cached) {
+				replayed[i] = true
+				return cached, nil
+			}
+			if err := ctx.Err(); err != nil {
+				return SweepSample{}, err
+			}
 			adv := advsFor()[i/seeds] // adversary-major order, fresh instance
 			s := i % seeds
 			res, err := sim.Run(sim.Config{
@@ -142,8 +216,17 @@ func Thm1Detailed(sizes []int, seeds int, baseSeed uint64, workers, shards int) 
 				CommBits:  res.Metrics.CommBits,
 				RandBits:  res.Metrics.RandomBits,
 			}, nil
+		}, func(i int, s SweepSample) error {
+			samples[i] = s
+			if ex.Journal != nil && !replayed[i] {
+				return ex.Journal.Append(keys[i], s)
+			}
+			return nil
 		})
 		if err != nil {
+			if ex.Journal != nil {
+				ex.Journal.Sync()
+			}
 			return nil, err
 		}
 		cell.Samples = samples
@@ -155,6 +238,11 @@ func Thm1Detailed(sizes []int, seeds int, baseSeed uint64, workers, shards int) 
 		}
 		cell.Rounds, cell.CommBits, cell.RandBits = QuantilesOf(rs), QuantilesOf(cs), QuantilesOf(bs)
 		cells = append(cells, cell)
+	}
+	if ex.Journal != nil {
+		if err := ex.Journal.Sync(); err != nil {
+			return nil, err
+		}
 	}
 	return cells, nil
 }
@@ -191,8 +279,8 @@ func Thm1Trial(n int, seed uint64, shards int) (*sim.Result, error) {
 // Thm1Sweep measures OptimalOmissionsConsensus at maximal fault load
 // across sizes, taking the worst case over the adversary portfolio.
 // Consensus violations are returned as errors (they are protocol bugs).
-func Thm1Sweep(sizes []int, seeds int, baseSeed uint64, workers, shards int) ([]Thm1Point, error) {
-	cells, err := Thm1Detailed(sizes, seeds, baseSeed, workers, shards)
+func Thm1Sweep(sizes []int, seeds int, baseSeed uint64, ex Exec) ([]Thm1Point, error) {
+	cells, err := Thm1Detailed(sizes, seeds, baseSeed, ex)
 	if err != nil {
 		return nil, err
 	}
@@ -254,10 +342,12 @@ type Thm3Point struct {
 // fixed (n, t), averaging over seeds, against the group-killing adversary
 // (the strategy that burns round-robin phases). Seeds run on a partrial
 // pool; per-seed metrics are summed in seed order, so the averages are
-// bitwise independent of the worker count.
-func Thm3Sweep(n, t int, xs []int, seeds int, baseSeed uint64, allowLargeT bool, workers, shards int) ([]Thm3Point, error) {
+// bitwise independent of the worker count. ex supplies the execution
+// knobs; journaled seed measurements are replayed bitwise on resume.
+func Thm3Sweep(n, t int, xs []int, seeds int, baseSeed uint64, allowLargeT bool, ex Exec) ([]Thm3Point, error) {
+	ctx := ex.context()
 	var points []Thm3Point
-	poolWorkers, trialShards := partrial.Budget(seeds, workers, shards)
+	poolWorkers, trialShards := partrial.Budget(seeds, ex.Workers, ex.Shards)
 	for _, x := range xs {
 		if n/x < 4 {
 			continue
@@ -271,7 +361,22 @@ func Thm3Sweep(n, t int, xs []int, seeds int, baseSeed uint64, allowLargeT bool,
 			return nil, err
 		}
 		pt := Thm3Point{X: x}
+		keys := make([]string, seeds)
+		if ex.Journal != nil {
+			for s := range keys {
+				keys[s] = journal.Key("sweep-thm3/v1", n, t, x, s, baseSeed, allowLargeT, ex.Shards)
+			}
+		}
+		replayed := make([]bool, seeds)
 		err = partrial.Do(seeds, poolWorkers, func(s int) (metrics.Snapshot, error) {
+			var cached metrics.Snapshot
+			if ex.Journal != nil && lookupTrial(ex.Journal, keys[s], &cached) {
+				replayed[s] = true
+				return cached, nil
+			}
+			if err := ctx.Err(); err != nil {
+				return metrics.Snapshot{}, err
+			}
 			res, err := sim.Run(sim.Config{
 				N: n, T: t,
 				Inputs:    spreadInputs(n, n/2),
@@ -293,9 +398,15 @@ func Thm3Sweep(n, t int, xs []int, seeds int, baseSeed uint64, allowLargeT bool,
 			pt.Rounds += float64(snap.Rounds)
 			pt.RandBits += float64(snap.RandomBits)
 			pt.CommBits += float64(snap.CommBits)
+			if ex.Journal != nil && !replayed[s] {
+				return ex.Journal.Append(keys[s], snap)
+			}
 			return nil
 		})
 		if err != nil {
+			if ex.Journal != nil {
+				ex.Journal.Sync()
+			}
 			return nil, err
 		}
 		k := float64(seeds)
@@ -303,6 +414,11 @@ func Thm3Sweep(n, t int, xs []int, seeds int, baseSeed uint64, allowLargeT bool,
 		pt.RandBits /= k
 		pt.CommBits /= k
 		points = append(points, pt)
+	}
+	if ex.Journal != nil {
+		if err := ex.Journal.Sync(); err != nil {
+			return nil, err
+		}
 	}
 	return points, nil
 }

@@ -28,7 +28,7 @@ func TestThm1SweepShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep is slow; run without -short")
 	}
-	pts, err := Thm1Sweep([]int{64, 128}, 1, 5, 0, 0)
+	pts, err := Thm1Sweep([]int{64, 128}, 1, 5, Exec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestThm3SweepShape(t *testing.T) {
 		t.Skip("sweep is slow; run without -short")
 	}
 	n, tf := 128, 2
-	pts, err := Thm3Sweep(n, tf, []int{1, 4, 16}, 1, 3, false, 0, 0)
+	pts, err := Thm3Sweep(n, tf, []int{1, 4, 16}, 1, 3, false, Exec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestThm3SweepShape(t *testing.T) {
 }
 
 func TestThm3SweepSkipsTinyGroups(t *testing.T) {
-	pts, err := Thm3Sweep(16, 0, []int{1, 8}, 1, 1, false, 1, 0)
+	pts, err := Thm3Sweep(16, 0, []int{1, 8}, 1, 1, false, Exec{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

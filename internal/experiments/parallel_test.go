@@ -13,7 +13,7 @@ func TestThm1DetailedWorkerIndependent(t *testing.T) {
 		t.Skip("sweep is slow; run without -short")
 	}
 	run := func(workers int) string {
-		cells, err := Thm1Detailed([]int{64}, 2, 5, workers, 0)
+		cells, err := Thm1Detailed([]int{64}, 2, 5, Exec{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -32,7 +32,7 @@ func TestThm1DetailedWorkerIndependent(t *testing.T) {
 // Theorem 3 sweep, whose snapshots are summed in seed order at commit.
 func TestThm3SweepWorkerIndependent(t *testing.T) {
 	run := func(workers int) string {
-		pts, err := Thm3Sweep(16, 0, []int{1, 4}, 4, 9, false, workers, 0)
+		pts, err := Thm3Sweep(16, 0, []int{1, 4}, 4, 9, false, Exec{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}

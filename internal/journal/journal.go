@@ -1,0 +1,356 @@
+// Package journal implements the durable write-ahead journal campaign
+// harnesses checkpoint their progress into. The file is an append-only
+// sequence of CRC-framed JSONL records — one line per completed unit of
+// work, keyed by a caller-chosen content hash of the unit's inputs — so a
+// campaign SIGKILLed at any byte offset can reopen the journal, recover
+// every fully written record, and resume from where it stopped instead of
+// re-running hours of completed trials.
+//
+// # File format
+//
+// Every line is
+//
+//	<crc32c hex8> <record json>\n
+//
+// where the CRC (Castagnoli polynomial) covers exactly the JSON bytes and
+// the record is {"key": "...", "payload": <raw json>}. The first line is a
+// fixed header record (key "omicon/journal", payload {"version": 1}) so a
+// journal is self-identifying and version-gated. Appends are buffered and
+// fsync'd in batches (SyncEvery); Sync and Close force the batch out.
+//
+// # Recovery
+//
+// Open scans the file line by line, verifying each CRC. The scan stops at
+// the first incomplete line (no trailing newline — a torn write from a
+// crash or a full disk) or corrupt line (CRC mismatch, malformed JSON —
+// bitrot or deliberate sabotage), the file is truncated back to the last
+// fully valid record, and everything before it is recovered. Duplicate
+// keys resolve last-write-wins, so re-running a unit after an ill-timed
+// crash is always safe. A torn header (crash during the very first write)
+// recovers to an empty journal; any other unrecognizable first line is an
+// error rather than silently clobbering a file that was never a journal.
+package journal
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+)
+
+// Version is the journal format version recorded in the header.
+const Version = 1
+
+// headerKey is the reserved key of the leading header record.
+const headerKey = "omicon/journal"
+
+// DefaultSyncEvery is the default append batch size between fsyncs: small
+// enough that a kill loses at most a few trials of progress, large enough
+// that the fsync cost amortizes to noise next to a trial's runtime.
+const DefaultSyncEvery = 8
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one journal line: an opaque JSON payload under a
+// caller-chosen key (normally a Key content hash of the unit's inputs).
+type Record struct {
+	Key     string          `json:"key"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+type header struct {
+	Version int `json:"version"`
+}
+
+// RecoverInfo reports what Open found in an existing journal file.
+type RecoverInfo struct {
+	// Records is the number of live keys after last-write-wins dedup
+	// (header excluded).
+	Records int
+	// Lines is the number of valid record lines read (duplicates
+	// included, header excluded).
+	Lines int
+	// DroppedBytes is the size of the discarded tail, 0 for a clean file.
+	DroppedBytes int64
+	// TailError describes why the tail was dropped ("" for a clean file):
+	// a torn final line, a CRC mismatch, or malformed JSON.
+	TailError string
+}
+
+// Journal is an open write-ahead journal. Lookup/Has/Len and Append are
+// safe for concurrent use.
+type Journal struct {
+	mu        sync.Mutex
+	f         *os.File
+	buf       bytes.Buffer
+	live      map[string]json.RawMessage
+	pending   int
+	syncEvery int
+	closed    bool
+}
+
+// Option configures Open.
+type Option func(*Journal)
+
+// SyncEvery sets the number of appends batched between fsyncs (minimum 1).
+func SyncEvery(n int) Option {
+	return func(j *Journal) {
+		if n < 1 {
+			n = 1
+		}
+		j.syncEvery = n
+	}
+}
+
+func headerLine() []byte {
+	payload, _ := json.Marshal(header{Version: Version})
+	return frame(Record{Key: headerKey, Payload: payload})
+}
+
+// frame renders one CRC-framed journal line (including the newline).
+func frame(rec Record) []byte {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		// Record marshalling cannot fail for the types callers store;
+		// a programming error here must not be silently journaled.
+		panic("journal: marshal record: " + err.Error())
+	}
+	line := make([]byte, 0, 10+len(body))
+	line = append(line, fmt.Sprintf("%08x ", crc32.Checksum(body, crcTable))...)
+	line = append(line, body...)
+	return append(line, '\n')
+}
+
+// parseLine validates one framed line (without its newline) and returns
+// the decoded record.
+func parseLine(line []byte) (Record, error) {
+	var rec Record
+	if len(line) < 10 || line[8] != ' ' {
+		return rec, fmt.Errorf("journal: short frame (%d bytes)", len(line))
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &want); err != nil {
+		return rec, fmt.Errorf("journal: bad crc field: %w", err)
+	}
+	body := line[9:]
+	if got := crc32.Checksum(body, crcTable); got != want {
+		return rec, fmt.Errorf("journal: crc mismatch (want %08x, got %08x)", want, got)
+	}
+	if err := json.Unmarshal(body, &rec); err != nil {
+		return rec, fmt.Errorf("journal: bad record json: %w", err)
+	}
+	if rec.Key == "" {
+		return rec, fmt.Errorf("journal: record missing key")
+	}
+	return rec, nil
+}
+
+// scan walks raw journal bytes and returns the live records, recovery
+// info, and the offset of the first byte past the last valid line.
+func scan(data []byte) (map[string]json.RawMessage, RecoverInfo, int64, error) {
+	live := make(map[string]json.RawMessage)
+	var info RecoverInfo
+	var off int64
+	sawHeader := false
+	for int(off) < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			info.TailError = "torn final line (no newline)"
+			break
+		}
+		line := data[off : off+int64(nl)]
+		rec, err := parseLine(line)
+		if err != nil {
+			info.TailError = err.Error()
+			break
+		}
+		if !sawHeader {
+			if rec.Key != headerKey {
+				return nil, info, 0, fmt.Errorf("journal: first record has key %q, not a journal header", rec.Key)
+			}
+			var h header
+			if err := json.Unmarshal(rec.Payload, &h); err != nil || h.Version > Version {
+				return nil, info, 0, fmt.Errorf("journal: unsupported header %s (this build understands <= %d)", rec.Payload, Version)
+			}
+			sawHeader = true
+		} else {
+			live[rec.Key] = append(json.RawMessage(nil), rec.Payload...)
+			info.Lines++
+		}
+		off += int64(nl) + 1
+	}
+	if !sawHeader && off == 0 && len(data) > 0 {
+		// The first line itself failed. A torn header — a crash during
+		// the very first write — is recoverable (the journal held
+		// nothing); anything longer was never a journal.
+		hdr := headerLine()
+		if len(data) < len(hdr) && bytes.HasPrefix(hdr, data) {
+			info.TailError = "torn header"
+		} else {
+			return nil, info, 0, fmt.Errorf("journal: unrecognized file (first line: %s)", info.TailError)
+		}
+	}
+	info.DroppedBytes = int64(len(data)) - off
+	info.Records = len(live)
+	return live, info, off, nil
+}
+
+// Scan reads a journal file without opening it for writing and without
+// repairing it: the live records and recovery info of a hypothetical
+// Open. A missing file scans as empty.
+func Scan(path string) (map[string]json.RawMessage, RecoverInfo, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return map[string]json.RawMessage{}, RecoverInfo{}, nil
+	}
+	if err != nil {
+		return nil, RecoverInfo{}, err
+	}
+	live, info, _, err := scan(data)
+	return live, info, err
+}
+
+// Open opens (creating if needed) the journal at path, recovers every
+// fully written record, truncates any torn or corrupt tail, and positions
+// the journal for appends.
+func Open(path string, opts ...Option) (*Journal, RecoverInfo, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, RecoverInfo{}, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, RecoverInfo{}, err
+	}
+	live, info, off, err := scan(data)
+	if err != nil {
+		f.Close()
+		return nil, info, err
+	}
+	if info.DroppedBytes > 0 {
+		if err := f.Truncate(off); err != nil {
+			f.Close()
+			return nil, info, err
+		}
+	}
+	if _, err := f.Seek(off, 0); err != nil {
+		f.Close()
+		return nil, info, err
+	}
+	j := &Journal{f: f, live: live, syncEvery: DefaultSyncEvery}
+	for _, o := range opts {
+		o(j)
+	}
+	if off == 0 {
+		// Fresh (or fully torn) file: write and sync the header before
+		// any record can depend on it.
+		if _, err := f.Write(headerLine()); err != nil {
+			f.Close()
+			return nil, info, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, info, err
+		}
+	}
+	return j, info, nil
+}
+
+// Len returns the number of live records.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.live)
+}
+
+// Has reports whether key has a journaled record.
+func (j *Journal) Has(key string) bool {
+	_, ok := j.Lookup(key)
+	return ok
+}
+
+// Lookup returns the payload journaled under key, if any.
+func (j *Journal) Lookup(key string) (json.RawMessage, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	p, ok := j.live[key]
+	return p, ok
+}
+
+// Append journals payload under key (marshalled to JSON) and schedules it
+// for the next batched fsync. The in-memory index is updated immediately;
+// durability arrives at the next Sync/Close or after SyncEvery appends.
+func (j *Journal) Append(key string, payload any) error {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("journal: marshal payload for %q: %w", key, err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("journal: append to closed journal")
+	}
+	j.buf.Write(frame(Record{Key: key, Payload: body}))
+	j.live[key] = body
+	j.pending++
+	if j.pending >= j.syncEvery {
+		return j.syncLocked()
+	}
+	return nil
+}
+
+// Sync flushes buffered appends and fsyncs the file.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	return j.syncLocked()
+}
+
+func (j *Journal) syncLocked() error {
+	if j.buf.Len() > 0 {
+		if _, err := j.f.Write(j.buf.Bytes()); err != nil {
+			return err
+		}
+		j.buf.Reset()
+	}
+	j.pending = 0
+	return j.f.Sync()
+}
+
+// Close syncs and closes the journal.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	err := j.syncLocked()
+	j.closed = true
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Key derives a stable content-hash key from the parts (JSON-encoded in
+// order into SHA-256): the canonical way to key a trial by its inputs —
+// protocol, adversary, n, t, seed, shards — so a record is found again
+// exactly when the same work would be redone.
+func Key(parts ...any) string {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	for _, p := range parts {
+		if err := enc.Encode(p); err != nil {
+			panic("journal: key part: " + err.Error())
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}

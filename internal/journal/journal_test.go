@@ -1,0 +1,311 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type payload struct {
+	Trial int    `json:"trial"`
+	Note  string `json:"note,omitempty"`
+}
+
+func openT(t *testing.T, path string, opts ...Option) (*Journal, RecoverInfo) {
+	t.Helper()
+	j, info, err := Open(path, opts...)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	return j, info
+}
+
+// TestAppendReopenRoundTrip pins the basic durability contract: every
+// synced record survives a reopen with its payload intact.
+func TestAppendReopenRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, info := openT(t, path)
+	if info.Records != 0 || info.TailError != "" {
+		t.Fatalf("fresh journal recovered %+v", info)
+	}
+	const n = 37
+	for i := 0; i < n; i++ {
+		if err := j.Append(Key("trial", i), payload{Trial: i, Note: "abc"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, info := openT(t, path)
+	defer j2.Close()
+	if info.Records != n || info.Lines != n {
+		t.Fatalf("recovered %+v, want %d records", info, n)
+	}
+	if info.DroppedBytes != 0 || info.TailError != "" {
+		t.Fatalf("clean file reported tail damage: %+v", info)
+	}
+	for i := 0; i < n; i++ {
+		raw, ok := j2.Lookup(Key("trial", i))
+		if !ok {
+			t.Fatalf("trial %d missing after reopen", i)
+		}
+		var p payload
+		if err := json.Unmarshal(raw, &p); err != nil {
+			t.Fatal(err)
+		}
+		if p.Trial != i || p.Note != "abc" {
+			t.Fatalf("trial %d decoded as %+v", i, p)
+		}
+	}
+}
+
+// TestDuplicateKeyLastWriteWins pins the resume-after-rerun semantics: a
+// unit journaled twice (crash between corpus write and journal sync)
+// recovers to its most recent payload.
+func TestDuplicateKeyLastWriteWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _ := openT(t, path)
+	key := Key("trial", 7)
+	for _, note := range []string{"first", "second", "third"} {
+		if err := j.Append(key, payload{Trial: 7, Note: note}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, info := openT(t, path)
+	defer j2.Close()
+	if info.Records != 1 || info.Lines != 3 {
+		t.Fatalf("recovered %+v, want 1 record over 3 lines", info)
+	}
+	raw, _ := j2.Lookup(key)
+	var p payload
+	if err := json.Unmarshal(raw, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Note != "third" {
+		t.Fatalf("last write did not win: %+v", p)
+	}
+}
+
+func writeJournal(t *testing.T, dir string, n int) string {
+	t.Helper()
+	path := filepath.Join(dir, "j.wal")
+	j, _ := openT(t, path)
+	for i := 0; i < n; i++ {
+		if err := j.Append(Key("trial", i), payload{Trial: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestTruncatedTailRecovery chops bytes off the end (a torn write at kill
+// or disk-full time) and requires every complete prior record back.
+func TestTruncatedTailRecovery(t *testing.T) {
+	for _, chop := range []int{1, 3, 17} {
+		t.Run(fmt.Sprintf("chop=%d", chop), func(t *testing.T) {
+			path := writeJournal(t, t.TempDir(), 10)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, data[:len(data)-chop], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			j, info := openT(t, path)
+			defer j.Close()
+			if info.Records != 9 {
+				t.Fatalf("recovered %+v, want 9 records", info)
+			}
+			if info.TailError == "" || info.DroppedBytes == 0 {
+				t.Fatalf("tail damage not reported: %+v", info)
+			}
+			// The repaired journal must accept appends and reopen clean.
+			if err := j.Append(Key("trial", 9), payload{Trial: 9}); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			_, info2, err := Scan(path)
+			if err != nil || info2.Records != 10 || info2.TailError != "" {
+				t.Fatalf("post-repair scan: %+v, %v", info2, err)
+			}
+		})
+	}
+}
+
+// TestFlippedCRCDropsTail flips one byte inside the final record's
+// payload: the CRC must catch it and recovery must drop exactly that
+// record.
+func TestFlippedCRCDropsTail(t *testing.T) {
+	path := writeJournal(t, t.TempDir(), 5)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the middle of the last line's JSON body.
+	lines := bytes.Split(bytes.TrimSuffix(data, []byte("\n")), []byte("\n"))
+	last := lines[len(lines)-1]
+	idx := len(data) - len(last) - 1 + len(last)/2
+	data[idx] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, info := openT(t, path)
+	defer j.Close()
+	if info.Records != 4 {
+		t.Fatalf("recovered %+v, want 4 records", info)
+	}
+	if info.TailError == "" {
+		t.Fatal("corrupt tail not reported")
+	}
+}
+
+// TestCorruptMidFileStopsRecovery documents the prefix contract: damage
+// in the middle drops everything from the damaged record on (the tail
+// cannot be trusted once framing is lost), never the records before it.
+func TestCorruptMidFileStopsRecovery(t *testing.T) {
+	path := writeJournal(t, t.TempDir(), 8)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	// Header is lines[0]; corrupt the 4th record.
+	off := 0
+	for _, l := range lines[:4] {
+		off += len(l)
+	}
+	data[off+20] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, info := openT(t, path)
+	defer j.Close()
+	if info.Records != 3 {
+		t.Fatalf("recovered %+v, want the 3-record prefix", info)
+	}
+}
+
+// TestTornHeaderRecoversEmpty simulates a kill during the very first
+// write: a strict prefix of the header line must reopen as an empty
+// journal.
+func TestTornHeaderRecoversEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	if err := os.WriteFile(path, headerLine()[:7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, info := openT(t, path)
+	if info.Records != 0 || info.TailError == "" {
+		t.Fatalf("torn header recovered %+v", info)
+	}
+	if err := j.Append(Key("x"), payload{Trial: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, info2, err := Scan(path)
+	if err != nil || info2.Records != 1 {
+		t.Fatalf("post-repair scan: %+v, %v", info2, err)
+	}
+}
+
+// TestNonJournalFileRejected: Open must refuse to repair (and thereby
+// truncate) a file that was never a journal.
+func TestNonJournalFileRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "notes.txt")
+	if err := os.WriteFile(path, []byte("important user data, definitely not a journal\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(path); err == nil {
+		t.Fatal("Open accepted a non-journal file")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || !bytes.Contains(data, []byte("important user data")) {
+		t.Fatalf("Open damaged the file: %q, %v", data, err)
+	}
+}
+
+// TestUnsyncedAppendsVisibleInMemory: the in-memory index serves lookups
+// immediately, durability notwithstanding.
+func TestUnsyncedAppendsVisibleInMemory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _ := openT(t, path, SyncEvery(1000))
+	defer j.Close()
+	if err := j.Append(Key("k"), payload{Trial: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !j.Has(Key("k")) || j.Len() != 1 {
+		t.Fatal("unsynced append not visible in memory")
+	}
+}
+
+// TestKeyStability pins that Key is order- and type-sensitive but stable
+// across runs (resume depends on it).
+func TestKeyStability(t *testing.T) {
+	a := Key("torture/v1", "core", "chaos", 64, 2, uint64(12345), 0)
+	b := Key("torture/v1", "core", "chaos", 64, 2, uint64(12345), 0)
+	if a != b {
+		t.Fatal("Key is not deterministic")
+	}
+	if a == Key("torture/v1", "core", "chaos", 64, 2, uint64(12346), 0) {
+		t.Fatal("Key ignores the seed")
+	}
+	if a == Key("torture/v1", "chaos", "core", 64, 2, uint64(12345), 0) {
+		t.Fatal("Key ignores part order")
+	}
+	if len(a) != 32 {
+		t.Fatalf("Key length %d, want 32 hex chars", len(a))
+	}
+}
+
+// BenchmarkJournalAppend measures the per-trial checkpoint cost with the
+// default batch size — the number docs/PERFORMANCE.md quotes for the
+// durability layer's overhead.
+func BenchmarkJournalAppend(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "j.wal")
+	j, _, err := Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	p := payload{Trial: 1, Note: "benchmark-sized record payload for a passing trial"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := j.Append(Key("trial", i), p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJournalAppendSyncEvery1 is the worst case: one fsync per
+// record.
+func BenchmarkJournalAppendSyncEvery1(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "j.wal")
+	j, _, err := Open(path, SyncEvery(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	p := payload{Trial: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := j.Append(Key("trial", i), p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

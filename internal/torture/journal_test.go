@@ -1,0 +1,279 @@
+package torture
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"omicon/internal/journal"
+)
+
+// journalCampaign is the shared fixture: a matrix including the
+// known-broken FloodSet exhibit, so the campaign produces violations,
+// shrunk schedules and corpus entries — every artifact class resume must
+// reproduce.
+func journalCampaign(trials int, corpus string) Options {
+	return Options{
+		Trials:           trials,
+		Seed:             3,
+		Protocols:        []string{"floodset", "core"},
+		CorpusDir:        corpus,
+		Shrink:           true,
+		ShrinkMaxRuns:    40,
+		DeterminismEvery: 7,
+		Workers:          1,
+	}
+}
+
+func runJournalCampaign(t *testing.T, o Options) (*Report, string) {
+	t.Helper()
+	var log bytes.Buffer
+	o.Log = &log
+	rep, err := Run(o)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return rep, log.String()
+}
+
+func readDir(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return out
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = data
+	}
+	return out
+}
+
+func sameDirs(t *testing.T, want, got map[string][]byte, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d files, want %d", label, len(got), len(want))
+	}
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Fatalf("%s: missing %s", label, name)
+		}
+		if !bytes.Equal(w, g) {
+			t.Fatalf("%s: %s differs (%d vs %d bytes)", label, name, len(g), len(w))
+		}
+	}
+}
+
+// normalizePaths rewrites the clean run's corpus directory to the
+// resumed run's so log and summary text (which embed artifact paths)
+// compare byte-for-byte across the two directories.
+func normalizePaths(s, cleanDir, resDir string) string {
+	return strings.ReplaceAll(s, cleanDir, resDir)
+}
+
+func openJournal(t *testing.T, path string) *journal.Journal {
+	t.Helper()
+	j, _, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// TestResumeByteIdentical is the PR's core contract: a campaign run as a
+// journaled prefix and then resumed to completion produces a report,
+// violation log and corpus byte-identical to one uninterrupted run.
+func TestResumeByteIdentical(t *testing.T) {
+	const trials = 48
+	dir := t.TempDir()
+
+	cleanCorpus := filepath.Join(dir, "corpus-clean")
+	cleanRep, cleanLog := runJournalCampaign(t, journalCampaign(trials, cleanCorpus))
+	if cleanRep.Violations == 0 {
+		t.Fatal("fixture produced no violations; the test would prove nothing")
+	}
+
+	// Interrupted run: only the first 20 trials, journaled.
+	jpath := filepath.Join(dir, "campaign.wal")
+	resCorpus := filepath.Join(dir, "corpus-resumed")
+	j := openJournal(t, jpath)
+	part := journalCampaign(20, resCorpus)
+	part.Journal = j
+	if _, err := Run(part); err != nil {
+		t.Fatalf("prefix run: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume to the full campaign length.
+	j2 := openJournal(t, jpath)
+	defer j2.Close()
+	full := journalCampaign(trials, resCorpus)
+	full.Journal = j2
+	var log bytes.Buffer
+	full.Log = &log
+	resRep, err := Run(full)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if resRep.Resumed != 20 {
+		t.Fatalf("resumed %d trials, want 20", resRep.Resumed)
+	}
+	if got, want := resRep.Summary(), normalizePaths(cleanRep.Summary(), cleanCorpus, resCorpus); got != want {
+		t.Fatalf("summary diverged:\n--- resumed ---\n%s--- clean ---\n%s", got, want)
+	}
+	if got := log.String(); got != normalizePaths(cleanLog, cleanCorpus, resCorpus) {
+		t.Fatalf("log diverged:\n--- resumed ---\n%s--- clean ---\n%s", got, cleanLog)
+	}
+	if resRep.DeterminismChecks != cleanRep.DeterminismChecks {
+		t.Fatalf("determinism checks %d, want %d", resRep.DeterminismChecks, cleanRep.DeterminismChecks)
+	}
+	sameDirs(t, readDir(t, cleanCorpus), readDir(t, resCorpus), "corpus")
+}
+
+// TestResumeAfterTornJournalTail chops bytes off the journal (a torn
+// append at SIGKILL time): resume must silently re-run the lost tail
+// trials and still converge to the byte-identical clean artifacts.
+func TestResumeAfterTornJournalTail(t *testing.T) {
+	const trials = 36
+	dir := t.TempDir()
+
+	cleanCorpus := filepath.Join(dir, "corpus-clean")
+	cleanRep, cleanLog := runJournalCampaign(t, journalCampaign(trials, cleanCorpus))
+
+	jpath := filepath.Join(dir, "campaign.wal")
+	resCorpus := filepath.Join(dir, "corpus-resumed")
+	j := openJournal(t, jpath)
+	part := journalCampaign(trials, resCorpus)
+	part.Journal = j
+	if _, err := Run(part); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail mid-record.
+	data, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(jpath, data[:len(data)-len(data)/10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, info, err := journal.Open(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if info.TailError == "" {
+		t.Fatal("tear not detected")
+	}
+	full := journalCampaign(trials, resCorpus)
+	full.Journal = j2
+	resRep, resLog := runJournalCampaign(t, full)
+	if resRep.Resumed >= trials {
+		t.Fatalf("resumed %d of %d trials; the torn tail should have forced re-runs", resRep.Resumed, trials)
+	}
+	if resRep.Summary() != normalizePaths(cleanRep.Summary(), cleanCorpus, resCorpus) ||
+		resLog != normalizePaths(cleanLog, cleanCorpus, resCorpus) {
+		t.Fatal("artifacts diverged after torn-tail recovery")
+	}
+	sameDirs(t, readDir(t, cleanCorpus), readDir(t, resCorpus), "corpus")
+}
+
+// TestJournalConfigMismatch: replaying records into a differently
+// configured campaign must be refused, not silently blended.
+func TestJournalConfigMismatch(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "campaign.wal")
+	j := openJournal(t, jpath)
+	o := journalCampaign(12, "")
+	o.Journal = j
+	if _, err := Run(o); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openJournal(t, jpath)
+	defer j2.Close()
+	o2 := journalCampaign(12, "")
+	o2.Seed = 99
+	o2.Journal = j2
+	if _, err := Run(o2); err == nil {
+		t.Fatal("Run accepted a journal from a different campaign")
+	}
+}
+
+// TestCancelledCampaignResumes drives the graceful-shutdown path: a
+// context cancelled mid-campaign yields a partial report and a journal
+// that resumes to the byte-identical full campaign.
+func TestCancelledCampaignResumes(t *testing.T) {
+	const trials = 48
+	dir := t.TempDir()
+
+	cleanCorpus := filepath.Join(dir, "corpus-clean")
+	cleanRep, cleanLog := runJournalCampaign(t, journalCampaign(trials, cleanCorpus))
+
+	jpath := filepath.Join(dir, "campaign.wal")
+	resCorpus := filepath.Join(dir, "corpus-resumed")
+	j := openJournal(t, jpath)
+	ctx, cancel := context.WithCancel(context.Background())
+	part := journalCampaign(trials, resCorpus)
+	part.Journal = j
+	part.Ctx = ctx
+	// Cancel as soon as the first violation commits: log lines are
+	// written during commit, so cancellation lands mid-campaign.
+	part.Log = cancelOnWrite{cancel}
+	rep, err := Run(part)
+	cancel()
+	if err == nil {
+		t.Fatal("cancelled run returned no error (campaign finished before cancellation?)")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if rep == nil || rep.Trials == 0 || rep.Trials >= trials {
+		t.Fatalf("partial report has %v trials", rep)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openJournal(t, jpath)
+	defer j2.Close()
+	full := journalCampaign(trials, resCorpus)
+	full.Journal = j2
+	resRep, resLog := runJournalCampaign(t, full)
+	if resRep.Resumed == 0 {
+		t.Fatal("resume replayed nothing")
+	}
+	if resRep.Summary() != normalizePaths(cleanRep.Summary(), cleanCorpus, resCorpus) ||
+		resLog != normalizePaths(cleanLog, cleanCorpus, resCorpus) {
+		t.Fatal("artifacts diverged after cancel + resume")
+	}
+	sameDirs(t, readDir(t, cleanCorpus), readDir(t, resCorpus), "corpus")
+}
+
+type cancelOnWrite struct{ cancel context.CancelFunc }
+
+func (c cancelOnWrite) Write(p []byte) (int, error) {
+	c.cancel()
+	return len(p), nil
+}

@@ -2,11 +2,14 @@ package torture
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
 
+	"omicon/internal/journal"
 	"omicon/internal/metrics"
 	"omicon/internal/partrial"
 	"omicon/internal/sim"
@@ -80,6 +83,21 @@ type Options struct {
 	// trials over a pool, Shards parallelizes inside a single execution
 	// (docs/PERFORMANCE.md discusses when to prefer which).
 	Shards int
+	// Ctx, when set, cancels the campaign between trials: already
+	// committed trials keep their artifacts (corpus entries, journal
+	// records), the journal is flushed, and Run returns the partial
+	// report together with an error wrapping context.Canceled. Nil means
+	// run to completion.
+	Ctx context.Context
+	// Journal, when set, records every completed trial durably (keyed by
+	// a content hash of the trial's inputs) and replays already-journaled
+	// trials on a later run instead of re-executing them. A resumed
+	// campaign commits replayed and live trials through the same path, so
+	// its report, log and corpus are byte-identical to an uninterrupted
+	// run's (docs/RESILIENCE.md documents the format and semantics). The
+	// journal must belong to the same campaign configuration; Run errors
+	// out otherwise.
+	Journal *journal.Journal
 }
 
 // CellStats aggregates one (protocol, adversary) matrix cell.
@@ -95,6 +113,10 @@ type Report struct {
 	Violations        int
 	MCMisses          int
 	DeterminismChecks int
+	// Resumed counts the trials replayed from the journal instead of
+	// executed. Deliberately absent from Summary: a resumed campaign's
+	// summary must be byte-identical to an uninterrupted run's.
+	Resumed int
 	Cells             map[string]*CellStats
 	// Failures holds one record per failing trial, in trial order.
 	Failures []*Entry
@@ -298,6 +320,11 @@ type trialSpec struct {
 	key     string
 	base    sim.Schedule
 	makeAdv func() (sim.Adversary, error)
+	// jkey is the trial's journal key; rec is its already-journaled
+	// record, attached at spec-build time (serially) when resuming —
+	// produce then skips the execution entirely.
+	jkey string
+	rec  *trialRecord
 }
 
 // trialOut is one primary execution's complete outcome, handed from a pool
@@ -310,6 +337,7 @@ type trialOut struct {
 	advName string
 	ring    *trace.Ring    // per-trial flight recorder (corpus runs)
 	capture *trace.Capture // campaign trace buffer, replayed at commit
+	rec     *trialRecord   // journaled outcome; set instead of run on resume
 }
 
 // Run executes the torture campaign.
@@ -323,6 +351,15 @@ func Run(o Options) (*Report, error) {
 	cells, err := resolveMatrix(o)
 	if err != nil {
 		return nil, err
+	}
+	ctx := o.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if o.Journal != nil {
+		if err := checkCampaignConfig(o); err != nil {
+			return nil, err
+		}
 	}
 	logf := func(format string, args ...any) {
 		if o.Log != nil {
@@ -339,8 +376,16 @@ func Run(o Options) (*Report, error) {
 	// touch the map itself.
 	lastSchedule := make(map[string]sim.Schedule)
 
-	// produce runs one primary trial; it only reads its spec.
+	// produce runs one primary trial; it only reads its spec. A trial
+	// whose outcome is already journaled skips execution entirely — the
+	// record carries everything commit needs.
 	produce := func(sp trialSpec) (trialOut, error) {
+		if sp.rec != nil {
+			return trialOut{rec: sp.rec}, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return trialOut{}, err
+		}
 		proto, bound, err := sp.c.proto.Build(sp.n, sp.t)
 		if err != nil {
 			return trialOut{}, fmt.Errorf("torture: build %s n=%d t=%d: %w", sp.c.proto.Name, sp.n, sp.t, err)
@@ -378,9 +423,77 @@ func Run(o Options) (*Report, error) {
 		return out, nil
 	}
 
+	// journalAppend checkpoints one committed trial. It runs after the
+	// trial's corpus artifacts are on disk, so a journal record always
+	// implies complete artifacts; a kill between the two re-runs the
+	// trial, whose writes are idempotent.
+	journalAppend := func(sp trialSpec, rec *trialRecord) error {
+		if o.Journal == nil {
+			return nil
+		}
+		if err := o.Journal.Append(sp.jkey, rec); err != nil {
+			return fmt.Errorf("torture: journal append: %w", err)
+		}
+		return nil
+	}
+
+	// commitRecord replays a journaled trial's outcome through the same
+	// bookkeeping the live path performs: identical stats, identical log
+	// lines, identical corpus files (rewritten from the record, so a
+	// moved or damaged corpus directory heals on resume).
+	commitRecord := func(sp trialSpec, rec *trialRecord) error {
+		stats := report.Cells[sp.key]
+		if stats == nil {
+			stats = &CellStats{}
+			report.Cells[sp.key] = stats
+		}
+		if rec.DetChecked {
+			report.DeterminismChecks++
+		}
+		stats.Trials++
+		report.Trials++
+		stats.MCMisses += rec.MCMisses
+		report.MCMisses += rec.MCMisses
+		lastSchedule[sp.key] = rec.Schedule
+		report.Resumed++
+
+		entry := rec.Entry
+		if entry == nil {
+			return nil
+		}
+		stats.Violations += len(entry.Violations)
+		report.Violations += len(entry.Violations)
+		for _, v := range entry.Violations {
+			logf("FAIL %s n=%d t=%d seed=%d: %s", sp.key, sp.n, sp.t, sp.seed, v)
+		}
+		if o.Shrink && entry.MinSchedule != nil {
+			logf("shrunk %s seed=%d: %d -> %d actions in %d replays",
+				sp.key, sp.seed, entry.Schedule.NumActions(), entry.MinSchedule.NumActions(), entry.ShrinkRuns)
+		}
+		report.Failures = append(report.Failures, entry)
+		if o.CorpusDir != "" {
+			path, err := entry.Write(o.CorpusDir)
+			if err != nil {
+				return fmt.Errorf("torture: persisting corpus entry: %w", err)
+			}
+			report.CorpusPaths = append(report.CorpusPaths, path)
+			logf("corpus: %s", path)
+			tracePath := strings.TrimSuffix(path, ".json") + ".trace.jsonl"
+			if err := writeFileAtomic(tracePath, rec.Trace); err != nil {
+				return fmt.Errorf("torture: persisting trace artifact: %w", err)
+			}
+			report.TracePaths = append(report.TracePaths, tracePath)
+			logf("trace: %s", tracePath)
+		}
+		return nil
+	}
+
 	// commit folds one trial's outcome into the report — always called in
 	// trial order, from this goroutine.
 	commit := func(sp trialSpec, out trialOut) error {
+		if out.rec != nil {
+			return commitRecord(sp, out.rec)
+		}
 		run, verdict := out.run, out.verdict
 		stats := report.Cells[sp.key]
 		if stats == nil {
@@ -395,7 +508,8 @@ func Run(o Options) (*Report, error) {
 
 		// Determinism: a fresh adversary with the same seed must yield a
 		// byte-identical transcript. Re-runs stay serial by design.
-		if o.DeterminismEvery > 0 && sp.i%o.DeterminismEvery == 0 {
+		detChecked := o.DeterminismEvery > 0 && sp.i%o.DeterminismEvery == 0
+		if detChecked {
 			report.DeterminismChecks++
 			adv2, err := sp.makeAdv()
 			if err != nil {
@@ -413,10 +527,18 @@ func Run(o Options) (*Report, error) {
 		report.Trials++
 		stats.MCMisses += verdict.MonteCarloMisses
 		report.MCMisses += verdict.MonteCarloMisses
-		lastSchedule[sp.key] = run.tr.Schedule()
+		sched := run.tr.Schedule()
+		lastSchedule[sp.key] = sched
+		rec := &trialRecord{
+			V: trialRecordVersion, Trial: sp.i,
+			Protocol: sp.c.proto.Name, Adversary: out.advName,
+			N: sp.n, T: sp.t, Seed: sp.seed,
+			MCMisses: verdict.MonteCarloMisses, DetChecked: detChecked,
+			Schedule: sched,
+		}
 
 		if !verdict.Failed() {
-			return nil
+			return journalAppend(sp, rec)
 		}
 		stats.Violations += len(verdict.Violations)
 		report.Violations += len(verdict.Violations)
@@ -429,7 +551,7 @@ func Run(o Options) (*Report, error) {
 			N: sp.n, T: sp.t, Seed: sp.seed, Inputs: sp.inputs, RoundBound: out.bound,
 			MonteCarlo: sp.c.proto.MonteCarlo,
 			Violations: verdict.Violations,
-			Schedule:   run.tr.Schedule(),
+			Schedule:   sched,
 			Transcript: run.tr,
 		}
 		if o.Shrink {
@@ -441,6 +563,7 @@ func Run(o Options) (*Report, error) {
 				sp.key, sp.seed, entry.Schedule.NumActions(), min.NumActions(), runs)
 		}
 		report.Failures = append(report.Failures, entry)
+		rec.Entry = entry
 		if o.CorpusDir != "" {
 			path, err := entry.Write(o.CorpusDir)
 			if err != nil {
@@ -454,8 +577,9 @@ func Run(o Options) (*Report, error) {
 			}
 			report.TracePaths = append(report.TracePaths, tracePath)
 			logf("trace: %s", tracePath)
+			rec.Trace = traceJSONL(out.ring.Events())
 		}
-		return nil
+		return journalAppend(sp, rec)
 	}
 
 	// The campaign proceeds one round-robin lap at a time; trials within a
@@ -479,6 +603,16 @@ func Run(o Options) (*Report, error) {
 				key:    c.proto.Name + "/" + c.adv.Name,
 			}
 			sp.base = lastSchedule[sp.key]
+			if o.Journal != nil {
+				sp.jkey = trialKey(o, sp)
+				if raw, ok := o.Journal.Lookup(sp.jkey); ok {
+					rec, err := decodeTrialRecord(raw)
+					if err != nil {
+						return nil, err
+					}
+					sp.rec = rec
+				}
+			}
 			spec := sp // capture per-trial values for the closure
 			sp.makeAdv = func() (sim.Adversary, error) {
 				return wrapInject(spec.c.adv.Make(spec.base, spec.n, spec.t, spec.seed), o.Inject, spec.t)
@@ -489,7 +623,21 @@ func Run(o Options) (*Report, error) {
 			func(j int) (trialOut, error) { return produce(specs[j]) },
 			func(j int, out trialOut) error { return commit(specs[j], out) })
 		if err != nil {
+			if o.Journal != nil {
+				o.Journal.Sync() // best effort: keep committed trials durable
+			}
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				// Graceful shutdown: every committed trial kept its
+				// artifacts and journal record; the caller gets the
+				// partial report and can resume later.
+				return report, fmt.Errorf("torture: campaign interrupted: %w", err)
+			}
 			return nil, err
+		}
+	}
+	if o.Journal != nil {
+		if err := o.Journal.Sync(); err != nil {
+			return nil, fmt.Errorf("torture: journal sync: %w", err)
 		}
 	}
 	logf("%s", strings.TrimRight(report.Summary(), "\n"))
