@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check soak vet torture fuzz bench bench-json benchcheck chaos-smoke
+.PHONY: build test check soak vet torture fuzz bench bench-json benchcheck chaos-smoke distrib-smoke
 
 build:
 	$(GO) build ./...
@@ -47,13 +47,16 @@ benchcheck:
 # fuzz runs every native fuzz target for a bounded stretch: mutated
 # schedules through the replay adversary (engine must never panic, oracle
 # must never cry wolf), the transcript codec round trip (the corpus
-# format must be stable) and journal recovery over damaged files (Open
-# must never panic, reject, or lose pre-damage records).
+# format must be stable), journal recovery over damaged files (Open
+# must never panic, reject, or lose pre-damage records) and the dispatch
+# frame decoder (any frame that decodes must re-encode canonically — the
+# property re-dispatch leans on).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzScheduleReplay -fuzztime 30s ./internal/torture/
 	$(GO) test -run '^$$' -fuzz FuzzTranscriptRoundTrip -fuzztime 30s ./internal/sim/
 	$(GO) test -run '^$$' -fuzz FuzzPartitionInvariants -fuzztime 30s ./internal/partition/
 	$(GO) test -run '^$$' -fuzz FuzzJournalRecover -fuzztime 30s ./internal/journal/
+	$(GO) test -run '^$$' -fuzz FuzzTrialFrameRoundTrip -fuzztime 30s ./internal/distrib/
 
 # chaos-smoke is the crash-recovery gate CI runs (docs/RESILIENCE.md): a
 # race-enabled torture campaign supervised under >= 10 SIGKILLs at seeded
@@ -67,3 +70,15 @@ chaos-smoke:
 		.chaos-smoke/torture -trials 600 -seed 5 -protocols floodset,core \
 		-corpus '{dir}/corpus' -shrink -shrink-runs 40 -determinism 7 \
 		-workers 2 -journal '{dir}/campaign.wal' -resume
+
+# distrib-smoke is the distributed-execution gate CI runs
+# (docs/DISTRIBUTED.md): a race-enabled torture campaign dispatched to 3
+# worker processes over TCP while cmd/chaos SIGKILLs workers mid-trial,
+# SIGSTOPs one, and kills the coordinator itself — the resumed campaign
+# must produce a report, log and corpus byte-identical to an
+# uninterrupted single-process run. DISTRIB_SMOKE_DIR keeps the artifact
+# dirs for upload on failure.
+distrib-smoke:
+	DISTRIB_SMOKE_DIR=$(CURDIR)/.distrib-smoke DISTRIB_SMOKE_RACE=1 \
+		$(GO) test -race -count=1 -run TestDistribSoakTortureByteIdentical \
+		./internal/distrib/ -v

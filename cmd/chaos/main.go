@@ -15,8 +15,27 @@
 //
 // With -verify, the campaign runs twice — once untouched under {dir}/clean
 // and once chaos'd under {dir}/chaos — and the final report (stdout),
-// violation log (stderr, minus "journal:"/"chaos:" diagnostics) and every
-// artifact file (minus the journal itself) must match byte-for-byte.
+// violation log (stderr, minus "journal:"/"chaos:"/"distrib:"
+// diagnostics) and every artifact file (minus the journal and the
+// coordinator address file, whose bytes legitimately differ) must match
+// byte-for-byte.
+//
+// Distributed campaigns (docs/DISTRIBUTED.md) add three dimensions:
+// -workers N -worker-cmd "..." runs N supervised worker processes
+// (restarted when they die; {dir} and {worker} substituted in the
+// command), -worker-kills/-worker-stalls inject SIGKILL/SIGSTOP faults
+// into random workers, and -watchdog SIGQUITs a child whose journal
+// stops growing — capturing a goroutine dump — before SIGKILLing it:
+//
+//	chaos -kills 6 -workers 3 -worker-kills 4 -watchdog 30s -ok-codes 0,1 \
+//	  -worker-cmd "./worker -connect-file {dir}/coord.addr -retries 200" \
+//	  -verify -- ./torture -trials 500 -seed 5 -listen 127.0.0.1:0 \
+//	  -addr-file {dir}/coord.addr -remote-wait 2s \
+//	  -journal {dir}/campaign.wal -resume
+//
+// The -verify reference run uses the same child argv but no workers and
+// no faults: a -listen campaign that never sees a worker degrades to
+// in-process execution and must still produce identical artifacts.
 //
 // Exit status: 0 on success (and verification, if requested), 1 when the
 // supervisor gave up, too few kills landed, or verification failed, 2 on
@@ -57,12 +76,18 @@ func run() (int, error) {
 		corrupt     = flag.String("corrupt", "", "journal damage after kills: flip-tail | truncate-tail | readonly")
 		corruptions = flag.Int("corruptions", 0, "how many kills are followed by -corrupt damage")
 		budget      = flag.Int("crash-budget", 5, "consecutive no-progress deaths before giving up")
+		watchdog    = flag.Duration("watchdog", 0, "SIGQUIT (stack dump) then SIGKILL a child with no journal progress for this long (0 = off)")
+		wdGrace     = flag.Duration("watchdog-grace", 2*time.Second, "wait after SIGQUIT before SIGKILL")
+		workerN     = flag.Int("workers", 0, "supervised worker processes to run alongside the child (restarted when they die)")
+		workerCmd   = flag.String("worker-cmd", "", "worker command line, space-separated; {dir} and {worker} are substituted")
+		workerKills = flag.Int("worker-kills", 0, "SIGKILLs delivered to random workers (requires -workers)")
+		workerStall = flag.Int("worker-stalls", 0, "SIGSTOP/SIGCONT stalls delivered to random workers")
 		backoff     = flag.Duration("backoff", 50*time.Millisecond, "base restart backoff after a no-progress death")
 		backoffMax  = flag.Duration("backoff-max", 2*time.Second, "backoff ceiling")
 		okCodes     = flag.String("ok-codes", "0", "comma-separated child exit codes meaning the campaign finished")
 		requireKill = flag.Int("require-kills", -1, "fail unless at least this many kills landed (-1 = all planned kills)")
 		verify      = flag.Bool("verify", false, "also run the campaign cleanly and require byte-identical artifacts")
-		ignore      = flag.String("ignore", ".wal", "comma-separated artifact suffixes excluded from -verify dir comparison")
+		ignore      = flag.String("ignore", ".wal,.addr,.addr.tmp", "comma-separated artifact suffixes excluded from -verify dir comparison")
 		verbose     = flag.Bool("v", false, "stream child output")
 	)
 	flag.Parse()
@@ -87,22 +112,35 @@ func run() (int, error) {
 		Seed: *seed, Kills: *kills, Stalls: *stalls, StallFor: *stallFor,
 		MinDelay: *minDelay, MaxDelay: *maxDelay,
 		Corrupt: *corrupt, Corruptions: *corruptions,
+		WorkerKills: *workerKills, WorkerStalls: *workerStall,
+	}
+	workerArgv := splitArgs(*workerCmd)
+	if *workerN > 0 && len(workerArgv) == 0 {
+		return 2, fmt.Errorf("-workers %d needs -worker-cmd", *workerN)
 	}
 	wantKills := *requireKill
 	if wantKills < 0 {
 		wantKills = plan.Kills
 	}
-	supervise := func(runDir string, p chaos.Plan) (*chaos.Result, error) {
+	// withWorkers distinguishes the chaos'd run from the -verify reference
+	// run, which must stay a pure single-process campaign.
+	supervise := func(runDir string, p chaos.Plan, withWorkers bool) (*chaos.Result, error) {
 		cfg := chaos.Config{
-			Argv:        argv,
-			Dir:         runDir,
-			JournalPath: chaos.ReplaceDir(*jpath, runDir),
-			Plan:        p,
-			CrashBudget: *budget,
-			BackoffBase: *backoff,
-			BackoffMax:  *backoffMax,
-			OKCodes:     codes,
-			Log:         os.Stderr,
+			Argv:          argv,
+			Dir:           runDir,
+			JournalPath:   chaos.ReplaceDir(*jpath, runDir),
+			Plan:          p,
+			CrashBudget:   *budget,
+			BackoffBase:   *backoff,
+			BackoffMax:    *backoffMax,
+			OKCodes:       codes,
+			Watchdog:      *watchdog,
+			WatchdogGrace: *wdGrace,
+			Log:           os.Stderr,
+		}
+		if withWorkers {
+			cfg.Workers = *workerN
+			cfg.WorkerArgv = workerArgv
 		}
 		if *verbose {
 			cfg.ChildOutput = os.Stderr
@@ -111,7 +149,7 @@ func run() (int, error) {
 	}
 
 	if !*verify {
-		res, err := supervise(*dir, plan)
+		res, err := supervise(*dir, plan, true)
 		if err != nil {
 			return 1, err
 		}
@@ -124,13 +162,13 @@ func run() (int, error) {
 
 	cleanDir := filepath.Join(*dir, "clean")
 	chaosDir := filepath.Join(*dir, "chaos")
-	fmt.Fprintf(os.Stderr, "chaos: reference run (no faults) in %s\n", cleanDir)
-	clean, err := supervise(cleanDir, chaos.Plan{})
+	fmt.Fprintf(os.Stderr, "chaos: reference run (no faults, no workers) in %s\n", cleanDir)
+	clean, err := supervise(cleanDir, chaos.Plan{}, false)
 	if err != nil {
 		return 1, fmt.Errorf("reference run: %w", err)
 	}
 	fmt.Fprintf(os.Stderr, "chaos: chaos run in %s\n", chaosDir)
-	res, err := supervise(chaosDir, plan)
+	res, err := supervise(chaosDir, plan, true)
 	if err != nil {
 		return 1, err
 	}
@@ -143,8 +181,8 @@ func run() (int, error) {
 	if want := chaos.NormalizePaths(clean.FinalStdout, cleanDir, chaosDir); !bytes.Equal(want, res.FinalStdout) {
 		return 1, fmt.Errorf("verify: report (stdout) diverged from clean run")
 	}
-	wantLog := chaos.StripLines(chaos.NormalizePaths(clean.FinalStderr, cleanDir, chaosDir), "journal:", "chaos:")
-	gotLog := chaos.StripLines(res.FinalStderr, "journal:", "chaos:")
+	wantLog := chaos.StripLines(chaos.NormalizePaths(clean.FinalStderr, cleanDir, chaosDir), "journal:", "chaos:", "distrib:")
+	gotLog := chaos.StripLines(res.FinalStderr, "journal:", "chaos:", "distrib:")
 	if !bytes.Equal(wantLog, gotLog) {
 		return 1, fmt.Errorf("verify: campaign log (stderr) diverged from clean run")
 	}
@@ -160,8 +198,8 @@ func run() (int, error) {
 	if err := chaos.DiffDirs(cleanDir, chaosDir, ignoreFn); err != nil {
 		return 1, fmt.Errorf("verify: %w", err)
 	}
-	fmt.Fprintf(os.Stderr, "chaos: verified byte-identical artifacts after %d kills, %d stalls, %d corruptions (%d attempts)\n",
-		res.Kills, res.Stalls, res.Corruptions, res.Attempts)
+	fmt.Fprintf(os.Stderr, "chaos: verified byte-identical artifacts after %d kills, %d stalls, %d corruptions, %d worker kills, %d worker stalls (%d attempts)\n",
+		res.Kills, res.Stalls, res.Corruptions, res.WorkerKills, res.WorkerStalls, res.Attempts)
 	os.Stdout.Write(res.FinalStdout)
 	return 0, nil
 }
@@ -176,6 +214,12 @@ func parseCodes(s string) ([]int, error) {
 		out = append(out, c)
 	}
 	return out, nil
+}
+
+// splitArgs splits a -worker-cmd value on whitespace (no quoting; worker
+// command lines are simple flag vectors without embedded spaces).
+func splitArgs(s string) []string {
+	return strings.Fields(s)
 }
 
 func splitList(s string) []string {

@@ -29,11 +29,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"omicon"
@@ -49,13 +52,24 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	// SIGINT/SIGTERM shut the run down gracefully: the coordinator's
+	// accept/round loops observe the canceled context, node connections
+	// are closed, and the process exits 130 (matching the other CLIs).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "netdemo:", err)
+		if ctx.Err() != nil {
+			os.Exit(130)
+		}
 		os.Exit(1)
+	}
+	if ctx.Err() != nil {
+		os.Exit(130)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		role     = flag.String("role", "local", "local | coordinator | node")
 		n        = flag.Int("n", 12, "number of processes")
@@ -96,6 +110,7 @@ func run() error {
 		AcceptTimeout:  *accTmo,
 		ReconnectGrace: *grace,
 		DebugAddr:      *debugAddr,
+		Ctx:            ctx,
 	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
@@ -157,6 +172,15 @@ func run() error {
 			return err
 		}
 		defer node.Close()
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-ctx.Done():
+				node.Close() // unblock RunProtocol's frame reads
+			case <-done:
+			}
+		}()
 		d, err := node.RunProtocol(proto, *input)
 		if err != nil {
 			return err
@@ -208,6 +232,15 @@ func run() error {
 					return
 				}
 				defer node.Close()
+				done := make(chan struct{})
+				defer close(done)
+				go func() {
+					select {
+					case <-ctx.Done():
+						node.Close() // unblock RunProtocol's frame reads
+					case <-done:
+					}
+				}()
 				if _, rerr := node.RunProtocol(proto, in); rerr != nil {
 					nodeErrs[p] = rerr
 				}

@@ -44,12 +44,15 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
+	"omicon/internal/distrib"
 	"omicon/internal/experiments"
 	"omicon/internal/journal"
 	"omicon/internal/stats"
@@ -88,14 +91,18 @@ const benchSchema = "omicon/bench-sweep/v1"
 
 func run() error {
 	var (
-		sizes    = flag.String("sizes", "64,128,256,512", "comma-separated system sizes")
-		seeds    = flag.Int("seeds", 3, "seeds per (size, adversary) cell")
-		base     = flag.Uint64("seed", 1, "base seed")
-		jsonPath = flag.String("json", "BENCH_sweep.json", "write machine-readable results to this file (empty = off)")
-		workers  = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS); results are identical at any width")
-		shards   = flag.Int("shards", 0, "simulator execution mode per trial (0 = goroutine per process, -1 = auto-sized sharded engine, k = k shard workers); results are identical in both modes")
-		jpath    = flag.String("journal", "", "journal completed trials to this write-ahead file; an interrupted sweep resumes from it (docs/RESILIENCE.md)")
-		resume   = flag.Bool("resume", false, "allow continuing from a non-empty journal; replayed trials are bitwise those of the original run")
+		sizes      = flag.String("sizes", "64,128,256,512", "comma-separated system sizes")
+		seeds      = flag.Int("seeds", 3, "seeds per (size, adversary) cell")
+		base       = flag.Uint64("seed", 1, "base seed")
+		jsonPath   = flag.String("json", "BENCH_sweep.json", "write machine-readable results to this file (empty = off)")
+		workers    = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS); results are identical at any width")
+		shards     = flag.Int("shards", 0, "simulator execution mode per trial (0 = goroutine per process, -1 = auto-sized sharded engine, k = k shard workers); results are identical in both modes")
+		jpath      = flag.String("journal", "", "journal completed trials to this write-ahead file; an interrupted sweep resumes from it (docs/RESILIENCE.md)")
+		resume     = flag.Bool("resume", false, "allow continuing from a non-empty journal; replayed trials are bitwise those of the original run")
+		listen     = flag.String("listen", "", "accept remote trial workers (cmd/worker) on this address and dispatch samples to them; results stay byte-identical (docs/DISTRIBUTED.md)")
+		addrFile   = flag.String("addr-file", "", "write the bound -listen address to this file for cmd/worker -connect-file")
+		workersMin = flag.Int("workers-remote", 1, "with -listen: minimum connected workers to wait for before starting")
+		remoteWait = flag.Duration("remote-wait", 10*time.Second, "with -listen: how long to wait for -workers-remote workers before proceeding degraded (in-process)")
 	)
 	flag.Parse()
 
@@ -110,6 +117,37 @@ func run() error {
 	defer stop()
 
 	ex := experiments.Exec{Workers: *workers, Shards: *shards, Ctx: ctx}
+
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			return err
+		}
+		if *addrFile != "" {
+			if err := writeAddrFile(*addrFile, ln.Addr().String()); err != nil {
+				ln.Close()
+				return err
+			}
+		}
+		pool := distrib.NewPool(distrib.StandardExecutors(), distrib.PoolOptions{Log: os.Stderr})
+		go pool.Serve(ln)
+		defer func() {
+			s := pool.Stats()
+			fmt.Fprintf(os.Stderr, "distrib: %d dispatched (%d re-dispatched, %d quarantined, %d local), %d workers joined, %d lost\n",
+				s.Dispatched, s.Redispatched, s.Quarantined, s.LocalRuns, s.WorkersJoined, s.WorkerDeaths)
+			pool.Close()
+		}()
+		if err := pool.AwaitWorkers(ctx, *workersMin, *remoteWait); err != nil {
+			if ctx.Err() != nil {
+				return context.Canceled
+			}
+			fmt.Fprintf(os.Stderr, "distrib: %v; proceeding degraded (in-process execution until workers join)\n", err)
+		}
+		ex.RemoteThm1 = distrib.Thm1Remote(pool)
+	} else if *addrFile != "" {
+		return fmt.Errorf("-addr-file requires -listen")
+	}
+
 	if *jpath != "" {
 		j, info, err := journal.Open(*jpath)
 		if err != nil {
@@ -183,6 +221,16 @@ func run() error {
 		fmt.Printf("\nwrote %s (%s)\n", *jsonPath, benchSchema)
 	}
 	return nil
+}
+
+// writeAddrFile publishes the bound listener address via rename, so a
+// worker re-reading the file never observes a partial write.
+func writeAddrFile(path, addr string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr+"\n"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func parseSizes(s string) ([]int, error) {

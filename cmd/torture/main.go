@@ -25,6 +25,14 @@
 // gracefully: in-flight trials finish journaling, the partial summary is
 // printed, and the exit code is 130.
 //
+// Distributed execution (see docs/DISTRIBUTED.md): -listen accepts
+// cmd/worker processes and dispatches trials to them over TCP, with
+// heartbeat crash detection, deterministic re-dispatch, poison-trial
+// quarantine and graceful degradation to in-process execution; report,
+// log, corpus and journal stay byte-identical to a single-process run.
+// -addr-file publishes the bound address for -connect-file workers;
+// -workers-remote/-remote-wait control the start-up fleet wait.
+//
 // Exit status: 0 when every trial satisfied the oracle (or the replayed
 // entry reproduced), 1 on violations (or a failed replay), 2 on usage or
 // I/O errors, 130 on interrupt.
@@ -35,13 +43,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"syscall"
+	"time"
 
+	"omicon/internal/distrib"
 	"omicon/internal/journal"
 	"omicon/internal/torture"
 	"omicon/internal/trace"
@@ -75,6 +86,10 @@ func run() (int, error) {
 		shards      = flag.Int("shards", 0, "simulator execution mode for every trial (0 = goroutine per process, -1 = sharded with GOMAXPROCS workers, k = sharded with k workers); artifacts are identical in both modes")
 		jpath       = flag.String("journal", "", "journal completed trials to this write-ahead file; a killed campaign resumes from it (docs/RESILIENCE.md)")
 		resume      = flag.Bool("resume", false, "allow continuing from a non-empty journal; replayed trials reproduce the original report, log and corpus bytes")
+		listen      = flag.String("listen", "", "accept remote trial workers (cmd/worker) on this address and dispatch trials to them; artifacts stay byte-identical (docs/DISTRIBUTED.md)")
+		addrFile    = flag.String("addr-file", "", "write the bound -listen address to this file for cmd/worker -connect-file")
+		workersMin  = flag.Int("workers-remote", 1, "with -listen: minimum connected workers to wait for before starting")
+		remoteWait  = flag.Duration("remote-wait", 10*time.Second, "with -listen: how long to wait for -workers-remote workers before proceeding degraded (in-process)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -133,6 +148,36 @@ func run() (int, error) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	opts.Ctx = ctx
+
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			return 2, err
+		}
+		if *addrFile != "" {
+			if err := writeAddrFile(*addrFile, ln.Addr().String()); err != nil {
+				ln.Close()
+				return 2, err
+			}
+		}
+		pool := distrib.NewPool(distrib.StandardExecutors(), distrib.PoolOptions{Log: os.Stderr})
+		go pool.Serve(ln)
+		defer func() {
+			s := pool.Stats()
+			fmt.Fprintf(os.Stderr, "distrib: %d dispatched (%d re-dispatched, %d quarantined, %d local), %d workers joined, %d lost\n",
+				s.Dispatched, s.Redispatched, s.Quarantined, s.LocalRuns, s.WorkersJoined, s.WorkerDeaths)
+			pool.Close()
+		}()
+		if err := pool.AwaitWorkers(ctx, *workersMin, *remoteWait); err != nil {
+			if ctx.Err() != nil {
+				return 130, nil
+			}
+			fmt.Fprintf(os.Stderr, "distrib: %v; proceeding degraded (in-process execution until workers join)\n", err)
+		}
+		opts.Remote = distrib.TortureRemote(pool)
+	} else if *addrFile != "" {
+		return 2, fmt.Errorf("-addr-file requires -listen")
+	}
 
 	if *jpath != "" {
 		j, info, err := journal.Open(*jpath)
@@ -212,6 +257,16 @@ func replayEntry(path string, shards int) (int, error) {
 		fmt.Println("replay: OK — violation reproduced, transcript byte-identical")
 		return 0, nil
 	}
+}
+
+// writeAddrFile publishes the bound listener address via rename, so a
+// worker re-reading the file never observes a partial write.
+func writeAddrFile(path, addr string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr+"\n"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func splitNames(s string) []string {

@@ -13,6 +13,14 @@
 // consecutive no-progress deaths, producing a structured failure report
 // instead of an infinite crash loop. Deaths that made progress reset the
 // budget — a campaign advancing one trial per crash still converges.
+//
+// Two extensions cover distributed campaigns (docs/DISTRIBUTED.md): a
+// wall-clock watchdog (Config.Watchdog) SIGQUITs a child whose journal
+// stops growing — capturing the Go runtime's goroutine dump — before
+// SIGKILLing it; and Config.Workers/WorkerArgv run a fleet of worker
+// processes alongside the child, restarted when they die, with
+// Plan.WorkerKills/WorkerStalls injecting faults into random workers
+// that the campaign must absorb by re-dispatching.
 package chaos
 
 import (
@@ -24,6 +32,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sync"
 	"syscall"
 	"time"
 
@@ -61,6 +70,16 @@ type Plan struct {
 	Corrupt string
 	// Corruptions caps how many kills are followed by corruption.
 	Corruptions int
+	// WorkerKills is the number of SIGKILLs delivered to randomly chosen
+	// supervised worker processes (Config.Workers); the killed worker is
+	// restarted automatically. Requires Config.WorkerArgv. These faults
+	// never terminate the campaign child; the campaign must absorb them
+	// by re-dispatching the lost trials (docs/DISTRIBUTED.md).
+	WorkerKills int
+	// WorkerStalls is the number of SIGSTOP/SIGCONT pauses (StallFor
+	// long) delivered to randomly chosen workers — long enough stalls
+	// trip the coordinator's heartbeat deadline exactly like a crash.
+	WorkerStalls int
 }
 
 // Config configures one supervised campaign.
@@ -88,6 +107,26 @@ type Config struct {
 	// {0}). A torture campaign that found violations exits 1 and is still
 	// finished; pass {0, 1}.
 	OKCodes []int
+	// Watchdog, when positive, is the wall-clock stall detector: a child
+	// whose journal shows no progress for this long gets SIGQUIT — the Go
+	// runtime dumps all goroutine stacks to stderr, captured into the
+	// attempt's output and the failure report — then SIGKILL after
+	// WatchdogGrace (default 2s) if it still refuses to die. A watchdog
+	// kill counts as a no-progress death against the crash budget. Size
+	// the window well above a single trial plus Plan.StallFor: the
+	// watchdog's clock resets after each injected stall, but a window
+	// tighter than real trial latency kills healthy campaigns.
+	Watchdog      time.Duration
+	WatchdogGrace time.Duration
+	// Workers, with WorkerArgv, runs that many supervised worker
+	// processes alongside the campaign child (e.g. cmd/worker connecting
+	// to the child's -listen socket). Each occurrence of "{dir}" in
+	// WorkerArgv is replaced by Dir and "{worker}" by the worker index.
+	// Workers are restarted when they die — by Plan.WorkerKills or on
+	// their own — and outlive campaign child restarts, reconnecting via
+	// their own retry loops.
+	Workers    int
+	WorkerArgv []string
 	// Log receives supervisor diagnostics, every line prefixed "chaos:".
 	// Nil discards them.
 	Log io.Writer
@@ -104,6 +143,13 @@ type Result struct {
 	// Kills, Stalls and Corruptions count the faults actually injected
 	// (a campaign can finish before the plan is spent).
 	Kills, Stalls, Corruptions int
+	// WorkerKills and WorkerStalls count the worker-process faults
+	// injected; WorkerRestarts counts worker starts beyond each worker's
+	// first (covering both injected kills and natural exits).
+	WorkerKills, WorkerStalls, WorkerRestarts int
+	// WatchdogFires counts wall-clock stall detections (SIGQUIT, then
+	// SIGKILL after the grace window).
+	WatchdogFires int
 	// FinalExit is the last child exit code.
 	FinalExit int
 	// FinalStdout/FinalStderr are the last attempt's output. A resumed
@@ -134,6 +180,8 @@ type faultKind int
 const (
 	faultKill faultKind = iota
 	faultStall
+	faultWorkerKill
+	faultWorkerStall
 )
 
 type fault struct {
@@ -158,8 +206,14 @@ func Run(cfg Config) (*Result, error) {
 	if len(cfg.OKCodes) == 0 {
 		cfg.OKCodes = []int{0}
 	}
+	if cfg.WatchdogGrace <= 0 {
+		cfg.WatchdogGrace = 2 * time.Second
+	}
 	if cfg.Plan.MaxDelay <= cfg.Plan.MinDelay {
 		cfg.Plan.MaxDelay = cfg.Plan.MinDelay + time.Millisecond
+	}
+	if cfg.Workers > 0 && len(cfg.WorkerArgv) == 0 {
+		return nil, fmt.Errorf("chaos: Workers=%d but no WorkerArgv", cfg.Workers)
 	}
 	argv := make([]string, len(cfg.Argv))
 	for i, a := range cfg.Argv {
@@ -175,19 +229,31 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	s := &supervisor{cfg: cfg, argv: argv, rng: rand.New(rand.NewSource(int64(cfg.Plan.Seed)))}
-	// Expand the plan into a deterministic fault queue: the stalls are
-	// spread among the kills by seeded shuffle, so their relative order
-	// is part of the plan.
+	// Expand the plan into a deterministic fault queue: stalls and worker
+	// faults are spread among the kills by seeded shuffle, so their
+	// relative order is part of the plan.
 	for i := 0; i < cfg.Plan.Kills; i++ {
 		s.faults = append(s.faults, fault{kind: faultKill})
 	}
 	for i := 0; i < cfg.Plan.Stalls; i++ {
 		s.faults = append(s.faults, fault{kind: faultStall})
 	}
+	if cfg.Workers > 0 {
+		for i := 0; i < cfg.Plan.WorkerKills; i++ {
+			s.faults = append(s.faults, fault{kind: faultWorkerKill})
+		}
+		for i := 0; i < cfg.Plan.WorkerStalls; i++ {
+			s.faults = append(s.faults, fault{kind: faultWorkerStall})
+		}
+	}
 	s.rng.Shuffle(len(s.faults), func(i, j int) { s.faults[i], s.faults[j] = s.faults[j], s.faults[i] })
 	for i := range s.faults {
 		span := cfg.Plan.MaxDelay - cfg.Plan.MinDelay
 		s.faults[i].delay = cfg.Plan.MinDelay + time.Duration(s.rng.Int63n(int64(span)))
+	}
+	if cfg.Workers > 0 {
+		s.startWorkers()
+		defer s.stopWorkers()
 	}
 	return s.run()
 }
@@ -202,11 +268,118 @@ func replaceAll(s, old, new string) string {
 }
 
 type supervisor struct {
-	cfg    Config
-	argv   []string
-	rng    *rand.Rand
-	faults []fault
-	res    Result
+	cfg     Config
+	argv    []string
+	rng     *rand.Rand
+	faults  []fault
+	workers []*workerProc
+	res     Result
+}
+
+// workerProc is one supervised worker process: a monitor goroutine keeps
+// it running (restarting on every exit) until stop is requested. The
+// mutex guards pgid/stopped/starts against the fault injector and the
+// monitor racing.
+type workerProc struct {
+	idx  int
+	argv []string
+	out  io.Writer
+	logf func(format string, args ...any)
+
+	mu      sync.Mutex
+	pgid    int
+	stopped bool
+	starts  int
+
+	done chan struct{}
+}
+
+func (w *workerProc) run() {
+	defer close(w.done)
+	for {
+		w.mu.Lock()
+		if w.stopped {
+			w.mu.Unlock()
+			return
+		}
+		cmd := exec.Command(w.argv[0], w.argv[1:]...)
+		cmd.Stdout = w.out
+		cmd.Stderr = w.out
+		// Its own process group, so injected signals hit the worker and
+		// anything it spawned without touching the campaign child.
+		cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+		if err := cmd.Start(); err != nil {
+			w.mu.Unlock()
+			w.logf("worker %d: start failed: %v", w.idx, err)
+			return
+		}
+		w.pgid = cmd.Process.Pid
+		w.starts++
+		w.mu.Unlock()
+		err := cmd.Wait()
+		w.mu.Lock()
+		w.pgid = 0
+		stopped := w.stopped
+		w.mu.Unlock()
+		if stopped {
+			return
+		}
+		w.logf("worker %d exited (%v); restarting", w.idx, err)
+		// Brief pause so a worker that dies instantly (bad argv, missing
+		// coordinator address file) cannot hot-loop the supervisor.
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// signalGroup delivers sig to the worker's process group if it is
+// currently running.
+func (w *workerProc) signalGroup(sig syscall.Signal) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.pgid == 0 || w.stopped {
+		return false
+	}
+	return syscall.Kill(-w.pgid, sig) == nil
+}
+
+func (s *supervisor) startWorkers() {
+	out := io.Writer(io.Discard)
+	if s.cfg.ChildOutput != nil {
+		out = s.cfg.ChildOutput
+	}
+	for i := 0; i < s.cfg.Workers; i++ {
+		argv := make([]string, len(s.cfg.WorkerArgv))
+		for j, a := range s.cfg.WorkerArgv {
+			a = ReplaceDir(a, s.cfg.Dir)
+			argv[j] = replaceAll(a, "{worker}", fmt.Sprintf("%d", i))
+		}
+		w := &workerProc{idx: i, argv: argv, out: out, logf: s.logf, done: make(chan struct{})}
+		s.workers = append(s.workers, w)
+		go w.run()
+	}
+	s.logf("started %d workers: %v", s.cfg.Workers, s.cfg.WorkerArgv)
+}
+
+func (s *supervisor) stopWorkers() {
+	for _, w := range s.workers {
+		w.mu.Lock()
+		w.stopped = true
+		if w.pgid != 0 {
+			syscall.Kill(-w.pgid, syscall.SIGCONT) // in case it is mid-stall
+			syscall.Kill(-w.pgid, syscall.SIGKILL)
+		}
+		w.mu.Unlock()
+	}
+	restarts := 0
+	for _, w := range s.workers {
+		<-w.done
+		w.mu.Lock()
+		if w.starts > 1 {
+			restarts += w.starts - 1
+		}
+		w.mu.Unlock()
+	}
+	s.res.WorkerRestarts = restarts
 }
 
 func (s *supervisor) logf(format string, args ...any) {
@@ -329,25 +502,58 @@ func (s *supervisor) attempt() (exit int, killed bool, err error) {
 		return -1
 	}
 
-	for {
-		if len(s.faults) == 0 {
-			werr := <-done
-			s.res.FinalStdout = stdout.Bytes()
-			s.res.FinalStderr = stderr.Bytes()
-			return finish(werr), false, nil
+	capture := func(werr error) (int, bool) {
+		s.res.FinalStdout = stdout.Bytes()
+		s.res.FinalStderr = stderr.Bytes()
+		return finish(werr), false
+	}
+
+	// Wall-clock watchdog: ticks a few times per window, tracks the last
+	// journal-progress change, and escalates SIGQUIT (stack dump into the
+	// captured stderr) then SIGKILL on a stall.
+	var wdC <-chan time.Time
+	lastMark := s.progressMarker()
+	lastChange := time.Now()
+	if s.cfg.Watchdog > 0 {
+		interval := s.cfg.Watchdog / 4
+		if interval < 10*time.Millisecond {
+			interval = 10 * time.Millisecond
 		}
-		f := s.faults[0]
-		timer := time.NewTimer(f.delay)
+		wd := time.NewTicker(interval)
+		defer wd.Stop()
+		wdC = wd.C
+	}
+
+	// The fault timer is armed per fault, not per loop iteration: a
+	// watchdog tick must not restart the pending fault's delay.
+	var faultTimer *time.Timer
+	var faultC <-chan time.Time
+	armFault := func() {
+		if len(s.faults) > 0 {
+			faultTimer = time.NewTimer(s.faults[0].delay)
+			faultC = faultTimer.C
+		} else {
+			faultTimer, faultC = nil, nil
+		}
+	}
+	armFault()
+	defer func() {
+		if faultTimer != nil {
+			faultTimer.Stop()
+		}
+	}()
+
+	for {
 		select {
 		case werr := <-done:
-			timer.Stop()
-			// Child exited before the fault fired: the fault stays
+			// Child exited before the next fault fired: the fault stays
 			// queued for the next attempt (a finished campaign simply
 			// leaves the plan unspent).
-			s.res.FinalStdout = stdout.Bytes()
-			s.res.FinalStderr = stderr.Bytes()
-			return finish(werr), false, nil
-		case <-timer.C:
+			exit, k := capture(werr)
+			return exit, k, nil
+
+		case <-faultC:
+			f := s.faults[0]
 			s.faults = s.faults[1:]
 			switch f.kind {
 			case faultStall:
@@ -356,18 +562,66 @@ func (s *supervisor) attempt() (exit int, killed bool, err error) {
 				syscall.Kill(-pgid, syscall.SIGSTOP)
 				time.Sleep(s.cfg.Plan.StallFor)
 				syscall.Kill(-pgid, syscall.SIGCONT)
-				// Keep supervising this attempt with the next fault.
+				// A stalled child could not make progress by design; give
+				// the watchdog a fresh window.
+				lastChange = time.Now()
 			case faultKill:
 				s.res.Kills++
 				s.logf("SIGKILL after %s", f.delay)
 				syscall.Kill(-pgid, syscall.SIGKILL)
-				werr := <-done
-				s.res.FinalStdout = stdout.Bytes()
-				s.res.FinalStderr = stderr.Bytes()
-				return finish(werr), true, nil
+				exit, _ := capture(<-done)
+				return exit, true, nil
+			case faultWorkerKill:
+				w := s.pickWorker()
+				if w != nil && w.signalGroup(syscall.SIGKILL) {
+					s.res.WorkerKills++
+					s.logf("worker %d: SIGKILL after %s", w.idx, f.delay)
+				}
+			case faultWorkerStall:
+				w := s.pickWorker()
+				if w != nil && w.signalGroup(syscall.SIGSTOP) {
+					s.res.WorkerStalls++
+					s.logf("worker %d: SIGSTOP for %s after %s", w.idx, s.cfg.Plan.StallFor, f.delay)
+					time.Sleep(s.cfg.Plan.StallFor)
+					w.signalGroup(syscall.SIGCONT)
+				}
 			}
+			armFault()
+
+		case <-wdC:
+			if m := s.progressMarker(); m != lastMark {
+				lastMark = m
+				lastChange = time.Now()
+				continue
+			}
+			if time.Since(lastChange) < s.cfg.Watchdog {
+				continue
+			}
+			s.res.WatchdogFires++
+			s.logf("watchdog: no journal progress for %s; SIGQUIT for a stack dump, SIGKILL after %s",
+				s.cfg.Watchdog, s.cfg.WatchdogGrace)
+			syscall.Kill(-pgid, syscall.SIGQUIT)
+			grace := time.NewTimer(s.cfg.WatchdogGrace)
+			var werr error
+			select {
+			case werr = <-done:
+				grace.Stop()
+			case <-grace.C:
+				syscall.Kill(-pgid, syscall.SIGKILL)
+				werr = <-done
+			}
+			exit, _ := capture(werr)
+			return exit, true, nil
 		}
 	}
+}
+
+// pickWorker selects a seeded-random supervised worker.
+func (s *supervisor) pickWorker() *workerProc {
+	if len(s.workers) == 0 {
+		return nil
+	}
+	return s.workers[s.rng.Intn(len(s.workers))]
 }
 
 // corrupt damages the journal per mode; see Plan.Corrupt.

@@ -1,0 +1,451 @@
+package distrib
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"omicon/internal/transport"
+	"omicon/internal/wire"
+)
+
+// PoolOptions tunes the coordinator-side dispatcher. The zero value
+// selects the defaults noted per field.
+type PoolOptions struct {
+	// Heartbeat is the beat interval announced to workers in WELCOME
+	// (default 500ms).
+	Heartbeat time.Duration
+	// HeartbeatMiss is how many consecutive missed beats declare a worker
+	// dead (default 4): the coordinator reads each worker's stream under
+	// a deadline of Heartbeat*HeartbeatMiss, so crash detection is purely
+	// deadline-based — no separate failure detector.
+	HeartbeatMiss int
+	// PoisonK quarantines a job after this many consecutive worker
+	// deaths while it was in flight (default 3): the job is executed
+	// in-process through the executor registry and flagged, instead of
+	// crash-looping the fleet.
+	PoisonK int
+	// DegradeAfter is how long Execute waits with zero live workers
+	// before degrading to in-process execution (default 1s). A worker
+	// (re)joining restores remote dispatch for subsequent jobs.
+	DegradeAfter time.Duration
+	// IOTimeout bounds the join handshake (default 10s).
+	IOTimeout time.Duration
+	// Log receives "distrib:"-prefixed diagnostics (joins, deaths,
+	// re-dispatches, quarantines, degradations). Nil disables. The chaos
+	// verifier strips these lines, so diagnostics never perturb
+	// byte-identity checks.
+	Log io.Writer
+}
+
+func (o PoolOptions) withDefaults() PoolOptions {
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = 500 * time.Millisecond
+	}
+	if o.HeartbeatMiss <= 0 {
+		o.HeartbeatMiss = 4
+	}
+	if o.PoisonK <= 0 {
+		o.PoisonK = 3
+	}
+	if o.DegradeAfter <= 0 {
+		o.DegradeAfter = time.Second
+	}
+	if o.IOTimeout <= 0 {
+		o.IOTimeout = 10 * time.Second
+	}
+	return o
+}
+
+// PoolStats counts dispatch-layer events. Diagnostic only: none of these
+// affect campaign artifacts.
+type PoolStats struct {
+	// WorkersJoined counts successful handshakes (a reconnecting worker
+	// counts again).
+	WorkersJoined int
+	// WorkerDeaths counts workers dropped for I/O errors or missed
+	// heartbeats (clean Goodbye shutdowns are not deaths).
+	WorkerDeaths int
+	// Dispatched counts job sends, Redispatched the subset re-sent after
+	// a worker died with the job in flight.
+	Dispatched   int
+	Redispatched int
+	// Quarantined counts jobs isolated after PoisonK consecutive deaths;
+	// LocalRuns counts degradation fallbacks with no workers alive.
+	Quarantined int
+	LocalRuns   int
+}
+
+// ExecResult is one Execute call's outcome.
+type ExecResult struct {
+	Payload []byte
+	// Quarantined marks a poison job that was executed in-process after
+	// killing PoisonK workers in a row.
+	Quarantined bool
+	// Local marks a degradation fallback (no live workers).
+	Local bool
+	// Redispatches counts worker deaths this job survived.
+	Redispatches int
+}
+
+// Pool dispatches jobs to connected worker processes, re-dispatching on
+// death, quarantining poison jobs, and degrading to in-process execution
+// when the fleet is empty. Execute blocks per job, so the caller's own
+// concurrency (the partrial produce pool) bounds in-flight jobs, and the
+// caller's serial commit order is untouched — the property that keeps
+// distributed artifacts byte-identical.
+type Pool struct {
+	opts  PoolOptions
+	local *Executors
+	reg   *wire.Registry
+
+	tasks  chan *task
+	closed chan struct{}
+	once   sync.Once
+
+	mu      sync.Mutex
+	ln      net.Listener
+	nextID  uint64
+	alive   int
+	workers map[uint64]*poolWorker
+	stats   PoolStats
+}
+
+type task struct {
+	key, kind string
+	payload   []byte
+	done      chan taskResult
+}
+
+type taskResult struct {
+	payload []byte
+	err     error
+	died    bool
+	worker  uint64
+}
+
+type poolWorker struct {
+	id     uint64
+	name   string
+	conn   net.Conn
+	r      *bufio.Reader
+	w      *bufio.Writer
+	wmu    sync.Mutex // serializes job writes and the shutdown Goodbye
+	seq    uint64
+	window time.Duration
+}
+
+func (pw *poolWorker) write(body []byte, deadline time.Duration) error {
+	pw.wmu.Lock()
+	defer pw.wmu.Unlock()
+	pw.conn.SetWriteDeadline(time.Now().Add(deadline))
+	return transport.WriteFrame(pw.w, body)
+}
+
+// NewPool returns a dispatcher executing local fallbacks (degradation,
+// quarantine) through local, which must cover every kind the pool will
+// Execute.
+func NewPool(local *Executors, opts PoolOptions) *Pool {
+	return &Pool{
+		opts:    opts.withDefaults(),
+		local:   local,
+		reg:     Registry(),
+		tasks:   make(chan *task),
+		closed:  make(chan struct{}),
+		workers: make(map[uint64]*poolWorker),
+	}
+}
+
+func (p *Pool) logf(format string, args ...any) {
+	if p.opts.Log != nil {
+		fmt.Fprintf(p.opts.Log, "distrib: "+format+"\n", args...)
+	}
+}
+
+// Serve accepts worker connections on ln until Close. It owns ln's
+// lifetime from this point: Close closes it to unblock Accept.
+func (p *Pool) Serve(ln net.Listener) {
+	p.mu.Lock()
+	p.ln = ln
+	p.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-p.closed:
+				return
+			default:
+			}
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		select {
+		case <-p.closed:
+			conn.Close()
+			return
+		default:
+		}
+		go p.handshake(conn)
+	}
+}
+
+// Close shuts the pool down: the listener stops accepting, each
+// worker's serve loop sends a best-effort Goodbye and drops the
+// connection, and pending Execute calls abort.
+func (p *Pool) Close() {
+	p.once.Do(func() {
+		close(p.closed)
+		p.mu.Lock()
+		ln := p.ln
+		p.mu.Unlock()
+		if ln != nil {
+			ln.Close()
+		}
+	})
+}
+
+// handshake validates one HELLO under IOTimeout, registers the worker,
+// and starts its serve loop.
+func (p *Pool) handshake(conn net.Conn) {
+	conn.SetDeadline(time.Now().Add(p.opts.IOTimeout))
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	frame, err := transport.ReadFrame(r)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	msg, err := p.reg.DecodeFrame(wire.NewDecoder(frame))
+	if err != nil {
+		conn.Close()
+		return
+	}
+	hello, ok := msg.(*Hello)
+	if !ok {
+		conn.Close()
+		return
+	}
+	pw := &poolWorker{
+		name: hello.Name, conn: conn, r: r, w: w,
+		window: p.opts.Heartbeat * time.Duration(p.opts.HeartbeatMiss),
+	}
+	p.mu.Lock()
+	select {
+	case <-p.closed:
+		p.mu.Unlock()
+		conn.Close()
+		return
+	default:
+	}
+	p.nextID++
+	pw.id = p.nextID
+	p.workers[pw.id] = pw
+	p.alive++
+	p.stats.WorkersJoined++
+	p.mu.Unlock()
+
+	welcome := &Welcome{Worker: pw.id, HeartbeatMillis: uint64(p.opts.Heartbeat / time.Millisecond)}
+	if err := transport.WriteFrame(w, wire.EncodeFrame(nil, welcome)); err != nil {
+		p.dropWorker(pw, "welcome write failed")
+		return
+	}
+	conn.SetDeadline(time.Time{}) // per-operation deadlines from here on
+	p.logf("worker %d (%s) joined, %d alive", pw.id, pw.name, p.aliveWorkers())
+	go p.serveWorker(pw)
+}
+
+// dropWorker removes a dead worker from the fleet. Clean shutdown
+// (pool closed) is not a death.
+func (p *Pool) dropWorker(pw *poolWorker, reason string) {
+	pw.conn.Close()
+	p.mu.Lock()
+	_, registered := p.workers[pw.id]
+	if registered {
+		delete(p.workers, pw.id)
+		p.alive--
+	}
+	closed := false
+	select {
+	case <-p.closed:
+		closed = true
+	default:
+	}
+	if registered && !closed {
+		p.stats.WorkerDeaths++
+	}
+	alive := p.alive
+	p.mu.Unlock()
+	if registered && !closed {
+		p.logf("worker %d (%s) lost: %s, %d alive", pw.id, pw.name, reason, alive)
+	}
+}
+
+// serveWorker pulls tasks from the shared queue and runs them on one
+// worker connection until the worker dies or the pool closes.
+func (p *Pool) serveWorker(pw *poolWorker) {
+	for {
+		select {
+		case <-p.closed:
+			// Clean shutdown: tell the worker the campaign is over so it
+			// exits instead of burning its reconnect budget.
+			pw.write(wire.EncodeFrame(nil, &Goodbye{Reason: "campaign complete"}), time.Second)
+			p.dropWorker(pw, "pool closed")
+			return
+		case t := <-p.tasks:
+			res := p.runOn(pw, t)
+			t.done <- res
+			if res.died {
+				p.dropWorker(pw, fmt.Sprintf("died with %s in flight", t.key))
+				return
+			}
+		}
+	}
+}
+
+// runOn dispatches one task to one worker and reads until its result.
+// Heartbeats arrive interleaved and reset the read deadline; a deadline
+// expiry, connection error, or protocol violation declares the worker
+// dead, which makes Execute re-dispatch the task. A result whose
+// sequence number does not match the live dispatch is stale (a
+// superseded dispatch from before a reconnect) and dropped.
+func (p *Pool) runOn(pw *poolWorker, t *task) taskResult {
+	pw.seq++
+	body := wire.EncodeFrame(nil, &JobMsg{Seq: pw.seq, Kind: t.kind, Key: t.key, Payload: t.payload})
+	if err := pw.write(body, pw.window); err != nil {
+		return taskResult{died: true, worker: pw.id}
+	}
+	for {
+		pw.conn.SetReadDeadline(time.Now().Add(pw.window))
+		frame, err := transport.ReadFrame(pw.r)
+		if err != nil {
+			return taskResult{died: true, worker: pw.id}
+		}
+		msg, err := p.reg.DecodeFrame(wire.NewDecoder(frame))
+		if err != nil {
+			return taskResult{died: true, worker: pw.id}
+		}
+		switch m := msg.(type) {
+		case *Heartbeat:
+			continue
+		case *ResultMsg:
+			if m.Seq != pw.seq {
+				continue
+			}
+			if !m.OK {
+				return taskResult{err: errors.New(m.Err), worker: pw.id}
+			}
+			return taskResult{payload: m.Payload, worker: pw.id}
+		default:
+			return taskResult{died: true, worker: pw.id}
+		}
+	}
+}
+
+func (p *Pool) aliveWorkers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.alive
+}
+
+// Stats returns a snapshot of the dispatch counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+func (p *Pool) bump(f func(*PoolStats)) {
+	p.mu.Lock()
+	f(&p.stats)
+	p.mu.Unlock()
+}
+
+// AwaitWorkers blocks until at least n workers are connected, the
+// timeout expires, or ctx is canceled. A timeout is not fatal — the
+// caller typically logs it and proceeds degraded.
+func (p *Pool) AwaitWorkers(ctx context.Context, n int, timeout time.Duration) error {
+	if n <= 0 {
+		return nil
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	tick := time.NewTicker(25 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if p.aliveWorkers() >= n {
+			return nil
+		}
+		select {
+		case <-tick.C:
+		case <-deadline.C:
+			return fmt.Errorf("distrib: %d of %d workers after %v", p.aliveWorkers(), n, timeout)
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-p.closed:
+			return errPoolClosed
+		}
+	}
+}
+
+// Execute dispatches one job and blocks until its result: remote when a
+// worker is available, re-dispatched on worker death, quarantined
+// in-process after PoisonK consecutive deaths, or run in-process when no
+// workers are alive for DegradeAfter. Execute is safe for concurrent
+// use; each call owns exactly one job.
+func (p *Pool) Execute(ctx context.Context, key, kind string, payload []byte) (ExecResult, error) {
+	t := &task{key: key, kind: kind, payload: payload, done: make(chan taskResult, 1)}
+	res := ExecResult{}
+	degrade := time.NewTimer(p.opts.DegradeAfter)
+	defer degrade.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return res, ctx.Err()
+		case <-p.closed:
+			return res, errPoolClosed
+		case p.tasks <- t:
+			p.bump(func(s *PoolStats) { s.Dispatched++ })
+			select {
+			case r := <-t.done:
+				if r.died {
+					res.Redispatches++
+					if res.Redispatches >= p.opts.PoisonK {
+						p.bump(func(s *PoolStats) { s.Quarantined++ })
+						p.logf("quarantining %s after %d consecutive worker deaths; executing in-process", key, res.Redispatches)
+						out, err := p.local.Run(kind, payload)
+						res.Payload = out
+						res.Quarantined = true
+						return res, err
+					}
+					p.bump(func(s *PoolStats) { s.Redispatched++ })
+					p.logf("re-dispatching %s (worker %d died, attempt %d/%d)", key, r.worker, res.Redispatches+1, p.opts.PoisonK)
+					degrade.Reset(p.opts.DegradeAfter)
+					continue
+				}
+				res.Payload = r.payload
+				return res, r.err
+			case <-ctx.Done():
+				return res, ctx.Err()
+			case <-p.closed:
+				return res, errPoolClosed
+			}
+		case <-degrade.C:
+			if p.aliveWorkers() == 0 {
+				p.bump(func(s *PoolStats) { s.LocalRuns++ })
+				p.logf("no live workers for %v; executing %s in-process", p.opts.DegradeAfter, key)
+				out, err := p.local.Run(kind, payload)
+				res.Payload = out
+				res.Local = true
+				return res, err
+			}
+			degrade.Reset(p.opts.DegradeAfter)
+		}
+	}
+}

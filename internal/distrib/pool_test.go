@@ -1,0 +1,463 @@
+package distrib
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"omicon/internal/transport"
+	"omicon/internal/wire"
+)
+
+// newTestPool starts a pool serving on a loopback listener.
+func newTestPool(t *testing.T, local *Executors, opts PoolOptions) (*Pool, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool(local, opts)
+	go p.Serve(ln)
+	t.Cleanup(p.Close)
+	return p, ln.Addr().String()
+}
+
+// echoExecutors serves the "echo" kind by prefixing the payload.
+func echoExecutors() *Executors {
+	ex := NewExecutors()
+	ex.Register("echo", func(payload []byte) ([]byte, error) {
+		return append([]byte("echo:"), payload...), nil
+	})
+	ex.Register("fail", func(payload []byte) ([]byte, error) {
+		return nil, fmt.Errorf("deliberate failure on %q", payload)
+	})
+	return ex
+}
+
+// startWorker runs a real RunWorker loop in a goroutine; it exits on the
+// pool's Goodbye or its own cleanup cancel (cleanups run LIFO, so this
+// fires before the pool's deferred Close).
+func startWorker(t *testing.T, ctx context.Context, addr, name string, ex *Executors) {
+	t.Helper()
+	wctx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		RunWorker(wctx, addr, ex, WorkerOptions{Name: name, RetryMax: 200, RetryBase: time.Millisecond, RetryCap: 20 * time.Millisecond})
+	}()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("worker did not shut down")
+		}
+	})
+}
+
+// rawWorker scripts the dispatch protocol directly so tests can stage
+// deaths precisely: it serves jobs through ex but closes the connection
+// without replying whenever shouldDie(ordinal, payload) is true (ordinal
+// counts jobs received across all sessions), then reconnects until its
+// cleanup stops it (closing the live connection to unblock reads).
+func rawWorker(t *testing.T, addr string, ex *Executors, shouldDie func(ordinal int, payload []byte) bool) {
+	t.Helper()
+	var mu sync.Mutex
+	var cur net.Conn
+	stopped := false
+	done := make(chan struct{})
+	t.Cleanup(func() {
+		mu.Lock()
+		stopped = true
+		if cur != nil {
+			cur.Close()
+		}
+		mu.Unlock()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("rigged worker did not stop")
+		}
+	})
+	go func() {
+		defer close(done)
+		ordinal := 0
+		reg := Registry()
+		for {
+			mu.Lock()
+			if stopped {
+				mu.Unlock()
+				return
+			}
+			mu.Unlock()
+			conn, err := net.DialTimeout("tcp", addr, time.Second)
+			if err != nil {
+				time.Sleep(5 * time.Millisecond)
+				continue
+			}
+			mu.Lock()
+			if stopped {
+				mu.Unlock()
+				conn.Close()
+				return
+			}
+			cur = conn
+			mu.Unlock()
+			r := bufio.NewReader(conn)
+			w := bufio.NewWriter(conn)
+			if err := transport.WriteFrame(w, wire.EncodeFrame(nil, &Hello{Name: "rigged"})); err != nil {
+				conn.Close()
+				continue
+			}
+			if _, err := transport.ReadFrame(r); err != nil { // WELCOME
+				conn.Close()
+				continue
+			}
+		session:
+			for {
+				frame, err := transport.ReadFrame(r)
+				if err != nil {
+					break session
+				}
+				msg, err := reg.DecodeFrame(wire.NewDecoder(frame))
+				if err != nil {
+					break session
+				}
+				switch m := msg.(type) {
+				case *Goodbye:
+					conn.Close()
+					return
+				case *JobMsg:
+					ordinal++
+					if shouldDie(ordinal, m.Payload) {
+						break session // die with the job in flight
+					}
+					out, jerr := ex.Run(m.Kind, m.Payload)
+					res := &ResultMsg{Seq: m.Seq, OK: jerr == nil, Payload: out}
+					if jerr != nil {
+						res.Payload, res.Err = nil, jerr.Error()
+					}
+					if err := transport.WriteFrame(w, wire.EncodeFrame(nil, res)); err != nil {
+						break session
+					}
+				}
+			}
+			conn.Close()
+		}
+	}()
+}
+
+// waitStats polls until cond holds on the pool's counters.
+func waitStats(t *testing.T, p *Pool, what string, cond func(PoolStats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond(p.Stats()) {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s; stats %+v", what, p.Stats())
+}
+
+func TestPoolDispatchAndClose(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ex := echoExecutors()
+	p, addr := newTestPool(t, ex, PoolOptions{DegradeAfter: 10 * time.Second})
+	startWorker(t, ctx, addr, "w1", ex)
+	startWorker(t, ctx, addr, "w2", ex)
+	if err := p.AwaitWorkers(ctx, 2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	const jobs = 16
+	var wg sync.WaitGroup
+	results := make([][]byte, jobs)
+	errs := make([]error, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := p.Execute(ctx, fmt.Sprintf("job-%d", i), "echo", []byte(fmt.Sprintf("payload-%d", i)))
+			results[i], errs[i] = res.Payload, err
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < jobs; i++ {
+		if errs[i] != nil {
+			t.Fatalf("job %d: %v", i, errs[i])
+		}
+		if want := fmt.Sprintf("echo:payload-%d", i); string(results[i]) != want {
+			t.Fatalf("job %d: got %q want %q", i, results[i], want)
+		}
+	}
+	s := p.Stats()
+	if s.Dispatched != jobs || s.Redispatched != 0 || s.Quarantined != 0 || s.LocalRuns != 0 {
+		t.Fatalf("unexpected stats %+v", s)
+	}
+	// Close sends Goodbye; both RunWorker loops must exit cleanly (the
+	// Cleanup in startWorker enforces it).
+	p.Close()
+}
+
+func TestPoolExecutorErrorIsNotADeath(t *testing.T) {
+	ctx := context.Background()
+	ex := echoExecutors()
+	p, addr := newTestPool(t, ex, PoolOptions{DegradeAfter: 10 * time.Second})
+	startWorker(t, ctx, addr, "w1", ex)
+	if err := p.AwaitWorkers(ctx, 1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	_, err := p.Execute(ctx, "bad", "fail", []byte("x"))
+	if err == nil || !strings.Contains(err.Error(), "deliberate failure") {
+		t.Fatalf("want executor error, got %v", err)
+	}
+	if s := p.Stats(); s.WorkerDeaths != 0 {
+		t.Fatalf("an executor error killed a worker: %+v", s)
+	}
+	// The same worker must still serve jobs.
+	res, err := p.Execute(ctx, "ok", "echo", []byte("alive"))
+	if err != nil || string(res.Payload) != "echo:alive" {
+		t.Fatalf("worker unusable after executor error: %v %q", err, res.Payload)
+	}
+}
+
+func TestPoolRedispatchOnWorkerDeath(t *testing.T) {
+	ctx := context.Background()
+	ex := echoExecutors()
+	p, addr := newTestPool(t, ex, PoolOptions{DegradeAfter: 10 * time.Second})
+	// Dies exactly once: on the first delivery of the poison marker.
+	died := false
+	rawWorker(t, addr, ex, func(ordinal int, payload []byte) bool {
+		if !died && bytes.Contains(payload, []byte("marker")) {
+			died = true
+			return true
+		}
+		return false
+	})
+	if err := p.AwaitWorkers(ctx, 1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Execute(ctx, "hot", "echo", []byte("marker"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Payload) != "echo:marker" {
+		t.Fatalf("payload %q", res.Payload)
+	}
+	if res.Redispatches != 1 || res.Quarantined || res.Local {
+		t.Fatalf("result flags %+v", res)
+	}
+	s := p.Stats()
+	if s.WorkerDeaths != 1 || s.Redispatched != 1 || s.Quarantined != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestPoolQuarantinesPoisonJob(t *testing.T) {
+	ctx := context.Background()
+	ex := echoExecutors()
+	p, addr := newTestPool(t, ex, PoolOptions{PoisonK: 2, DegradeAfter: 10 * time.Second})
+	// Dies on every delivery of the poison marker — the crash-looping
+	// trial the quarantine exists for.
+	rawWorker(t, addr, ex, func(ordinal int, payload []byte) bool {
+		return bytes.Contains(payload, []byte("poison"))
+	})
+	if err := p.AwaitWorkers(ctx, 1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Execute(ctx, "trial-3", "echo", []byte("poison"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Quarantined {
+		t.Fatalf("poison job not quarantined: %+v", res)
+	}
+	if string(res.Payload) != "echo:poison" {
+		t.Fatalf("quarantined payload %q (must run through the same executors)", res.Payload)
+	}
+	if res.Redispatches != 2 {
+		t.Fatalf("quarantine after %d deaths, want 2", res.Redispatches)
+	}
+	s := p.Stats()
+	if s.Quarantined != 1 || s.WorkerDeaths < 2 {
+		t.Fatalf("stats %+v", s)
+	}
+	// The fleet keeps serving healthy jobs afterwards.
+	res, err = p.Execute(ctx, "ok", "echo", []byte("healthy"))
+	if err != nil || string(res.Payload) != "echo:healthy" {
+		t.Fatalf("fleet unusable after quarantine: %v %q", err, res.Payload)
+	}
+}
+
+func TestPoolDegradesToLocalWithNoWorkers(t *testing.T) {
+	ctx := context.Background()
+	ex := echoExecutors()
+	p, _ := newTestPool(t, ex, PoolOptions{DegradeAfter: 30 * time.Millisecond})
+	res, err := p.Execute(ctx, "lonely", "echo", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Local || string(res.Payload) != "echo:x" {
+		t.Fatalf("want local degradation, got %+v %q", res, res.Payload)
+	}
+	if s := p.Stats(); s.LocalRuns != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestPoolRecoversWhenWorkerJoins(t *testing.T) {
+	ctx := context.Background()
+	ex := echoExecutors()
+	p, addr := newTestPool(t, ex, PoolOptions{DegradeAfter: 30 * time.Millisecond})
+	// First job degrades (no workers)...
+	res, err := p.Execute(ctx, "a", "echo", []byte("1"))
+	if err != nil || !res.Local {
+		t.Fatalf("want degraded first job, got %+v %v", res, err)
+	}
+	// ...then a worker joins and the next job goes remote.
+	startWorker(t, ctx, addr, "late", ex)
+	if err := p.AwaitWorkers(ctx, 1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res, err = p.Execute(ctx, "b", "echo", []byte("2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Local {
+		t.Fatal("job stayed local after a worker joined")
+	}
+}
+
+func TestPoolHeartbeatsKeepSlowJobAlive(t *testing.T) {
+	ctx := context.Background()
+	ex := NewExecutors()
+	ex.Register("slow", func(payload []byte) ([]byte, error) {
+		time.Sleep(300 * time.Millisecond) // several heartbeat windows
+		return []byte("done"), nil
+	})
+	// Window = 20ms * 4 = 80ms, far below the job's 300ms runtime: only
+	// the worker's interleaved heartbeats keep the read deadline alive.
+	p, addr := newTestPool(t, ex, PoolOptions{Heartbeat: 20 * time.Millisecond, HeartbeatMiss: 4, DegradeAfter: 10 * time.Second})
+	startWorker(t, ctx, addr, "slowpoke", ex)
+	if err := p.AwaitWorkers(ctx, 1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Execute(ctx, "slow-1", "slow", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Payload) != "done" || res.Redispatches != 0 {
+		t.Fatalf("slow job result %+v %q", res, res.Payload)
+	}
+}
+
+func TestPoolDetectsSilentWorkerByDeadline(t *testing.T) {
+	ctx := context.Background()
+	ex := echoExecutors()
+	p, addr := newTestPool(t, ex, PoolOptions{Heartbeat: 10 * time.Millisecond, HeartbeatMiss: 3, DegradeAfter: 10 * time.Second})
+	// A worker that accepts the job and then goes silent without closing
+	// the connection — the SIGSTOP shape. Detection must come from the
+	// heartbeat deadline, not a connection error.
+	stop := make(chan struct{})
+	t.Cleanup(func() { close(stop) })
+	silent := make(chan struct{})
+	go func() {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		r := bufio.NewReader(conn)
+		w := bufio.NewWriter(conn)
+		transport.WriteFrame(w, wire.EncodeFrame(nil, &Hello{Name: "silent"}))
+		transport.ReadFrame(r) // WELCOME
+		transport.ReadFrame(r) // the job
+		close(silent)
+		<-stop // hold the socket open, never reply, never beat
+	}()
+	if err := p.AwaitWorkers(ctx, 1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	type execOut struct {
+		res ExecResult
+		err error
+	}
+	resCh := make(chan execOut, 1)
+	go func() {
+		res, err := p.Execute(ctx, "stuck", "echo", []byte("x"))
+		resCh <- execOut{res, err}
+	}()
+	// Once the job is in the silent worker's hands, bring up a healthy
+	// worker for the re-dispatch to land on.
+	select {
+	case <-silent:
+	case <-time.After(5 * time.Second):
+		t.Fatal("job never reached the silent worker")
+	}
+	startWorker(t, ctx, addr, "healthy", ex)
+	out := <-resCh
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if out.res.Redispatches != 1 || string(out.res.Payload) != "echo:x" {
+		t.Fatalf("result %+v %q", out.res, out.res.Payload)
+	}
+	waitStats(t, p, "the silent worker's death", func(s PoolStats) bool { return s.WorkerDeaths >= 1 })
+}
+
+func TestAwaitWorkersTimesOut(t *testing.T) {
+	p, _ := newTestPool(t, echoExecutors(), PoolOptions{})
+	err := p.AwaitWorkers(context.Background(), 1, 30*time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "0 of 1 workers") {
+		t.Fatalf("want timeout error, got %v", err)
+	}
+}
+
+func TestWorkerGivesUpAfterRetryBudget(t *testing.T) {
+	// A listener that never answers the dispatch protocol does not exist:
+	// dial a closed port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	err = RunWorker(context.Background(), addr, echoExecutors(), WorkerOptions{
+		Name: "orphan", RetryMax: 3, RetryBase: time.Millisecond, RetryCap: 5 * time.Millisecond,
+	})
+	if err == nil || !strings.Contains(err.Error(), "giving up after 3 attempts") {
+		t.Fatalf("want retry-budget error, got %v", err)
+	}
+}
+
+func TestResolveFileRereadsAddress(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/coord.addr"
+	resolve := ResolveFile(path)
+	if _, err := resolve(); err == nil {
+		t.Fatal("resolving a missing address file succeeded")
+	}
+	if err := os.WriteFile(path, []byte("127.0.0.1:1234\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := resolve()
+	if err != nil || addr != "127.0.0.1:1234" {
+		t.Fatalf("resolve: %q %v", addr, err)
+	}
+	if err := os.WriteFile(path, []byte("127.0.0.1:5678\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	addr, err = resolve()
+	if err != nil || addr != "127.0.0.1:5678" {
+		t.Fatalf("re-resolve after rewrite: %q %v", addr, err)
+	}
+}

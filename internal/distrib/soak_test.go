@@ -1,0 +1,144 @@
+package distrib
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"omicon/internal/chaos"
+)
+
+// TestDistribSoakTortureByteIdentical is the PR's process-level
+// acceptance soak (the CI distrib-smoke job): a real torture campaign
+// distributed over three cmd/worker processes, with workers SIGKILLed
+// and SIGSTOPped mid-run and the coordinator itself killed and resumed,
+// must end with a report, violation log and corpus byte-identical to one
+// uninterrupted single-process run.
+//
+// Set DISTRIB_SMOKE_DIR to keep the artifact directories (CI uploads
+// them on failure); otherwise a test temp dir is used.
+func TestDistribSoakTortureByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test; -short skips")
+	}
+	root := os.Getenv("DISTRIB_SMOKE_DIR")
+	if root == "" {
+		root = t.TempDir()
+	} else if err := os.MkdirAll(root, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	tortureBin := filepath.Join(root, "torture")
+	workerBin := filepath.Join(root, "worker")
+	buildArgs := []string{"build"}
+	if os.Getenv("DISTRIB_SMOKE_RACE") != "" {
+		buildArgs = append(buildArgs, "-race")
+	}
+	for pkg, bin := range map[string]string{"omicon/cmd/torture": tortureBin, "omicon/cmd/worker": workerBin} {
+		build := exec.Command("go", append(buildArgs, "-o", bin, pkg)...)
+		build.Dir = "../.."
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	campaign := []string{
+		"-trials", "400", "-seed", "5",
+		"-protocols", "floodset,core",
+		"-corpus", "{dir}/corpus",
+		"-shrink", "-shrink-runs", "40",
+		"-determinism", "7",
+		"-workers", "2",
+		"-journal", "{dir}/campaign.wal", "-resume",
+	}
+
+	// Reference: the same campaign, single process, no faults.
+	cleanDir := filepath.Join(root, "clean")
+	clean, err := chaos.Run(chaos.Config{
+		Argv:        append([]string{tortureBin}, campaign...),
+		Dir:         cleanDir,
+		JournalPath: filepath.Join(cleanDir, "campaign.wal"),
+		CrashBudget: 8,
+		OKCodes:     []int{0, 1},
+	})
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	if clean.FinalExit != 1 {
+		t.Fatalf("clean campaign exit %d, want 1 (floodset violations expected)", clean.FinalExit)
+	}
+
+	// Distributed chaos run: three supervised workers over TCP, workers
+	// killed and stalled mid-run, the coordinator killed and resumed.
+	distDir := filepath.Join(root, "dist")
+	distArgv := append(append([]string{tortureBin}, campaign...),
+		"-listen", "127.0.0.1:0",
+		"-addr-file", "{dir}/coord.addr",
+		"-workers-remote", "3",
+		"-remote-wait", "5s",
+	)
+	plan := chaos.Plan{
+		Seed:         11,
+		Kills:        2,
+		WorkerKills:  4,
+		WorkerStalls: 1,
+		StallFor:     50 * time.Millisecond,
+		MinDelay:     20 * time.Millisecond,
+		MaxDelay:     150 * time.Millisecond,
+	}
+	dist, err := chaos.Run(chaos.Config{
+		Argv:        distArgv,
+		Dir:         distDir,
+		JournalPath: filepath.Join(distDir, "campaign.wal"),
+		Plan:        plan,
+		CrashBudget: 8,
+		OKCodes:     []int{0, 1},
+		Watchdog:    60 * time.Second,
+		Workers:     3,
+		WorkerArgv: []string{workerBin,
+			"-connect-file", "{dir}/coord.addr",
+			"-name", "w{worker}",
+			"-retries", "100000", "-retry-base", "20ms", "-retry-cap", "300ms",
+			"-q",
+		},
+		Log: os.Stderr,
+	})
+	if err != nil {
+		t.Fatalf("distributed chaos run: %v", err)
+	}
+	if dist.Kills != plan.Kills {
+		t.Fatalf("only %d of %d coordinator kills landed — campaign too short for the plan", dist.Kills, plan.Kills)
+	}
+	if dist.WorkerKills < 1 {
+		t.Fatalf("no worker kills landed (%d planned) — the soak did not exercise re-dispatch", plan.WorkerKills)
+	}
+	if dist.FinalExit != clean.FinalExit {
+		t.Fatalf("final exit %d, clean exit %d", dist.FinalExit, clean.FinalExit)
+	}
+	t.Logf("distributed chaos: %d attempts, %d kills, %d worker kills, %d worker stalls, %d worker restarts, %d watchdog fires",
+		dist.Attempts, dist.Kills, dist.WorkerKills, dist.WorkerStalls, dist.WorkerRestarts, dist.WatchdogFires)
+
+	// Report (stdout) and violation log (stderr) of the final resumed
+	// attempt must match the clean single-process run byte-for-byte,
+	// modulo scratch paths and the resilience/dispatch diagnostics.
+	wantOut := chaos.NormalizePaths(clean.FinalStdout, cleanDir, distDir)
+	if !bytes.Equal(wantOut, dist.FinalStdout) {
+		t.Fatalf("report diverged:\n--- clean ---\n%s--- distributed ---\n%s", wantOut, dist.FinalStdout)
+	}
+	strip := []string{"journal:", "chaos:", "distrib:"}
+	wantLog := chaos.StripLines(chaos.NormalizePaths(clean.FinalStderr, cleanDir, distDir), strip...)
+	gotLog := chaos.StripLines(dist.FinalStderr, strip...)
+	if !bytes.Equal(wantLog, gotLog) {
+		t.Fatalf("log diverged:\n--- clean ---\n%s--- distributed ---\n%s", wantLog, gotLog)
+	}
+	ignore := func(rel string) bool {
+		return strings.HasSuffix(rel, ".wal") ||
+			strings.HasSuffix(rel, ".addr") || strings.Contains(rel, ".addr.tmp")
+	}
+	if err := chaos.DiffDirs(cleanDir, distDir, ignore); err != nil {
+		t.Fatalf("artifacts diverged: %v", err)
+	}
+}

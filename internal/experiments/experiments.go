@@ -44,6 +44,12 @@ type Exec struct {
 	// so resumed sweep outputs are byte-identical to uninterrupted ones
 	// (docs/RESILIENCE.md).
 	Journal *journal.Journal
+	// RemoteThm1, when set, executes each Theorem-1 sweep sample through
+	// it instead of calling RunThm1Job in-process — the hook the
+	// distributed dispatcher (internal/distrib) installs. Commits stay
+	// strictly serial in sample order, so sweep outputs remain
+	// byte-identical at any worker count (docs/DISTRIBUTED.md).
+	RemoteThm1 func(ctx context.Context, job Thm1Job) (SweepSample, error)
 }
 
 func (e Exec) context() context.Context {
@@ -133,6 +139,63 @@ type SweepCell struct {
 	RandBits Quantiles     `json:"randBits"`
 }
 
+// Thm1Job identifies one Theorem-1 sweep sample as plain serializable
+// data: the configuration size, the adversary's index in the portfolio
+// (adversary-major order, matching Thm1Detailed's sample layout), the
+// seed index and base seed, and the simulator execution mode. The job
+// alone determines the measurement — RunThm1Job(job) on any process
+// returns the same SweepSample, which is what lets internal/distrib
+// farm sweep samples out to worker processes byte-identically.
+type Thm1Job struct {
+	N        int    `json:"n"`
+	AdvIdx   int    `json:"advIdx"`
+	SeedIdx  int    `json:"seedIdx"`
+	BaseSeed uint64 `json:"baseSeed"`
+	Shards   int    `json:"shards,omitempty"`
+}
+
+// RunThm1Job executes one Theorem-1 sweep sample. It is the single
+// execution path for local and remote samples: Thm1Detailed calls it
+// in-process unless Exec.RemoteThm1 is installed, and worker processes
+// call it through internal/distrib's executor registry. The adversary is
+// constructed fresh from the job — several portfolio strategies carry
+// evolving internal randomness, so a shared instance would make samples
+// order-dependent.
+func RunThm1Job(job Thm1Job) (SweepSample, error) {
+	n := job.N
+	t := (n - 1) / 31
+	params, err := core.Prepare(n, t)
+	if err != nil {
+		return SweepSample{}, err
+	}
+	advs := adversary.Registry(n, t, job.BaseSeed)
+	advs = append(advs, adversary.NewEclipse(params.Graph, t, n/10))
+	if job.AdvIdx < 0 || job.AdvIdx >= len(advs) {
+		return SweepSample{}, fmt.Errorf("experiments: adversary index %d out of range (portfolio has %d)", job.AdvIdx, len(advs))
+	}
+	adv := advs[job.AdvIdx]
+	res, err := sim.Run(sim.Config{
+		N: n, T: t,
+		Inputs:    spreadInputs(n, n/2),
+		Seed:      job.BaseSeed + uint64(job.SeedIdx)*101,
+		Adversary: adv,
+		MaxRounds: params.TotalRoundsBound() + 64,
+		Shards:    job.Shards,
+	}, core.Protocol(params))
+	if err != nil {
+		return SweepSample{}, fmt.Errorf("experiments: n=%d %s: %w", n, adv.Name(), err)
+	}
+	if cerr := res.CheckConsensus(); cerr != nil {
+		return SweepSample{}, fmt.Errorf("experiments: n=%d %s: consensus violated: %w", n, adv.Name(), cerr)
+	}
+	return SweepSample{
+		Adversary: adv.Name(),
+		Rounds:    int64(res.RoundsNonFaulty()),
+		CommBits:  res.Metrics.CommBits,
+		RandBits:  res.Metrics.RandomBits,
+	}, nil
+}
+
 // Thm1Detailed measures OptimalOmissionsConsensus at maximal fault load
 // across sizes, keeping every (adversary, seed) sample instead of only
 // the worst case. Rounds are counted over non-faulty processes.
@@ -194,28 +257,13 @@ func Thm1Detailed(sizes []int, seeds int, baseSeed uint64, ex Exec) ([]SweepCell
 			if err := ctx.Err(); err != nil {
 				return SweepSample{}, err
 			}
-			adv := advsFor()[i/seeds] // adversary-major order, fresh instance
-			s := i % seeds
-			res, err := sim.Run(sim.Config{
-				N: n, T: t,
-				Inputs:    spreadInputs(n, n/2),
-				Seed:      baseSeed + uint64(s)*101,
-				Adversary: adv,
-				MaxRounds: params.TotalRoundsBound() + 64,
-				Shards:    trialShards,
-			}, core.Protocol(params))
-			if err != nil {
-				return SweepSample{}, fmt.Errorf("experiments: n=%d %s: %w", n, adv.Name(), err)
+			// Adversary-major order; RunThm1Job builds a fresh adversary
+			// instance from the indices, locally or on a remote worker.
+			job := Thm1Job{N: n, AdvIdx: i / seeds, SeedIdx: i % seeds, BaseSeed: baseSeed, Shards: trialShards}
+			if ex.RemoteThm1 != nil {
+				return ex.RemoteThm1(ctx, job)
 			}
-			if cerr := res.CheckConsensus(); cerr != nil {
-				return SweepSample{}, fmt.Errorf("experiments: n=%d %s: consensus violated: %w", n, adv.Name(), cerr)
-			}
-			return SweepSample{
-				Adversary: adv.Name(),
-				Rounds:    int64(res.RoundsNonFaulty()),
-				CommBits:  res.Metrics.CommBits,
-				RandBits:  res.Metrics.RandomBits,
-			}, nil
+			return RunThm1Job(job)
 		}, func(i int, s SweepSample) error {
 			samples[i] = s
 			if ex.Journal != nil && !replayed[i] {

@@ -98,6 +98,14 @@ type Options struct {
 	// journal must belong to the same campaign configuration; Run errors
 	// out otherwise.
 	Journal *journal.Journal
+	// Remote, when set, executes each primary trial through it instead of
+	// calling ExecuteJob in-process — the hook the distributed dispatcher
+	// (internal/distrib) installs. Determinism re-runs, shrink replays,
+	// and all commit bookkeeping stay on the calling process, and commits
+	// remain strictly serial in trial order, so reports, logs, corpus
+	// files and journals stay byte-identical to an in-process run at any
+	// worker count (docs/DISTRIBUTED.md).
+	Remote func(ctx context.Context, job Job) (*Outcome, error)
 }
 
 // CellStats aggregates one (protocol, adversary) matrix cell.
@@ -117,7 +125,13 @@ type Report struct {
 	// executed. Deliberately absent from Summary: a resumed campaign's
 	// summary must be byte-identical to an uninterrupted run's.
 	Resumed int
-	Cells             map[string]*CellStats
+	// Quarantined lists the trial indices the distributed dispatcher
+	// isolated after repeated worker deaths and executed in-process
+	// (poison-trial quarantine, docs/DISTRIBUTED.md). Absent from Summary
+	// for the same reason as Resumed: a distributed campaign's summary
+	// must be byte-identical to an in-process run's.
+	Quarantined []int
+	Cells       map[string]*CellStats
 	// Failures holds one record per failing trial, in trial order.
 	Failures []*Entry
 	// CorpusPaths lists the files written under Options.CorpusDir.
@@ -330,14 +344,8 @@ type trialSpec struct {
 // trialOut is one primary execution's complete outcome, handed from a pool
 // worker to the serial commit phase.
 type trialOut struct {
-	run     trialRun
-	verdict Verdict
-	proto   sim.Protocol
-	bound   int
-	advName string
-	ring    *trace.Ring    // per-trial flight recorder (corpus runs)
-	capture *trace.Capture // campaign trace buffer, replayed at commit
-	rec     *trialRecord   // journaled outcome; set instead of run on resume
+	out *Outcome     // live execution (local or remote)
+	rec *trialRecord // journaled outcome; set instead of out on resume
 }
 
 // Run executes the torture campaign.
@@ -378,7 +386,12 @@ func Run(o Options) (*Report, error) {
 
 	// produce runs one primary trial; it only reads its spec. A trial
 	// whose outcome is already journaled skips execution entirely — the
-	// record carries everything commit needs.
+	// record carries everything commit needs. Live trials execute through
+	// ExecuteJob — in-process by default, through Options.Remote when a
+	// distributed dispatcher is installed; the Job is plain data, so both
+	// paths compute the identical Outcome. Determinism re-runs and shrink
+	// replays run untraced and stay on this process: they would otherwise
+	// emit duplicate segments for executions that are not campaign trials.
 	produce := func(sp trialSpec) (trialOut, error) {
 		if sp.rec != nil {
 			return trialOut{rec: sp.rec}, nil
@@ -386,41 +399,23 @@ func Run(o Options) (*Report, error) {
 		if err := ctx.Err(); err != nil {
 			return trialOut{}, err
 		}
-		proto, bound, err := sp.c.proto.Build(sp.n, sp.t)
-		if err != nil {
-			return trialOut{}, fmt.Errorf("torture: build %s n=%d t=%d: %w", sp.c.proto.Name, sp.n, sp.t, err)
+		job := Job{
+			Trial: sp.i, Protocol: sp.c.proto.Name, Adversary: sp.c.adv.Name,
+			N: sp.n, T: sp.t, Seed: sp.seed, Inputs: sp.inputs, Base: sp.base,
+			Inject: o.Inject, Envelope: o.Envelope, Shards: o.Shards,
+			Ring: o.CorpusDir != "", Capture: o.Trace.Enabled(),
 		}
-		adv, err := sp.makeAdv()
+		var oc *Outcome
+		var err error
+		if o.Remote != nil {
+			oc, err = o.Remote(ctx, job)
+		} else {
+			oc, err = ExecuteJob(job)
+		}
 		if err != nil {
 			return trialOut{}, err
 		}
-
-		// The primary trial is traced into a per-trial capture buffer
-		// (replayed into the campaign tracer at commit, in trial order)
-		// and, when a corpus directory is set, also into a per-trial
-		// flight recorder so a failure can dump its own event history.
-		// Determinism re-runs and shrink replays run untraced: they would
-		// otherwise emit duplicate segments for executions that are not
-		// campaign trials.
-		out := trialOut{proto: proto, bound: bound, advName: adv.Name()}
-		var sinks []trace.Sink
-		if o.CorpusDir != "" {
-			out.ring = trace.NewRing(ringCap)
-			sinks = append(sinks, out.ring)
-		}
-		if o.Trace.Enabled() {
-			out.capture = &trace.Capture{}
-			sinks = append(sinks, out.capture)
-		}
-		tracer := trace.New(trace.MultiSink(sinks...))
-
-		out.run = runOnce(sp.c.proto, proto, bound, adv, sp.n, sp.t, sp.inputs, sp.seed, tracer, o.Shards)
-		out.verdict = Check(CheckInput{
-			N: sp.n, T: sp.t, RoundBound: bound, Envelope: o.Envelope,
-			MonteCarlo: sp.c.proto.MonteCarlo,
-			Result:     out.run.res, RunErr: out.run.err, Transcript: out.run.tr,
-		})
-		return out, nil
+		return trialOut{out: oc}, nil
 	}
 
 	// journalAppend checkpoints one committed trial. It runs after the
@@ -494,16 +489,34 @@ func Run(o Options) (*Report, error) {
 		if out.rec != nil {
 			return commitRecord(sp, out.rec)
 		}
-		run, verdict := out.run, out.verdict
+		oc := out.out
+		verdict := Verdict{Violations: oc.Violations, MonteCarloMisses: oc.MCMisses}
 		stats := report.Cells[sp.key]
 		if stats == nil {
 			stats = &CellStats{}
 			report.Cells[sp.key] = stats
 		}
-		if out.capture != nil {
-			for _, e := range out.capture.Events() {
-				o.Trace.Emit(e)
+		if oc.Quarantined {
+			report.Quarantined = append(report.Quarantined, sp.i)
+		}
+		for _, e := range oc.Capture {
+			o.Trace.Emit(e)
+		}
+
+		// The protocol is rebuilt on demand: a remote outcome arrives
+		// without one, and Build is deterministic, so the lazy rebuild
+		// yields exactly the protocol the executing worker ran.
+		var proto sim.Protocol
+		buildProto := func() (sim.Protocol, error) {
+			if proto != nil {
+				return proto, nil
 			}
+			p, _, err := sp.c.proto.Build(sp.n, sp.t)
+			if err != nil {
+				return nil, fmt.Errorf("torture: build %s n=%d t=%d: %w", sp.c.proto.Name, sp.n, sp.t, err)
+			}
+			proto = p
+			return proto, nil
 		}
 
 		// Determinism: a fresh adversary with the same seed must yield a
@@ -515,8 +528,12 @@ func Run(o Options) (*Report, error) {
 			if err != nil {
 				return err
 			}
-			run2 := runOnce(sp.c.proto, out.proto, out.bound, adv2, sp.n, sp.t, sp.inputs, sp.seed, nil, o.Shards)
-			b1, b2 := transcriptBytes(run.tr), transcriptBytes(run2.tr)
+			p, err := buildProto()
+			if err != nil {
+				return err
+			}
+			run2 := runOnce(sp.c.proto, p, oc.Bound, adv2, sp.n, sp.t, sp.inputs, sp.seed, nil, o.Shards)
+			b1, b2 := transcriptBytes(oc.Transcript), transcriptBytes(run2.tr)
 			if !bytes.Equal(b1, b2) {
 				verdict.add(KindDeterminism,
 					"same seed %d produced different transcripts (%d vs %d bytes)", sp.seed, len(b1), len(b2))
@@ -527,11 +544,11 @@ func Run(o Options) (*Report, error) {
 		report.Trials++
 		stats.MCMisses += verdict.MonteCarloMisses
 		report.MCMisses += verdict.MonteCarloMisses
-		sched := run.tr.Schedule()
+		sched := oc.Transcript.Schedule()
 		lastSchedule[sp.key] = sched
 		rec := &trialRecord{
 			V: trialRecordVersion, Trial: sp.i,
-			Protocol: sp.c.proto.Name, Adversary: out.advName,
+			Protocol: sp.c.proto.Name, Adversary: oc.AdvName,
 			N: sp.n, T: sp.t, Seed: sp.seed,
 			MCMisses: verdict.MonteCarloMisses, DetChecked: detChecked,
 			Schedule: sched,
@@ -547,16 +564,20 @@ func Run(o Options) (*Report, error) {
 		}
 
 		entry := &Entry{
-			Version: EntryVersion, Protocol: sp.c.proto.Name, Adversary: out.advName,
-			N: sp.n, T: sp.t, Seed: sp.seed, Inputs: sp.inputs, RoundBound: out.bound,
+			Version: EntryVersion, Protocol: sp.c.proto.Name, Adversary: oc.AdvName,
+			N: sp.n, T: sp.t, Seed: sp.seed, Inputs: sp.inputs, RoundBound: oc.Bound,
 			MonteCarlo: sp.c.proto.MonteCarlo,
 			Violations: verdict.Violations,
 			Schedule:   sched,
-			Transcript: run.tr,
+			Transcript: oc.Transcript,
 		}
 		if o.Shrink {
 			target := verdict.Violations[0].Kind
-			min, runs := shrinkEntry(sp.c.proto, out.proto, out.bound, entry, target, o.ShrinkMaxRuns, o.Shards)
+			p, err := buildProto()
+			if err != nil {
+				return err
+			}
+			min, runs := shrinkEntry(sp.c.proto, p, oc.Bound, entry, target, o.ShrinkMaxRuns, o.Shards)
 			entry.MinSchedule = &min
 			entry.ShrinkRuns = runs
 			logf("shrunk %s seed=%d: %d -> %d actions in %d replays",
@@ -572,12 +593,12 @@ func Run(o Options) (*Report, error) {
 			report.CorpusPaths = append(report.CorpusPaths, path)
 			logf("corpus: %s", path)
 			tracePath := strings.TrimSuffix(path, ".json") + ".trace.jsonl"
-			if err := trace.WriteFile(tracePath, out.ring.Events()); err != nil {
+			if err := trace.WriteFile(tracePath, oc.Ring); err != nil {
 				return fmt.Errorf("torture: persisting trace artifact: %w", err)
 			}
 			report.TracePaths = append(report.TracePaths, tracePath)
 			logf("trace: %s", tracePath)
-			rec.Trace = traceJSONL(out.ring.Events())
+			rec.Trace = traceJSONL(oc.Ring)
 		}
 		return journalAppend(sp, rec)
 	}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -85,6 +86,10 @@ type Options struct {
 	// /debug/pprof endpoints on the given listen address for the duration
 	// of Serve ("127.0.0.1:0" picks a free port; see DebugListenAddr).
 	DebugAddr string
+	// Ctx, when non-nil, cancels Serve: the accept phase unblocks as soon
+	// as the context is done and the round loop stops at the next round
+	// boundary. Nil means Serve runs to completion or failure as before.
+	Ctx context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -125,6 +130,7 @@ type Coordinator struct {
 	connCh     chan helloConn
 	acceptDone chan struct{}
 	parked     map[int]*helloConn
+	ctx        context.Context
 
 	// Trace bookkeeping: the counter snapshot at the previous round
 	// boundary, so round-end events carry exact wire-cost deltas.
@@ -256,6 +262,10 @@ func (c *Coordinator) Serve(ln net.Listener) (*CoordinatorResult, error) {
 	c.connCh = make(chan helloConn, 2*c.n+4)
 	c.acceptDone = make(chan struct{})
 	c.parked = make(map[int]*helloConn)
+	c.ctx = c.opts.Ctx
+	if c.ctx == nil {
+		c.ctx = context.Background()
+	}
 	defer func() {
 		close(c.acceptDone)
 		for _, nc := range conns {
@@ -344,6 +354,8 @@ func (c *Coordinator) acceptLoop(ln net.Listener) {
 				select {
 				case <-c.acceptDone:
 					return
+				case <-c.ctx.Done():
+					return
 				default:
 					continue
 				}
@@ -352,6 +364,9 @@ func (c *Coordinator) acceptLoop(ln net.Listener) {
 		}
 		select {
 		case <-c.acceptDone:
+			conn.Close()
+			return
+		case <-c.ctx.Done():
 			conn.Close()
 			return
 		default:
@@ -439,6 +454,8 @@ func (c *Coordinator) awaitHellos(conns []*nodeConn) error {
 				}
 			}
 			return fmt.Errorf("transport: waiting for node ids %v: no HELLO within %v", missing, c.opts.AcceptTimeout)
+		case <-c.ctx.Done():
+			return fmt.Errorf("transport: accept interrupted: %w", c.ctx.Err())
 		}
 	}
 	return nil
@@ -450,6 +467,9 @@ func (c *Coordinator) runRounds(conns []*nodeConn) error {
 	for round := 1; c.numActive > 0; round++ {
 		if round > c.maxRounds {
 			return fmt.Errorf("transport: exceeded %d rounds", c.maxRounds)
+		}
+		if err := c.ctx.Err(); err != nil {
+			return fmt.Errorf("transport: run interrupted: %w", err)
 		}
 
 		var outbox []outMsg

@@ -36,6 +36,20 @@ const (
 // maxFrameSize bounds a single frame (16 MiB) to fail fast on corruption.
 const maxFrameSize = 16 << 20
 
+// MaxFrameSize is the largest frame ReadFrame accepts. Exported for
+// packages (internal/distrib) that reuse the transport's stream format.
+const MaxFrameSize = maxFrameSize
+
+// WriteFrame writes one [length uvarint][body] frame and flushes. It is
+// the exported form of the framing the coordinator/node paths use,
+// shared with internal/distrib's trial-dispatch protocol so both wire
+// layers stay format-compatible.
+func WriteFrame(w *bufio.Writer, body []byte) error { return writeFrame(w, body) }
+
+// ReadFrame reads one [length uvarint][body] frame, enforcing
+// MaxFrameSize. Exported counterpart of readFrame; see WriteFrame.
+func ReadFrame(r *bufio.Reader) ([]byte, error) { return readFrame(r) }
+
 // writeFrame writes [len][body] and flushes.
 func writeFrame(w *bufio.Writer, body []byte) error {
 	if _, err := w.Write(wire.AppendUvarint(nil, uint64(len(body)))); err != nil {

@@ -1,0 +1,124 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"omicon/internal/codec"
+	"omicon/internal/phaseking"
+	"omicon/internal/sim"
+)
+
+// TestHalfOpenPeerDoesNotStallCoordinator pins the accept-phase hardening:
+// a peer that connects but never completes HELLO must not stall the run.
+// The half-open connection hits the per-connection IOTimeout read deadline
+// in readHello, is dropped as an unattributable I/O failure, and the n
+// real nodes complete the protocol normally.
+func TestHalfOpenPeerDoesNotStallCoordinator(t *testing.T) {
+	n, tf := 5, 1
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	coord := NewCoordinator(n, tf, nil, 64)
+	coord.SetOptions(Options{
+		IOTimeout:     300 * time.Millisecond,
+		AcceptTimeout: 5 * time.Second,
+	})
+	resCh := make(chan *CoordinatorResult, 1)
+	errCh := make(chan error, n+1)
+	go func() {
+		res, err := coord.Serve(ln)
+		if err != nil {
+			errCh <- err
+		}
+		resCh <- res
+	}()
+
+	// The half-open peer: accepted, sends nothing, holds the socket open
+	// for the whole test.
+	halfOpen, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer halfOpen.Close()
+
+	proto := func(env sim.Env, input int) (int, error) { return phaseking.Consensus(env, input) }
+	reg := codec.FullRegistry()
+	inputs := mixed(n, 3)
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			node, err := Dial(ln.Addr().String(), id, n, tf, reg, 42)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer node.Close()
+			if _, err := node.RunProtocol(proto, inputs[id]); err != nil {
+				errCh <- err
+			}
+		}(id)
+	}
+	wg.Wait()
+
+	select {
+	case res := <-resCh:
+		select {
+		case err := <-errCh:
+			t.Fatalf("run failed with a half-open peer attached: %v", err)
+		default:
+		}
+		if res == nil {
+			t.Fatal("coordinator returned no result")
+		}
+		checkAgreement(t, res, false)
+	case <-time.After(10 * time.Second):
+		t.Fatal("coordinator stalled behind the half-open peer")
+	}
+}
+
+// TestServeContextCancelUnblocksAccept pins Options.Ctx: cancelling the
+// context while the coordinator is still waiting for HELLOs must unblock
+// Serve promptly (well before AcceptTimeout), with the cancellation
+// surfaced in the error.
+func TestServeContextCancelUnblocksAccept(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	coord := NewCoordinator(4, 1, nil, 64)
+	coord.SetOptions(Options{AcceptTimeout: 30 * time.Second, Ctx: ctx})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := coord.Serve(ln)
+		done <- err
+	}()
+
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Serve returned nil after cancellation")
+		}
+		if !strings.Contains(err.Error(), "interrupted") {
+			t.Fatalf("Serve error = %v, want accept-interrupted", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not unblock on context cancellation")
+	}
+}
