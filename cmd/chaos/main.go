@@ -53,6 +53,7 @@ import (
 	"time"
 
 	"omicon/internal/chaos"
+	"omicon/internal/telemetry"
 )
 
 func main() {
@@ -89,6 +90,8 @@ func run() (int, error) {
 		verify      = flag.Bool("verify", false, "also run the campaign cleanly and require byte-identical artifacts")
 		ignore      = flag.String("ignore", ".wal,.addr,.addr.tmp", "comma-separated artifact suffixes excluded from -verify dir comparison")
 		verbose     = flag.Bool("v", false, "stream child output")
+		statusAddr  = flag.String("status-addr", "", "serve the supervisor's /metrics, /statusz, /flightrecz and /debug/pprof on this address (docs/OBSERVABILITY.md)")
+		flightRec   = flag.String("flightrec", "", "dump the supervisor's flight-recorder ring to this JSONL file on SIGQUIT")
 	)
 	flag.Parse()
 	argv := flag.Args()
@@ -114,6 +117,33 @@ func run() (int, error) {
 		Corrupt: *corrupt, Corruptions: *corruptions,
 		WorkerKills: *workerKills, WorkerStalls: *workerStall,
 	}
+
+	// The supervisor's own plane: fault-injection progress on /statusz,
+	// the chaos metric catalog on /metrics (docs/OBSERVABILITY.md). The
+	// child exposes its own plane through its own -status-addr flag.
+	plannedFaults := int64(plan.Kills + plan.Stalls + plan.Corruptions + plan.WorkerKills + plan.WorkerStalls)
+	var plane *telemetry.Plane
+	plane, err = telemetry.StartPlane(telemetry.PlaneOptions{
+		Program: "chaos", Addr: *statusAddr, FlightRec: *flightRec, Log: os.Stderr,
+		Campaign: func() *telemetry.CampaignStatus {
+			snap := plane.Reg.Snapshot()
+			c := &telemetry.CampaignStatus{
+				Kind:        "chaos",
+				TrialsTotal: plannedFaults,
+				TrialsDone: int64(snap.Value("omicon_chaos_kills_total") +
+					snap.Value("omicon_chaos_stalls_total") +
+					snap.Value("omicon_chaos_corruptions_total") +
+					snap.Value("omicon_chaos_worker_kills_total") +
+					snap.Value("omicon_chaos_worker_stalls_total")),
+			}
+			c.FillRate(plane.Elapsed())
+			return c
+		},
+	})
+	if err != nil {
+		return 2, err
+	}
+	defer plane.Close()
 	workerArgv := splitArgs(*workerCmd)
 	if *workerN > 0 && len(workerArgv) == 0 {
 		return 2, fmt.Errorf("-workers %d needs -worker-cmd", *workerN)
@@ -137,6 +167,7 @@ func run() (int, error) {
 			Watchdog:      *watchdog,
 			WatchdogGrace: *wdGrace,
 			Log:           os.Stderr,
+			Telemetry:     plane.Reg,
 		}
 		if withWorkers {
 			cfg.Workers = *workerN
@@ -181,8 +212,8 @@ func run() (int, error) {
 	if want := chaos.NormalizePaths(clean.FinalStdout, cleanDir, chaosDir); !bytes.Equal(want, res.FinalStdout) {
 		return 1, fmt.Errorf("verify: report (stdout) diverged from clean run")
 	}
-	wantLog := chaos.StripLines(chaos.NormalizePaths(clean.FinalStderr, cleanDir, chaosDir), "journal:", "chaos:", "distrib:")
-	gotLog := chaos.StripLines(res.FinalStderr, "journal:", "chaos:", "distrib:")
+	wantLog := chaos.StripLines(chaos.NormalizePaths(clean.FinalStderr, cleanDir, chaosDir), "journal:", "chaos:", "distrib:", "status:")
+	gotLog := chaos.StripLines(res.FinalStderr, "journal:", "chaos:", "distrib:", "status:")
 	if !bytes.Equal(wantLog, gotLog) {
 		return 1, fmt.Errorf("verify: campaign log (stderr) diverged from clean run")
 	}

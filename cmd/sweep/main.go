@@ -49,6 +49,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -56,6 +57,7 @@ import (
 	"omicon/internal/experiments"
 	"omicon/internal/journal"
 	"omicon/internal/stats"
+	"omicon/internal/telemetry"
 )
 
 func main() {
@@ -103,6 +105,8 @@ func run() error {
 		addrFile   = flag.String("addr-file", "", "write the bound -listen address to this file for cmd/worker -connect-file")
 		workersMin = flag.Int("workers-remote", 1, "with -listen: minimum connected workers to wait for before starting")
 		remoteWait = flag.Duration("remote-wait", 10*time.Second, "with -listen: how long to wait for -workers-remote workers before proceeding degraded (in-process)")
+		statusAddr = flag.String("status-addr", "", "serve /metrics, /statusz, /flightrecz and /debug/pprof on this address (docs/OBSERVABILITY.md)")
+		flightRec  = flag.String("flightrec", "", "dump the flight-recorder ring to this JSONL file on SIGQUIT")
 	)
 	flag.Parse()
 
@@ -116,7 +120,32 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	ex := experiments.Exec{Workers: *workers, Shards: *shards, Ctx: ctx}
+	// Strictly observational (docs/OBSERVABILITY.md): sweep outputs are
+	// byte-identical with or without the plane.
+	var poolPtr atomic.Pointer[distrib.Pool]
+	var plane *telemetry.Plane
+	plane, err = telemetry.StartPlane(telemetry.PlaneOptions{
+		Program: "sweep", Addr: *statusAddr, FlightRec: *flightRec, Log: os.Stderr,
+		Campaign: func() *telemetry.CampaignStatus { return sweepCampaignStatus(plane) },
+		Workers: func() []telemetry.WorkerStatus {
+			if p := poolPtr.Load(); p != nil {
+				return p.WorkerStatuses()
+			}
+			return nil
+		},
+		Fleet: func() []telemetry.Labeled {
+			if p := poolPtr.Load(); p != nil {
+				return p.Fleet()
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer plane.Close()
+
+	ex := experiments.Exec{Workers: *workers, Shards: *shards, Ctx: ctx, Telemetry: plane.Reg}
 
 	if *listen != "" {
 		ln, err := net.Listen("tcp", *listen)
@@ -129,7 +158,8 @@ func run() error {
 				return err
 			}
 		}
-		pool := distrib.NewPool(distrib.StandardExecutors(), distrib.PoolOptions{Log: os.Stderr})
+		pool := distrib.NewPool(distrib.StandardExecutors(), distrib.PoolOptions{Log: os.Stderr, Telemetry: plane.Reg})
+		poolPtr.Store(pool)
 		go pool.Serve(ln)
 		defer func() {
 			s := pool.Stats()
@@ -149,7 +179,7 @@ func run() error {
 	}
 
 	if *jpath != "" {
-		j, info, err := journal.Open(*jpath)
+		j, info, err := journal.Open(*jpath, journal.Observe(plane.Reg))
 		if err != nil {
 			return err
 		}
@@ -221,6 +251,23 @@ func run() error {
 		fmt.Printf("\nwrote %s (%s)\n", *jsonPath, benchSchema)
 	}
 	return nil
+}
+
+// sweepCampaignStatus derives the /statusz campaign block from the sweep
+// metric catalog (docs/OBSERVABILITY.md).
+func sweepCampaignStatus(p *telemetry.Plane) *telemetry.CampaignStatus {
+	if p == nil {
+		return nil
+	}
+	snap := p.Reg.Snapshot()
+	c := &telemetry.CampaignStatus{
+		Kind:        "sweep-thm1",
+		TrialsTotal: int64(snap.Value("omicon_sweep_samples_target")),
+		TrialsDone:  int64(snap.Value("omicon_sweep_samples_total")),
+		Resumed:     int64(snap.Value("omicon_sweep_resumed_total")),
+	}
+	c.FillRate(p.Elapsed())
+	return c
 }
 
 // writeAddrFile publishes the bound listener address via rename, so a

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"omicon/internal/telemetry"
+)
+
+func TestRenderFullDocument(t *testing.T) {
+	s := &telemetry.Statusz{
+		Schema: telemetry.StatuszSchema, Program: "torture", PID: 42,
+		UptimeSeconds: 125,
+		Campaign: &telemetry.CampaignStatus{
+			Kind: "torture", TrialsTotal: 200, TrialsDone: 50,
+			Violations: 1, RatePerSecond: 2.5, EtaSeconds: 60,
+		},
+		Workers: []telemetry.WorkerStatus{
+			{ID: 2, Name: "w2", Alive: true, HeartbeatAgeMillis: 12, Beats: 9, JobsDone: 20, InFlight: "trial-7"},
+			{ID: 1, Name: "w1", Stale: true, HeartbeatAgeMillis: 900, Beats: 3, JobsDone: 5, JoinedAt: time.Now()},
+		},
+	}
+	out := render(s, "")
+	for _, want := range []string{
+		"torture pid 42", "50/200 done (25%)", "2.5/s", "ETA 1m0s",
+		"violations 1", "w1", "w2", "stale", "alive", "trial-7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+	// Workers render sorted by ID regardless of document order.
+	if strings.Index(out, "w1") > strings.Index(out, "w2") {
+		t.Errorf("workers not sorted by ID:\n%s", out)
+	}
+}
+
+func TestRenderErrorAndNil(t *testing.T) {
+	if out := render(nil, "poll failed"); !strings.Contains(out, "poll failed") {
+		t.Errorf("error line missing: %q", out)
+	}
+	if out := render(nil, ""); out != "" {
+		t.Errorf("nil document rendered %q", out)
+	}
+}

@@ -49,11 +49,13 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"omicon/internal/distrib"
 	"omicon/internal/journal"
+	"omicon/internal/telemetry"
 	"omicon/internal/torture"
 	"omicon/internal/trace"
 )
@@ -90,6 +92,8 @@ func run() (int, error) {
 		addrFile    = flag.String("addr-file", "", "write the bound -listen address to this file for cmd/worker -connect-file")
 		workersMin  = flag.Int("workers-remote", 1, "with -listen: minimum connected workers to wait for before starting")
 		remoteWait  = flag.Duration("remote-wait", 10*time.Second, "with -listen: how long to wait for -workers-remote workers before proceeding degraded (in-process)")
+		statusAddr  = flag.String("status-addr", "", "serve /metrics, /statusz, /flightrecz and /debug/pprof on this address (docs/OBSERVABILITY.md)")
+		flightRec   = flag.String("flightrec", "", "dump the flight-recorder ring to this JSONL file on SIGQUIT")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -143,6 +147,34 @@ func run() (int, error) {
 		opts.Log = os.Stderr
 	}
 
+	// The telemetry plane is strictly observational: campaign artifacts
+	// are byte-identical with or without it. The pool pointer is atomic
+	// because /statusz closures run on server goroutines before and after
+	// the pool exists.
+	var poolPtr atomic.Pointer[distrib.Pool]
+	var plane *telemetry.Plane
+	plane, err := telemetry.StartPlane(telemetry.PlaneOptions{
+		Program: "torture", Addr: *statusAddr, FlightRec: *flightRec, Log: os.Stderr,
+		Campaign: func() *telemetry.CampaignStatus { return tortureCampaignStatus(plane) },
+		Workers: func() []telemetry.WorkerStatus {
+			if p := poolPtr.Load(); p != nil {
+				return p.WorkerStatuses()
+			}
+			return nil
+		},
+		Fleet: func() []telemetry.Labeled {
+			if p := poolPtr.Load(); p != nil {
+				return p.Fleet()
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return 2, err
+	}
+	defer plane.Close()
+	opts.Telemetry = plane.Reg
+
 	// SIGINT/SIGTERM cancel between trials: the journal and corpus are
 	// flushed, the partial summary prints, and the process exits 130.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -160,7 +192,8 @@ func run() (int, error) {
 				return 2, err
 			}
 		}
-		pool := distrib.NewPool(distrib.StandardExecutors(), distrib.PoolOptions{Log: os.Stderr})
+		pool := distrib.NewPool(distrib.StandardExecutors(), distrib.PoolOptions{Log: os.Stderr, Telemetry: plane.Reg})
+		poolPtr.Store(pool)
 		go pool.Serve(ln)
 		defer func() {
 			s := pool.Stats()
@@ -180,7 +213,7 @@ func run() (int, error) {
 	}
 
 	if *jpath != "" {
-		j, info, err := journal.Open(*jpath)
+		j, info, err := journal.Open(*jpath, journal.Observe(plane.Reg))
 		if err != nil {
 			return 2, err
 		}
@@ -207,7 +240,9 @@ func run() (int, error) {
 				fmt.Fprintln(os.Stderr, "torture: trace:", err)
 			}
 		}()
-		opts.Trace = trace.New(sink)
+		// Tee trial events into the flight recorder so a SIGQUIT dump
+		// interleaves recent trace events with telemetry deltas.
+		opts.Trace = trace.New(trace.MultiSink(sink, plane.Rec))
 	}
 	rep, err := torture.Run(opts)
 	if err != nil {
@@ -257,6 +292,26 @@ func replayEntry(path string, shards int) (int, error) {
 		fmt.Println("replay: OK — violation reproduced, transcript byte-identical")
 		return 0, nil
 	}
+}
+
+// tortureCampaignStatus derives the /statusz campaign block from the
+// torture metric catalog (docs/OBSERVABILITY.md).
+func tortureCampaignStatus(p *telemetry.Plane) *telemetry.CampaignStatus {
+	if p == nil {
+		return nil
+	}
+	snap := p.Reg.Snapshot()
+	c := &telemetry.CampaignStatus{
+		Kind:         "torture",
+		TrialsTotal:  int64(snap.Value("omicon_torture_trials_target")),
+		TrialsDone:   int64(snap.Value("omicon_torture_trials_total")),
+		Violations:   int64(snap.Value("omicon_torture_violations_total")),
+		FailedTrials: int64(snap.Value("omicon_torture_failed_trials_total")),
+		Quarantined:  int64(snap.Value("omicon_torture_quarantined_total")),
+		Resumed:      int64(snap.Value("omicon_torture_resumed_total")),
+	}
+	c.FillRate(p.Elapsed())
+	return c
 }
 
 // writeAddrFile publishes the bound listener address via rename, so a

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"omicon/internal/distrib"
+	"omicon/internal/telemetry"
 )
 
 func main() {
@@ -33,6 +34,8 @@ func main() {
 		retryBase   = flag.Duration("retry-base", 0, "reconnect backoff base (default 100ms, exponential with jitter)")
 		retryCap    = flag.Duration("retry-cap", 0, "reconnect backoff cap (default 2s)")
 		quiet       = flag.Bool("q", false, "suppress diagnostics")
+		statusAddr  = flag.String("status-addr", "", "serve /metrics, /statusz, /flightrecz and /debug/pprof on this address (docs/OBSERVABILITY.md)")
+		flightRec   = flag.String("flightrec", "", "dump the flight-recorder ring to this JSONL file on SIGQUIT")
 	)
 	flag.Parse()
 	if (*connect == "") == (*connectFile == "") {
@@ -48,12 +51,24 @@ func main() {
 	if *quiet {
 		logw = nil
 	}
+	// The worker's plane backs its own -status-addr endpoints and the
+	// snapshot it piggybacks on heartbeats for the coordinator's
+	// fleet-wide view (docs/OBSERVABILITY.md).
+	plane, err := telemetry.StartPlane(telemetry.PlaneOptions{
+		Program: "worker", Addr: *statusAddr, FlightRec: *flightRec, Log: logw,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "worker:", err)
+		os.Exit(2)
+	}
+	defer plane.Close()
 	opts := distrib.WorkerOptions{
 		Name:      *name,
 		RetryMax:  *retries,
 		RetryBase: *retryBase,
 		RetryCap:  *retryCap,
 		Log:       logw,
+		Telemetry: plane.Reg,
 	}
 	addr := *connect
 	if *connectFile != "" {

@@ -20,6 +20,12 @@ func TestCommandSmoke(t *testing.T) {
 	traceFile := filepath.Join(bin, "run.trace.jsonl")
 	benchJSON := filepath.Join(bin, "BENCH_sweep.json")
 	walFile := filepath.Join(bin, "campaign.wal")
+	flightRec := filepath.Join(bin, "flightrec.jsonl")
+	promFile := filepath.Join(bin, "scrape.prom")
+	promText := "# HELP omicon_smoke_total smoke counter\n# TYPE omicon_smoke_total counter\nomicon_smoke_total 5\n"
+	if err := os.WriteFile(promFile, []byte(promText), 0o644); err != nil {
+		t.Fatal(err)
+	}
 
 	cases := []struct {
 		name   string
@@ -31,7 +37,9 @@ func TestCommandSmoke(t *testing.T) {
 		{"replay", []string{"-verify", transcript}, "verify: OK"},
 		{"replay", []string{"-verify", "-shards", "4", transcript}, "verify: OK"},
 		{"tracelint", []string{traceFile}, "1 segments"},
+		{"tracelint", []string{"-metrics", promFile, promFile}, "1 families, 1 samples"},
 		{"torture", []string{"-trials", "50", "-seed", "1", "-q"}, "50 trials, 0 violations"},
+		{"torture", []string{"-trials", "50", "-seed", "1", "-q", "-status-addr", "127.0.0.1:0", "-flightrec", flightRec}, "status: serving"},
 		{"torture", []string{"-trials", "50", "-seed", "1", "-q", "-journal", walFile}, "50 trials, 0 violations"},
 		{"torture", []string{"-trials", "50", "-seed", "1", "-q", "-journal", walFile, "-resume"}, "journal: replayed 50 journaled trials, ran 0 live"},
 		{"sweep", []string{"-sizes", "64", "-seeds", "1", "-json", benchJSON}, "wrote " + benchJSON},

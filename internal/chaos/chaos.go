@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"omicon/internal/journal"
+	"omicon/internal/telemetry"
 )
 
 // Plan is the seeded fault schedule: everything the supervisor will do to
@@ -134,6 +135,11 @@ type Config struct {
 	// stdout/stderr live (for debugging; the final attempt's output is
 	// always captured in Result).
 	ChildOutput io.Writer
+	// Telemetry, when set, registers the chaos metric catalog
+	// (docs/OBSERVABILITY.md) and mirrors every Result field bump live.
+	// Strictly observational: fault schedules and child artifacts are
+	// identical with or without it.
+	Telemetry *telemetry.Registry
 }
 
 // Result summarizes a supervised campaign.
@@ -229,6 +235,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	s := &supervisor{cfg: cfg, argv: argv, rng: rand.New(rand.NewSource(int64(cfg.Plan.Seed)))}
+	s.met = newChaosMetrics(cfg.Telemetry)
 	// Expand the plan into a deterministic fault queue: stalls and worker
 	// faults are spread among the kills by seeded shuffle, so their
 	// relative order is part of the plan.
@@ -274,6 +281,29 @@ type supervisor struct {
 	faults  []fault
 	workers []*workerProc
 	res     Result
+	met     chaosMetrics
+}
+
+// chaosMetrics mirrors the Result tallies live on a telemetry registry.
+// Every field is nil-safe, so bump sites need no enabled-check.
+type chaosMetrics struct {
+	attempts, kills, stalls, corruptions *telemetry.Counter
+	workerKills, workerStalls            *telemetry.Counter
+	watchdogFires                        *telemetry.Counter
+	workerRestarts                       *telemetry.Gauge
+}
+
+func newChaosMetrics(reg *telemetry.Registry) chaosMetrics {
+	return chaosMetrics{
+		attempts:       reg.Counter("omicon_chaos_attempts_total", "Child campaign process starts."),
+		kills:          reg.Counter("omicon_chaos_kills_total", "SIGKILL faults injected into the child."),
+		stalls:         reg.Counter("omicon_chaos_stalls_total", "SIGSTOP stall faults injected into the child."),
+		corruptions:    reg.Counter("omicon_chaos_corruptions_total", "Journal corruptions injected."),
+		workerKills:    reg.Counter("omicon_chaos_worker_kills_total", "SIGKILL faults injected into workers."),
+		workerStalls:   reg.Counter("omicon_chaos_worker_stalls_total", "SIGSTOP stall faults injected into workers."),
+		watchdogFires:  reg.Counter("omicon_chaos_watchdog_fires_total", "Wall-clock stall detections (SIGQUIT then SIGKILL)."),
+		workerRestarts: reg.Gauge("omicon_chaos_worker_restarts", "Worker starts beyond each worker's first."),
+	}
 }
 
 // workerProc is one supervised worker process: a monitor goroutine keeps
@@ -380,6 +410,7 @@ func (s *supervisor) stopWorkers() {
 		w.mu.Unlock()
 	}
 	s.res.WorkerRestarts = restarts
+	s.met.workerRestarts.Set(float64(restarts))
 }
 
 func (s *supervisor) logf(format string, args ...any) {
@@ -452,6 +483,7 @@ func (s *supervisor) run() (*Result, error) {
 				s.logf("corruption (%s) skipped: %v", mode, err)
 			} else {
 				s.res.Corruptions++
+				s.met.corruptions.Inc()
 				restoreMode = mode == "readonly"
 				s.logf("injected journal corruption: %s", mode)
 			}
@@ -487,6 +519,7 @@ func (s *supervisor) attempt() (exit int, killed bool, err error) {
 		return 0, false, fmt.Errorf("chaos: start child: %w", err)
 	}
 	s.res.Attempts++
+	s.met.attempts.Inc()
 	pgid := cmd.Process.Pid
 
 	done := make(chan error, 1)
@@ -558,6 +591,7 @@ func (s *supervisor) attempt() (exit int, killed bool, err error) {
 			switch f.kind {
 			case faultStall:
 				s.res.Stalls++
+				s.met.stalls.Inc()
 				s.logf("SIGSTOP for %s after %s", s.cfg.Plan.StallFor, f.delay)
 				syscall.Kill(-pgid, syscall.SIGSTOP)
 				time.Sleep(s.cfg.Plan.StallFor)
@@ -567,6 +601,7 @@ func (s *supervisor) attempt() (exit int, killed bool, err error) {
 				lastChange = time.Now()
 			case faultKill:
 				s.res.Kills++
+				s.met.kills.Inc()
 				s.logf("SIGKILL after %s", f.delay)
 				syscall.Kill(-pgid, syscall.SIGKILL)
 				exit, _ := capture(<-done)
@@ -575,12 +610,14 @@ func (s *supervisor) attempt() (exit int, killed bool, err error) {
 				w := s.pickWorker()
 				if w != nil && w.signalGroup(syscall.SIGKILL) {
 					s.res.WorkerKills++
+					s.met.workerKills.Inc()
 					s.logf("worker %d: SIGKILL after %s", w.idx, f.delay)
 				}
 			case faultWorkerStall:
 				w := s.pickWorker()
 				if w != nil && w.signalGroup(syscall.SIGSTOP) {
 					s.res.WorkerStalls++
+					s.met.workerStalls.Inc()
 					s.logf("worker %d: SIGSTOP for %s after %s", w.idx, s.cfg.Plan.StallFor, f.delay)
 					time.Sleep(s.cfg.Plan.StallFor)
 					w.signalGroup(syscall.SIGCONT)
@@ -598,6 +635,7 @@ func (s *supervisor) attempt() (exit int, killed bool, err error) {
 				continue
 			}
 			s.res.WatchdogFires++
+			s.met.watchdogFires.Inc()
 			s.logf("watchdog: no journal progress for %s; SIGQUIT for a stack dump, SIGKILL after %s",
 				s.cfg.Watchdog, s.cfg.WatchdogGrace)
 			syscall.Kill(-pgid, syscall.SIGQUIT)

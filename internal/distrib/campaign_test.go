@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -14,6 +15,7 @@ import (
 
 	"omicon/internal/experiments"
 	"omicon/internal/journal"
+	"omicon/internal/telemetry"
 	"omicon/internal/torture"
 )
 
@@ -41,8 +43,9 @@ func (c *campaignRun) remarshalReport(t *testing.T) {
 }
 
 // runTortureCampaign executes one campaign with the given Remote hook
-// (nil = fully in-process) and captures its artifacts.
-func runTortureCampaign(t *testing.T, o torture.Options, remote func(ctx context.Context, job torture.Job) (*torture.Outcome, error)) campaignRun {
+// (nil = fully in-process) and captures its artifacts. Journal options
+// (e.g. journal.Observe) pass through to the campaign journal.
+func runTortureCampaign(t *testing.T, o torture.Options, remote func(ctx context.Context, job torture.Job) (*torture.Outcome, error), jopts ...journal.Option) campaignRun {
 	t.Helper()
 	dir := t.TempDir()
 	var logBuf bytes.Buffer
@@ -50,7 +53,7 @@ func runTortureCampaign(t *testing.T, o torture.Options, remote func(ctx context
 	o.Log = &logBuf
 	o.Remote = remote
 	jpath := filepath.Join(dir, "campaign.wal")
-	j, _, err := journal.Open(jpath)
+	j, _, err := journal.Open(jpath, jopts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,6 +249,96 @@ func TestPoisonTrialQuarantineSurfaced(t *testing.T) {
 	dist.report.Quarantined = nil
 	dist.remarshalReport(t)
 	assertRunsIdentical(t, "in-process", "poisoned run", local, dist)
+}
+
+// TestTelemetryCampaignByteIdentical is the telemetry plane's contract:
+// a fully instrumented distributed campaign — coordinator registry,
+// observed journal, worker snapshots piggybacked on heartbeats, and a
+// live status server scraped mid-flight — produces a report, log, corpus
+// and journal byte-identical to a plain in-process run.
+func TestTelemetryCampaignByteIdentical(t *testing.T) {
+	plain := runTortureCampaign(t, tortureOptions(), nil)
+
+	ctx := context.Background()
+	ex := StandardExecutors()
+	reg := telemetry.NewRegistry()
+	p, addr := newTestPool(t, ex, PoolOptions{
+		Heartbeat: 20 * time.Millisecond, DegradeAfter: 30 * time.Second, Telemetry: reg,
+	})
+	for i := 0; i < 2; i++ {
+		startTelemetryWorker(t, ctx, addr, fmt.Sprintf("tw%d", i), ex, telemetry.NewRegistry())
+	}
+	if err := p.AwaitWorkers(ctx, 2, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	srv, bound, err := telemetry.StartServer("127.0.0.1:0", telemetry.ServerOptions{
+		Registry: reg,
+		Fleet:    p.Fleet,
+		Status: func() *telemetry.Statusz {
+			s := telemetry.BaseStatusz("torture", time.Now())
+			s.Workers = p.WorkerStatuses()
+			return s
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	o := tortureOptions()
+	o.Telemetry = reg
+	obs := runTortureCampaign(t, o, TortureRemote(p), journal.Observe(reg))
+	assertRunsIdentical(t, "plain", "telemetry-on", plain, obs)
+
+	// The fleet-wide /metrics scrape parses, lints clean, and carries
+	// both the coordinator catalog and worker-labelled remote series.
+	deadline := time.Now().Add(5 * time.Second)
+	var sc *telemetry.Scrape
+	for {
+		resp, err := http.Get("http://" + bound + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err = telemetry.ParseText(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("fleet scrape does not parse: %v", err)
+		}
+		if f := sc.Families["omicon_worker_jobs_total"]; f != nil && len(f.Series) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet scrape never carried both workers' series: %v", sc.Order)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if problems := telemetry.LintScrape(sc); len(problems) != 0 {
+		t.Fatalf("fleet scrape lint: %v", problems)
+	}
+	f := sc.Families["omicon_torture_trials_total"]
+	if f == nil || f.Series["omicon_torture_trials_total"] != 24 {
+		t.Fatalf("coordinator trial counter missing from fleet scrape: %+v", f)
+	}
+
+	// /statusz decodes with both workers alive in the table.
+	resp, err := http.Get("http://" + bound + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st telemetry.Statusz
+	derr := json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	if st.Schema != telemetry.StatuszSchema || len(st.Workers) != 2 {
+		t.Fatalf("statusz = schema %q, %d workers", st.Schema, len(st.Workers))
+	}
+	for _, w := range st.Workers {
+		if !w.Alive || w.Metrics == nil {
+			t.Fatalf("worker row %+v", w)
+		}
+	}
 }
 
 // TestThm1DistributedIdentical pins the sweep path: Theorem-1 samples

@@ -116,13 +116,20 @@ func (m *ResultMsg) AppendWire(buf []byte) []byte {
 func (m *ResultMsg) WireKind() uint64 { return kindResult }
 
 // Heartbeat is the worker's periodic liveness beat; Seq increments per
-// beat (diagnostic only — detection is purely deadline-based).
+// beat (diagnostic only — detection is purely deadline-based). Stats
+// optionally piggybacks the worker's local telemetry snapshot (a JSON
+// telemetry.Snapshot) so the coordinator can expose a fleet-wide
+// /metrics view without a second channel; empty means no telemetry.
 type Heartbeat struct {
-	Seq uint64
+	Seq   uint64
+	Stats []byte
 }
 
 // AppendWire implements wire.Marshaler.
-func (m *Heartbeat) AppendWire(buf []byte) []byte { return wire.AppendUvarint(buf, m.Seq) }
+func (m *Heartbeat) AppendWire(buf []byte) []byte {
+	buf = wire.AppendUvarint(buf, m.Seq)
+	return wire.AppendBytes(buf, m.Stats)
+}
 
 // WireKind implements wire.Typed.
 func (m *Heartbeat) WireKind() uint64 { return kindHeartbeat }
@@ -158,7 +165,7 @@ func Registry() *wire.Registry {
 		return m, d.Err()
 	})
 	r.Register(kindHeartbeat, func(d *wire.Decoder) (wire.Typed, error) {
-		m := &Heartbeat{Seq: d.Uvarint()}
+		m := &Heartbeat{Seq: d.Uvarint(), Stats: d.Bytes()}
 		return m, d.Err()
 	})
 	r.Register(kindGoodbye, func(d *wire.Decoder) (wire.Typed, error) {

@@ -28,6 +28,7 @@ func TestMessageRoundTrips(t *testing.T) {
 		&ResultMsg{Seq: 42, OK: true, Payload: []byte("out")},
 		&ResultMsg{Seq: 43, OK: false, Err: "executor blew up"},
 		&Heartbeat{Seq: 99},
+		&Heartbeat{Seq: 100, Stats: []byte(`{"families":[{"name":"omicon_worker_jobs_total","type":"counter","series":[{"value":4}]}]}`)},
 		&Goodbye{Reason: "campaign complete"},
 	}
 	for _, m := range msgs {
@@ -61,6 +62,7 @@ func FuzzTrialFrameRoundTrip(f *testing.F) {
 		&ResultMsg{Seq: 3, OK: true, Payload: []byte(`{"advName":"x","bound":4}`)},
 		&ResultMsg{Seq: 4, OK: false, Err: "boom"},
 		&Heartbeat{Seq: 12},
+		&Heartbeat{Seq: 13, Stats: []byte(`{"families":[]}`)},
 		&Goodbye{Reason: "done"},
 	}
 	for _, m := range seeds {

@@ -3,13 +3,16 @@ package distrib
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
+	"omicon/internal/telemetry"
 	"omicon/internal/transport"
 	"omicon/internal/wire"
 )
@@ -21,9 +24,10 @@ type PoolOptions struct {
 	// (default 500ms).
 	Heartbeat time.Duration
 	// HeartbeatMiss is how many consecutive missed beats declare a worker
-	// dead (default 4): the coordinator reads each worker's stream under
-	// a deadline of Heartbeat*HeartbeatMiss, so crash detection is purely
-	// deadline-based — no separate failure detector.
+	// dead (default 4): while a job is in flight the coordinator reads
+	// that worker's stream under a deadline of Heartbeat*HeartbeatMiss,
+	// so crash detection is purely deadline-based — no separate failure
+	// detector. Idle workers are never deadline-killed.
 	HeartbeatMiss int
 	// PoisonK quarantines a job after this many consecutive worker
 	// deaths while it was in flight (default 3): the job is executed
@@ -41,6 +45,10 @@ type PoolOptions struct {
 	// verifier strips these lines, so diagnostics never perturb
 	// byte-identity checks.
 	Log io.Writer
+	// Telemetry, when set, registers the dispatch-layer metric catalog
+	// (docs/OBSERVABILITY.md) in this registry. Strictly observational;
+	// nil disables at the cost of one nil check per event.
+	Telemetry *telemetry.Registry
 }
 
 func (o PoolOptions) withDefaults() PoolOptions {
@@ -81,6 +89,32 @@ type PoolStats struct {
 	LocalRuns   int
 }
 
+// poolMetrics holds the dispatch-layer telemetry handles. All fields are
+// nil (no-op) when PoolOptions.Telemetry is nil.
+type poolMetrics struct {
+	dispatches   *telemetry.Counter
+	redispatches *telemetry.Counter
+	quarantines  *telemetry.Counter
+	localRuns    *telemetry.Counter
+	joins        *telemetry.Counter
+	deaths       *telemetry.Counter
+	heartbeats   *telemetry.Counter
+	dispatchSec  *telemetry.Histogram
+}
+
+func newPoolMetrics(reg *telemetry.Registry) poolMetrics {
+	return poolMetrics{
+		dispatches:   reg.Counter("omicon_distrib_dispatches_total", "jobs dispatched to remote workers"),
+		redispatches: reg.Counter("omicon_distrib_redispatches_total", "jobs re-dispatched after a worker died with them in flight"),
+		quarantines:  reg.Counter("omicon_distrib_quarantines_total", "poison jobs executed in-process after PoisonK consecutive worker deaths"),
+		localRuns:    reg.Counter("omicon_distrib_local_runs_total", "jobs executed in-process because no workers were alive"),
+		joins:        reg.Counter("omicon_distrib_worker_joins_total", "successful worker handshakes (reconnects count again)"),
+		deaths:       reg.Counter("omicon_distrib_worker_deaths_total", "workers dropped for I/O errors or missed heartbeats"),
+		heartbeats:   reg.Counter("omicon_distrib_heartbeats_total", "heartbeat frames received from workers"),
+		dispatchSec:  reg.Histogram("omicon_distrib_dispatch_seconds", "remote dispatch round-trip time (job send to result)", nil),
+	}
+}
+
 // ExecResult is one Execute call's outcome.
 type ExecResult struct {
 	Payload []byte
@@ -103,6 +137,7 @@ type Pool struct {
 	opts  PoolOptions
 	local *Executors
 	reg   *wire.Registry
+	met   poolMetrics
 
 	tasks  chan *task
 	closed chan struct{}
@@ -113,8 +148,12 @@ type Pool struct {
 	nextID  uint64
 	alive   int
 	workers map[uint64]*poolWorker
+	gone    []WorkerInfo // most recent dead workers, for stale-snapshot post-mortems
 	stats   PoolStats
 }
+
+// goneCap bounds the retained dead-worker history.
+const goneCap = 8
 
 type task struct {
 	key, kind string
@@ -138,6 +177,25 @@ type poolWorker struct {
 	wmu    sync.Mutex // serializes job writes and the shutdown Goodbye
 	seq    uint64
 	window time.Duration
+
+	results  chan *ResultMsg
+	dead     chan struct{}
+	deadOnce sync.Once
+
+	// smu guards the live status fields below, read by Workers() for
+	// /statusz and written by the read loop and runOn. It also makes the
+	// inflight check-and-arm of the read deadline atomic: the read loop
+	// decides idle-vs-armed under smu, and runOn flips inflight and
+	// (re)arms under the same lock, so an idle worker can never be left
+	// with a live deadline nor an in-flight one without.
+	smu         sync.Mutex
+	joinedAt    time.Time
+	lastBeat    time.Time
+	beats       int64
+	jobsDone    int64
+	inflight    bool
+	inflightKey string
+	stats       []byte // last piggybacked telemetry snapshot (JSON), if any
 }
 
 func (pw *poolWorker) write(body []byte, deadline time.Duration) error {
@@ -147,18 +205,58 @@ func (pw *poolWorker) write(body []byte, deadline time.Duration) error {
 	return transport.WriteFrame(pw.w, body)
 }
 
+// kill marks the worker's connection dead, waking serveWorker and runOn.
+func (pw *poolWorker) kill() { pw.deadOnce.Do(func() { close(pw.dead) }) }
+
+// info snapshots the worker's status fields.
+func (pw *poolWorker) info(alive bool) WorkerInfo {
+	pw.smu.Lock()
+	defer pw.smu.Unlock()
+	return WorkerInfo{
+		ID: pw.id, Name: pw.name, Alive: alive, Stale: !alive,
+		JoinedAt: pw.joinedAt, LastBeat: pw.lastBeat, Beats: pw.beats,
+		JobsDone: pw.jobsDone, InFlight: pw.inflight, InFlightKey: pw.inflightKey,
+		Stats: pw.stats,
+	}
+}
+
+// WorkerInfo is one worker's live (or, when Stale, last-known) status as
+// surfaced on /statusz. Stats holds the worker's most recent
+// heartbeat-piggybacked telemetry snapshot (JSON telemetry.Snapshot);
+// stale snapshots are retained for post-mortems but excluded from the
+// fleet-wide /metrics merge.
+type WorkerInfo struct {
+	ID          uint64
+	Name        string
+	Alive       bool
+	Stale       bool
+	JoinedAt    time.Time
+	LastBeat    time.Time
+	Beats       int64
+	JobsDone    int64
+	InFlight    bool
+	InFlightKey string
+	Stats       []byte
+}
+
 // NewPool returns a dispatcher executing local fallbacks (degradation,
 // quarantine) through local, which must cover every kind the pool will
 // Execute.
 func NewPool(local *Executors, opts PoolOptions) *Pool {
-	return &Pool{
+	p := &Pool{
 		opts:    opts.withDefaults(),
 		local:   local,
 		reg:     Registry(),
+		met:     newPoolMetrics(opts.Telemetry),
 		tasks:   make(chan *task),
 		closed:  make(chan struct{}),
 		workers: make(map[uint64]*poolWorker),
 	}
+	opts.Telemetry.GaugeFunc("omicon_distrib_workers_alive", "workers currently connected",
+		func() float64 { return float64(p.aliveWorkers()) })
+	opts.Telemetry.GaugeFunc("omicon_distrib_inflight_jobs", "jobs currently dispatched and awaiting results",
+		func() float64 { return float64(p.inflightJobs()) })
+	return p
 }
 
 func (p *Pool) logf(format string, args ...any) {
@@ -232,9 +330,14 @@ func (p *Pool) handshake(conn net.Conn) {
 		conn.Close()
 		return
 	}
+	now := time.Now()
 	pw := &poolWorker{
 		name: hello.Name, conn: conn, r: r, w: w,
-		window: p.opts.Heartbeat * time.Duration(p.opts.HeartbeatMiss),
+		window:   p.opts.Heartbeat * time.Duration(p.opts.HeartbeatMiss),
+		results:  make(chan *ResultMsg, 1),
+		dead:     make(chan struct{}),
+		joinedAt: now,
+		lastBeat: now,
 	}
 	p.mu.Lock()
 	select {
@@ -250,6 +353,7 @@ func (p *Pool) handshake(conn net.Conn) {
 	p.alive++
 	p.stats.WorkersJoined++
 	p.mu.Unlock()
+	p.met.joins.Inc()
 
 	welcome := &Welcome{Worker: pw.id, HeartbeatMillis: uint64(p.opts.Heartbeat / time.Millisecond)}
 	if err := transport.WriteFrame(w, wire.EncodeFrame(nil, welcome)); err != nil {
@@ -261,10 +365,13 @@ func (p *Pool) handshake(conn net.Conn) {
 	go p.serveWorker(pw)
 }
 
-// dropWorker removes a dead worker from the fleet. Clean shutdown
-// (pool closed) is not a death.
+// dropWorker removes a dead worker from the fleet, retaining its last
+// status (including any piggybacked snapshot) in the bounded gone list.
+// Clean shutdown (pool closed) is not a death.
 func (p *Pool) dropWorker(pw *poolWorker, reason string) {
+	pw.kill()
 	pw.conn.Close()
+	info := pw.info(false)
 	p.mu.Lock()
 	_, registered := p.workers[pw.id]
 	if registered {
@@ -279,17 +386,24 @@ func (p *Pool) dropWorker(pw *poolWorker, reason string) {
 	}
 	if registered && !closed {
 		p.stats.WorkerDeaths++
+		p.gone = append(p.gone, info)
+		if len(p.gone) > goneCap {
+			p.gone = p.gone[len(p.gone)-goneCap:]
+		}
 	}
 	alive := p.alive
 	p.mu.Unlock()
 	if registered && !closed {
+		p.met.deaths.Inc()
 		p.logf("worker %d (%s) lost: %s, %d alive", pw.id, pw.name, reason, alive)
 	}
 }
 
 // serveWorker pulls tasks from the shared queue and runs them on one
-// worker connection until the worker dies or the pool closes.
+// worker connection until the worker dies or the pool closes. The
+// connection's reads are owned by readLoop.
 func (p *Pool) serveWorker(pw *poolWorker) {
+	go p.readLoop(pw)
 	for {
 		select {
 		case <-p.closed:
@@ -297,6 +411,9 @@ func (p *Pool) serveWorker(pw *poolWorker) {
 			// exits instead of burning its reconnect budget.
 			pw.write(wire.EncodeFrame(nil, &Goodbye{Reason: "campaign complete"}), time.Second)
 			p.dropWorker(pw, "pool closed")
+			return
+		case <-pw.dead:
+			p.dropWorker(pw, "connection lost")
 			return
 		case t := <-p.tasks:
 			res := p.runOn(pw, t)
@@ -309,41 +426,100 @@ func (p *Pool) serveWorker(pw *poolWorker) {
 	}
 }
 
-// runOn dispatches one task to one worker and reads until its result.
-// Heartbeats arrive interleaved and reset the read deadline; a deadline
-// expiry, connection error, or protocol violation declares the worker
-// dead, which makes Execute re-dispatch the task. A result whose
-// sequence number does not match the live dispatch is stale (a
-// superseded dispatch from before a reconnect) and dropped.
+// readLoop owns all reads on one worker connection: heartbeats update the
+// worker's status row (and stash any piggybacked snapshot), results are
+// forwarded to the in-flight runOn, and any error or protocol violation
+// marks the worker dead. The read deadline is armed only while a job is
+// in flight — idle workers (including test doubles that never beat) block
+// indefinitely without being declared dead.
+func (p *Pool) readLoop(pw *poolWorker) {
+	for {
+		pw.smu.Lock()
+		if pw.inflight {
+			pw.conn.SetReadDeadline(time.Now().Add(pw.window))
+		} else {
+			pw.conn.SetReadDeadline(time.Time{})
+		}
+		pw.smu.Unlock()
+		frame, err := transport.ReadFrame(pw.r)
+		if err != nil {
+			pw.kill()
+			return
+		}
+		msg, err := p.reg.DecodeFrame(wire.NewDecoder(frame))
+		if err != nil {
+			pw.kill()
+			return
+		}
+		switch m := msg.(type) {
+		case *Heartbeat:
+			pw.smu.Lock()
+			pw.lastBeat = time.Now()
+			pw.beats++
+			if len(m.Stats) > 0 {
+				pw.stats = m.Stats
+			}
+			pw.smu.Unlock()
+			p.met.heartbeats.Inc()
+		case *ResultMsg:
+			select {
+			case pw.results <- m:
+			case <-pw.dead:
+				return
+			case <-p.closed:
+				return
+			}
+		default:
+			pw.kill()
+			return
+		}
+	}
+}
+
+// runOn dispatches one task to one worker and waits for its result.
+// Heartbeats arrive interleaved on the read loop and re-extend the
+// deadline it arms; a deadline expiry, connection error, or protocol
+// violation kills the worker, which makes Execute re-dispatch the task.
+// A result whose sequence number does not match the live dispatch is
+// stale (a superseded dispatch from before a reconnect) and dropped.
 func (p *Pool) runOn(pw *poolWorker, t *task) taskResult {
 	pw.seq++
+	start := time.Now()
+	pw.smu.Lock()
+	pw.inflight = true
+	pw.inflightKey = t.key
+	pw.conn.SetReadDeadline(time.Now().Add(pw.window))
+	pw.smu.Unlock()
+	defer func() {
+		pw.smu.Lock()
+		pw.inflight = false
+		pw.inflightKey = ""
+		pw.conn.SetReadDeadline(time.Time{})
+		pw.smu.Unlock()
+	}()
 	body := wire.EncodeFrame(nil, &JobMsg{Seq: pw.seq, Kind: t.kind, Key: t.key, Payload: t.payload})
 	if err := pw.write(body, pw.window); err != nil {
 		return taskResult{died: true, worker: pw.id}
 	}
 	for {
-		pw.conn.SetReadDeadline(time.Now().Add(pw.window))
-		frame, err := transport.ReadFrame(pw.r)
-		if err != nil {
-			return taskResult{died: true, worker: pw.id}
-		}
-		msg, err := p.reg.DecodeFrame(wire.NewDecoder(frame))
-		if err != nil {
-			return taskResult{died: true, worker: pw.id}
-		}
-		switch m := msg.(type) {
-		case *Heartbeat:
-			continue
-		case *ResultMsg:
+		select {
+		case m := <-pw.results:
 			if m.Seq != pw.seq {
 				continue
 			}
+			pw.smu.Lock()
+			pw.jobsDone++
+			pw.smu.Unlock()
+			p.met.dispatchSec.Observe(time.Since(start).Seconds())
 			if !m.OK {
 				return taskResult{err: errors.New(m.Err), worker: pw.id}
 			}
 			return taskResult{payload: m.Payload, worker: pw.id}
-		default:
+		case <-pw.dead:
 			return taskResult{died: true, worker: pw.id}
+		case <-p.closed:
+			// Pool shutdown, not a death: serveWorker sends the Goodbye.
+			return taskResult{err: errPoolClosed, worker: pw.id}
 		}
 	}
 }
@@ -354,11 +530,98 @@ func (p *Pool) aliveWorkers() int {
 	return p.alive
 }
 
+// inflightJobs counts workers with a job currently dispatched.
+func (p *Pool) inflightJobs() int {
+	p.mu.Lock()
+	ws := make([]*poolWorker, 0, len(p.workers))
+	for _, pw := range p.workers {
+		ws = append(ws, pw)
+	}
+	p.mu.Unlock()
+	n := 0
+	for _, pw := range ws {
+		pw.smu.Lock()
+		if pw.inflight {
+			n++
+		}
+		pw.smu.Unlock()
+	}
+	return n
+}
+
 // Stats returns a snapshot of the dispatch counters.
 func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.stats
+}
+
+// Workers returns the fleet status: live workers first, then retained
+// dead (Stale) ones, ordered by id.
+func (p *Pool) Workers() []WorkerInfo {
+	p.mu.Lock()
+	ws := make([]*poolWorker, 0, len(p.workers))
+	for _, pw := range p.workers {
+		ws = append(ws, pw)
+	}
+	gone := append([]WorkerInfo(nil), p.gone...)
+	p.mu.Unlock()
+	out := make([]WorkerInfo, 0, len(ws)+len(gone))
+	for _, pw := range ws {
+		out = append(out, pw.info(true))
+	}
+	out = append(out, gone...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// WorkerStatuses renders the fleet as /statusz rows, decoding each
+// worker's piggybacked snapshot.
+func (p *Pool) WorkerStatuses() []telemetry.WorkerStatus {
+	infos := p.Workers()
+	out := make([]telemetry.WorkerStatus, 0, len(infos))
+	for _, wi := range infos {
+		ws := telemetry.WorkerStatus{
+			ID: wi.ID, Name: wi.Name, Alive: wi.Alive, Stale: wi.Stale,
+			Beats: wi.Beats, InFlight: wi.InFlightKey, JobsDone: wi.JobsDone,
+			JoinedAt: wi.JoinedAt,
+		}
+		if !wi.LastBeat.IsZero() {
+			ws.HeartbeatAgeMillis = time.Since(wi.LastBeat).Milliseconds()
+		}
+		if snap := decodeSnapshot(wi.Stats); snap != nil {
+			ws.Metrics = snap
+		}
+		out = append(out, ws)
+	}
+	return out
+}
+
+// Fleet returns the live workers' piggybacked snapshots labelled by
+// worker name, ready for telemetry.MergeFleet. Stale workers are
+// excluded: their metrics describe a process that no longer exists.
+func (p *Pool) Fleet() []telemetry.Labeled {
+	var out []telemetry.Labeled
+	for _, wi := range p.Workers() {
+		if !wi.Alive {
+			continue
+		}
+		if snap := decodeSnapshot(wi.Stats); snap != nil {
+			out = append(out, telemetry.Labeled{Label: telemetry.L("worker", wi.Name), Snap: snap})
+		}
+	}
+	return out
+}
+
+func decodeSnapshot(raw []byte) *telemetry.Snapshot {
+	if len(raw) == 0 {
+		return nil
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return nil
+	}
+	return &snap
 }
 
 func (p *Pool) bump(f func(*PoolStats)) {
@@ -412,12 +675,14 @@ func (p *Pool) Execute(ctx context.Context, key, kind string, payload []byte) (E
 			return res, errPoolClosed
 		case p.tasks <- t:
 			p.bump(func(s *PoolStats) { s.Dispatched++ })
+			p.met.dispatches.Inc()
 			select {
 			case r := <-t.done:
 				if r.died {
 					res.Redispatches++
 					if res.Redispatches >= p.opts.PoisonK {
 						p.bump(func(s *PoolStats) { s.Quarantined++ })
+						p.met.quarantines.Inc()
 						p.logf("quarantining %s after %d consecutive worker deaths; executing in-process", key, res.Redispatches)
 						out, err := p.local.Run(kind, payload)
 						res.Payload = out
@@ -425,6 +690,7 @@ func (p *Pool) Execute(ctx context.Context, key, kind string, payload []byte) (E
 						return res, err
 					}
 					p.bump(func(s *PoolStats) { s.Redispatched++ })
+					p.met.redispatches.Inc()
 					p.logf("re-dispatching %s (worker %d died, attempt %d/%d)", key, r.worker, res.Redispatches+1, p.opts.PoisonK)
 					degrade.Reset(p.opts.DegradeAfter)
 					continue
@@ -439,6 +705,7 @@ func (p *Pool) Execute(ctx context.Context, key, kind string, payload []byte) (E
 		case <-degrade.C:
 			if p.aliveWorkers() == 0 {
 				p.bump(func(s *PoolStats) { s.LocalRuns++ })
+				p.met.localRuns.Inc()
 				p.logf("no live workers for %v; executing %s in-process", p.opts.DegradeAfter, key)
 				out, err := p.local.Run(kind, payload)
 				res.Payload = out

@@ -3,6 +3,7 @@ package distrib
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -12,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"omicon/internal/telemetry"
 	"omicon/internal/transport"
 	"omicon/internal/wire"
 )
@@ -41,6 +43,12 @@ type WorkerOptions struct {
 	Resolve func() (string, error)
 	// Log receives "distrib:"-prefixed diagnostics. Nil disables.
 	Log io.Writer
+	// Telemetry, when set, registers the worker-side metric catalog and
+	// piggybacks a JSON snapshot of the whole registry on every heartbeat
+	// frame, giving the coordinator a fleet-wide /metrics view. Strictly
+	// observational; nil disables the piggyback (heartbeats carry empty
+	// Stats).
+	Telemetry *telemetry.Registry
 }
 
 func (o WorkerOptions) withDefaults() WorkerOptions {
@@ -186,6 +194,12 @@ func serveSession(ctx context.Context, conn net.Conn, ex *Executors, reg *wire.R
 	if hb <= 0 {
 		hb = 500 * time.Millisecond
 	}
+	// Worker-side metric handles; nil (no-op) without opts.Telemetry.
+	// Accessors are idempotent, so re-requesting per session is free.
+	sessions := opts.Telemetry.Counter("omicon_worker_sessions_total", "coordinator sessions joined (reconnects count again)")
+	jobs := opts.Telemetry.Counter("omicon_worker_jobs_total", "jobs executed by this worker")
+	jobSec := opts.Telemetry.Histogram("omicon_worker_job_seconds", "job execution wall time", nil)
+	sessions.Inc()
 	// The beat write deadline mirrors the coordinator's read window: if
 	// the coordinator is gone (or SIGSTOPped long enough to fill the
 	// socket), the blocked write times out and takes the session down so
@@ -209,7 +223,14 @@ func serveSession(ctx context.Context, conn net.Conn, ex *Executors, reg *wire.R
 				return
 			case <-tick.C:
 				seq++
-				if writeMsg(&Heartbeat{Seq: seq}, window) != nil {
+				// Piggyback the local telemetry snapshot on the beat: the
+				// coordinator stashes the latest per worker and merges live
+				// ones into its fleet-wide /metrics.
+				var stats []byte
+				if opts.Telemetry != nil {
+					stats, _ = json.Marshal(opts.Telemetry.Snapshot())
+				}
+				if writeMsg(&Heartbeat{Seq: seq, Stats: stats}, window) != nil {
 					conn.Close()
 					return
 				}
@@ -234,7 +255,10 @@ func serveSession(ctx context.Context, conn net.Conn, ex *Executors, reg *wire.R
 			// the process is exactly what the coordinator's poison-trial
 			// quarantine exists for, and masking it as an error result
 			// would abort the campaign instead.
+			start := time.Now()
 			payload, jerr := ex.Run(m.Kind, m.Payload)
+			jobs.Inc()
+			jobSec.Observe(time.Since(start).Seconds())
 			res := &ResultMsg{Seq: m.Seq, OK: jerr == nil, Payload: payload}
 			if jerr != nil {
 				res.Payload = nil

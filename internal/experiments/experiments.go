@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"time"
 
 	"omicon/internal/adversary"
 	"omicon/internal/core"
@@ -20,6 +21,7 @@ import (
 	"omicon/internal/partrial"
 	"omicon/internal/sim"
 	"omicon/internal/stats"
+	"omicon/internal/telemetry"
 )
 
 // Exec bundles the cross-cutting execution knobs every sweep shares:
@@ -50,6 +52,11 @@ type Exec struct {
 	// strictly serial in sample order, so sweep outputs remain
 	// byte-identical at any worker count (docs/DISTRIBUTED.md).
 	RemoteThm1 func(ctx context.Context, job Thm1Job) (SweepSample, error)
+	// Telemetry, when set, registers the sweep metric catalog
+	// (docs/OBSERVABILITY.md) and counts sample progress and per-sample
+	// wall time. Strictly observational: sweep outputs are byte-identical
+	// with or without it.
+	Telemetry *telemetry.Registry
 }
 
 func (e Exec) context() context.Context {
@@ -218,6 +225,14 @@ func RunThm1Job(job Thm1Job) (SweepSample, error) {
 // stops between trials on cancellation, keeping journaled progress.
 func Thm1Detailed(sizes []int, seeds int, baseSeed uint64, ex Exec) ([]SweepCell, error) {
 	ctx := ex.context()
+	metSamples := ex.Telemetry.Counter("omicon_sweep_samples_total",
+		"Sweep samples committed, live or replayed.")
+	metResumed := ex.Telemetry.Counter("omicon_sweep_resumed_total",
+		"Sweep samples replayed bitwise from the trial journal.")
+	metTarget := ex.Telemetry.Gauge("omicon_sweep_samples_target",
+		"Total samples this sweep will commit across all cells.")
+	metSampleSec := ex.Telemetry.Histogram("omicon_sweep_sample_seconds",
+		"Wall time of live (non-replayed) sweep sample execution.", nil)
 	cells := make([]SweepCell, 0, len(sizes))
 	for _, n := range sizes {
 		t := (n - 1) / 31
@@ -246,6 +261,7 @@ func Thm1Detailed(sizes []int, seeds int, baseSeed uint64, ex Exec) ([]SweepCell
 				keys[i] = journal.Key("sweep-thm1/v1", n, t, names[i/seeds], i%seeds, baseSeed, ex.Shards)
 			}
 		}
+		metTarget.Add(float64(total))
 		samples := make([]SweepSample, total)
 		replayed := make([]bool, total)
 		err = partrial.Do(total, poolWorkers, func(i int) (SweepSample, error) {
@@ -260,12 +276,26 @@ func Thm1Detailed(sizes []int, seeds int, baseSeed uint64, ex Exec) ([]SweepCell
 			// Adversary-major order; RunThm1Job builds a fresh adversary
 			// instance from the indices, locally or on a remote worker.
 			job := Thm1Job{N: n, AdvIdx: i / seeds, SeedIdx: i % seeds, BaseSeed: baseSeed, Shards: trialShards}
+			start := time.Now()
+			var (
+				s    SweepSample
+				jerr error
+			)
 			if ex.RemoteThm1 != nil {
-				return ex.RemoteThm1(ctx, job)
+				s, jerr = ex.RemoteThm1(ctx, job)
+			} else {
+				s, jerr = RunThm1Job(job)
 			}
-			return RunThm1Job(job)
+			if jerr == nil {
+				metSampleSec.Observe(time.Since(start).Seconds())
+			}
+			return s, jerr
 		}, func(i int, s SweepSample) error {
 			samples[i] = s
+			metSamples.Inc()
+			if replayed[i] {
+				metResumed.Inc()
+			}
 			if ex.Journal != nil && !replayed[i] {
 				return ex.Journal.Append(keys[i], s)
 			}

@@ -40,6 +40,9 @@ import (
 	"hash/crc32"
 	"os"
 	"sync"
+	"time"
+
+	"omicon/internal/telemetry"
 )
 
 // Version is the journal format version recorded in the header.
@@ -91,6 +94,17 @@ type Journal struct {
 	pending   int
 	syncEvery int
 	closed    bool
+	met       journalMetrics
+	obsReg    *telemetry.Registry
+}
+
+// journalMetrics holds the journal's telemetry handles; all fields are
+// nil (no-op) without the Observe option.
+type journalMetrics struct {
+	appends     *telemetry.Counter
+	fsyncs      *telemetry.Counter
+	fsyncSec    *telemetry.Histogram
+	liveRecords *telemetry.Gauge
 }
 
 // Option configures Open.
@@ -103,6 +117,27 @@ func SyncEvery(n int) Option {
 			n = 1
 		}
 		j.syncEvery = n
+	}
+}
+
+// Observe registers the journal's metric catalog (appends, fsync count
+// and latency, live record count; docs/OBSERVABILITY.md) in reg.
+// Strictly observational: journal bytes are identical with or without
+// it. Recovery outcomes (recoveries, dropped bytes) are counted by Open
+// itself when this option is present.
+func Observe(reg *telemetry.Registry) Option {
+	return func(j *Journal) {
+		j.met = journalMetrics{
+			appends:     reg.Counter("omicon_journal_appends_total", "records appended this session"),
+			fsyncs:      reg.Counter("omicon_journal_fsyncs_total", "fsync batches flushed"),
+			fsyncSec:    reg.Histogram("omicon_journal_fsync_seconds", "write+fsync latency per flush", nil),
+			liveRecords: reg.Gauge("omicon_journal_live_records", "live records after last-write-wins dedup"),
+		}
+		// Recovery counters describe Open, not steady state; register them
+		// here so Open can bump them once options are applied.
+		reg.Counter("omicon_journal_recoveries_total", "opens that truncated a torn or corrupt tail")
+		reg.Counter("omicon_journal_dropped_bytes_total", "torn tail bytes discarded across recoveries")
+		j.obsReg = reg
 	}
 }
 
@@ -246,6 +281,11 @@ func Open(path string, opts ...Option) (*Journal, RecoverInfo, error) {
 	for _, o := range opts {
 		o(j)
 	}
+	j.met.liveRecords.Set(float64(len(live)))
+	if j.obsReg != nil && info.DroppedBytes > 0 {
+		j.obsReg.Counter("omicon_journal_recoveries_total", "").Inc()
+		j.obsReg.Counter("omicon_journal_dropped_bytes_total", "").Add(info.DroppedBytes)
+	}
 	if off == 0 {
 		// Fresh (or fully torn) file: write and sync the header before
 		// any record can depend on it.
@@ -298,6 +338,8 @@ func (j *Journal) Append(key string, payload any) error {
 	j.buf.Write(frame(Record{Key: key, Payload: body}))
 	j.live[key] = body
 	j.pending++
+	j.met.appends.Inc()
+	j.met.liveRecords.Set(float64(len(j.live)))
 	if j.pending >= j.syncEvery {
 		return j.syncLocked()
 	}
@@ -315,6 +357,7 @@ func (j *Journal) Sync() error {
 }
 
 func (j *Journal) syncLocked() error {
+	start := time.Now()
 	if j.buf.Len() > 0 {
 		if _, err := j.f.Write(j.buf.Bytes()); err != nil {
 			return err
@@ -322,7 +365,10 @@ func (j *Journal) syncLocked() error {
 		j.buf.Reset()
 	}
 	j.pending = 0
-	return j.f.Sync()
+	err := j.f.Sync()
+	j.met.fsyncs.Inc()
+	j.met.fsyncSec.Observe(time.Since(start).Seconds())
+	return err
 }
 
 // Close syncs and closes the journal.

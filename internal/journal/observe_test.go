@@ -1,0 +1,132 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"omicon/internal/telemetry"
+)
+
+// counterValue reads one counter/gauge value from a snapshot, -1 if absent.
+func counterValue(reg *telemetry.Registry, name string) float64 {
+	for _, f := range reg.Snapshot().Families {
+		if f.Name == name && len(f.Series) > 0 {
+			return f.Series[0].Value
+		}
+	}
+	return -1
+}
+
+func TestObserveCountsAppendsAndFsyncs(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	path := filepath.Join(t.TempDir(), "obs.wal")
+	j, _, err := Open(path, SyncEvery(2), Observe(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(Key("k", i), map[string]int{"i": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(reg, "omicon_journal_appends_total"); got != 3 {
+		t.Fatalf("appends = %v, want 3", got)
+	}
+	if got := counterValue(reg, "omicon_journal_live_records"); got != 3 {
+		t.Fatalf("live records gauge = %v, want 3", got)
+	}
+	// 3 appends at SyncEvery(2) = one batch flush, plus the Close sync.
+	if got := counterValue(reg, "omicon_journal_fsyncs_total"); got < 2 {
+		t.Fatalf("fsyncs = %v, want >= 2", got)
+	}
+
+	// A second observed Open of the intact file recovers nothing.
+	reg2 := telemetry.NewRegistry()
+	j2, _, err := Open(path, Observe(reg2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := counterValue(reg2, "omicon_journal_recoveries_total"); got != 0 {
+		t.Fatalf("recoveries on clean open = %v, want 0", got)
+	}
+	if got := counterValue(reg2, "omicon_journal_live_records"); got != 3 {
+		t.Fatalf("live records after reopen = %v, want 3", got)
+	}
+}
+
+func TestObserveCountsRecovery(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	path := filepath.Join(t.TempDir(), "torn.wal")
+	j, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail: append half a line.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("deadbeef {\"key\":\"torn"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, info, err := Open(path, Observe(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if info.DroppedBytes == 0 {
+		t.Fatal("test setup: tail not torn")
+	}
+	if got := counterValue(reg, "omicon_journal_recoveries_total"); got != 1 {
+		t.Fatalf("recoveries = %v, want 1", got)
+	}
+	if got := counterValue(reg, "omicon_journal_dropped_bytes_total"); got != float64(info.DroppedBytes) {
+		t.Fatalf("dropped bytes counter = %v, want %d", got, info.DroppedBytes)
+	}
+}
+
+// TestObservedJournalBytesIdentical pins the observational property at
+// the journal layer: the file an observed journal writes is byte-for-
+// byte the file an unobserved one writes.
+func TestObservedJournalBytesIdentical(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, opts ...Option) []byte {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		j, _, err := Open(path, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			if err := j.Append(Key("trial", i), map[string]any{"i": i, "out": "x"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	plain := write("plain.wal")
+	observed := write("observed.wal", Observe(telemetry.NewRegistry()))
+	if string(plain) != string(observed) {
+		t.Fatal("telemetry perturbed journal bytes")
+	}
+}

@@ -1,0 +1,405 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format 0.0.4: "# HELP"/"# TYPE" headers followed by samples, with
+// histograms expanded into cumulative _bucket{le=...} series plus _sum
+// and _count. Rendering is deterministic (snapshot order is).
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range s.Families {
+		if f.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.Name, f.Type)
+		for _, series := range f.Series {
+			if f.Type == TypeHistogram {
+				writeHistogram(bw, f, series)
+				continue
+			}
+			fmt.Fprintf(bw, "%s%s %s\n", f.Name, renderLabels(series.Labels, "", 0), formatFloat(series.Value))
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHistogram(w io.Writer, f FamilySnap, s SeriesSnap) {
+	cum := int64(0)
+	for i, bound := range f.Bounds {
+		if i < len(s.Buckets) {
+			cum += s.Buckets[i]
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.Name, renderLabels(s.Labels, "le", bound), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", f.Name, renderLabels(s.Labels, "le", math.Inf(1)), s.Count)
+	fmt.Fprintf(w, "%s_sum%s %s\n", f.Name, renderLabels(s.Labels, "", 0), formatFloat(s.Sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", f.Name, renderLabels(s.Labels, "", 0), s.Count)
+}
+
+// renderLabels renders {k="v",...}; when leKey is non-empty an le label
+// with the given bound is appended. Empty label sets render as "".
+func renderLabels(labels []Label, leKey string, le float64) string {
+	if len(labels) == 0 && leKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if leKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(leKey)
+		b.WriteString(`="`)
+		b.WriteString(formatFloat(le))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// ---- Scrape parsing and linting (cmd/tracelint -metrics) ----
+
+// ScrapeFamily is one parsed metric family: the TYPE declaration plus all
+// samples attributed to it (histogram _bucket/_sum/_count samples are
+// attributed to their base family).
+type ScrapeFamily struct {
+	Name   string
+	Help   string
+	Type   string
+	Series map[string]float64 // rendered sample key (name{labels}) -> value
+}
+
+// Scrape is a parsed Prometheus text scrape.
+type Scrape struct {
+	Families map[string]*ScrapeFamily
+	Order    []string // family names in declaration order
+}
+
+var metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// sampleRE splits "name{labels} value" or "name value"; the label block
+// is kept raw as part of the series key.
+var sampleRE = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)\s*$`)
+
+// ParseText parses Prometheus text exposition into a Scrape. It accepts
+// the subset WritePrometheus emits (which is what the lint runs on) and
+// errors on malformed lines, samples preceding any TYPE declaration, or
+// samples whose name belongs to no declared family.
+func ParseText(r io.Reader) (*Scrape, error) {
+	sc := &Scrape{Families: make(map[string]*ScrapeFamily)}
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	lineno := 0
+	for scanner.Scan() {
+		lineno++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			name := parts[0]
+			f := sc.family(name)
+			if len(parts) == 2 {
+				f.Help = parts[1]
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("line %d: malformed TYPE comment", lineno)
+			}
+			f := sc.family(parts[0])
+			if f.Type != "" && f.Type != parts[1] {
+				return nil, fmt.Errorf("line %d: family %s re-declared as %s (was %s)", lineno, parts[0], parts[1], f.Type)
+			}
+			f.Type = parts[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := sampleRE.FindStringSubmatch(line)
+		if m == nil {
+			return nil, fmt.Errorf("line %d: malformed sample %q", lineno, line)
+		}
+		name, labels, valueText := m[1], m[2], m[3]
+		v, err := parseValue(valueText)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad value %q: %v", lineno, valueText, err)
+		}
+		f := sc.owner(name)
+		if f == nil {
+			return nil, fmt.Errorf("line %d: sample %s belongs to no declared family", lineno, name)
+		}
+		f.Series[name+labels] = v
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func (sc *Scrape) family(name string) *ScrapeFamily {
+	f := sc.Families[name]
+	if f == nil {
+		f = &ScrapeFamily{Name: name, Series: make(map[string]float64)}
+		sc.Families[name] = f
+		sc.Order = append(sc.Order, name)
+	}
+	return f
+}
+
+// owner resolves a sample name to its family: exact match, or for
+// histograms the base name with _bucket/_sum/_count stripped.
+func (sc *Scrape) owner(name string) *ScrapeFamily {
+	if f, ok := sc.Families[name]; ok && f.Type != "" {
+		return f
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if f, ok := sc.Families[base]; ok && f.Type == TypeHistogram {
+			return f
+		}
+	}
+	return nil
+}
+
+// LintScrape checks a parsed scrape for structural problems: invalid
+// metric names, unknown TYPE values, families declared without samples,
+// and histograms whose +Inf bucket disagrees with _count. Returns all
+// problems found.
+func LintScrape(sc *Scrape) []string {
+	var probs []string
+	for _, name := range sc.Order {
+		f := sc.Families[name]
+		if !metricNameRE.MatchString(name) {
+			probs = append(probs, fmt.Sprintf("%s: invalid metric name", name))
+		}
+		switch f.Type {
+		case TypeCounter, TypeGauge, TypeHistogram:
+		case "":
+			probs = append(probs, fmt.Sprintf("%s: HELP without TYPE declaration", name))
+			continue
+		default:
+			probs = append(probs, fmt.Sprintf("%s: unknown type %q", name, f.Type))
+			continue
+		}
+		if len(f.Series) == 0 {
+			probs = append(probs, fmt.Sprintf("%s: declared but has no samples", name))
+		}
+		if f.Type == TypeHistogram {
+			probs = append(probs, lintHistogram(f)...)
+		}
+	}
+	return probs
+}
+
+// lintHistogram checks, per label group, that the +Inf bucket equals
+// _count and that cumulative buckets are non-decreasing in le.
+func lintHistogram(f *ScrapeFamily) []string {
+	var probs []string
+	type bkt struct {
+		le float64
+		v  float64
+	}
+	groups := make(map[string][]bkt)   // label group (le removed) -> buckets
+	counts := make(map[string]float64) // label group -> _count
+	for key, v := range f.Series {
+		name, labels := splitSampleKey(key)
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			group, le, ok := extractLe(labels)
+			if !ok {
+				probs = append(probs, fmt.Sprintf("%s: bucket sample %s has no le label", f.Name, key))
+				continue
+			}
+			groups[group] = append(groups[group], bkt{le, v})
+		case strings.HasSuffix(name, "_count"):
+			counts[labels] = v
+		}
+	}
+	groupNames := make([]string, 0, len(groups))
+	for g := range groups {
+		groupNames = append(groupNames, g)
+	}
+	sort.Strings(groupNames)
+	for _, g := range groupNames {
+		bkts := groups[g]
+		sort.Slice(bkts, func(i, j int) bool { return bkts[i].le < bkts[j].le })
+		for i := 1; i < len(bkts); i++ {
+			if bkts[i].v < bkts[i-1].v {
+				probs = append(probs, fmt.Sprintf("%s%s: bucket counts decrease at le=%s", f.Name, g, formatFloat(bkts[i].le)))
+				break
+			}
+		}
+		last := bkts[len(bkts)-1]
+		if !math.IsInf(last.le, 1) {
+			probs = append(probs, fmt.Sprintf("%s%s: missing le=\"+Inf\" bucket", f.Name, g))
+			continue
+		}
+		if c, ok := counts[g]; ok && c != last.v {
+			probs = append(probs, fmt.Sprintf("%s%s: +Inf bucket %s != _count %s", f.Name, g, formatFloat(last.v), formatFloat(c)))
+		}
+	}
+	return probs
+}
+
+func splitSampleKey(key string) (name, labels string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i], key[i:]
+	}
+	return key, ""
+}
+
+// extractLe removes the le label from a rendered label block, returning
+// the remaining group key and the le bound.
+func extractLe(labels string) (group string, le float64, ok bool) {
+	if labels == "" {
+		return "", 0, false
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	var kept []string
+	for _, part := range splitLabelPairs(inner) {
+		k, v, found := strings.Cut(part, "=")
+		if !found {
+			kept = append(kept, part)
+			continue
+		}
+		if k == "le" {
+			f, err := parseValue(strings.Trim(v, `"`))
+			if err != nil {
+				return "", 0, false
+			}
+			le, ok = f, true
+			continue
+		}
+		kept = append(kept, part)
+	}
+	if !ok {
+		return "", 0, false
+	}
+	if len(kept) == 0 {
+		return "", le, true
+	}
+	return "{" + strings.Join(kept, ",") + "}", le, true
+}
+
+// splitLabelPairs splits k1="v1",k2="v2" on commas outside quotes.
+func splitLabelPairs(s string) []string {
+	var parts []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		parts = append(parts, s[start:])
+	}
+	return parts
+}
+
+// CheckMonotonic compares two scrapes of the same process taken in time
+// order and reports counter series (including histogram _bucket and
+// _count samples) that decreased — which for a live process means the
+// metric is mislabelled as a counter. Series present only on one side
+// are ignored (fleet membership may change between scrapes).
+func CheckMonotonic(prev, next *Scrape) []string {
+	var probs []string
+	names := make([]string, 0, len(prev.Families))
+	for name := range prev.Families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pf := prev.Families[name]
+		nf := next.Families[name]
+		if nf == nil || pf.Type == TypeGauge {
+			continue
+		}
+		keys := make([]string, 0, len(pf.Series))
+		for k := range pf.Series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if pf.Type == TypeHistogram {
+				sample, _ := splitSampleKey(k)
+				if !strings.HasSuffix(sample, "_bucket") && !strings.HasSuffix(sample, "_count") {
+					continue // _sum can legitimately decrease only for negative observations; skip it regardless
+				}
+			}
+			nv, ok := nf.Series[k]
+			if !ok {
+				continue
+			}
+			if nv < pf.Series[k] {
+				probs = append(probs, fmt.Sprintf("%s: decreased from %s to %s", k, formatFloat(pf.Series[k]), formatFloat(nv)))
+			}
+		}
+	}
+	return probs
+}

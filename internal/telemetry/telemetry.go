@@ -1,0 +1,272 @@
+// Package telemetry implements the campaign telemetry plane: process-wide
+// counters, gauges and histograms registered in a Registry, rendered as
+// Prometheus text exposition (/metrics) or as a JSON Snapshot — the form
+// workers piggyback on dispatch heartbeats so a coordinator can expose a
+// fleet-wide view (docs/OBSERVABILITY.md, "Campaign telemetry").
+//
+// Telemetry is strictly observational. Nothing in this package feeds back
+// into campaign execution: the byte-identity conformance suites (report,
+// log, corpus, journal) must — and do — pass unchanged with telemetry on.
+// Two design choices serve that:
+//
+//   - Every metric method is safe on a nil receiver, and Registry
+//     accessors return nil metrics from a nil Registry. Instrumented
+//     packages therefore never branch on "telemetry enabled": the calls
+//     are always present and cost one nil check when disabled.
+//   - Registration is idempotent: asking for the same (name, labels)
+//     returns the existing metric, so a CLI can read the counters a
+//     library increments by re-requesting them from the shared Registry.
+//
+// Snapshots order families by name and series by label, so rendering is
+// deterministic and scrape diffs are meaningful.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metric type names as they appear in TYPE comments and snapshots.
+const (
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
+)
+
+// Label is one metric dimension.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// DefBuckets are the default latency buckets (seconds): microsecond trials
+// through multi-minute stalls.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+}
+
+// Counter is a monotonically non-decreasing metric. All methods are
+// no-ops on a nil receiver.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n; negative deltas are ignored (counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down. All methods are no-ops on a
+// nil receiver.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds d.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram accumulates observations into fixed buckets. All methods are
+// no-ops on a nil receiver.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf is implicit
+	counts  []atomic.Int64
+	sumBits atomic.Uint64
+	count   atomic.Int64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// series is one labelled instance of a metric family.
+type series struct {
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	fn     func() float64
+	h      *Histogram
+}
+
+// family groups all series sharing one metric name.
+type family struct {
+	name, help, typ string
+	bounds          []float64
+	series          map[string]*series
+}
+
+// Registry holds a process's metric families. The zero value is not
+// usable; call NewRegistry. A nil *Registry is valid everywhere and
+// yields nil (no-op) metrics, so instrumented packages need no
+// enabled-branch.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{fams: make(map[string]*family)} }
+
+// labelKey canonicalizes a label set (sorted by key) into a map key.
+func labelKey(labels []Label) string {
+	var b strings.Builder
+	for _, l := range sortedLabels(labels) {
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+func sortedLabels(labels []Label) []Label {
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// lookup finds or creates the family and series for (name, labels); typ
+// mismatches panic — registering one name as two types is a build-time
+// mistake, mirroring wire.Registry.Register.
+func (r *Registry) lookup(name, help, typ string, bounds []float64, labels []Label) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, bounds: bounds, series: make(map[string]*series)}
+		r.fams[name] = f
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s and %s", name, f.typ, typ))
+	}
+	key := labelKey(labels)
+	s := f.series[key]
+	if s == nil {
+		s = &series{labels: sortedLabels(labels)}
+		switch typ {
+		case TypeCounter:
+			s.c = &Counter{}
+		case TypeGauge:
+			s.g = &Gauge{}
+		case TypeHistogram:
+			s.h = &Histogram{bounds: f.bounds, counts: make([]atomic.Int64, len(f.bounds)+1)}
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter returns the counter named name with the given labels, creating
+// it on first use. Repeated calls return the same counter. Nil-safe.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, TypeCounter, nil, labels).c
+}
+
+// Gauge returns the gauge named name with the given labels, creating it
+// on first use. Nil-safe.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, TypeGauge, nil, labels).g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at snapshot
+// time (e.g. a queue depth owned by another structure). Nil-safe.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	s := r.lookup(name, help, TypeGauge, nil, labels)
+	r.mu.Lock()
+	s.fn = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the histogram named name with the given bucket upper
+// bounds (nil selects DefBuckets), creating it on first use. The bounds
+// of the first registration win. Nil-safe.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return r.lookup(name, help, TypeHistogram, bounds, labels).h
+}

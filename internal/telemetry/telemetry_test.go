@@ -1,0 +1,273 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRegistryIdempotentAccessors(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("omicon_x_total", "help", L("k", "v"))
+	c2 := r.Counter("omicon_x_total", "ignored on re-register", L("k", "v"))
+	if c1 != c2 {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	c3 := r.Counter("omicon_x_total", "help", L("k", "other"))
+	if c3 == c1 {
+		t.Fatal("distinct labels returned the same counter")
+	}
+	c1.Add(3)
+	if got := c2.Value(); got != 3 {
+		t.Fatalf("shared counter value = %d, want 3", got)
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("omicon_clash", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering one name as two types did not panic")
+		}
+	}()
+	r.Gauge("omicon_clash", "")
+}
+
+func TestNilRegistryAndMetricsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	g := r.Gauge("y", "")
+	h := r.Histogram("z", "", nil)
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(2)
+	h.Observe(3)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metrics accumulated values")
+	}
+	r.GaugeFunc("f", "", func() float64 { return 1 })
+	if snap := r.Snapshot(); len(snap.Families) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d after negative add, want 5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("omicon_lat_seconds", "", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	s := snap.Families[0].Series[0]
+	// 0.05 and 0.1 land in le=0.1 (bounds are inclusive), 0.5 in le=1,
+	// 5 in le=10, 100 overflows.
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if s.Buckets[i] != w {
+			t.Fatalf("bucket[%d] = %d, want %d (all: %v)", i, s.Buckets[i], w, s.Buckets)
+		}
+	}
+	if s.Count != 5 || s.Sum != 105.65 {
+		t.Fatalf("count=%d sum=%v, want 5 and 105.65", s.Count, s.Sum)
+	}
+}
+
+func TestSnapshotDeterministicAndJSONRoundTrip(t *testing.T) {
+	build := func(order []string) *Registry {
+		r := NewRegistry()
+		for _, name := range order {
+			r.Counter(name, "help for "+name, L("b", "2"), L("a", "1")).Add(7)
+		}
+		r.Gauge("omicon_g", "").Set(1.5)
+		r.Histogram("omicon_h_seconds", "", []float64{1}).Observe(0.5)
+		return r
+	}
+	s1 := build([]string{"omicon_b_total", "omicon_a_total"})
+	s2 := build([]string{"omicon_a_total", "omicon_b_total"})
+	j1, _ := json.Marshal(s1.Snapshot())
+	j2, _ := json.Marshal(s2.Snapshot())
+	if string(j1) != string(j2) {
+		t.Fatalf("registration order changed snapshot JSON:\n%s\n%s", j1, j2)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(j1, &back); err != nil {
+		t.Fatalf("snapshot JSON round-trip: %v", err)
+	}
+	j3, _ := json.Marshal(&back)
+	if string(j3) != string(j1) {
+		t.Fatalf("snapshot JSON not a fixpoint:\n%s\n%s", j1, j3)
+	}
+}
+
+func TestWritePrometheusAndParseBack(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("omicon_trials_total", "trials completed").Add(42)
+	r.Gauge("omicon_workers_alive", "live workers").Set(3)
+	h := r.Histogram("omicon_trial_seconds", "per-trial wall time", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE omicon_trials_total counter",
+		"omicon_trials_total 42",
+		"# TYPE omicon_workers_alive gauge",
+		"omicon_workers_alive 3",
+		"# TYPE omicon_trial_seconds histogram",
+		`omicon_trial_seconds_bucket{le="0.1"} 1`,
+		`omicon_trial_seconds_bucket{le="1"} 2`,
+		`omicon_trial_seconds_bucket{le="+Inf"} 3`,
+		"omicon_trial_seconds_sum 5.55",
+		"omicon_trial_seconds_count 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("rendered text missing %q:\n%s", want, text)
+		}
+	}
+	sc, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseText on own output: %v", err)
+	}
+	if probs := LintScrape(sc); len(probs) != 0 {
+		t.Fatalf("LintScrape on own output: %v", probs)
+	}
+	if got := sc.Families["omicon_trials_total"].Series["omicon_trials_total"]; got != 42 {
+		t.Fatalf("parsed counter = %v, want 42", got)
+	}
+}
+
+func TestPrometheusLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("omicon_esc_total", "", L("k", `a"b\c`)).Inc()
+	var b strings.Builder
+	r.Snapshot().WritePrometheus(&b)
+	if !strings.Contains(b.String(), `{k="a\"b\\c"}`) {
+		t.Fatalf("label not escaped:\n%s", b.String())
+	}
+}
+
+func TestMergeFleet(t *testing.T) {
+	local := NewRegistry()
+	local.Counter("omicon_trials_total", "trials").Add(10)
+	w1 := NewRegistry()
+	w1.Counter("omicon_worker_jobs_total", "jobs").Add(4)
+	w1.Counter("omicon_trials_total", "trials").Add(6)
+	merged := MergeFleet(local.Snapshot(), []Labeled{{Label: L("worker", "w1"), Snap: w1.Snapshot()}, {Snap: nil}})
+	var b strings.Builder
+	merged.WritePrometheus(&b)
+	text := b.String()
+	for _, want := range []string{
+		"omicon_trials_total 10",
+		`omicon_trials_total{worker="w1"} 6`,
+		`omicon_worker_jobs_total{worker="w1"} 4`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("merged text missing %q:\n%s", want, text)
+		}
+	}
+	if n := strings.Count(text, "# TYPE omicon_trials_total"); n != 1 {
+		t.Fatalf("family header repeated %d times:\n%s", n, text)
+	}
+	sc, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs := LintScrape(sc); len(probs) != 0 {
+		t.Fatalf("lint on merged scrape: %v", probs)
+	}
+}
+
+func TestLintCatchesBadScrapes(t *testing.T) {
+	cases := map[string]string{
+		"sample without family": "omicon_orphan 1\n",
+		"malformed sample":      "# TYPE omicon_x counter\nomicon_x one\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseText(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: ParseText accepted %q", name, text)
+		}
+	}
+	sc, err := ParseText(strings.NewReader("# TYPE omicon_weird summary\nomicon_weird 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs := LintScrape(sc); len(probs) == 0 {
+		t.Fatal("lint accepted unknown type")
+	}
+	sc, err = ParseText(strings.NewReader("# TYPE omicon_empty counter\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs := LintScrape(sc); len(probs) == 0 {
+		t.Fatal("lint accepted family without samples")
+	}
+	// Histogram whose +Inf bucket disagrees with _count.
+	bad := `# TYPE omicon_h histogram
+omicon_h_bucket{le="1"} 2
+omicon_h_bucket{le="+Inf"} 3
+omicon_h_sum 4
+omicon_h_count 5
+`
+	sc, err = ParseText(strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs := LintScrape(sc); len(probs) == 0 {
+		t.Fatal("lint accepted +Inf bucket != _count")
+	}
+}
+
+func TestCheckMonotonic(t *testing.T) {
+	parse := func(text string) *Scrape {
+		sc, err := ParseText(strings.NewReader(text))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sc
+	}
+	prev := parse("# TYPE omicon_c_total counter\nomicon_c_total 5\n# TYPE omicon_g gauge\nomicon_g 9\n")
+	nextOK := parse("# TYPE omicon_c_total counter\nomicon_c_total 7\n# TYPE omicon_g gauge\nomicon_g 2\n")
+	if probs := CheckMonotonic(prev, nextOK); len(probs) != 0 {
+		t.Fatalf("false positives: %v", probs)
+	}
+	nextBad := parse("# TYPE omicon_c_total counter\nomicon_c_total 3\n")
+	probs := CheckMonotonic(prev, nextBad)
+	if len(probs) != 1 || !strings.Contains(probs[0], "omicon_c_total") {
+		t.Fatalf("counter regression not caught: %v", probs)
+	}
+}
+
+func TestGaugeFuncSampledAtSnapshot(t *testing.T) {
+	r := NewRegistry()
+	v := 1.0
+	r.GaugeFunc("omicon_depth", "", func() float64 { return v })
+	if got := r.Snapshot().Families[0].Series[0].Value; got != 1 {
+		t.Fatalf("gauge func = %v, want 1", got)
+	}
+	v = 2
+	if got := r.Snapshot().Families[0].Series[0].Value; got != 2 {
+		t.Fatalf("gauge func = %v, want 2", got)
+	}
+}
+
+func TestFormatFloatInf(t *testing.T) {
+	if got := formatFloat(math.Inf(1)); got != "+Inf" {
+		t.Fatalf("formatFloat(+Inf) = %q", got)
+	}
+}

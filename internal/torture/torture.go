@@ -8,11 +8,13 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"omicon/internal/journal"
 	"omicon/internal/metrics"
 	"omicon/internal/partrial"
 	"omicon/internal/sim"
+	"omicon/internal/telemetry"
 	"omicon/internal/trace"
 )
 
@@ -106,6 +108,42 @@ type Options struct {
 	// files and journals stay byte-identical to an in-process run at any
 	// worker count (docs/DISTRIBUTED.md).
 	Remote func(ctx context.Context, job Job) (*Outcome, error)
+	// Telemetry, when set, registers the campaign metric catalog
+	// (docs/OBSERVABILITY.md, "Campaign telemetry") and counts trial
+	// progress, violations and per-trial wall time as the campaign runs.
+	// Strictly observational: every artifact — report, log, corpus,
+	// journal — is byte-identical with or without it
+	// (TestTelemetryCampaignByteIdentical pins this).
+	Telemetry *telemetry.Registry
+}
+
+// runMetrics holds the campaign's telemetry handles; all fields are nil
+// (no-op) when Options.Telemetry is nil.
+type runMetrics struct {
+	trials      *telemetry.Counter
+	violations  *telemetry.Counter
+	failed      *telemetry.Counter
+	mcMisses    *telemetry.Counter
+	quarantined *telemetry.Counter
+	resumed     *telemetry.Counter
+	detChecks   *telemetry.Counter
+	shrinkRuns  *telemetry.Counter
+	trialSec    *telemetry.Histogram
+}
+
+func newRunMetrics(reg *telemetry.Registry, target int) runMetrics {
+	reg.Gauge("omicon_torture_trials_target", "total trials this campaign will run").Set(float64(target))
+	return runMetrics{
+		trials:      reg.Counter("omicon_torture_trials_total", "trials committed (live and replayed)"),
+		violations:  reg.Counter("omicon_torture_violations_total", "oracle violations across all trials"),
+		failed:      reg.Counter("omicon_torture_failed_trials_total", "trials with at least one violation"),
+		mcMisses:    reg.Counter("omicon_torture_mc_misses_total", "monte-carlo misses (expected, bounded by the envelope)"),
+		quarantined: reg.Counter("omicon_torture_quarantined_total", "trials quarantined by the distributed dispatcher"),
+		resumed:     reg.Counter("omicon_torture_resumed_total", "trials replayed from the journal instead of executed"),
+		detChecks:   reg.Counter("omicon_torture_determinism_checks_total", "determinism re-runs performed"),
+		shrinkRuns:  reg.Counter("omicon_torture_shrink_runs_total", "shrinker replays spent across all failures"),
+		trialSec:    reg.Histogram("omicon_torture_trial_seconds", "per-trial wall time (live executions only)", nil),
+	}
 }
 
 // CellStats aggregates one (protocol, adversary) matrix cell.
@@ -374,6 +412,7 @@ func Run(o Options) (*Report, error) {
 			fmt.Fprintf(o.Log, format+"\n", args...)
 		}
 	}
+	met := newRunMetrics(o.Telemetry, o.Trials)
 
 	report := &Report{Cells: make(map[string]*CellStats)}
 	// lastSchedule feeds each cell's most recent recorded schedule to
@@ -407,6 +446,7 @@ func Run(o Options) (*Report, error) {
 		}
 		var oc *Outcome
 		var err error
+		start := time.Now()
 		if o.Remote != nil {
 			oc, err = o.Remote(ctx, job)
 		} else {
@@ -415,6 +455,7 @@ func Run(o Options) (*Report, error) {
 		if err != nil {
 			return trialOut{}, err
 		}
+		met.trialSec.Observe(time.Since(start).Seconds())
 		return trialOut{out: oc}, nil
 	}
 
@@ -444,6 +485,7 @@ func Run(o Options) (*Report, error) {
 		}
 		if rec.DetChecked {
 			report.DeterminismChecks++
+			met.detChecks.Inc()
 		}
 		stats.Trials++
 		report.Trials++
@@ -451,6 +493,9 @@ func Run(o Options) (*Report, error) {
 		report.MCMisses += rec.MCMisses
 		lastSchedule[sp.key] = rec.Schedule
 		report.Resumed++
+		met.trials.Inc()
+		met.resumed.Inc()
+		met.mcMisses.Add(int64(rec.MCMisses))
 
 		entry := rec.Entry
 		if entry == nil {
@@ -458,6 +503,9 @@ func Run(o Options) (*Report, error) {
 		}
 		stats.Violations += len(entry.Violations)
 		report.Violations += len(entry.Violations)
+		met.failed.Inc()
+		met.violations.Add(int64(len(entry.Violations)))
+		met.shrinkRuns.Add(int64(entry.ShrinkRuns))
 		for _, v := range entry.Violations {
 			logf("FAIL %s n=%d t=%d seed=%d: %s", sp.key, sp.n, sp.t, sp.seed, v)
 		}
@@ -498,6 +546,7 @@ func Run(o Options) (*Report, error) {
 		}
 		if oc.Quarantined {
 			report.Quarantined = append(report.Quarantined, sp.i)
+			met.quarantined.Inc()
 		}
 		for _, e := range oc.Capture {
 			o.Trace.Emit(e)
@@ -524,6 +573,7 @@ func Run(o Options) (*Report, error) {
 		detChecked := o.DeterminismEvery > 0 && sp.i%o.DeterminismEvery == 0
 		if detChecked {
 			report.DeterminismChecks++
+			met.detChecks.Inc()
 			adv2, err := sp.makeAdv()
 			if err != nil {
 				return err
@@ -544,6 +594,8 @@ func Run(o Options) (*Report, error) {
 		report.Trials++
 		stats.MCMisses += verdict.MonteCarloMisses
 		report.MCMisses += verdict.MonteCarloMisses
+		met.trials.Inc()
+		met.mcMisses.Add(int64(verdict.MonteCarloMisses))
 		sched := oc.Transcript.Schedule()
 		lastSchedule[sp.key] = sched
 		rec := &trialRecord{
@@ -559,6 +611,8 @@ func Run(o Options) (*Report, error) {
 		}
 		stats.Violations += len(verdict.Violations)
 		report.Violations += len(verdict.Violations)
+		met.failed.Inc()
+		met.violations.Add(int64(len(verdict.Violations)))
 		for _, v := range verdict.Violations {
 			logf("FAIL %s n=%d t=%d seed=%d: %s", sp.key, sp.n, sp.t, sp.seed, v)
 		}
@@ -580,6 +634,7 @@ func Run(o Options) (*Report, error) {
 			min, runs := shrinkEntry(sp.c.proto, p, oc.Bound, entry, target, o.ShrinkMaxRuns, o.Shards)
 			entry.MinSchedule = &min
 			entry.ShrinkRuns = runs
+			met.shrinkRuns.Add(int64(runs))
 			logf("shrunk %s seed=%d: %d -> %d actions in %d replays",
 				sp.key, sp.seed, entry.Schedule.NumActions(), min.NumActions(), runs)
 		}

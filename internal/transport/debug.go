@@ -2,9 +2,9 @@ package transport
 
 import (
 	"fmt"
-	"net"
 	"net/http"
-	"net/http/pprof"
+
+	"omicon/internal/telemetry"
 )
 
 // startDebugServer binds addr and serves the coordinator's observability
@@ -14,26 +14,22 @@ import (
 //	                plus live round/active/corrupted gauges
 //	/debug/pprof  — the standard Go profiling endpoints
 //
-// The handlers read only atomic state (counters and gauges), so they are
-// safe concurrently with the Serve goroutine; counter snapshots taken
-// mid-run may be torn across fields (see metrics.Counters.Snapshot), which
-// is acceptable for monitoring. The mux is private — the process-global
-// http.DefaultServeMux is left untouched.
+// The mux itself is the shared campaign status server
+// (telemetry.StartServer); only the /metrics handler is transport's own,
+// because the wire counters predate the telemetry registry and are
+// rendered directly from atomic state. Handlers read only atomics, so
+// they are safe concurrently with the Serve goroutine; counter snapshots
+// taken mid-run may be torn across fields (see metrics.Counters.Snapshot),
+// which is acceptable for monitoring. The mux is private — the
+// process-global http.DefaultServeMux is left untouched.
 func (c *Coordinator) startDebugServer(addr string) (*http.Server, string, error) {
-	ln, err := net.Listen("tcp", addr)
+	srv, bound, err := telemetry.StartServer(addr, telemetry.ServerOptions{
+		MetricsHandler: c.handleMetrics,
+	})
 	if err != nil {
 		return nil, "", fmt.Errorf("transport: debug listener: %w", err)
 	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", c.handleMetrics)
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux}
-	go srv.Serve(ln)
-	return srv, ln.Addr().String(), nil
+	return srv, bound, nil
 }
 
 // handleMetrics renders the Prometheus text exposition format (version
