@@ -47,11 +47,14 @@ benchcheck:
 # fuzz runs every native fuzz target for a bounded stretch: mutated
 # schedules through the replay adversary (engine must never panic, oracle
 # must never cry wolf), the transcript codec round trip (the corpus
-# format must be stable), journal recovery over damaged files (Open
-# must never panic, reject, or lose pre-damage records) and the dispatch
-# frame decoder (any frame that decodes must re-encode canonically — the
-# property re-dispatch leans on).
+# format must be stable), the bitset bulk ops the bit-packed hot path
+# leans on (every op must agree with a map-of-ints model), journal
+# recovery over damaged files (Open must never panic, reject, or lose
+# pre-damage records) and the dispatch frame decoder (any frame that
+# decodes must re-encode canonically — the property re-dispatch leans
+# on).
 fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzBitsetOps -fuzztime 30s ./internal/bitset/
 	$(GO) test -run '^$$' -fuzz FuzzScheduleReplay -fuzztime 30s ./internal/torture/
 	$(GO) test -run '^$$' -fuzz FuzzTranscriptRoundTrip -fuzztime 30s ./internal/sim/
 	$(GO) test -run '^$$' -fuzz FuzzPartitionInvariants -fuzztime 30s ./internal/partition/

@@ -1,15 +1,22 @@
 // Command benchcheck compares a fresh engine benchmark run against the
-// committed baseline (BENCH_engine.json, schema omicon/bench-engine/v2)
+// committed baseline (BENCH_engine.json, schema omicon/bench-engine/v3)
 // and fails on regressions. Benchmarks are matched per (name, mode) pair,
 // so a regression confined to one execution mode (default vs sharded) is
 // reported against that mode's own baseline, naming the offending metric.
 //
-// ns/op and allocs/op are compared per benchmark with a multiplicative
-// tolerance (default 2x — CI machines vary widely, only multiple-x
-// regressions are actionable signals). allocs/op additionally gets a small
-// absolute grace so a 1->2 allocation change does not read as a 2x
+// Four metrics are gated per row, each named explicitly in the failure
+// note: ns/op and allocs/op with a multiplicative tolerance (default 2x —
+// CI machines vary widely, only multiple-x regressions are actionable
+// signals), and the v3 GC-visibility columns gcPauseNs/op and peakRSSBytes
+// with the same tolerance over an absolute grace (stop-the-world pauses
+// and resident peaks are noisy near zero; only a reintroduced per-round
+// allocation storm moves them by multiples). allocs/op additionally gets a
+// small absolute grace so a 1->2 allocation change does not read as a 2x
 // regression. The parallel-scaling figures are recorded but never gated:
 // CI runners have too few stable cores for a speedup threshold.
+//
+// Baselines in the retired v2 schema (no GC columns, setup-amortized
+// sparse rows) are refused with an upgrade pointer rather than mis-compared.
 package main
 
 import (
@@ -19,11 +26,24 @@ import (
 	"os"
 )
 
-const benchSchema = "omicon/bench-engine/v2"
+const (
+	benchSchema     = "omicon/bench-engine/v3"
+	retiredSchemaV2 = "omicon/bench-engine/v2"
+)
 
 // allocGrace is the absolute allocs/op slack applied before the ratio
 // check; see the package comment.
 const allocGrace = 4
+
+// pauseGraceNs absorbs scheduler jitter in per-op stop-the-world totals:
+// sub-200µs figures are noise, and any real regression (a reintroduced
+// multi-MB per-round allocation) costs milliseconds of pause per op.
+const pauseGraceNs = 200_000
+
+// rssGraceBytes absorbs allocator and GOGC variance in the resident
+// high-water mark; a regressed arena shows up as hundreds of MB at the
+// sparse sizes.
+const rssGraceBytes = int64(128) << 20
 
 type benchFile struct {
 	Schema     string        `json:"schema"`
@@ -34,11 +54,13 @@ type benchFile struct {
 }
 
 type benchResult struct {
-	Name        string  `json:"name"`
-	Mode        string  `json:"mode"`
-	NsPerOp     float64 `json:"nsPerOp"`
-	BytesPerOp  int64   `json:"bytesPerOp"`
-	AllocsPerOp int64   `json:"allocsPerOp"`
+	Name           string  `json:"name"`
+	Mode           string  `json:"mode"`
+	NsPerOp        float64 `json:"nsPerOp"`
+	BytesPerOp     int64   `json:"bytesPerOp"`
+	AllocsPerOp    int64   `json:"allocsPerOp"`
+	GCPauseNsPerOp float64 `json:"gcPauseNsPerOp"`
+	PeakRSSBytes   int64   `json:"peakRSSBytes"`
 }
 
 // key identifies a benchmark row: regressions are diffed per execution
@@ -70,6 +92,9 @@ func load(path string) (*benchFile, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	if f.Schema != benchSchema {
+		if f.Schema == retiredSchemaV2 {
+			return nil, fmt.Errorf("%s: schema %q is retired: v3 added the gcPauseNsPerOp/peakRSSBytes columns and switched the sparse rows to steady-state marginal measurement, so v2 figures are not comparable; regenerate the baseline with `make bench-json` (go run ./cmd/bench -out %s)", path, f.Schema, path)
+		}
 		return nil, fmt.Errorf("%s: schema %q, want %q", path, f.Schema, benchSchema)
 	}
 	if f.Partial {
@@ -82,7 +107,7 @@ func run() error {
 	var (
 		basePath  = flag.String("baseline", "BENCH_engine.json", "committed baseline file")
 		freshPath = flag.String("fresh", "", "freshly measured file to check (required)")
-		tolerance = flag.Float64("tolerance", 2.0, "maximum allowed fresh/baseline ratio for ns/op and allocs/op")
+		tolerance = flag.Float64("tolerance", 2.0, "maximum allowed fresh/baseline ratio for the gated metrics")
 	)
 	flag.Parse()
 	if *freshPath == "" {
@@ -119,11 +144,20 @@ func run() error {
 			notes = append(notes, fmt.Sprintf("metric allocs/op: %d vs baseline %d (limit %.0f)",
 				got.AllocsPerOp, want.AllocsPerOp, limit))
 		}
+		if limit := (want.GCPauseNsPerOp + pauseGraceNs) * *tolerance; got.GCPauseNsPerOp > limit {
+			notes = append(notes, fmt.Sprintf("metric gcPauseNs/op: %.0f vs baseline %.0f (limit %.0f)",
+				got.GCPauseNsPerOp, want.GCPauseNsPerOp, limit))
+		}
+		if limit := float64(want.PeakRSSBytes+rssGraceBytes) * *tolerance; float64(got.PeakRSSBytes) > limit {
+			notes = append(notes, fmt.Sprintf("metric peakRSSBytes: %d vs baseline %d (limit %.0f)",
+				got.PeakRSSBytes, want.PeakRSSBytes, limit))
+		}
 		if len(notes) > 0 {
 			status = "FAIL"
 			regressions++
 		}
-		fmt.Printf("%s %-48s %12.0f ns/op %6d allocs/op", status, want.key(), got.NsPerOp, got.AllocsPerOp)
+		fmt.Printf("%s %-48s %12.0f ns/op %6d allocs/op %10.0f gcPauseNs/op %5d MiB peakRSS",
+			status, want.key(), got.NsPerOp, got.AllocsPerOp, got.GCPauseNsPerOp, got.PeakRSSBytes>>20)
 		for _, n := range notes {
 			fmt.Printf("  %s", n)
 		}

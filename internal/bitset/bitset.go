@@ -108,6 +108,54 @@ func (s *Set) IntersectionCount(o *Set) int {
 	return c
 }
 
+// DifferenceCount returns |s \ o| without allocating (capacities must
+// match). The hot path uses it to size exact-fit message buffers before
+// filling them: fresh = present \ alreadySent.
+func (s *Set) DifferenceCount(o *Set) int {
+	c := 0
+	for i := range s.words {
+		c += bits.OnesCount64(s.words[i] &^ o.words[i])
+	}
+	return c
+}
+
+// CountRange returns the number of elements in [lo, hi), clamped to the
+// set's capacity. It runs word-at-a-time: O((hi-lo)/64) popcounts.
+func (s *Set) CountRange(lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.n {
+		hi = s.n
+	}
+	if lo >= hi {
+		return 0
+	}
+	loW, hiW := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (uint(lo) & 63)
+	hiMask := ^uint64(0) >> (63 - (uint(hi-1) & 63))
+	if loW == hiW {
+		return bits.OnesCount64(s.words[loW] & loMask & hiMask)
+	}
+	c := bits.OnesCount64(s.words[loW] & loMask)
+	for w := loW + 1; w < hiW; w++ {
+		c += bits.OnesCount64(s.words[w])
+	}
+	return c + bits.OnesCount64(s.words[hiW]&hiMask)
+}
+
+// CopyFrom overwrites s with o's contents (capacities must match). Unlike
+// Clone it never allocates, so per-round state can be refreshed in place.
+func (s *Set) CopyFrom(o *Set) {
+	copy(s.words, o.words)
+}
+
+// Words exposes the packed backing words (little-endian bit order: bit i of
+// the set is bit i&63 of word i>>6; bits at or above Cap() are zero).
+// Callers must treat the slice as read-only unless they own the set; it is
+// the substrate wire encoders and word-parallel consumers build on.
+func (s *Set) Words() []uint64 { return s.words }
+
 // ForEach calls fn for each element in increasing order. It stops early if
 // fn returns false.
 func (s *Set) ForEach(fn func(i int) bool) {
@@ -124,12 +172,20 @@ func (s *Set) ForEach(fn func(i int) bool) {
 
 // Elements returns the members in increasing order.
 func (s *Set) Elements() []int {
-	out := make([]int, 0, s.Count())
-	s.ForEach(func(i int) bool {
-		out = append(out, i)
-		return true
-	})
-	return out
+	return s.AppendElements(make([]int, 0, s.Count()))
+}
+
+// AppendElements appends the members to dst in increasing order and returns
+// the extended slice. With a pre-sized dst it is the allocation-free form of
+// Elements for per-round hot paths.
+func (s *Set) AppendElements(dst []int) []int {
+	for wi, w := range s.words {
+		for w != 0 {
+			dst = append(dst, wi<<6+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return dst
 }
 
 // FromElements builds a set of capacity n containing the given elements.

@@ -1,6 +1,9 @@
 package bitset
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 func BenchmarkAddContains(b *testing.B) {
 	s := New(4096)
@@ -13,18 +16,39 @@ func BenchmarkAddContains(b *testing.B) {
 	}
 }
 
+// BenchmarkIntersectionCount covers the popcount sizes the packed hot path
+// votes at: n=1024 (one group row at n=1M) and n=4096 (the large-n
+// simulation regime).
 func BenchmarkIntersectionCount(b *testing.B) {
-	a := New(4096)
-	c := New(4096)
-	for i := 0; i < 4096; i += 3 {
-		a.Add(i)
+	for _, n := range []int{1024, 4096} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			a := New(n)
+			c := New(n)
+			for i := 0; i < n; i += 3 {
+				a.Add(i)
+			}
+			for i := 0; i < n; i += 5 {
+				c.Add(i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if a.IntersectionCount(c) == 0 {
+					b.Fatal("empty")
+				}
+			}
+		})
 	}
-	for i := 0; i < 4096; i += 5 {
-		c.Add(i)
+}
+
+func BenchmarkCountRange(b *testing.B) {
+	s := New(4096)
+	for i := 0; i < 4096; i += 3 {
+		s.Add(i)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if a.IntersectionCount(c) == 0 {
+		if s.CountRange(100, 4000) == 0 {
 			b.Fatal("empty")
 		}
 	}

@@ -100,6 +100,111 @@ func TestForEachEarlyStop(t *testing.T) {
 	}
 }
 
+func TestCountRange(t *testing.T) {
+	s := FromElements(200, []int{0, 1, 63, 64, 65, 127, 128, 199})
+	cases := []struct {
+		lo, hi, want int
+	}{
+		{0, 200, 8},
+		{0, 1, 1},
+		{1, 64, 2},
+		{64, 128, 3},
+		{63, 65, 2},
+		{128, 129, 1},
+		{129, 199, 0},
+		{-5, 2, 2},    // lo clamps to 0
+		{190, 400, 1}, // hi clamps to Cap()
+		{70, 70, 0},   // empty range
+		{80, 60, 0},   // inverted range
+	}
+	for _, c := range cases {
+		if got := s.CountRange(c.lo, c.hi); got != c.want {
+			t.Errorf("CountRange(%d, %d) = %d, want %d", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+// TestCountRangeMatchesLoop pins CountRange's word-masking against the
+// obvious per-element loop over random sets and ranges.
+func TestCountRangeMatchesLoop(t *testing.T) {
+	const n = 300
+	f := func(elems []int, lo, hi int) bool {
+		s := New(n)
+		for _, e := range elems {
+			s.Add(((e % n) + n) % n)
+		}
+		lo, hi = ((lo%(n+64))+n+64)%(n+64)-32, ((hi%(n+64))+n+64)%(n+64)-32
+		want := 0
+		for i := lo; i < hi; i++ {
+			if s.Contains(i) {
+				want++
+			}
+		}
+		return s.CountRange(lo, hi) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDifferenceCount(t *testing.T) {
+	a := FromElements(100, []int{1, 2, 3, 50, 99})
+	b := FromElements(100, []int{2, 3, 4, 99})
+	if got := a.DifferenceCount(b); got != 2 { // {1, 50}
+		t.Fatalf("a\\b count = %d, want 2", got)
+	}
+	if got := b.DifferenceCount(a); got != 1 { // {4}
+		t.Fatalf("b\\a count = %d, want 1", got)
+	}
+	if got := a.DifferenceCount(a); got != 0 {
+		t.Fatalf("a\\a count = %d, want 0", got)
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := FromElements(130, []int{0, 64, 129})
+	b := FromElements(130, []int{5})
+	b.CopyFrom(a)
+	if got := b.Elements(); len(got) != 3 || got[0] != 0 || got[1] != 64 || got[2] != 129 {
+		t.Fatalf("after CopyFrom: %v", got)
+	}
+	// CopyFrom must not share storage.
+	b.Add(7)
+	if a.Contains(7) {
+		t.Fatal("CopyFrom shares storage")
+	}
+}
+
+func TestWords(t *testing.T) {
+	s := FromElements(130, []int{0, 63, 64, 129})
+	w := s.Words()
+	if len(w) != 3 {
+		t.Fatalf("words = %d, want 3", len(w))
+	}
+	if w[0] != 1|1<<63 || w[1] != 1 || w[2] != 2 {
+		t.Fatalf("words = %#x", w)
+	}
+	// Fill must keep bits above Cap() zero — word consumers rely on it.
+	s.Fill()
+	if top := s.Words()[2]; top != (1<<(130-128))-1 {
+		t.Fatalf("top word after Fill = %#x", top)
+	}
+}
+
+func TestAppendElements(t *testing.T) {
+	s := FromElements(100, []int{3, 66, 97})
+	buf := make([]int, 0, 8)
+	got := s.AppendElements(buf[:0])
+	if len(got) != 3 || got[0] != 3 || got[1] != 66 || got[2] != 97 {
+		t.Fatalf("AppendElements = %v", got)
+	}
+	// Appends after existing content, like the append it is named for.
+	got = s.AppendElements([]int{-1})
+	if len(got) != 4 || got[0] != -1 || got[1] != 3 {
+		t.Fatalf("AppendElements with prefix = %v", got)
+	}
+}
+
 // TestAgainstMapModel drives the bitset and a map model with the same
 // operation stream and compares observations — the model-based property
 // test for the core data structure.

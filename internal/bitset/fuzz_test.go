@@ -1,0 +1,109 @@
+package bitset
+
+import "testing"
+
+// FuzzBitsetOps drives a bitset and a map model with the same fuzz-chosen
+// operation stream and cross-checks every observation, including the bulk
+// ops the engine hot path leans on (CountRange, DifferenceCount, CopyFrom,
+// AppendElements) and the packed-word invariant that bits at or above Cap()
+// stay zero. Wired into `make fuzz`.
+func FuzzBitsetOps(f *testing.F) {
+	f.Add(64, []byte{0, 1, 1, 2, 2, 3, 63})
+	f.Add(130, []byte{0, 0, 0, 129, 4, 10, 5, 0, 60, 6})
+	f.Add(1, []byte{0, 0, 1, 0, 2, 0})
+	f.Fuzz(func(t *testing.T, n int, ops []byte) {
+		n = ((n % 300) + 300) % 300
+		s := New(n)
+		other := New(n)
+		model := map[int]bool{}
+		otherModel := map[int]bool{}
+		idx := func(b byte) int {
+			if n == 0 {
+				return 0
+			}
+			return int(b) % n
+		}
+		for i := 0; i+1 < len(ops); i += 2 {
+			op, arg := ops[i], ops[i+1]
+			switch op % 8 {
+			case 0:
+				s.Add(idx(arg))
+				if n > 0 {
+					model[idx(arg)] = true
+				}
+			case 1:
+				s.Remove(idx(arg))
+				delete(model, idx(arg))
+			case 2:
+				other.Add(idx(arg))
+				if n > 0 {
+					otherModel[idx(arg)] = true
+				}
+			case 3: // CountRange vs loop
+				lo, hi := idx(arg), idx(arg)+int(op)/8
+				want := 0
+				for j := lo; j < hi && j < n; j++ {
+					if model[j] {
+						want++
+					}
+				}
+				if got := s.CountRange(lo, hi); got != want {
+					t.Fatalf("CountRange(%d,%d) = %d, want %d", lo, hi, got, want)
+				}
+			case 4: // counting identities
+				inter, diff := 0, 0
+				for e := range model {
+					if otherModel[e] {
+						inter++
+					} else {
+						diff++
+					}
+				}
+				if got := s.IntersectionCount(other); got != inter {
+					t.Fatalf("IntersectionCount = %d, want %d", got, inter)
+				}
+				if got := s.DifferenceCount(other); got != diff {
+					t.Fatalf("DifferenceCount = %d, want %d", got, diff)
+				}
+			case 5: // CopyFrom makes an independent equal copy
+				other.CopyFrom(s)
+				otherModel = make(map[int]bool, len(model))
+				for e := range model {
+					otherModel[e] = true
+				}
+				if other.Count() != len(otherModel) {
+					t.Fatalf("after CopyFrom: count %d, want %d", other.Count(), len(otherModel))
+				}
+			case 6:
+				s.Fill()
+				for j := 0; j < n; j++ {
+					model[j] = true
+				}
+			case 7:
+				s.Clear()
+				model = map[int]bool{}
+			}
+		}
+		// Terminal invariants: count, elements, packed-word hygiene.
+		if s.Count() != len(model) {
+			t.Fatalf("count = %d, model %d", s.Count(), len(model))
+		}
+		elems := s.AppendElements(nil)
+		if len(elems) != len(model) {
+			t.Fatalf("elements = %d, model %d", len(elems), len(model))
+		}
+		for i, e := range elems {
+			if !model[e] {
+				t.Fatalf("element %d not in model", e)
+			}
+			if i > 0 && elems[i-1] >= e {
+				t.Fatalf("elements not strictly increasing: %v", elems)
+			}
+		}
+		if words := s.Words(); n&63 != 0 && len(words) > 0 {
+			if hi := words[len(words)-1] >> (uint(n) & 63); hi != 0 {
+				t.Fatalf("bits above Cap() set: %#x", hi)
+			}
+		}
+	})
+}

@@ -7,10 +7,10 @@ import (
 // groupInfo is the static group context of one process: the paper's W_ℓ,
 // derived locally from the sqrt(n)-decomposition.
 type groupInfo struct {
-	index    int   // ℓ: this process's group
-	members  []int // global ids, increasing
-	myIdx    int   // position within members
-	localIdx map[int]int
+	index   int   // ℓ: this process's group
+	members []int // global ids, increasing
+	myIdx   int   // position within members
+	base    int   // members[0]: groups are contiguous ascending blocks
 }
 
 func newGroupInfo(p Params, id int) groupInfo {
@@ -19,11 +19,19 @@ func newGroupInfo(p Params, id int) groupInfo {
 		myIdx:   p.Decomp.IndexOf(id),
 		members: p.Decomp.Group(p.Decomp.GroupOf(id)),
 	}
-	gi.localIdx = make(map[int]int, len(gi.members))
-	for i, m := range gi.members {
-		gi.localIdx[m] = i
-	}
+	gi.base = gi.members[0]
 	return gi
+}
+
+// local returns m's index within the group and whether m is a member.
+// Decomposition groups are contiguous ascending blocks (partition.Blocks),
+// so membership is a range check instead of a map lookup.
+func (gi groupInfo) local(m int) (int, bool) {
+	i := m - gi.base
+	if i < 0 || i >= len(gi.members) {
+		return 0, false
+	}
+	return i, true
 }
 
 // sidePair is one child bag's operative counts, as merged by a transmitter.
@@ -66,12 +74,20 @@ func groupBitsAggregation(env sim.Env, p Params, gi groupInfo, operative bool, b
 		}
 	}
 
+	// Per-layer scratch, reused across layers. merged is dense, indexed by
+	// bag: BagOf(j, m) = m>>(j-1), so for every layer j >= 2 the bag
+	// indices fit in [0, (w-1)>>1]. The zero mergedBag means "nothing
+	// heard for this bag", exactly what an untouched entry should say.
+	merged := make([]mergedBag, (w-1)>>1+1)
+	heardFrom := make([]int, 0, w-1)
+	out := make([]sim.Message, 0, w-1)
+
 	layers := p.Tree.Layers()
 	for j := 2; j <= layers; j++ {
 		// --- GroupRelay round 1: sources relay child-bag counts. ---
-		var out []sim.Message
+		out = out[:0]
 		if operative {
-			out = sim.Broadcast(id, SourceCountsMsg{Ones: myOnes, Zeros: myZeros}, others)
+			out = sim.AppendBroadcast(out, id, SourceCountsMsg{Ones: myOnes, Zeros: myZeros}, others)
 		}
 		in := env.Exchange(out)
 
@@ -80,15 +96,12 @@ func groupBitsAggregation(env sim.Env, p Params, gi groupInfo, operative bool, b
 		// arbitrarily" resolves deterministically to the
 		// lowest-sender value; a process's own source counts merge
 		// first of all (it certainly heard itself).
-		merged := make(map[int]*mergedBag)
-		var heardFrom []int // sources whose round-1 message arrived
+		for i := range merged {
+			merged[i] = mergedBag{}
+		}
+		heardFrom = heardFrom[:0] // sources whose round-1 message arrived
 		record := func(senderIdx, ones, zeros int) {
-			bag := p.Tree.BagOf(j, senderIdx)
-			mb := merged[bag]
-			if mb == nil {
-				mb = &mergedBag{}
-				merged[bag] = mb
-			}
+			mb := &merged[p.Tree.BagOf(j, senderIdx)]
 			side := &mb.right
 			if p.Tree.IsLeftChild(j, senderIdx) {
 				side = &mb.left
@@ -105,7 +118,7 @@ func groupBitsAggregation(env sim.Env, p Params, gi groupInfo, operative bool, b
 			if !ok {
 				continue
 			}
-			sIdx, member := gi.localIdx[m.From]
+			sIdx, member := gi.local(m.From)
 			if !member {
 				continue
 			}
@@ -118,7 +131,7 @@ func groupBitsAggregation(env sim.Env, p Params, gi groupInfo, operative bool, b
 		// majority of confirmations become inoperative — Lemma 1's
 		// intersection argument requires the acknowledgment to certify
 		// "your counts reached me", so acks are per-source. ---
-		out = make([]sim.Message, 0, len(heardFrom))
+		out = out[:0]
 		for _, src := range heardFrom {
 			out = append(out, sim.Msg(id, src, AckMsg{}))
 		}
@@ -129,7 +142,7 @@ func groupBitsAggregation(env sim.Env, p Params, gi groupInfo, operative bool, b
 		}
 		for _, m := range in {
 			if _, ok := m.Payload.(AckMsg); ok {
-				if _, member := gi.localIdx[m.From]; member {
+				if _, member := gi.local(m.From); member {
 					acks++
 				}
 			}
@@ -140,9 +153,9 @@ func groupBitsAggregation(env sim.Env, p Params, gi groupInfo, operative bool, b
 
 		// --- GroupRelay round 3: transmitters return the merged
 		// counts, tailored to each recipient's bag. ---
-		out = make([]sim.Message, 0, len(others))
+		out = out[:0]
 		for _, q := range others {
-			qBag := p.Tree.BagOf(j, gi.localIdx[q])
+			qBag := p.Tree.BagOf(j, q-gi.base)
 			out = append(out, sim.Msg(id, q, bagToMsg(merged[qBag])))
 		}
 		in = env.Exchange(out)
@@ -150,16 +163,14 @@ func groupBitsAggregation(env sim.Env, p Params, gi groupInfo, operative bool, b
 		// Source role: count notifications and adopt the first
 		// present value per side (own merged view first).
 		notif := 1 // self: a process always knows its own merged view
-		var left, right sidePair
-		if mb := merged[p.Tree.BagOf(j, gi.myIdx)]; mb != nil {
-			left, right = mb.left, mb.right
-		}
+		mb := merged[p.Tree.BagOf(j, gi.myIdx)]
+		left, right := mb.left, mb.right
 		for _, m := range in {
 			mc, ok := m.Payload.(MergedCountsMsg)
 			if !ok {
 				continue
 			}
-			if _, member := gi.localIdx[m.From]; !member {
+			if _, member := gi.local(m.From); !member {
 				continue
 			}
 			notif++
@@ -179,10 +190,7 @@ func groupBitsAggregation(env sim.Env, p Params, gi groupInfo, operative bool, b
 	return myOnes, myZeros, operative
 }
 
-func bagToMsg(mb *mergedBag) MergedCountsMsg {
-	if mb == nil {
-		return MergedCountsMsg{}
-	}
+func bagToMsg(mb mergedBag) MergedCountsMsg {
 	return MergedCountsMsg{
 		HasLeft:    mb.left.present,
 		LeftOnes:   mb.left.ones,

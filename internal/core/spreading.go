@@ -8,17 +8,37 @@ import (
 // linkState is the cross-epoch gossip bookkeeping of Algorithm 3: the
 // neighbor set V_p in the Theorem-4 graph and the permanently disregarded
 // links ("refutes to accept messages from them in any future round of the
-// algorithm GroupBitsSpreading").
+// algorithm GroupBitsSpreading"). It also owns the per-epoch gossip
+// scratch, packed as bit-vectors and reused across epochs so that a
+// steady-state gossip round's only allocations are the exact-fit payload
+// slices (payloads are immutable once sent, per the Exchange contract, so
+// they cannot be pooled).
 type linkState struct {
 	neighbors   []int
-	disregarded map[int]bool
+	disregarded *bitset.Set // pids whose links are permanently cut
+
+	// Per-epoch scratch, cleared at the top of groupBitsSpreading.
+	present *bitset.Set   // groups whose counts are known this epoch
+	entries []GroupCount  // entries[g] valid iff present.Contains(g)
+	sentTo  []*bitset.Set // per-neighbor dedup, indexed like neighbors
+	heard   *bitset.Set   // pids heard this round
+	out     []sim.Message // reused outbox (backing reusable after Exchange)
 }
 
 func newLinkState(p Params, id int) *linkState {
-	return &linkState{
+	ls := &linkState{
 		neighbors:   p.Graph.Neighbors(id),
-		disregarded: make(map[int]bool),
+		disregarded: bitset.New(p.N),
+		present:     bitset.New(p.Decomp.NumGroups()),
+		entries:     make([]GroupCount, p.Decomp.NumGroups()),
+		heard:       bitset.New(p.N),
 	}
+	ls.sentTo = make([]*bitset.Set, len(ls.neighbors))
+	for i := range ls.sentTo {
+		ls.sentTo[i] = bitset.New(p.Decomp.NumGroups())
+	}
+	ls.out = make([]sim.Message, 0, len(ls.neighbors))
+	return ls
 }
 
 // groupBitsSpreading implements Algorithm 3: GossipRounds rounds of
@@ -31,16 +51,15 @@ func groupBitsSpreading(env sim.Env, p Params, ls *linkState, myGroup, gOnes, gZ
 	id := env.ID()
 	numGroups := p.Decomp.NumGroups()
 
-	present := make([]bool, numGroups)
-	entries := make([]GroupCount, numGroups)
-	present[myGroup] = true
-	entries[myGroup] = GroupCount{Group: myGroup, Ones: gOnes, Zeros: gZeros}
+	present := ls.present
+	present.Clear()
+	present.Add(myGroup)
+	ls.entries[myGroup] = GroupCount{Group: myGroup, Ones: gOnes, Zeros: gZeros}
 
 	// sentTo deduplicates per link within this epoch: each group's counts
 	// travel over each edge at most once.
-	sentTo := make(map[int]*bitset.Set, len(ls.neighbors))
-	for _, q := range ls.neighbors {
-		sentTo[q] = bitset.New(numGroups)
+	for _, sent := range ls.sentTo {
+		sent.Clear()
 	}
 
 	operative = true
@@ -49,45 +68,60 @@ func groupBitsSpreading(env sim.Env, p Params, ls *linkState, myGroup, gOnes, gZ
 			env.Exchange(nil)
 			continue
 		}
-		var out []sim.Message
-		for _, q := range ls.neighbors {
-			if ls.disregarded[q] {
+		out := ls.out[:0]
+		for qi, q := range ls.neighbors {
+			if ls.disregarded.Contains(q) {
 				continue
 			}
+			// fresh = present \ sentTo[q]; the difference popcount sizes
+			// the payload exactly before a single ascending-order fill
+			// (the same order the old per-group scan produced).
+			sent := ls.sentTo[qi]
 			var fresh []GroupCount
-			sent := sentTo[q]
-			for g := 0; g < numGroups; g++ {
-				if present[g] && (p.NoGossipDedup || !sent.Contains(g)) {
-					fresh = append(fresh, entries[g])
-					sent.Add(g)
-				}
+			nf := present.DifferenceCount(sent)
+			if p.NoGossipDedup {
+				nf = present.Count()
+			}
+			if nf > 0 {
+				fresh = make([]GroupCount, 0, nf)
+				present.ForEach(func(g int) bool {
+					if p.NoGossipDedup || !sent.Contains(g) {
+						fresh = append(fresh, ls.entries[g])
+						sent.Add(g)
+					}
+					return true
+				})
 			}
 			// An empty SpreadMsg is the heartbeat the disregard
 			// rule needs: silence means omission, not idleness.
 			out = append(out, sim.Msg(id, q, SpreadMsg{Entries: fresh}))
 		}
+		ls.out = out // keep the grown capacity
 		in := env.Exchange(out)
 
-		heard := make(map[int]bool, len(in))
-		received := 0
+		heard := ls.heard
+		heard.Clear()
 		for _, m := range in {
 			sm, ok := m.Payload.(SpreadMsg)
-			if !ok || ls.disregarded[m.From] {
+			if !ok || ls.disregarded.Contains(m.From) {
 				continue
 			}
-			heard[m.From] = true
-			received++
+			heard.Add(m.From)
 			for _, e := range sm.Entries {
-				if e.Group < 0 || e.Group >= numGroups || present[e.Group] {
+				if e.Group < 0 || e.Group >= numGroups || present.Contains(e.Group) {
 					continue
 				}
-				present[e.Group] = true
-				entries[e.Group] = e
+				present.Add(e.Group)
+				ls.entries[e.Group] = e
 			}
 		}
+		// The received tally is a popcount: every neighbor sends at most
+		// one SpreadMsg per round, so distinct heard senders = messages
+		// received from non-disregarded neighbors.
+		received := heard.Count()
 		for _, q := range ls.neighbors {
-			if !ls.disregarded[q] && !heard[q] {
-				ls.disregarded[q] = true
+			if !ls.disregarded.Contains(q) && !heard.Contains(q) {
+				ls.disregarded.Add(q)
 			}
 		}
 		if received < p.OperativeThreshold {
@@ -95,11 +129,10 @@ func groupBitsSpreading(env sim.Env, p Params, ls *linkState, myGroup, gOnes, gZ
 		}
 	}
 
-	for g := 0; g < numGroups; g++ {
-		if present[g] {
-			ones += entries[g].Ones
-			zeros += entries[g].Zeros
-		}
-	}
+	present.ForEach(func(g int) bool {
+		ones += ls.entries[g].Ones
+		zeros += ls.entries[g].Zeros
+		return true
+	})
 	return ones, zeros, operative
 }

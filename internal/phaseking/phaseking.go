@@ -43,6 +43,7 @@
 package phaseking
 
 import (
+	"omicon/internal/bitset"
 	"omicon/internal/sim"
 	"omicon/internal/wire"
 )
@@ -91,30 +92,40 @@ func Run(env sim.Env, input int, participate bool, phases int) int {
 	}
 	pref := input
 
+	// Reused per-phase scratch: the outbox backing may be reused after
+	// Exchange returns (the Env aliasing contract), and the round-1 tally
+	// is two packed voter sets whose popcounts are the majority counts —
+	// every participant broadcasts at most one ValueMsg per round, so
+	// distinct voters = votes.
+	out := make([]sim.Message, 0, n)
+	votes := [2]*bitset.Set{bitset.New(n), bitset.New(n)}
+
 	for phase := 0; phase < phases; phase++ {
 		king := phase % n
 
 		// Round 1: universal exchange of preferences.
-		var out []sim.Message
+		out = out[:0]
 		if participate {
-			out = sim.Broadcast(env.ID(), ValueMsg{pref}, all)
+			out = sim.AppendBroadcast(out, env.ID(), ValueMsg{pref}, all)
 		}
 		in := env.Exchange(out)
-		c := [2]int{}
+		votes[0].Clear()
+		votes[1].Clear()
 		for _, m := range in {
 			if vm, ok := m.Payload.(ValueMsg); ok && (vm.V == 0 || vm.V == 1) {
-				c[vm.V]++
+				votes[vm.V].Add(m.From)
 			}
 		}
-		maj, mult := 0, c[0]
-		if c[1] > c[0] {
-			maj, mult = 1, c[1]
+		c0, c1 := votes[0].Count(), votes[1].Count()
+		maj, mult := 0, c0
+		if c1 > c0 {
+			maj, mult = 1, c1
 		}
 
 		// Round 2: the king broadcasts its majority value.
-		out = nil
+		out = out[:0]
 		if participate && env.ID() == king {
-			out = sim.Broadcast(env.ID(), KingMsg{maj}, all)
+			out = sim.AppendBroadcast(out, env.ID(), KingMsg{maj}, all)
 		}
 		in = env.Exchange(out)
 		kingVal := -1

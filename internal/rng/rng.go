@@ -23,6 +23,11 @@ import (
 // read from another goroutine only when the owner is quiescent (the engine
 // reads them at barriers, where every process is blocked or done).
 type Source struct {
+	// pcg is embedded (not held behind rand.NewPCG's pointer) so that a
+	// Source is one self-contained block of memory: NewSources can lay n
+	// of them out contiguously with a single allocation per source for
+	// the rand.Rand wrapper instead of three.
+	pcg rand.PCG
 	rnd *rand.Rand
 	// calls and bits meter this source's consumption: the number of
 	// random-source accesses (the R of Theorem 2) and the number of bits
@@ -35,11 +40,31 @@ type Source struct {
 // New returns a Source seeded deterministically from (seed, stream).
 // Distinct streams (e.g. process IDs) yield independent-looking sequences.
 func New(seed, stream uint64) *Source {
+	s := new(Source)
+	s.init(seed, stream)
+	return s
+}
+
+// NewSources returns sources for streams 0..n-1 of the given seed in one
+// contiguous backing array. Source i draws the identical sequence to
+// New(seed, i); only the allocation layout differs — the engines create n
+// of these per execution, so the per-source constant matters at large n
+// (see docs/PERFORMANCE.md). The returned slice must not be resized;
+// pointers into it stay valid for the sources' lifetime.
+func NewSources(seed uint64, n int) []Source {
+	out := make([]Source, n)
+	for i := range out {
+		out[i].init(seed, uint64(i))
+	}
+	return out
+}
+
+// init seeds s in place, identical to the stream New produces.
+func (s *Source) init(seed, stream uint64) {
 	// splitmix-style avalanche so that nearby (seed, stream) pairs do not
 	// produce correlated PCG states.
-	return &Source{
-		rnd: rand.New(rand.NewPCG(mix(seed, 0x9e3779b97f4a7c15^stream), mix(stream, seed))),
-	}
+	s.pcg.Seed(mix(seed, 0x9e3779b97f4a7c15^stream), mix(stream, seed))
+	s.rnd = rand.New(&s.pcg)
 }
 
 func mix(a, b uint64) uint64 {

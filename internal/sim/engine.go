@@ -115,13 +115,18 @@ type Engine struct {
 	// outbox, droppedBuf and the View backing slices are engine-owned and
 	// overwritten every round; only the adversary observes them, and only
 	// during Step (the View aliasing contract in adversary.go). The inbox
-	// backing array is the one per-round allocation that must stay fresh:
-	// protocols may retain delivered slices indefinitely.
+	// arena is reused too: delivered slices are valid only until the
+	// receiving process's next Exchange call (the Env.Exchange contract),
+	// which is safe because the arena is overwritten only at the next
+	// barrier, after every active process has submitted its next outbox —
+	// i.e. after every receiver has moved past the previous inbox. This is
+	// what makes a steady-state round allocation-free.
 	outbox     []Message
 	orderer    Orderer[Message]
 	droppedBuf []bool
 	inCounts   []int
 	inStarts   []int
+	inboxArena []Message
 	view       View // backing slices allocated lazily on first makeView
 }
 
@@ -199,8 +204,12 @@ func Run(cfg Config, proto Protocol) (*Result, error) {
 		e.fast = true
 	}
 	res := newResult(cfg)
+	// One contiguous allocation for all n sources (the per-process setup
+	// constant is what the large-n sparse benchmark amortizes); streams are
+	// identical to rng.New(seed, p).
+	srcBacking := rng.NewSources(cfg.Seed, cfg.N)
 	for p := 0; p < cfg.N; p++ {
-		e.sources[p] = rng.New(cfg.Seed, uint64(p))
+		e.sources[p] = &srcBacking[p]
 		e.deliver[p] = make(chan []Message, 1)
 	}
 	if cfg.Trace.Enabled() {
@@ -307,9 +316,9 @@ func (e *Engine) loop(res *Result) error {
 }
 
 // communicate runs one communication phase: account sent bits, consult the
-// adversary, enforce legality, deliver survivors. Apart from the inbox
-// backing array (which delivered slices alias, so protocols may retain it)
-// everything here runs on reused engine-owned buffers.
+// adversary, enforce legality, deliver survivors. Everything here —
+// including the inbox arena delivered slices alias — runs on reused
+// engine-owned buffers; a steady-state round allocates nothing.
 func (e *Engine) communicate(res *Result, round int, submitted []bool, outs [][]Message) error {
 	n := e.cfg.N
 	outbox := e.outbox[:0]
@@ -365,9 +374,10 @@ func (e *Engine) communicate(res *Result, round int, submitted []bool, outs [][]
 }
 
 // deliverAll partitions the surviving outbox into per-receiver inboxes and
-// delivers them. The backing array is freshly allocated each round because
-// protocols may retain their inbox slices; everything else (the count and
-// start offset passes) runs on reused buffers. With outbox in canonical
+// delivers them. The backing comes from the reused inbox arena: by the time
+// the arena is overwritten (the next barrier) every receiver has submitted
+// its next outbox, so no process can still be reading the previous round's
+// inbox — the Env.Exchange validity window. With outbox in canonical
 // (From, To) order — or sender-grouped ascending on the fast path — each
 // receiver's subsequence is already sorted by From, so no per-receiver sort
 // is needed. Each inbox is capacity-clamped so a protocol appending to it
@@ -390,7 +400,10 @@ func (e *Engine) deliverAll(submitted []bool, outbox []Message, dropped []bool) 
 	}
 	var backing []Message
 	if total > 0 {
-		backing = make([]Message, total)
+		if cap(e.inboxArena) < total {
+			e.inboxArena = make([]Message, max(total, 2*cap(e.inboxArena)))
+		}
+		backing = e.inboxArena[:total]
 		starts := e.inStarts
 		off := 0
 		for p := 0; p < n; p++ {

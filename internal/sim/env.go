@@ -25,6 +25,23 @@ type Env interface {
 	// the communication phase completes, returning the messages
 	// delivered to this process, sorted by sender. Passing nil sends
 	// nothing (an idle round).
+	//
+	// ALIASING CONTRACT (both directions, the zero-alloc hot path of
+	// docs/PERFORMANCE.md depends on it):
+	//
+	//   - The returned slice is valid only until this process's next
+	//     Exchange call — the engine reuses the inbox backing arena for
+	//     the following round. Protocols must finish reading (or copy)
+	//     an inbox before exchanging again; none of the protocols here
+	//     retain inboxes across rounds.
+	//   - The out slice's backing may be reused by the caller after
+	//     Exchange returns: the engine copies the message values at the
+	//     barrier before resuming the sender.
+	//   - Payloads are immutable once sent. A payload travels by
+	//     reference and may be read by its receiver concurrently with
+	//     the sender's next computation phase, so senders must never
+	//     mutate a payload (or backing arrays it points to) after
+	//     submitting it.
 	Exchange(out []Message) []Message
 	// SetSnapshot publishes the process's current protocol state to the
 	// full-information adversary. Honest protocols publish faithfully.

@@ -47,8 +47,9 @@ import (
 // construction and the drop-buffer clear run per shard, and inbox carving
 // runs as a parallel two-pass counting pass (per-shard count arrays merged
 // into absolute cursors in shard order), keeping per-receiver inboxes
-// carved From-sorted from one fresh backing array per round — the same
-// single allocation and the same aliasing contract as the default path.
+// carved From-sorted from one reused backing arena — the same zero
+// steady-state allocation and the same aliasing contract as the default
+// path (delivered slices are valid until the receiver's next Exchange).
 
 // procYield is one process's phase contribution: either its outbox for the
 // round or its final decision.
@@ -118,15 +119,18 @@ type shardedEngine struct {
 	snapshots []any
 
 	// Hot-path buffers mirroring Engine's (docs/PERFORMANCE.md): the inbox
-	// backing array is the one fresh allocation per round, everything else
-	// is reused. chunks holds the outbox split for the chunk-parallel
-	// phases; inStarts (n+1 entries) the receiver-major carve offsets.
+	// backing comes from a reused arena (delivered slices are valid only
+	// until the receiver's next Exchange, see Engine), so a steady-state
+	// round allocates nothing. chunks holds the outbox split for the
+	// chunk-parallel phases; inStarts (n+1 entries) the receiver-major
+	// carve offsets.
 	outbox     []Message
 	orderer    Orderer[Message]
 	droppedBuf []bool
 	dropped    []bool // this round's drop mask; nil when nothing dropped
 	chunks     []int
 	inStarts   []int
+	arena      []Message
 	backing    []Message
 	inboxes    [][]Message
 	view       View
@@ -171,8 +175,9 @@ func runSharded(cfg Config, proto Protocol) (*Result, error) {
 	if _, benign := cfg.Adversary.(NoFaults); benign && !cfg.Trace.Enabled() {
 		s.fast = true
 	}
+	srcBacking := rng.NewSources(cfg.Seed, n)
 	for p := 0; p < n; p++ {
-		s.sources[p] = rng.New(cfg.Seed, uint64(p))
+		s.sources[p] = &srcBacking[p]
 		s.resume[p] = make(chan []Message, 1)
 		s.yield[p] = make(chan procYield, 1)
 		s.alive[p] = true
@@ -325,8 +330,10 @@ func (s *shardedEngine) communicate() error {
 // chunk-parallel two-pass counting carve: workers count survivors per
 // receiver over outbox chunks, the coordinator turns the per-(shard,
 // receiver) counts into absolute cursors in shard order, and workers place
-// survivors and publish their own pids' inbox slices. The backing array is
-// the round's one fresh allocation (protocols may retain their inboxes);
+// survivors and publish their own pids' inbox slices. The backing comes
+// from a reused arena — safe because the arena is only rewritten at the
+// next barrier, after every live process has submitted its next outbox, so
+// each delivered slice stays intact until its receiver's next Exchange;
 // layout and per-receiver order are identical to Engine.deliverAll.
 func (s *shardedEngine) carve(dropped []bool) {
 	s.dropped = dropped
@@ -345,7 +352,10 @@ func (s *shardedEngine) carve(dropped []bool) {
 	}
 	s.inStarts[n] = off
 	if off > 0 {
-		s.backing = make([]Message, off)
+		if cap(s.arena) < off {
+			s.arena = make([]Message, max(off, 2*cap(s.arena)))
+		}
+		s.backing = s.arena[:off]
 	} else {
 		s.backing = nil
 	}

@@ -6,11 +6,12 @@ import "testing"
 
 // TestShardedRoundAllocationBudget is TestEngineRoundAllocationBudget for
 // the sharded executor: once the per-shard scratch is warm, a round costs
-// the one inbox backing slice plus amortized growth — the phase barriers,
-// chunked View fill and parallel carve all run on reused buffers. The same
-// budget of 8 allocs per round as the default engine gates regressions in
-// either the merge or the carve. Excluded under -race: the detector's
-// instrumentation allocates on its own behalf.
+// amortized growth only — the phase barriers, chunked View fill and
+// parallel carve all run on reused buffers, and the inbox backing comes
+// from the reused arena. The same budget of 8 allocs per round as the
+// default engine gates regressions in either the merge or the carve;
+// TestShardedSteadyStateZeroAllocs pins the exact zero. Excluded under
+// -race: the detector's instrumentation allocates on its own behalf.
 func TestShardedRoundAllocationBudget(t *testing.T) {
 	const n, rounds = 64, 300
 	for _, tc := range []struct {
@@ -40,6 +41,29 @@ func TestShardedRoundAllocationBudget(t *testing.T) {
 			if perRound := allocs / rounds; perRound > 8 {
 				t.Errorf("%s path, shards=%d: %.1f allocs per round (%.0f per run), budget is 8",
 					tc.name, shards, perRound, allocs)
+			}
+		}
+	}
+}
+
+// TestShardedSteadyStateZeroAllocs is TestEngineSteadyStateZeroAllocs for
+// the sharded executor: a warm round allocates nothing at any shard count,
+// measured as the paired-run delta that cancels the O(n) setup.
+func TestShardedSteadyStateZeroAllocs(t *testing.T) {
+	for _, n := range largeNSizes([]int{64, 1024}) {
+		base := 30
+		if n >= 4096 {
+			base = 10
+		}
+		for _, tc := range []struct {
+			name string
+			adv  Adversary
+		}{{"fast", nil}, {"full", passThrough{}}} {
+			for _, shards := range []int{1, 4} {
+				if perRound := steadyStateRoundAllocs(t, n, shards, base, tc.adv); perRound > steadyAllocTolerance {
+					t.Errorf("n=%d %s path, shards=%d: %.2f allocs per steady-state round, want 0",
+						n, tc.name, shards, perRound)
+				}
 			}
 		}
 	}
