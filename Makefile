@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check soak vet torture fuzz bench bench-json benchcheck chaos-smoke distrib-smoke
+.PHONY: build test check soak vet torture tournament tournament-smoke fuzz bench bench-json benchcheck chaos-smoke distrib-smoke
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,22 @@ soak:
 torture:
 	$(GO) run ./cmd/torture -trials 2000 -corpus .torture-corpus -shrink
 
+# tournament runs the full cross-model matrix — every protocol x every
+# adversary family over the (n, t) sweep — and writes the
+# win/loss/round-cost matrix under tournament-out/ (docs/ADVERSARIES.md).
+tournament:
+	$(GO) run ./cmd/tournament -trials 3 -out tournament-out
+
+# tournament-smoke is the race-enabled reduced matrix CI runs: the four
+# zoo families plus the schedule fuzzer against a deterministic protocol
+# and the known-broken separation exhibit, with the telemetry plane
+# attached. Exit 0 requires zero unexpected losses.
+tournament-smoke:
+	$(GO) run -race ./cmd/tournament -trials 2 -seed 7 \
+		-protocols phaseking,floodset \
+		-adversaries late,eavesdrop,tree-cut,budget-schedule,sched-fuzz \
+		-workers 2 -status-addr 127.0.0.1:0 -out .tournament-smoke
+
 # bench runs the engine hot-path benchmarks interactively; pipe two runs
 # through benchstat to compare. bench-json refreshes the committed
 # baseline (BENCH_engine.json) with cmd/bench, and benchcheck verifies a
@@ -46,16 +62,18 @@ benchcheck:
 
 # fuzz runs every native fuzz target for a bounded stretch: mutated
 # schedules through the replay adversary (engine must never panic, oracle
-# must never cry wolf), the transcript codec round trip (the corpus
-# format must be stable), the bitset bulk ops the bit-packed hot path
-# leans on (every op must agree with a map-of-ints model), journal
-# recovery over damaged files (Open must never panic, reject, or lose
-# pre-damage records) and the dispatch frame decoder (any frame that
-# decodes must re-encode canonically — the property re-dispatch leans
-# on).
+# must never cry wolf), the adversary zoo through record/strict-replay
+# (every family must be deterministic and schedule-expressible), the
+# transcript codec round trip (the corpus format must be stable), the
+# bitset bulk ops the bit-packed hot path leans on (every op must agree
+# with a map-of-ints model), journal recovery over damaged files (Open
+# must never panic, reject, or lose pre-damage records) and the dispatch
+# frame decoder (any frame that decodes must re-encode canonically — the
+# property re-dispatch leans on).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzBitsetOps -fuzztime 30s ./internal/bitset/
 	$(GO) test -run '^$$' -fuzz FuzzScheduleReplay -fuzztime 30s ./internal/torture/
+	$(GO) test -run '^$$' -fuzz FuzzAdversaryScheduleReplay -fuzztime 30s ./internal/torture/
 	$(GO) test -run '^$$' -fuzz FuzzTranscriptRoundTrip -fuzztime 30s ./internal/sim/
 	$(GO) test -run '^$$' -fuzz FuzzPartitionInvariants -fuzztime 30s ./internal/partition/
 	$(GO) test -run '^$$' -fuzz FuzzJournalRecover -fuzztime 30s ./internal/journal/

@@ -1,0 +1,101 @@
+package omicon
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseAdversaryEveryName round-trips every registered name through
+// ParseAdversary: each must build, and the built strategy must answer
+// Name. The table is AdversaryNames itself, so registering a family
+// without a parse case (or vice versa) fails here.
+func TestParseAdversaryEveryName(t *testing.T) {
+	const n, budget, seed = 16, 3, 7
+	for _, name := range AdversaryNames() {
+		t.Run(name, func(t *testing.T) {
+			adv, err := ParseAdversary(name, n, budget, seed)
+			if err != nil {
+				t.Fatalf("ParseAdversary(%q): %v", name, err)
+			}
+			if adv == nil {
+				t.Fatalf("ParseAdversary(%q) returned nil adversary", name)
+			}
+			if adv.Name() == "" {
+				t.Fatalf("ParseAdversary(%q): empty strategy name", name)
+			}
+		})
+	}
+}
+
+// TestParseAdversaryCaseAndSpace pins the normalization rules: base
+// names are case-insensitive and whitespace-tolerant, as are parameter
+// keys.
+func TestParseAdversaryCaseAndSpace(t *testing.T) {
+	specs := []string{
+		"Split-Vote",
+		"  split-vote  ",
+		"SPLIT-VOTE",
+		"Late: D=3 , Inner=Split-Vote",
+		"EAVESDROP:Budget=4",
+	}
+	for _, spec := range specs {
+		if _, err := ParseAdversary(spec, 16, 3, 7); err != nil {
+			t.Errorf("ParseAdversary(%q): %v", spec, err)
+		}
+	}
+}
+
+// TestParseAdversaryParameters pins the parameter plumbing by observing
+// the built strategies' self-reported names, which embed their knobs.
+func TestParseAdversaryParameters(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string // substring of the strategy's Name()
+	}{
+		{"late:d=5", "late[d=5]"},
+		{"late:d=0,inner=coin-hider", "coin-hider"},
+		{"eavesdrop:budget=4", "eavesdrop[k=4]"},
+		{"budget-schedule:beta=2", "budget-schedule[beta=2]"},
+		{"budget-schedule", "budget-schedule"},
+	}
+	for _, c := range cases {
+		adv, err := ParseAdversary(c.spec, 16, 3, 7)
+		if err != nil {
+			t.Errorf("ParseAdversary(%q): %v", c.spec, err)
+			continue
+		}
+		if !strings.Contains(adv.Name(), c.want) {
+			t.Errorf("ParseAdversary(%q).Name() = %q, want substring %q", c.spec, adv.Name(), c.want)
+		}
+	}
+}
+
+// TestParseAdversaryErrors pins the failure modes: unknown names list
+// the valid ones, and malformed or unknown parameters are rejected with
+// the offending token in the message.
+func TestParseAdversaryErrors(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string // substring of the error
+	}{
+		{"no-such-family", "unknown adversary"},
+		{"no-such-family", "split-vote"}, // the error lists valid names
+		{"no-such-family", "tree-cut"},
+		{"late:d=x", `d="x"`},
+		{"eavesdrop:budget=many", `budget="many"`},
+		{"chaos:corrupt=high", `corrupt="high"`},
+		{"split-vote:bogus=1", `unknown parameter "bogus"`},
+		{"late:inner=chaos:drop=0.5", "bare family name"},
+		{"chaos:corrupt", "malformed parameter"},
+	}
+	for _, c := range cases {
+		_, err := ParseAdversary(c.spec, 16, 3, 7)
+		if err == nil {
+			t.Errorf("ParseAdversary(%q): want error containing %q, got nil", c.spec, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseAdversary(%q) = %v, want substring %q", c.spec, err, c.want)
+		}
+	}
+}

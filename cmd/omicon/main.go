@@ -38,7 +38,7 @@ func run() error {
 		n        = flag.Int("n", 64, "number of processes")
 		t        = flag.Int("t", 2, "adversary corruption budget")
 		algoName = flag.String("algo", "optimal", "algorithm: optimal | param | benor | phaseking")
-		advName  = flag.String("adversary", "none", "adversary: none | static-crash | random-omission | group-killer | half-visibility | split-vote | delayed-strike | coin-hider | eclipse")
+		advName  = flag.String("adversary", "none", "adversary family, optionally with :key=value,... parameters (e.g. late:d=3,inner=split-vote); eclipse plus every omicon.AdversaryNames entry (docs/ADVERSARIES.md)")
 		ones     = flag.Int("ones", -1, "number of 1-inputs (-1 = n/2)")
 		seed     = flag.Uint64("seed", 1, "execution seed")
 		x        = flag.Int("x", 0, "ParamOmissions super-process count (0 = default)")

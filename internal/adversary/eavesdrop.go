@@ -1,0 +1,110 @@
+package adversary
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"omicon/internal/rng"
+	"omicon/internal/sim"
+)
+
+// Eavesdrop is the eavesdrop-limited adversary: unlike the paper's
+// full-information adversary it cannot read the whole round — it wiretaps
+// a fixed budget of messages per round (a seeded uniform sample of the
+// outbox, without replacement) and must base every decision on what it
+// overheard. Two restrictions follow mechanically:
+//
+//   - it may only drop messages it actually inspected (you cannot omit a
+//     message you never saw), and
+//   - its corruption choices derive from overheard traffic alone — it
+//     corrupts the most-overheard talker, one process per round, a
+//     trickle rather than the round-1 burst the omniscient strategies
+//     open with.
+//
+// The family sits between the adaptive and oblivious extremes of the
+// knowledge-model axis: with budget >= the outbox size it converges to a
+// full-information traffic-analysis strategy, with budget 0 it is
+// NoFaults. Comparing its tournament column against the full-information
+// families measures how much of the adversary's power is information
+// rather than budget.
+type Eavesdrop struct {
+	t      int
+	budget int
+	rnd    *rand.Rand
+	heard  []int64 // per-process overheard-message tally, cumulative
+	picked []int   // per-round scratch: inspected outbox indices
+}
+
+// NewEavesdrop returns the strategy: budget messages wiretapped per
+// round, corruption budget t, deterministic per seed.
+func NewEavesdrop(t, budget int, seed uint64) *Eavesdrop {
+	if budget < 0 {
+		budget = 0
+	}
+	return &Eavesdrop{t: t, budget: budget, rnd: rng.Unmetered(seed, 0xeade)}
+}
+
+// Name implements sim.Adversary.
+func (e *Eavesdrop) Name() string { return fmt.Sprintf("eavesdrop[k=%d]", e.budget) }
+
+// Step implements sim.Adversary.
+func (e *Eavesdrop) Step(v *sim.View) sim.Action {
+	if e.heard == nil {
+		e.heard = make([]int64, v.N)
+	}
+
+	// Wiretap: a uniform sample of min(budget, |outbox|) messages. The
+	// sample is drawn even when the budget covers everything so the
+	// random stream — and therefore the schedule — depends only on the
+	// seed and the per-round outbox sizes.
+	k := e.budget
+	if k > len(v.Outbox) {
+		k = len(v.Outbox)
+	}
+	e.picked = e.picked[:0]
+	if k > 0 {
+		perm := e.rnd.Perm(len(v.Outbox))
+		e.picked = append(e.picked, perm[:k]...)
+		sort.Ints(e.picked) // outbox order; the sample set is unchanged
+		for _, i := range e.picked {
+			e.heard[v.Outbox[i].From]++
+		}
+	}
+
+	var act sim.Action
+	spent := 0
+	for _, c := range v.Corrupted {
+		if c {
+			spent++
+		}
+	}
+	// Corrupt the loudest talker overheard so far (ties to the lowest
+	// id): the only signal this adversary has is traffic volume.
+	if spent < minInt(e.t, v.T) {
+		best, bestHeard := -1, int64(0)
+		for p := 0; p < v.N; p++ {
+			if !v.Corrupted[p] && e.heard[p] > bestHeard {
+				best, bestHeard = p, e.heard[p]
+			}
+		}
+		if best >= 0 {
+			act.Corrupt = append(act.Corrupt, best)
+		}
+	}
+
+	// Omissions are limited to the wiretapped sample: of the messages it
+	// saw, silence every one touching a corrupted process. Sort order of
+	// Drop does not matter to the engine, but keep the inspected-order
+	// emission deterministic anyway.
+	bad := corruptedSet(v, act.Corrupt)
+	for _, i := range e.picked {
+		m := v.Outbox[i]
+		if bad[m.From] || bad[m.To] {
+			act.Drop = append(act.Drop, i)
+		}
+	}
+	return act
+}
+
+var _ sim.Adversary = (*Eavesdrop)(nil)

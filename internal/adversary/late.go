@@ -1,0 +1,117 @@
+package adversary
+
+import (
+	"fmt"
+
+	"omicon/internal/sim"
+)
+
+// DefaultLateDelay is the registry's knowledge delay for the "late"
+// family: long enough to straddle the 3-round GroupRelay frame (the state
+// a late adversary reacts to belongs to a different relay round), short
+// enough that the strategy still tracks the execution.
+const DefaultLateDelay = 2
+
+// Late is the delayed-knowledge adversary of Robinson–Scheideler–Setzer:
+// it wraps any adaptive strategy but feeds it process state that is d
+// rounds old. The wrapped strategy still acts in the present — its
+// corruptions and drops apply to the current round's outbox, because
+// omissions are physical — but every observation it bases them on
+// (snapshots, decisions, termination flags, randomness counters) lags by
+// d rounds, and for the first d rounds it sees the blank pre-execution
+// state. With d = 0 the wrapper is the identity: Late(a, 0) emits exactly
+// a's actions (the property test pins this), so the family degenerates to
+// its fully adaptive counterpart and the delay knob cleanly interpolates
+// between the paper's adversary and an oblivious one.
+//
+// Inputs, the corruption set and the current outbox are deliberately NOT
+// delayed: inputs are known before round 1, the adversary always knows
+// its own past actions, and drops must reference real messages. What the
+// delay hides is exactly what adaptivity needs — how the system reacted.
+type Late struct {
+	inner sim.Adversary
+	d     int
+	// hist is a ring of the last d state records; hist[r % d] holds the
+	// state observed in round r. spare is the record whose backing arrays
+	// are free for reuse — the one served (and rotated out) last round.
+	hist  []stateRecord
+	spare stateRecord
+}
+
+// stateRecord is the delayed slice of a View: everything that reveals how
+// the system reacted, copied out per the View aliasing contract.
+// Snapshots are interface values over protocol-published value structs,
+// so the shallow element copy preserves round-r state.
+type stateRecord struct {
+	round       int
+	snapshots   []any
+	decisions   []int
+	terminated  []bool
+	randomCalls []int64
+	randomBits  []int64
+}
+
+// NewLate wraps inner with a knowledge delay of d rounds (d < 0 is
+// treated as 0).
+func NewLate(inner sim.Adversary, d int) *Late {
+	if d < 0 {
+		d = 0
+	}
+	return &Late{inner: inner, d: d}
+}
+
+// Name implements sim.Adversary.
+func (l *Late) Name() string {
+	return fmt.Sprintf("late[d=%d]/%s", l.d, l.inner.Name())
+}
+
+// Step implements sim.Adversary.
+func (l *Late) Step(v *sim.View) sim.Action {
+	if l.d == 0 {
+		return l.inner.Step(v)
+	}
+	if l.hist == nil {
+		l.hist = make([]stateRecord, l.d)
+	}
+
+	// Record the present into the spare record, then rotate it into the
+	// ring slot whose previous occupant — the round v.Round - d state —
+	// is exactly what the wrapped strategy may see. The evicted record
+	// becomes next round's spare: its arrays are served below and may be
+	// reused once inner.Step returns (the standard View aliasing
+	// contract applies to the wrapped strategy unchanged).
+	rec := l.spare
+	rec.round = v.Round
+	rec.snapshots = append(rec.snapshots[:0], v.Snapshots...)
+	rec.decisions = append(rec.decisions[:0], v.Decisions...)
+	rec.terminated = append(rec.terminated[:0], v.Terminated...)
+	rec.randomCalls = append(rec.randomCalls[:0], v.RandomCalls...)
+	rec.randomBits = append(rec.randomBits[:0], v.RandomBits...)
+	slot := &l.hist[v.Round%l.d]
+	old := *slot
+	*slot = rec
+	l.spare = old
+
+	delayed := *v
+	if old.round == v.Round-l.d && old.round >= 1 {
+		delayed.Snapshots = old.snapshots
+		delayed.Decisions = old.decisions
+		delayed.Terminated = old.terminated
+		delayed.RandomCalls = old.randomCalls
+		delayed.RandomBits = old.randomBits
+	} else {
+		// Rounds 1..d: the blank pre-execution state. Decisions are -1
+		// while undecided, everything else zero-valued.
+		delayed.Snapshots = make([]any, v.N)
+		delayed.Decisions = make([]int, v.N)
+		for i := range delayed.Decisions {
+			delayed.Decisions[i] = -1
+		}
+		delayed.Terminated = make([]bool, v.N)
+		delayed.RandomCalls = make([]int64, v.N)
+		delayed.RandomBits = make([]int64, v.N)
+	}
+	return l.inner.Step(&delayed)
+}
+
+var _ sim.Adversary = (*Late)(nil)

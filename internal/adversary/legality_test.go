@@ -68,6 +68,12 @@ func TestStrategiesEmitOnlyLegalActions(t *testing.T) {
 		"committee-killer": func(uint64) sim.Adversary { return NewCommitteeKiller([]int{1, 5, 9, 13}) },
 		"flood-split":      func(uint64) sim.Adversary { return NewFloodSplit(tBudget+1, n-1) },
 		"oblivious-crash":  func(s uint64) sim.Adversary { return NewObliviousCrash(n, tBudget, s) },
+		"late":             func(s uint64) sim.Adversary { return NewLate(NewSplitVote(tBudget, s), DefaultLateDelay) },
+		"late-d0":          func(s uint64) sim.Adversary { return NewLate(NewSplitVote(tBudget, s), 0) },
+		"eavesdrop":        func(s uint64) sim.Adversary { return NewEavesdrop(tBudget, n, s) },
+		"eavesdrop-narrow": func(s uint64) sim.Adversary { return NewEavesdrop(tBudget, 3, s) },
+		"tree-cut":         func(uint64) sim.Adversary { return NewTreeCut(n, tBudget) },
+		"budget-schedule":  func(uint64) sim.Adversary { return NewBudgetSchedule(tBudget, 1) },
 		"sched-fuzz":       func(s uint64) sim.Adversary { return NewScheduleFuzzer(sim.Schedule{}, tBudget, s) },
 		"sched-fuzz-base":  func(s uint64) sim.Adversary { return NewScheduleFuzzer(baseSchedule, tBudget, s) },
 	}

@@ -1,0 +1,126 @@
+package adversary
+
+import (
+	"omicon/internal/graph"
+	"omicon/internal/partition"
+	"omicon/internal/sim"
+)
+
+// TreeCut is the targeted structural attack on Section 5's group
+// machinery. It recomputes the sqrt(n)-decomposition, the per-group bag
+// tree and the Theorem-4 gossip graph exactly as the protocol does (all
+// pure functions of n — the adversary knows the algorithm), then corrupts
+// one complete subtree cut of the largest group's bag tree: descending
+// from the root bag, it takes the deepest bag that still fits the budget
+// t, so the corrupted members form a contiguous bag L(j, k) — the unit
+// GroupBitsAggregation's relay layers merge.
+//
+// The omissions are two-faced, which is what distinguishes the family
+// from GroupKiller's blunt silence:
+//
+//   - every intra-group message touching a corrupted member is dropped,
+//     so the cut bag's counts — and its members' transmitter role for
+//     every other bag of layers j and above — vanish from the relay
+//     tree, and
+//   - messages from corrupted members along Theorem-4 graph edges that
+//     leave the group are dropped too, cutting their share of the
+//     GroupBitsSpreading relay layer,
+//
+// while all remaining traffic (the all-to-all epoch exchanges, decision
+// broadcasts, fallback phases) flows normally — the corrupted processes
+// keep "communicating well enough" to stay operative-looking exactly
+// where the partition rationale says partial omitters must, maximizing
+// the count skew the aggregation proof has to absorb.
+type TreeCut struct {
+	t       int
+	targets []int                // the cut bag's members, ascending
+	inGroup map[int]bool         // the victim group
+	gossip  map[int]map[int]bool // corrupted -> graph neighbors outside the group
+}
+
+// NewTreeCut plans the attack for an (n, t) instance.
+func NewTreeCut(n, t int) *TreeCut {
+	a := &TreeCut{t: t, inGroup: make(map[int]bool), gossip: make(map[int]map[int]bool)}
+	if n <= 0 || t <= 0 {
+		return a
+	}
+	decomp := partition.Sqrt(n)
+
+	// Victim: the largest group (first among ties) — the most members to
+	// disenfranchise per relay round.
+	gi, w := 0, 0
+	for g := 0; g < decomp.NumGroups(); g++ {
+		if len(decomp.Group(g)) > w {
+			gi, w = g, len(decomp.Group(g))
+		}
+	}
+	members := decomp.Group(gi)
+	for _, m := range members {
+		a.inGroup[m] = true
+	}
+
+	// Descend the bag tree from the root, keeping the left child, until
+	// the bag fits the budget: the deepest full bag the budget buys.
+	tree := partition.NewTree(w)
+	j, k := tree.Layers(), 0
+	for j > 1 {
+		lo, hi := tree.Bag(j, k)
+		if hi-lo <= t {
+			break
+		}
+		j--
+		k, _ = tree.Children(k) // keep the left child
+	}
+	lo, hi := tree.Bag(j, k)
+	if hi-lo > t { // singleton layer still over budget can't happen (t >= 1)
+		hi = lo + t
+	}
+	a.targets = append(a.targets, members[lo:hi]...)
+
+	// The spreading cut: each corrupted member's Theorem-4 graph edges
+	// that leave the group. Graph construction can fail for sizes no
+	// registered protocol uses; the intra-group cut alone remains.
+	if g, err := graph.Build(n, graph.PracticalParams(n)); err == nil {
+		for _, m := range a.targets {
+			out := make(map[int]bool)
+			for _, q := range g.Neighbors(m) {
+				if !a.inGroup[q] {
+					out[q] = true
+				}
+			}
+			a.gossip[m] = out
+		}
+	}
+	return a
+}
+
+// Name implements sim.Adversary.
+func (a *TreeCut) Name() string { return "tree-cut" }
+
+// Step implements sim.Adversary.
+func (a *TreeCut) Step(v *sim.View) sim.Action {
+	var act sim.Action
+	if v.Round == 1 {
+		budget := minInt(len(a.targets), v.T)
+		act.Corrupt = a.targets[:budget]
+	}
+	bad := corruptedSet(v, act.Corrupt)
+	for i, m := range v.Outbox {
+		fromBad, toBad := bad[m.From], bad[m.To]
+		if !fromBad && !toBad {
+			continue
+		}
+		// Intra-group: cut the relay tree in both directions.
+		if a.inGroup[m.From] && a.inGroup[m.To] {
+			act.Drop = append(act.Drop, i)
+			continue
+		}
+		// Extra-group: cut only the corrupted member's gossip edges.
+		if fromBad && a.gossip[m.From][m.To] {
+			act.Drop = append(act.Drop, i)
+		}
+	}
+	return act
+}
+
+var _ sim.Adversary = (*TreeCut)(nil)

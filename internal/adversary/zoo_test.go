@@ -1,0 +1,183 @@
+package adversary
+
+import (
+	"bytes"
+	"testing"
+
+	"omicon/internal/benor"
+	"omicon/internal/sim"
+)
+
+// zooFamilies builds each new knowledge-model family for the (n, t, seed)
+// the zoo property tests use. The legality property (strict budget and
+// omission rules across 100 seeds) is covered by
+// TestStrategiesEmitOnlyLegalActions, which includes all of these.
+func zooFamilies(n, t int, seed uint64) map[string]func() sim.Adversary {
+	return map[string]func() sim.Adversary{
+		"late":            func() sim.Adversary { return NewLate(NewSplitVote(t, seed), DefaultLateDelay) },
+		"eavesdrop":       func() sim.Adversary { return NewEavesdrop(t, n/2, seed) },
+		"tree-cut":        func() sim.Adversary { return NewTreeCut(n, t) },
+		"budget-schedule": func() sim.Adversary { return NewBudgetSchedule(t, 1) },
+	}
+}
+
+// recordedRun executes BenOr under the adversary and returns the recorded
+// transcript bytes — schedule and execution dynamics in one comparable
+// blob.
+func recordedRun(t *testing.T, n, tBudget int, seed uint64, adv sim.Adversary) []byte {
+	t.Helper()
+	rec, tr := sim.NewRecorder(adv)
+	params := benor.DefaultParams(n, tBudget)
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = i % 2
+	}
+	if _, err := sim.Run(sim.Config{
+		N: n, T: tBudget, Inputs: inputs, Seed: seed, Adversary: rec,
+	}, benor.Protocol(params)); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	tr.Adversary = "" // normalize the name header; only behavior is compared
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("transcript: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestZooSameSeedSameSchedule pins determinism: a fresh adversary of the
+// same family with the same seed against the same execution produces a
+// byte-identical transcript — corruption schedule included.
+func TestZooSameSeedSameSchedule(t *testing.T) {
+	const n, tBudget = 16, 5
+	for name, make := range zooFamilies(n, tBudget, 42) {
+		t.Run(name, func(t *testing.T) {
+			a := recordedRun(t, n, tBudget, 42, make())
+			b := recordedRun(t, n, tBudget, 42, make())
+			if !bytes.Equal(a, b) {
+				t.Fatalf("same seed produced different transcripts (%d vs %d bytes)", len(a), len(b))
+			}
+		})
+	}
+}
+
+// TestZooRespectsBudget re-checks the budget bound directly on the
+// recorded schedule: across many seeds, no family ever corrupts more
+// than t distinct processes. (The strict legality checker enforces the
+// same invariant action-by-action; this pins it end-to-end on the
+// artifact users consume.)
+func TestZooRespectsBudget(t *testing.T) {
+	const n, tBudget = 16, 4
+	seeds := 25
+	if testing.Short() {
+		seeds = 5
+	}
+	for name, _ := range zooFamilies(n, tBudget, 0) {
+		t.Run(name, func(t *testing.T) {
+			for s := 0; s < seeds; s++ {
+				seed := uint64(s)*131 + 7
+				adv := zooFamilies(n, tBudget, seed)[name]()
+				rec, tr := sim.NewRecorder(adv)
+				params := benor.DefaultParams(n, tBudget)
+				inputs := make([]int, n)
+				for i := range inputs {
+					inputs[i] = i % 2
+				}
+				if _, err := sim.Run(sim.Config{
+					N: n, T: tBudget, Inputs: inputs, Seed: seed, Adversary: rec,
+				}, benor.Protocol(params)); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				corrupted := map[int]bool{}
+				for _, r := range tr.Rounds {
+					for _, p := range r.Corrupted {
+						corrupted[p] = true
+					}
+				}
+				if len(corrupted) > tBudget {
+					t.Fatalf("seed %d: corrupted %d processes, budget %d", seed, len(corrupted), tBudget)
+				}
+			}
+		})
+	}
+}
+
+// TestLateZeroDelayMatchesInner pins the knowledge-delay axis at its
+// origin: Late(a, 0) must behave exactly like a — byte-identical
+// transcripts across seeds — so the d knob interpolates from the fully
+// adaptive adversary outward with no discontinuity at zero.
+func TestLateZeroDelayMatchesInner(t *testing.T) {
+	const n, tBudget = 16, 5
+	for s := 0; s < 10; s++ {
+		seed := uint64(s)*977 + 13
+		bare := recordedRun(t, n, tBudget, seed, NewSplitVote(tBudget, seed))
+		wrapped := recordedRun(t, n, tBudget, seed, NewLate(NewSplitVote(tBudget, seed), 0))
+		if !bytes.Equal(bare, wrapped) {
+			t.Fatalf("seed %d: late[d=0] diverged from its inner strategy", seed)
+		}
+	}
+}
+
+// probeAdversary records the snapshot markers it is shown each round.
+type probeAdversary struct {
+	seen []any
+}
+
+func (p *probeAdversary) Name() string { return "probe" }
+func (p *probeAdversary) Step(v *sim.View) sim.Action {
+	// Copy out (View aliasing contract): snapshots here are int markers.
+	p.seen = append(p.seen, v.Snapshots[0])
+	return sim.Action{}
+}
+
+// TestLateDelaysStateByD drives Late with synthetic views whose snapshot
+// marks the round, and asserts the wrapped strategy sees round r-d state
+// from round d+1 on — and the blank pre-execution state before that.
+// This is the test that catches ring-buffer aliasing: if the wrapper
+// reused a served record's arrays while the inner strategy's view still
+// referenced them, the marker would be from the wrong round.
+func TestLateDelaysStateByD(t *testing.T) {
+	const d, rounds, n = 3, 12, 4
+	probe := &probeAdversary{}
+	late := NewLate(probe, d)
+	for r := 1; r <= rounds; r++ {
+		v := &sim.View{
+			Round: r, N: n, T: 1,
+			Inputs:      make([]int, n),
+			Corrupted:   make([]bool, n),
+			Terminated:  make([]bool, n),
+			Decisions:   make([]int, n),
+			Snapshots:   []any{r, nil, nil, nil},
+			RandomCalls: make([]int64, n),
+			RandomBits:  make([]int64, n),
+		}
+		late.Step(v)
+		// Mutate the view's backing arrays after Step returns, as the
+		// engine does when it reuses buffers for the next round.
+		v.Snapshots[0] = -1
+	}
+	for r := 1; r <= rounds; r++ {
+		got := probe.seen[r-1]
+		if r <= d {
+			if got != nil {
+				t.Fatalf("round %d: saw %v, want blank pre-execution state", r, got)
+			}
+			continue
+		}
+		if got != r-d {
+			t.Fatalf("round %d: saw snapshot of round %v, want %d", r, got, r-d)
+		}
+	}
+}
+
+// TestEavesdropZeroBudgetIsBlind pins the other end of the knowledge
+// axis: with no wiretap budget the adversary hears nothing, so it never
+// corrupts and never drops — indistinguishable from NoFaults.
+func TestEavesdropZeroBudgetIsBlind(t *testing.T) {
+	const n, tBudget = 16, 5
+	blind := recordedRun(t, n, tBudget, 99, NewEavesdrop(tBudget, 0, 99))
+	none := recordedRun(t, n, tBudget, 99, sim.NoFaults{})
+	if !bytes.Equal(blind, none) {
+		t.Fatal("eavesdrop with budget 0 diverged from NoFaults")
+	}
+}

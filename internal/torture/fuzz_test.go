@@ -43,7 +43,7 @@ func FuzzScheduleReplay(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	inputs := trialInputs(n, 0) // balanced: both camps larger than t
+	inputs := TrialInputs(n, 0) // balanced: both camps larger than t
 
 	f.Fuzz(func(tt *testing.T, data []byte) {
 		var s sim.Schedule

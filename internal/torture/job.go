@@ -108,7 +108,7 @@ func ExecuteJob(job Job) (*Outcome, error) {
 	run := runOnce(spec, proto, bound, adv, job.N, job.T, job.Inputs, job.Seed, tracer, job.Shards)
 	verdict := Check(CheckInput{
 		N: job.N, T: job.T, RoundBound: bound, Envelope: job.Envelope,
-		MonteCarlo: spec.MonteCarlo,
+		Properties: spec.Properties,
 		Result:     run.res, RunErr: run.err, Transcript: run.tr,
 	})
 	out.Transcript = run.tr

@@ -53,8 +53,14 @@ type CheckInput struct {
 	// Envelope optionally caps the trial's cost metrics (zero fields are
 	// unbounded); MaxRounds is set automatically from RoundBound.
 	Envelope metrics.Envelope
-	// MonteCarlo relaxes agreement to a counted miss instead of a
-	// violation (Ben-Or past its epoch budget).
+	// Properties is the protocol's declared guarantee set
+	// (ProtoSpec.Properties): WHP-strength properties downgrade their
+	// violations to counted Monte-Carlo misses. The zero value checks
+	// every guarantee deterministically.
+	Properties PropertySet
+	// MonteCarlo is the legacy single-bit form of Properties (agreement
+	// WHP), kept because persisted corpus entries record exactly this
+	// bit; it ORs into Properties.Agreement.
 	MonteCarlo bool
 	Result     *sim.Result
 	RunErr     error
@@ -86,9 +92,16 @@ func (v *Verdict) add(k Kind, format string, args ...any) {
 	v.Violations = append(v.Violations, Violation{Kind: k, Detail: fmt.Sprintf(format, args...)})
 }
 
-// Check runs every invariant against one finished trial.
+// Check runs every invariant against one finished trial. Which findings
+// gate and which are counted follows the protocol's declared PropertySet;
+// legality, metrics, transcript and determinism findings always gate —
+// they are properties of the model and the harness, not of the protocol.
 func Check(in CheckInput) Verdict {
 	var verdict Verdict
+	props := in.Properties
+	if in.MonteCarlo {
+		props.Agreement = WHP
+	}
 
 	if in.RunErr != nil {
 		switch {
@@ -110,25 +123,29 @@ func Check(in CheckInput) Verdict {
 		return verdict
 	}
 
-	// Consensus properties over non-faulty processes.
-	if err := res.CheckAgreement(); err != nil {
-		if in.MonteCarlo {
-			verdict.MonteCarloMisses++
+	// Consensus properties over non-faulty processes, each at its
+	// declared strength.
+	addAt := func(s Strength, k Kind, format string, args ...any) {
+		if s.gating() {
+			verdict.add(k, format, args...)
 		} else {
-			verdict.add(KindAgreement, "%v", err)
+			verdict.MonteCarloMisses++
 		}
 	}
+	if err := res.CheckAgreement(); err != nil {
+		addAt(props.Agreement, KindAgreement, "%v", err)
+	}
 	if err := res.CheckValidity(); err != nil {
-		verdict.add(KindValidity, "%v", err)
+		addAt(props.Validity, KindValidity, "%v", err)
 	}
 	for p := 0; p < in.N; p++ {
 		if !res.Corrupted[p] && res.Decisions[p] < 0 {
-			verdict.add(KindTermination, "non-faulty process %d never decided", p)
+			addAt(props.Termination, KindTermination, "non-faulty process %d never decided", p)
 			break
 		}
 	}
 	if in.RoundBound > 0 && res.RoundsNonFaulty() > in.RoundBound {
-		verdict.add(KindTermination, "non-faulty processes ran %d rounds, bound is %d",
+		addAt(props.Termination, KindTermination, "non-faulty processes ran %d rounds, bound is %d",
 			res.RoundsNonFaulty(), in.RoundBound)
 	}
 

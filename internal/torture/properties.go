@@ -1,0 +1,66 @@
+package torture
+
+import "strings"
+
+// Strength grades one consensus guarantee.
+type Strength string
+
+const (
+	// Always marks a deterministic guarantee: any violation under a legal
+	// schedule is a gating oracle failure. The zero Strength ("") is
+	// treated as Always, so an undeclared property defaults to the
+	// strictest reading.
+	Always Strength = "always"
+	// WHP marks an almost-sure guarantee (holds with high probability,
+	// no deterministic backstop): violations are counted as Monte-Carlo
+	// misses instead of gating failures, and the envelope bounds how many
+	// a campaign may accumulate.
+	WHP Strength = "whp"
+)
+
+// gating reports whether a violation of a property at this strength fails
+// the trial (as opposed to being counted as a miss).
+func (s Strength) gating() bool { return s != WHP }
+
+// label renders the strength for reports; the zero value reads as the
+// Always default it is.
+func (s Strength) label() string {
+	if s == "" {
+		return string(Always)
+	}
+	return string(s)
+}
+
+// PropertySet declares the guarantees one protocol promises, at what
+// strength — the per-protocol property set the invariant oracle and the
+// tournament check uniformly for every matrix cell. Legality (the
+// adversary stayed inside the omission model: budget t respected, only
+// corrupted-endpoint drops) is a property of the model rather than of any
+// protocol, so it is implicitly Always for every cell and carries no
+// field here.
+//
+// The zero PropertySet is fully deterministic: agreement, validity and
+// termination all Always. Randomized protocols with no deterministic
+// backstop (Ben-Or) declare Agreement: WHP, which the oracle reports as
+// counted Monte-Carlo misses instead of gating violations.
+type PropertySet struct {
+	Agreement   Strength `json:"agreement,omitempty"`
+	Validity    Strength `json:"validity,omitempty"`
+	Termination Strength `json:"termination,omitempty"`
+}
+
+// Deterministic reports whether every guarantee is deterministic.
+func (ps PropertySet) Deterministic() bool {
+	return ps.Agreement.gating() && ps.Validity.gating() && ps.Termination.gating()
+}
+
+// String renders the full property set, including the implicit legality
+// guarantee, in the fixed order reports rely on.
+func (ps PropertySet) String() string {
+	var b strings.Builder
+	b.WriteString("agreement:" + ps.Agreement.label())
+	b.WriteString(" validity:" + ps.Validity.label())
+	b.WriteString(" termination:" + ps.Termination.label())
+	b.WriteString(" legality:always")
+	return b.String()
+}

@@ -14,6 +14,7 @@ package torture
 
 import (
 	"fmt"
+	"strings"
 
 	"omicon/internal/adversary"
 	"omicon/internal/benor"
@@ -41,10 +42,11 @@ type ProtoSpec struct {
 	// MaxT returns the largest corruption budget the protocol's proven
 	// fault bound admits at size n.
 	MaxT func(n int) int
-	// MonteCarlo marks protocols whose agreement holds only with high
-	// probability (no deterministic backstop): the oracle reports their
-	// agreement misses separately instead of failing the run.
-	MonteCarlo bool
+	// Properties declares the protocol's guarantees and their strength —
+	// the per-protocol property set the oracle and the tournament check
+	// uniformly. The zero value promises deterministic agreement,
+	// validity and termination.
+	Properties PropertySet
 	// KnownBroken marks separation exhibits (FloodSet) that are *expected*
 	// to violate consensus under the right schedule; they are excluded
 	// from the default matrix and exist to exercise the
@@ -112,7 +114,7 @@ var protoSpecs = []ProtoSpec{
 		Name:       "benor",
 		Sizes:      []int{16, 20},
 		MaxT:       func(n int) int { return (n - 1) / 4 },
-		MonteCarlo: true,
+		Properties: PropertySet{Agreement: WHP},
 		Build: func(n, t int) (sim.Protocol, int, error) {
 			p := benor.DefaultParams(n, t)
 			return benor.Protocol(p), p.MaxEpochs + 2, nil
@@ -161,9 +163,24 @@ var protoSpecs = []ProtoSpec{
 	},
 }
 
+// MonteCarlo reports whether the protocol's agreement holds only with
+// high probability (no deterministic backstop) — the legacy name for
+// Properties.Agreement == WHP, kept because the corpus format records it.
+func (s ProtoSpec) MonteCarlo() bool { return s.Properties.Agreement == WHP }
+
 // Protocols returns every registered spec, including known-broken
 // separation exhibits.
 func Protocols() []ProtoSpec { return protoSpecs }
+
+// ProtocolNames lists every registered protocol's canonical name, in
+// registration order.
+func ProtocolNames() []string {
+	out := make([]string, len(protoSpecs))
+	for i, s := range protoSpecs {
+		out[i] = s.Name
+	}
+	return out
+}
 
 // DefaultProtocols returns the standing correctness matrix: every spec
 // that promises consensus under legal schedules.
@@ -189,7 +206,8 @@ func FindProtocol(name string) (ProtoSpec, error) {
 			}
 		}
 	}
-	return ProtoSpec{}, fmt.Errorf("torture: unknown protocol %q", name)
+	return ProtoSpec{}, fmt.Errorf("torture: unknown protocol %q (valid: %s)",
+		name, strings.Join(ProtocolNames(), ", "))
 }
 
 // AdvSpec describes one adversary of the portfolio. Make receives the most
@@ -260,6 +278,21 @@ var advSpecs = []AdvSpec{
 	{Name: "oblivious-crash", Make: ignoreBase(func(n, t int, seed uint64) sim.Adversary {
 		return adversary.NewObliviousCrash(n, t, seed)
 	})},
+	// The adversary zoo (docs/ADVERSARIES.md, "Knowledge models"):
+	// families with deliberately different knowledge models, the
+	// tournament's comparison axis.
+	{Name: "late", Make: ignoreBase(func(n, t int, seed uint64) sim.Adversary {
+		return adversary.NewLate(adversary.NewSplitVote(t, seed), adversary.DefaultLateDelay)
+	})},
+	{Name: "eavesdrop", Make: ignoreBase(func(n, t int, seed uint64) sim.Adversary {
+		return adversary.NewEavesdrop(t, n, seed)
+	})},
+	{Name: "tree-cut", Make: ignoreBase(func(n, t int, seed uint64) sim.Adversary {
+		return adversary.NewTreeCut(n, t)
+	})},
+	{Name: "budget-schedule", Make: ignoreBase(func(n, t int, seed uint64) sim.Adversary {
+		return adversary.NewBudgetSchedule(t, 1)
+	})},
 }
 
 // defaultPortfolio is the adversary set of the standing matrix.
@@ -267,6 +300,16 @@ var defaultPortfolio = []string{"chaos", "eclipse", "coin-hider", "committee-kil
 
 // Adversaries returns every registered adversary spec.
 func Adversaries() []AdvSpec { return advSpecs }
+
+// AdversaryNames lists every registered adversary name, in registration
+// order.
+func AdversaryNames() []string {
+	out := make([]string, len(advSpecs))
+	for i, s := range advSpecs {
+		out[i] = s.Name
+	}
+	return out
+}
 
 // DefaultAdversaries returns the default portfolio.
 func DefaultAdversaries() []AdvSpec {
@@ -285,5 +328,6 @@ func FindAdversary(name string) (AdvSpec, error) {
 			return s, nil
 		}
 	}
-	return AdvSpec{}, fmt.Errorf("torture: unknown adversary %q", name)
+	return AdvSpec{}, fmt.Errorf("torture: unknown adversary %q (valid: %s)",
+		name, strings.Join(AdversaryNames(), ", "))
 }

@@ -214,10 +214,12 @@ func mix(seed uint64, i int) uint64 {
 	return z ^ (z >> 31)
 }
 
-// trialInputs cycles input patterns. Mixed patterns put more than t
-// processes in each camp (guaranteed by capT), so corruption can never
+// TrialInputs cycles input patterns. Mixed patterns put more than t
+// processes in each camp (guaranteed by CapT), so corruption can never
 // empty a camp and turn validity vacuously true or false by accident.
-func trialInputs(n, variant int) []int {
+// The tournament reuses the same patterns so its cells and torture trials
+// probe identical input space.
+func TrialInputs(n, variant int) []int {
 	in := make([]int, n)
 	switch variant % 4 {
 	case 0: // balanced mixed
@@ -239,9 +241,9 @@ func trialInputs(n, variant int) []int {
 	return in
 }
 
-// capT bounds the corruption budget so every mixed-input camp keeps a
+// CapT bounds the corruption budget so every mixed-input camp keeps a
 // non-faulty member: t <= n/2 - 1 with balanced camps of size >= n/2.
-func capT(spec ProtoSpec, n int) int {
+func CapT(spec ProtoSpec, n int) int {
 	t := spec.MaxT(n)
 	if cap := n/2 - 1; t > cap {
 		t = cap
@@ -620,7 +622,7 @@ func Run(o Options) (*Report, error) {
 		entry := &Entry{
 			Version: EntryVersion, Protocol: sp.c.proto.Name, Adversary: oc.AdvName,
 			N: sp.n, T: sp.t, Seed: sp.seed, Inputs: sp.inputs, RoundBound: oc.Bound,
-			MonteCarlo: sp.c.proto.MonteCarlo,
+			MonteCarlo: sp.c.proto.MonteCarlo(),
 			Violations: verdict.Violations,
 			Schedule:   sched,
 			Transcript: oc.Transcript,
@@ -671,11 +673,11 @@ func Run(o Options) (*Report, error) {
 			c := cells[i%len(cells)]
 			lap := i / len(cells)
 			n := c.proto.Sizes[lap%len(c.proto.Sizes)]
-			t := capT(c.proto, n)
+			t := CapT(c.proto, n)
 			sp := trialSpec{
 				i: i, lap: lap, c: c, n: n, t: t,
 				seed:   mix(o.Seed, i),
-				inputs: trialInputs(n, lap),
+				inputs: TrialInputs(n, lap),
 				key:    c.proto.Name + "/" + c.adv.Name,
 			}
 			sp.base = lastSchedule[sp.key]

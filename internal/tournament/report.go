@@ -1,0 +1,141 @@
+package tournament
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Summary renders the report as a short human-readable block.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tournament: %d trials over %d cells, %d losses (%d unexpected), %d monte-carlo misses\n",
+		r.Trials, len(r.Cells), r.Losses, r.UnexpectedLosses, r.MCMisses)
+	for _, c := range r.Cells {
+		if c.Losses == 0 || c.Expected {
+			continue
+		}
+		fmt.Fprintf(&b, "  UNEXPECTED %-40s wins=%d losses=%d\n", c.key(), c.Wins, c.Losses)
+	}
+	return b.String()
+}
+
+// WriteJSON writes the machine-readable report (schema
+// "omicon/tournament/v1"). The encoding is deterministic: struct field
+// order, fixed cell enumeration order, no maps.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// aggregate is one protocol x adversary square of the top-level matrix,
+// folded over the (n, t) sweep.
+type aggregate struct {
+	trials, wins, losses, rounds int
+}
+
+// Markdown renders the human-readable report: the property sets the
+// oracle enforced, the win/loss/round-cost matrix, the per-cell table,
+// and the observed violations. Rendering is purely a function of the
+// Report value, so the bytes are identical at any worker or shard count.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	b.WriteString("# Adversary tournament\n\n")
+	fmt.Fprintf(&b, "Seed %d, %d trials per cell, %d trials total over %d cells.\n",
+		r.Seed, r.TrialsPerCell, r.Trials, len(r.Cells))
+	b.WriteString("Every cell runs the protocol against the adversary over the (n, t) sweep\n")
+	b.WriteString("and checks the protocol's declared property set with the torture oracle;\n")
+	b.WriteString("adversary legality (budget, omission rules) is enforced in every cell.\n\n")
+
+	b.WriteString("## Property sets\n\n")
+	b.WriteString("| protocol | properties | expectation |\n")
+	b.WriteString("|---|---|---|\n")
+	for _, p := range r.Protocols {
+		note := "must win every cell"
+		if p.KnownBroken {
+			note = "separation exhibit: losses expected"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s |\n", p.Name, p.Properties, note)
+	}
+	b.WriteString("\n")
+
+	b.WriteString("## Win/loss matrix\n\n")
+	b.WriteString("Each square folds the (n, t) sweep: `wins-losses r<mean rounds>`.\n\n")
+	agg := make(map[string]*aggregate)
+	for _, c := range r.Cells {
+		k := c.Protocol + "\x00" + c.Adversary
+		a := agg[k]
+		if a == nil {
+			a = &aggregate{}
+			agg[k] = a
+		}
+		a.trials += c.Trials
+		a.wins += c.Wins
+		a.losses += c.Losses
+		a.rounds += c.RoundsTotal
+	}
+	b.WriteString("| protocol \\ adversary |")
+	for _, a := range r.Adversaries {
+		fmt.Fprintf(&b, " %s |", a)
+	}
+	b.WriteString("\n|---|")
+	for range r.Adversaries {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, p := range r.Protocols {
+		fmt.Fprintf(&b, "| %s |", p.Name)
+		for _, a := range r.Adversaries {
+			sq := agg[p.Name+"\x00"+a]
+			if sq == nil || sq.trials == 0 {
+				b.WriteString(" — |")
+				continue
+			}
+			fmt.Fprintf(&b, " %d-%d r%.1f |", sq.wins, sq.losses, float64(sq.rounds)/float64(sq.trials))
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("\n")
+
+	b.WriteString("## Cells\n\n")
+	b.WriteString("| protocol | adversary | n | t | trials | wins | losses | mc misses | rounds mean | rounds max |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|---|\n")
+	for _, c := range r.Cells {
+		mean := 0.0
+		if c.Trials > 0 {
+			mean = float64(c.RoundsTotal) / float64(c.Trials)
+		}
+		fmt.Fprintf(&b, "| %s | %s | %d | %d | %d | %d | %d | %d | %.1f | %d |\n",
+			c.Protocol, c.Adversary, c.N, c.T, c.Trials, c.Wins, c.Losses, c.MCMisses, mean, c.RoundsMax)
+	}
+	b.WriteString("\n")
+
+	losing := 0
+	for _, c := range r.Cells {
+		if c.Losses > 0 {
+			losing++
+		}
+	}
+	if losing > 0 {
+		b.WriteString("## Losses\n\n")
+		for _, c := range r.Cells {
+			if c.Losses == 0 {
+				continue
+			}
+			tag := "UNEXPECTED"
+			if c.Expected {
+				tag = "expected"
+			}
+			fmt.Fprintf(&b, "- **%s** (%s, %d/%d trials):\n", c.key(), tag, c.Losses, c.Trials)
+			for _, v := range c.Violations {
+				fmt.Fprintf(&b, "  - %s\n", v)
+			}
+		}
+		b.WriteString("\n")
+	}
+
+	fmt.Fprintf(&b, "Unexpected losses: %d.\n", r.UnexpectedLosses)
+	return b.String()
+}

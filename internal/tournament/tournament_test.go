@@ -1,0 +1,181 @@
+package tournament
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"omicon/internal/journal"
+	"omicon/internal/telemetry"
+)
+
+// smallOptions is the reduced matrix the identity tests run: two
+// protocols (one deterministic, one separation exhibit), the four zoo
+// families plus the schedule fuzzer, two trials per cell.
+func smallOptions() Options {
+	return Options{
+		TrialsPerCell: 2,
+		Seed:          7,
+		Protocols:     []string{"phaseking", "floodset"},
+		Adversaries:   []string{"late", "eavesdrop", "tree-cut", "budget-schedule", "sched-fuzz"},
+	}
+}
+
+// artifacts runs one tournament and returns (report.md bytes,
+// tournament.json bytes, journal file bytes). jpath == "" disables the
+// journal.
+func artifacts(t *testing.T, o Options, jpath string) ([]byte, []byte, []byte) {
+	t.Helper()
+	var j *journal.Journal
+	if jpath != "" {
+		var err error
+		j, _, err = journal.Open(jpath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.Journal = j
+	}
+	rep, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var js bytes.Buffer
+	if err := rep.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var jbytes []byte
+	if j != nil {
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		jbytes, err = os.ReadFile(jpath)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return []byte(rep.Markdown()), js.Bytes(), jbytes
+}
+
+// TestTournamentByteIdentical pins the tournament's central determinism
+// contract: report.md, tournament.json and the journal are byte-for-byte
+// identical at every combination of worker count and simulator execution
+// mode, because commits are strictly serial in trial order and the two
+// engines are observably identical.
+func TestTournamentByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	base := smallOptions()
+	base.Workers, base.Shards = 1, 0
+	wantMD, wantJSON, wantJournal := artifacts(t, base, filepath.Join(dir, "base.journal"))
+
+	cases := []struct {
+		name            string
+		workers, shards int
+	}{
+		{"workers4-shards0", 4, 0},
+		{"workers1-shards8", 1, 8},
+		{"workers4-shards8", 4, 8},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			o := smallOptions()
+			o.Workers, o.Shards = c.workers, c.shards
+			md, js, jb := artifacts(t, o, filepath.Join(dir, c.name+".journal"))
+			if !bytes.Equal(md, wantMD) {
+				t.Errorf("report.md differs from workers=1 shards=0 baseline (%d vs %d bytes)", len(md), len(wantMD))
+			}
+			if !bytes.Equal(js, wantJSON) {
+				t.Errorf("tournament.json differs from baseline (%d vs %d bytes)", len(js), len(wantJSON))
+			}
+			if !bytes.Equal(jb, wantJournal) {
+				t.Errorf("journal differs from baseline (%d vs %d bytes)", len(jb), len(wantJournal))
+			}
+		})
+	}
+}
+
+// TestTournamentResumeByteIdentical pins journaled resume: re-running a
+// completed tournament from its journal replays every trial and yields
+// the identical report bytes, with Resumed accounting for all of them —
+// and the telemetry plane observing the resumed run never changes a
+// byte.
+func TestTournamentResumeByteIdentical(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "t.journal")
+	wantMD, wantJSON, _ := artifacts(t, smallOptions(), jpath)
+
+	j, _, err := journal.Open(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	o := smallOptions()
+	o.Journal = j
+	o.Telemetry = telemetry.NewRegistry()
+	rep, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resumed != rep.Trials || rep.Trials == 0 {
+		t.Fatalf("resumed %d of %d trials, want all", rep.Resumed, rep.Trials)
+	}
+	var js bytes.Buffer
+	if err := rep.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal([]byte(rep.Markdown()), wantMD) {
+		t.Error("resumed report.md differs from the original run")
+	}
+	if !bytes.Equal(js.Bytes(), wantJSON) {
+		t.Error("resumed tournament.json differs from the original run")
+	}
+}
+
+// TestTournamentConfigMismatch pins the journal guard: records must not
+// replay into a differently configured tournament.
+func TestTournamentConfigMismatch(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "t.journal")
+	o := smallOptions()
+	o.Protocols = []string{"phaseking"}
+	o.Adversaries = []string{"late"}
+	artifacts(t, o, jpath)
+
+	j, _, err := journal.Open(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	o2 := smallOptions()
+	o2.Protocols = []string{"benor"}
+	o2.Adversaries = []string{"late"}
+	o2.Journal = j
+	if _, err := Run(o2); err == nil {
+		t.Fatal("Run accepted a journal from a different tournament configuration")
+	}
+}
+
+// TestTournamentExpectedLosses pins the expectation split: losses of a
+// known-broken separation exhibit count as losses but never as
+// unexpected ones, and cells of correct protocols must all be wins.
+func TestTournamentExpectedLosses(t *testing.T) {
+	o := Options{
+		TrialsPerCell: 2,
+		Seed:          3,
+		Protocols:     []string{"phaseking", "floodset"},
+		Adversaries:   []string{"flood-split", "half-visibility"},
+	}
+	rep, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.UnexpectedLosses != 0 {
+		t.Fatalf("correct protocols lost %d trials:\n%s", rep.UnexpectedLosses, rep.Summary())
+	}
+	for _, c := range rep.Cells {
+		if c.Protocol == "phaseking" && c.Losses > 0 {
+			t.Errorf("phaseking lost cell %s", c.key())
+		}
+		if c.Losses > 0 && !c.Expected {
+			t.Errorf("loss in %s not marked expected", c.key())
+		}
+	}
+}
